@@ -1,0 +1,87 @@
+// Reproduces the paper's run-time claim (Section V: "The run-time is
+// milliseconds" / Section VI: polynomial complexity) and extends it with a
+// scaling study over generated graph families, using google-benchmark.
+//
+// The paper solves T1/T2 with CPLEX in milliseconds; this harness times the
+// from-scratch interior-point solver on the same instances and on growing
+// chains / random DAGs to exhibit the polynomial growth.
+#include <benchmark/benchmark.h>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace {
+
+void BM_PaperT1(benchmark::State& state) {
+  const bbs::model::Configuration config = bbs::gen::producer_consumer_t1();
+  for (auto _ : state) {
+    const auto r = bbs::core::compute_budgets_and_buffers(config);
+    benchmark::DoNotOptimize(r.objective_continuous);
+    if (!r.feasible()) state.SkipWithError("solve failed");
+  }
+}
+BENCHMARK(BM_PaperT1)->Unit(benchmark::kMillisecond);
+
+void BM_PaperT2(benchmark::State& state) {
+  const bbs::model::Configuration config = bbs::gen::three_stage_chain_t2();
+  for (auto _ : state) {
+    const auto r = bbs::core::compute_budgets_and_buffers(config);
+    benchmark::DoNotOptimize(r.objective_continuous);
+    if (!r.feasible()) state.SkipWithError("solve failed");
+  }
+}
+BENCHMARK(BM_PaperT2)->Unit(benchmark::kMillisecond);
+
+void BM_ChainScaling(benchmark::State& state) {
+  bbs::gen::GenParams params;
+  params.num_processors = 8;
+  params.seed = 7;
+  const bbs::model::Configuration config =
+      bbs::gen::make_chain(static_cast<bbs::linalg::Index>(state.range(0)),
+                           params);
+  for (auto _ : state) {
+    const auto r = bbs::core::compute_budgets_and_buffers(config);
+    benchmark::DoNotOptimize(r.objective_continuous);
+    if (!r.feasible()) state.SkipWithError("solve failed");
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChainScaling)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_RandomDagScaling(benchmark::State& state) {
+  bbs::gen::GenParams params;
+  params.num_processors = 8;
+  params.seed = 11;
+  const bbs::model::Configuration config = bbs::gen::make_random_dag(
+      static_cast<bbs::linalg::Index>(state.range(0)), 0.5, params);
+  for (auto _ : state) {
+    const auto r = bbs::core::compute_budgets_and_buffers(config);
+    benchmark::DoNotOptimize(r.objective_continuous);
+    if (!r.feasible()) state.SkipWithError("solve failed");
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RandomDagScaling)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_MultiJobPreset(benchmark::State& state) {
+  const bbs::model::Configuration config =
+      bbs::gen::car_entertainment_preset();
+  for (auto _ : state) {
+    const auto r = bbs::core::compute_budgets_and_buffers(config);
+    benchmark::DoNotOptimize(r.objective_continuous);
+    if (!r.feasible()) state.SkipWithError("solve failed");
+  }
+}
+BENCHMARK(BM_MultiJobPreset)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

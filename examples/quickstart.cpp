@@ -1,0 +1,82 @@
+// Quickstart: the paper's producer-consumer task graph end to end.
+//
+// Builds the configuration of Section V (two tasks on two TDM-scheduled
+// processors connected by one FIFO buffer), computes budgets and buffer
+// capacity simultaneously with Algorithm 1, prints the allocation, verifies
+// it with the independent max-cycle-ratio analysis, and finally executes the
+// task graph on the TDM multiprocessor simulator to demonstrate that the
+// required period is met.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/sim/tdm_simulator.hpp"
+
+int main() {
+  using namespace bbs;
+
+  // --- 1. Describe the platform and the job --------------------------------
+  model::Configuration config(/*granularity=*/1);
+  const auto p1 = config.add_processor("p1", /*replenishment=*/40.0);
+  const auto p2 = config.add_processor("p2", 40.0);
+  const auto mem = config.add_memory("m1");  // unconstrained capacity
+
+  model::TaskGraph job("producer-consumer", /*required_period=*/10.0);
+  const auto producer = job.add_task("producer", p1, /*wcet=*/1.0);
+  const auto consumer = job.add_task("consumer", p2, 1.0);
+  job.add_buffer("stream", producer, consumer, mem,
+                 /*container_size=*/1, /*initial_fill=*/0,
+                 /*size_weight=*/1e-3);  // buffers are cheap, budgets dear
+  config.add_task_graph(std::move(job));
+
+  // --- 2. Compute budgets and buffer sizes simultaneously ------------------
+  const core::MappingResult result = core::compute_budgets_and_buffers(config);
+  if (!result.feasible()) {
+    std::printf("no feasible allocation: %s\n",
+                solver::to_string(result.status));
+    return 1;
+  }
+
+  const core::MappedGraph& mapped = result.graphs[0];
+  std::printf("allocation for '%s' (period requirement %.1f Mcycles):\n",
+              config.task_graph(0).name().c_str(),
+              config.task_graph(0).required_period());
+  for (std::size_t t = 0; t < mapped.tasks.size(); ++t) {
+    std::printf("  task %-9s budget = %2d Mcycles per %2.0f (continuous "
+                "%.3f)\n",
+                config.task_graph(0).task(static_cast<linalg::Index>(t))
+                    .name.c_str(),
+                static_cast<int>(mapped.tasks[t].budget),
+                config.processor(0).replenishment_interval,
+                mapped.tasks[t].budget_continuous);
+  }
+  for (std::size_t b = 0; b < mapped.buffers.size(); ++b) {
+    std::printf("  buffer %-7s capacity = %d containers\n",
+                config.task_graph(0).buffer(static_cast<linalg::Index>(b))
+                    .name.c_str(),
+                static_cast<int>(mapped.buffers[b].capacity));
+  }
+
+  // --- 3. Independent verification ------------------------------------------
+  std::printf("dataflow verification: MCR = %.4f <= %.1f  [%s]\n",
+              mapped.verification.mcr, mapped.verification.required_period,
+              mapped.verification.throughput_met ? "ok" : "FAILED");
+
+  // --- 4. Execute on the simulated TDM multiprocessor ----------------------
+  const std::vector<linalg::Vector> budgets{
+      {static_cast<double>(mapped.tasks[0].budget),
+       static_cast<double>(mapped.tasks[1].budget)}};
+  const std::vector<std::vector<linalg::Index>> capacities{
+      {mapped.buffers[0].capacity}};
+  const sim::SimResult sim = sim::simulate_tdm(config, budgets, capacities);
+  std::printf("simulated steady-state period: %.4f Mcycles (requirement "
+              "%.1f)  [%s]\n",
+              sim.graphs[0].measured_period,
+              config.task_graph(0).required_period(),
+              sim.graphs[0].measured_period <=
+                      config.task_graph(0).required_period() + 1e-9
+                  ? "met"
+                  : "MISSED");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "bbs/common/assert.hpp"
+
+#include <sstream>
+
+namespace bbs::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "bbs internal invariant violated: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace bbs::detail

@@ -1,0 +1,60 @@
+// Contract-checking macros and error types shared across the bbs library.
+//
+// Philosophy (following the C++ Core Guidelines, I.5/I.6): preconditions of
+// public APIs are checked and reported with exceptions that carry enough
+// context to debug the model that violated them; internal invariants use
+// BBS_ASSERT, which is active in all build types because analysis code that
+// silently produces wrong buffer sizes is worse than code that stops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bbs {
+
+/// Thrown when a caller violates a documented precondition of a public API
+/// (e.g. an edge refers to a task that is not part of the graph).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an input model is structurally invalid (dangling references,
+/// non-positive periods, ...). Distinct from ContractViolation so callers can
+/// distinguish "bad user model" from "bad library usage".
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a numerical routine cannot proceed (singular factorisation
+/// where a definite matrix was required, etc.).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace bbs
+
+/// Internal invariant check; active in every build type.
+#define BBS_ASSERT(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::bbs::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Internal invariant check with an explanatory message.
+#define BBS_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::bbs::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Precondition check on a public API: throws ContractViolation.
+#define BBS_REQUIRE(expr, msg)                      \
+  do {                                              \
+    if (!(expr)) throw ::bbs::ContractViolation(msg); \
+  } while (false)

@@ -1,0 +1,62 @@
+#include "bbs/common/period.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace bbs {
+
+namespace {
+
+/// Checks whether the *entire second half* of the trace repeats with
+/// cyclicity q; if so, stores the common shift in `shift` and returns true.
+/// Validating over the full tail (rather than one repetition) is essential:
+/// bursty schedules contain short locally-periodic runs — e.g. several
+/// executions back-to-back inside one TDM slice — that would otherwise be
+/// mistaken for the asymptotic regime.
+bool has_period(const std::vector<std::vector<double>>& starts,
+                std::size_t q, double tolerance, double& shift) {
+  const std::size_t n = starts.size();
+  const std::size_t half = n / 2;
+  if (half + q > n - 1) return false;  // need q-separated pairs in the tail
+  bool first = true;
+  double d0 = 0.0;
+  for (std::size_t k = half + q; k < n; ++k) {
+    const std::vector<double>& a = starts[k];
+    const std::vector<double>& b = starts[k - q];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      if (first) {
+        d0 = d;
+        first = false;
+      } else if (std::abs(d - d0) > tolerance * std::max(1.0, std::abs(d0))) {
+        return false;
+      }
+    }
+  }
+  shift = d0;
+  return true;
+}
+
+}  // namespace
+
+double estimate_asymptotic_period(
+    const std::vector<std::vector<double>>& starts, double tolerance) {
+  const std::size_t n = starts.size();
+  if (n < 2 || starts[0].empty()) return 0.0;
+
+  const std::size_t max_q = n / 2 > 1 ? n / 2 - 1 : 0;
+  for (std::size_t q = 1; q <= max_q; ++q) {
+    double shift = 0.0;
+    if (has_period(starts, q, tolerance, shift)) {
+      return shift / static_cast<double>(q);
+    }
+  }
+
+  // Fallback: windowed average over the second half (transient excluded).
+  const std::size_t last = n - 1;
+  std::size_t mid = n / 2;
+  if (last == mid) mid = 0;  // trace of length 2: full-window slope
+  return (starts[last][0] - starts[mid][0]) / static_cast<double>(last - mid);
+}
+
+}  // namespace bbs

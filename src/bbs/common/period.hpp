@@ -1,0 +1,25 @@
+// Asymptotic period estimation for eventually periodic schedules.
+//
+// Self-timed SRDF executions and TDM simulations both converge to a regime
+// where sigma(k + q) = sigma(k) + q * p for every entity (actor or task):
+// the start times repeat with some cyclicity q at rate p. A plain windowed
+// average (last - first) / n is biased by up to jitter / n, which matters
+// when the measured period is compared against a tight analytic bound; this
+// helper instead *detects* the periodic regime and returns the exact p,
+// falling back to the windowed average when no period is detected within
+// the observation window.
+#pragma once
+
+#include <vector>
+
+namespace bbs {
+
+/// `starts[k][i]` is the start time of the (k+1)-th event of entity i; the
+/// series must be non-decreasing per entity. Returns the detected asymptotic
+/// period p (time per k-step), or the windowed average over the second half
+/// of the trace if no periodicity is detected. Returns 0 for fewer than two
+/// observations.
+double estimate_asymptotic_period(
+    const std::vector<std::vector<double>>& starts, double tolerance = 1e-9);
+
+}  // namespace bbs

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (graph generators, data-dependent
+// execution times in the simulator, randomised tests) draw from this engine so
+// that every experiment in EXPERIMENTS.md can be regenerated bit-identically
+// from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bbs {
+
+/// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
+/// Seeded through SplitMix64 so that consecutive integer seeds give
+/// well-decorrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi); requires lo < hi.
+  double next_real(double lo, double hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          next_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bbs

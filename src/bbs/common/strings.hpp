@@ -1,0 +1,25 @@
+// Small string helpers used by reporting and the JSON/DOT writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbs {
+
+/// printf-style double formatting with fixed precision, locale-independent.
+std::string format_double(double value, int precision = 6);
+
+/// Joins the elements with the separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace bbs

@@ -1,0 +1,194 @@
+#include "bbs/core/binding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+/// Applies a flat binding vector (task-major across graphs) to a copy of
+/// the configuration.
+model::Configuration with_binding(const model::Configuration& config,
+                                  const std::vector<Index>& flat) {
+  model::Configuration out(config.granularity());
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    out.add_processor(config.processor(p).name,
+                      config.processor(p).replenishment_interval,
+                      config.processor(p).scheduling_overhead);
+  }
+  for (Index m = 0; m < config.num_memories(); ++m) {
+    out.add_memory(config.memory(m).name, config.memory(m).capacity);
+  }
+  std::size_t next = 0;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    model::TaskGraph copy(tg.name(), tg.required_period());
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      copy.add_task(task.name, flat[next++], task.wcet, task.budget_weight);
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      const Index id =
+          copy.add_buffer(buf.name, buf.producer, buf.consumer, buf.memory,
+                          buf.container_size, buf.initial_fill,
+                          buf.size_weight);
+      if (buf.max_capacity != -1) copy.set_max_capacity(id, buf.max_capacity);
+    }
+    out.add_task_graph(std::move(copy));
+  }
+  return out;
+}
+
+struct Candidate {
+  bool feasible = false;
+  double cost = std::numeric_limits<double>::infinity();
+  MappingResult mapping;
+};
+
+Candidate evaluate(const model::Configuration& config,
+                   const std::vector<Index>& flat,
+                   const MappingOptions& options, int& evaluated) {
+  ++evaluated;
+  Candidate c;
+  c.mapping = compute_budgets_and_buffers(with_binding(config, flat), options);
+  c.feasible = c.mapping.feasible();
+  if (c.feasible) c.cost = c.mapping.objective_continuous;
+  return c;
+}
+
+std::vector<std::vector<Index>> unflatten(const model::Configuration& config,
+                                          const std::vector<Index>& flat) {
+  std::vector<std::vector<Index>> out;
+  std::size_t next = 0;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    std::vector<Index> row;
+    for (Index t = 0; t < tg.num_tasks(); ++t) row.push_back(flat[next++]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+/// Load-balanced greedy seed: tasks in decreasing WCET order go to the
+/// processor with the least accumulated normalised load.
+std::vector<Index> greedy_seed(const model::Configuration& config) {
+  struct Item {
+    std::size_t flat_index;
+    double demand;  // wcet / mu: rough rate requirement
+  };
+  std::vector<Item> items;
+  std::size_t next = 0;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      items.push_back(Item{next++, tg.task(t).wcet / tg.required_period()});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.demand > b.demand; });
+
+  std::vector<Index> flat(next, 0);
+  std::vector<double> load(static_cast<std::size_t>(config.num_processors()),
+                           0.0);
+  for (const Item& item : items) {
+    std::size_t best = 0;
+    for (std::size_t p = 1; p < load.size(); ++p) {
+      if (load[p] < load[best]) best = p;
+    }
+    flat[item.flat_index] = static_cast<Index>(best);
+    load[best] += item.demand;
+  }
+  return flat;
+}
+
+}  // namespace
+
+std::optional<BindingResult> bind_and_solve(const model::Configuration& config,
+                                            const BindingOptions& options) {
+  config.validate();
+  const auto num_tasks = static_cast<std::size_t>(config.total_tasks());
+  const auto num_procs = static_cast<std::size_t>(config.num_processors());
+  BBS_REQUIRE(num_procs > 0, "bind_and_solve: no processors");
+  BBS_REQUIRE(num_tasks > 0, "bind_and_solve: no tasks");
+
+  int evaluated = 0;
+  std::vector<Index> best_flat;
+  Candidate best;
+
+  if (options.strategy == BindingStrategy::kExhaustive) {
+    const double total = std::pow(static_cast<double>(num_procs),
+                                  static_cast<double>(num_tasks));
+    if (total > static_cast<double>(options.max_assignments)) {
+      throw ModelError("bind_and_solve: exhaustive search space too large; "
+                       "use kGreedyLocalSearch or raise max_assignments");
+    }
+    std::vector<Index> flat(num_tasks, 0);
+    bool done = false;
+    while (!done) {
+      const Candidate c = evaluate(config, flat, options.mapping, evaluated);
+      if (c.feasible && c.cost < best.cost) {
+        best = c;
+        best_flat = flat;
+      }
+      // Odometer.
+      done = true;
+      for (std::size_t i = 0; i < num_tasks; ++i) {
+        if (flat[i] + 1 < static_cast<Index>(num_procs)) {
+          ++flat[i];
+          for (std::size_t j = 0; j < i; ++j) flat[j] = 0;
+          done = false;
+          break;
+        }
+      }
+    }
+  } else {
+    std::vector<Index> flat = greedy_seed(config);
+    Candidate current = evaluate(config, flat, options.mapping, evaluated);
+    if (current.feasible) {
+      best = current;
+      best_flat = flat;
+    }
+    for (int round = 0; round < options.max_rounds; ++round) {
+      bool improved = false;
+      for (std::size_t i = 0; i < num_tasks; ++i) {
+        const Index original = flat[i];
+        for (Index p = 0; p < static_cast<Index>(num_procs); ++p) {
+          if (p == original) continue;
+          flat[i] = p;
+          const Candidate c =
+              evaluate(config, flat, options.mapping, evaluated);
+          // Accept moves that restore feasibility or reduce cost.
+          const bool better =
+              (c.feasible && !current.feasible) ||
+              (c.feasible && current.feasible &&
+               c.cost < current.cost - 1e-9 * (1.0 + current.cost));
+          if (better) {
+            current = c;
+            improved = true;
+            if (c.cost < best.cost || best_flat.empty()) {
+              best = c;
+              best_flat = flat;
+            }
+            break;  // keep the move, rescan from the next task
+          }
+          flat[i] = original;
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  if (best_flat.empty()) return std::nullopt;
+  BindingResult out;
+  out.processors = unflatten(config, best_flat);
+  out.mapping = std::move(best.mapping);
+  out.evaluated = evaluated;
+  return out;
+}
+
+}  // namespace bbs::core

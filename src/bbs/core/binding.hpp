@@ -1,0 +1,55 @@
+// Task-to-processor binding on top of the joint budget/buffer computation.
+//
+// The paper's conclusion names this as the essential next step: "extend the
+// current formulation and also compute the binding of tasks to processors".
+// Binding is a combinatorial choice outside the cone program, so this module
+// wraps Algorithm 1 in a search over assignments:
+//
+//   * kExhaustive — enumerate all |P|^|W| assignments (small instances; the
+//     reference for the heuristic),
+//   * kGreedyLocalSearch — start from a load-balanced greedy assignment,
+//     then iterate single-task moves while the weighted objective improves
+//     (or feasibility is restored).
+//
+// Each candidate binding is evaluated by the full joint SOCP, so the search
+// sees exactly the cost the mapping flow cares about — including the
+// budget/buffer trade-off the binding influences.
+#pragma once
+
+#include <optional>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+
+namespace bbs::core {
+
+enum class BindingStrategy {
+  kExhaustive,
+  kGreedyLocalSearch,
+};
+
+struct BindingOptions {
+  BindingStrategy strategy = BindingStrategy::kGreedyLocalSearch;
+  /// Exhaustive search refuses instances with more than this many
+  /// assignments.
+  std::size_t max_assignments = 200000;
+  /// Local-search rounds (each round tries every single-task move).
+  int max_rounds = 20;
+  MappingOptions mapping;
+};
+
+struct BindingResult {
+  /// processor[graph][task] — the chosen binding.
+  std::vector<std::vector<Index>> processors;
+  /// Joint solve result under that binding.
+  MappingResult mapping;
+  /// Number of candidate bindings evaluated with the SOCP.
+  int evaluated = 0;
+};
+
+/// Computes a task-to-processor binding (ignoring the bindings already in
+/// `config`) plus budgets and buffer sizes. Returns nullopt if no evaluated
+/// binding is feasible.
+std::optional<BindingResult> bind_and_solve(
+    const model::Configuration& config, const BindingOptions& options = {});
+
+}  // namespace bbs::core

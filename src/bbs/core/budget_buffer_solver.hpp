@@ -1,0 +1,73 @@
+// Top-level API: simultaneous budget and buffer size computation.
+//
+// compute_budgets_and_buffers() is the end-to-end flow of the paper:
+//   1. translate the configuration into the Algorithm-1 SOCP,
+//   2. solve it with the interior-point method,
+//   3. round budgets and capacities conservatively,
+//   4. verify each task graph's throughput with the independent MCR check
+//      and the platform constraints with exact integer arithmetic.
+//
+// The result carries both the continuous optimum (what the paper's figures
+// plot) and the rounded allocation (what a mapping flow would deploy).
+#pragma once
+
+#include <vector>
+
+#include "bbs/core/program_builder.hpp"
+#include "bbs/core/verification.hpp"
+#include "bbs/solver/ipm_solver.hpp"
+
+namespace bbs::core {
+
+struct TaskAllocation {
+  double budget_continuous = 0.0;  ///< beta'(w) from the SOCP
+  Index budget = 0;                ///< beta(w) = g*ceil(beta'/g)
+};
+
+struct BufferAllocation {
+  double tokens_continuous = 0.0;  ///< delta'(e) of the space queue
+  Index capacity = 0;              ///< gamma(b) = iota + ceil(delta')
+};
+
+struct MappedGraph {
+  std::vector<TaskAllocation> tasks;
+  std::vector<BufferAllocation> buffers;
+  GraphVerification verification;
+};
+
+struct MappingResult {
+  solver::SolveStatus status = solver::SolveStatus::kNumericalFailure;
+  std::vector<MappedGraph> graphs;
+  /// Objective of the continuous SOCP optimum.
+  double objective_continuous = 0.0;
+  /// Same weighted objective evaluated on the rounded allocation.
+  double objective_rounded = 0.0;
+  int ipm_iterations = 0;
+  /// True iff the SOCP was solved, rounding succeeded, every graph passes
+  /// the MCR verification and the platform constraints hold.
+  bool verified = false;
+
+  bool feasible() const { return status == solver::SolveStatus::kOptimal; }
+};
+
+struct MappingOptions {
+  solver::SolverOptions ipm;
+  /// Run the MCR/platform verification pass on the rounded solution.
+  bool verify = true;
+  /// Rounding tolerance (see bbs/core/rounding.hpp).
+  double rounding_eps = 1e-7;
+};
+
+/// Computes budgets and buffer capacities for all task graphs of the
+/// configuration simultaneously. Throws ModelError for invalid
+/// configurations; solver failures are reported through `status`.
+MappingResult compute_budgets_and_buffers(const model::Configuration& config,
+                                          const MappingOptions& options = {});
+
+/// Convenience: solves with `options` but a caller-provided pre-built
+/// program (used by the sweeps to avoid re-validating identical structure).
+MappingResult solve_built_program(const model::Configuration& config,
+                                  const BuiltProgram& program,
+                                  const MappingOptions& options);
+
+}  // namespace bbs::core

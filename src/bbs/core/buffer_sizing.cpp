@@ -1,0 +1,99 @@
+#include "bbs/core/buffer_sizing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+/// Remaining container head-room of buffer b under its cap and its memory's
+/// capacity, given current capacities of all buffers in that memory.
+bool can_grow(const model::Configuration& config, const model::TaskGraph& tg,
+              Index buffer, const std::vector<Index>& capacities) {
+  const model::Buffer& buf = tg.buffer(buffer);
+  if (buf.max_capacity != -1 &&
+      capacities[static_cast<std::size_t>(buffer)] >= buf.max_capacity) {
+    return false;
+  }
+  const double mem_cap = config.memory(buf.memory).capacity;
+  if (mem_cap < 0.0) return true;  // unconstrained
+  double used = 0.0;
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    if (tg.buffer(b).memory == buf.memory) {
+      used += static_cast<double>(capacities[static_cast<std::size_t>(b)]) *
+              static_cast<double>(tg.buffer(b).container_size);
+    }
+  }
+  return used + static_cast<double>(buf.container_size) <= mem_cap + 1e-9;
+}
+
+}  // namespace
+
+std::optional<BufferSizingResult> size_buffers_for_budgets(
+    const model::Configuration& config, Index graph_index,
+    const Vector& budgets) {
+  config.validate();
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  BBS_REQUIRE(budgets.size() == static_cast<std::size_t>(tg.num_tasks()),
+              "size_buffers_for_budgets: one budget per task required");
+  const double mu = tg.required_period();
+
+  BufferSizingResult result;
+  result.capacities.assign(static_cast<std::size_t>(tg.num_buffers()), 1);
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    result.capacities[static_cast<std::size_t>(b)] =
+        std::max<Index>(1, tg.buffer(b).initial_fill);
+  }
+
+  // Map space-queue ids of the SRDF model back to buffer indices once; the
+  // model structure does not change across increments.
+  SrdfModel m = build_srdf(config, graph_index, budgets, result.capacities);
+  std::vector<Index> space_queue_to_buffer(
+      static_cast<std::size_t>(m.graph.num_queues()), -1);
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    space_queue_to_buffer[static_cast<std::size_t>(
+        m.space_queue[static_cast<std::size_t>(b)])] = b;
+  }
+
+  // Upper bound on increments: each one adds a container, and the total is
+  // bounded by what caps/memories admit; guard against cycles not fixable
+  // by buffers (e.g. a too-small budget) via the no-candidate exit.
+  while (true) {
+    const dataflow::CriticalCycle crit = dataflow::critical_cycle(m.graph);
+    result.mcr = crit.ratio;
+    if (crit.ratio <= mu * (1.0 + 1e-12) + 1e-12) {
+      return result;  // feasible
+    }
+    // Candidate buffers: space queues on the critical cycle with head-room.
+    Index best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (Index qid : crit.queues) {
+      const Index b = space_queue_to_buffer[static_cast<std::size_t>(qid)];
+      if (b < 0) continue;
+      if (!can_grow(config, tg, b, result.capacities)) continue;
+      const double cost = tg.buffer(b).size_weight *
+                          static_cast<double>(tg.buffer(b).container_size);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    if (best < 0) {
+      // The bottleneck cycle contains no growable buffer: the budgets (or
+      // the caps/memories) make the requirement unreachable.
+      return std::nullopt;
+    }
+    ++result.capacities[static_cast<std::size_t>(best)];
+    ++result.increments;
+    m.graph.set_initial_tokens(
+        m.space_queue[static_cast<std::size_t>(best)],
+        result.capacities[static_cast<std::size_t>(best)] -
+            tg.buffer(best).initial_fill);
+  }
+}
+
+}  // namespace bbs::core

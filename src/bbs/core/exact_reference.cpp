@@ -1,0 +1,198 @@
+#include "bbs/core/exact_reference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/rounding.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+struct FlatTask {
+  Index graph;
+  Index task;
+  double weight;
+  Index min_budget;  ///< granularity-rounded self-loop bound
+  Index max_budget;  ///< replenishment-interval bound
+};
+
+struct FlatBuffer {
+  Index graph;
+  Index buffer;
+  double weight_per_token;  ///< b(e) * zeta(e)
+  Index cap_lo;
+  Index cap_hi;
+};
+
+/// Full feasibility check of a concrete integer allocation.
+bool feasible(const model::Configuration& config,
+              const std::vector<Vector>& budgets,
+              const std::vector<std::vector<Index>>& caps) {
+  if (!verify_platform(config, budgets, caps)) return false;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const GraphVerification v =
+        verify_graph(config, gi, budgets[static_cast<std::size_t>(gi)],
+                     caps[static_cast<std::size_t>(gi)]);
+    if (!v.throughput_met) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ExactSolution> exact_reference(
+    const model::Configuration& config, const ExactSearchLimits& limits) {
+  config.validate();
+  const Index g = config.granularity();
+
+  std::vector<FlatTask> tasks;
+  std::vector<FlatBuffer> buffers;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      const model::Processor& proc = config.processor(task.processor);
+      const double rho = proc.replenishment_interval;
+      FlatTask ft;
+      ft.graph = gi;
+      ft.task = t;
+      ft.weight = task.budget_weight;
+      ft.min_budget = round_budget(rho * task.wcet / tg.required_period(), g);
+      ft.max_budget =
+          (static_cast<Index>(rho - proc.scheduling_overhead) / g) * g;
+      if (ft.max_budget < ft.min_budget) return std::nullopt;
+      tasks.push_back(ft);
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      FlatBuffer fb;
+      fb.graph = gi;
+      fb.buffer = b;
+      fb.weight_per_token =
+          buf.size_weight * static_cast<double>(buf.container_size);
+      fb.cap_lo = std::max<Index>(1, buf.initial_fill);
+      fb.cap_hi = limits.max_capacity;
+      if (buf.max_capacity != -1) fb.cap_hi = std::min(fb.cap_hi,
+                                                       buf.max_capacity);
+      if (fb.cap_hi < fb.cap_lo) return std::nullopt;
+      buffers.push_back(fb);
+    }
+  }
+  BBS_REQUIRE(!tasks.empty(), "exact_reference: configuration has no tasks");
+
+  // Estimated search-space size (capacity odometer x budget odometer over
+  // all tasks except the last, which is binary-searched).
+  double combos = 1.0;
+  for (const FlatBuffer& fb : buffers) {
+    combos *= static_cast<double>(fb.cap_hi - fb.cap_lo + 1);
+  }
+  for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+    combos *= static_cast<double>(
+        (tasks[i].max_budget - tasks[i].min_budget) / g + 1);
+  }
+  if (combos > static_cast<double>(limits.max_combinations)) {
+    throw ModelError("exact_reference: search space exceeds the configured "
+                     "limit; reduce max_capacity or the instance size");
+  }
+
+  // Working allocation.
+  std::vector<Vector> budgets;
+  std::vector<std::vector<Index>> caps;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    budgets.emplace_back(static_cast<std::size_t>(tg.num_tasks()), 0.0);
+    caps.emplace_back(static_cast<std::size_t>(tg.num_buffers()), 1);
+  }
+
+  std::optional<ExactSolution> best;
+
+  // Odometers.
+  std::vector<Index> cap_state(buffers.size());
+  for (std::size_t i = 0; i < buffers.size(); ++i)
+    cap_state[i] = buffers[i].cap_lo;
+  std::vector<Index> bud_state(tasks.size());
+
+  const auto set_caps = [&]() {
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      caps[static_cast<std::size_t>(buffers[i].graph)]
+          [static_cast<std::size_t>(buffers[i].buffer)] = cap_state[i];
+    }
+  };
+  const auto set_budget = [&](std::size_t i, Index value) {
+    bud_state[i] = value;
+    budgets[static_cast<std::size_t>(tasks[i].graph)]
+           [static_cast<std::size_t>(tasks[i].task)] =
+               static_cast<double>(value);
+  };
+
+  const std::size_t last = tasks.size() - 1;
+  bool caps_done = false;
+  while (!caps_done) {
+    set_caps();
+
+    // Budget odometer over tasks[0..last-1].
+    for (std::size_t i = 0; i < last; ++i) set_budget(i, tasks[i].min_budget);
+    bool budgets_done = false;
+    while (!budgets_done) {
+      // Binary search the minimal feasible budget of the last task on the
+      // granularity grid (feasibility is monotone in each budget).
+      Index lo = tasks[last].min_budget / g;
+      Index hi = tasks[last].max_budget / g;
+      set_budget(last, hi * g);
+      if (feasible(config, budgets, caps)) {
+        while (lo < hi) {
+          const Index mid = lo + (hi - lo) / 2;
+          set_budget(last, mid * g);
+          if (feasible(config, budgets, caps)) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        set_budget(last, hi * g);
+
+        double cost = 0.0;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          cost += tasks[i].weight * static_cast<double>(bud_state[i]);
+        }
+        for (std::size_t i = 0; i < buffers.size(); ++i) {
+          const model::Buffer& buf =
+              config.task_graph(buffers[i].graph).buffer(buffers[i].buffer);
+          cost += buffers[i].weight_per_token *
+                  static_cast<double>(cap_state[i] - buf.initial_fill);
+        }
+        if (!best || cost < best->cost - 1e-12) {
+          best = ExactSolution{cost, budgets, caps};
+        }
+      }
+
+      // Advance the budget odometer.
+      budgets_done = true;
+      for (std::size_t i = 0; i < last; ++i) {
+        if (bud_state[i] + g <= tasks[i].max_budget) {
+          set_budget(i, bud_state[i] + g);
+          for (std::size_t j = 0; j < i; ++j)
+            set_budget(j, tasks[j].min_budget);
+          budgets_done = false;
+          break;
+        }
+      }
+    }
+
+    // Advance the capacity odometer.
+    caps_done = true;
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      if (cap_state[i] < buffers[i].cap_hi) {
+        ++cap_state[i];
+        for (std::size_t j = 0; j < i; ++j) cap_state[j] = buffers[j].cap_lo;
+        caps_done = false;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bbs::core

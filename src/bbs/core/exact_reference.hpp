@@ -1,0 +1,42 @@
+// Exact integer reference by exhaustive search.
+//
+// For small instances, the optimal *integer* allocation (budgets on the
+// granularity grid, capacities in containers) can be found by enumerating
+// candidate capacities and, for each capacity vector, computing the minimal
+// feasible budgets by per-task binary search against the MCR feasibility
+// oracle. This gives the ground truth against which the SOCP's two
+// approximations — the hyperbolic relaxation of lambda*beta = 1 and the
+// non-integral relaxation — are measured (ablation D1/D4 in DESIGN.md).
+//
+// Complexity is exponential in the number of buffers; callers cap the search
+// space explicitly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bbs/core/verification.hpp"
+
+namespace bbs::core {
+
+struct ExactSolution {
+  /// Weighted cost (same objective as Algorithm 1, on integer values).
+  double cost = 0.0;
+  std::vector<Vector> budgets;                ///< per graph, per task
+  std::vector<std::vector<Index>> capacities; ///< per graph, per buffer
+};
+
+struct ExactSearchLimits {
+  Index max_capacity = 10;         ///< per-buffer capacity ceiling
+  std::size_t max_combinations = 200000;  ///< abort guard
+};
+
+/// Exhaustive search over all capacity combinations (1..max_capacity per
+/// buffer, respecting per-buffer caps and memory constraints); budgets are
+/// minimised per capacity vector by a coordinate-descent of per-task binary
+/// searches over the granularity grid. Returns nullopt if no feasible
+/// allocation exists within the limits.
+std::optional<ExactSolution> exact_reference(
+    const model::Configuration& config, const ExactSearchLimits& limits = {});
+
+}  // namespace bbs::core

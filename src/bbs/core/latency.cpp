@@ -1,0 +1,53 @@
+#include "bbs/core/latency.hpp"
+
+#include <algorithm>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/pas.hpp"
+
+namespace bbs::core {
+
+std::optional<GraphLatency> compute_latency_bounds(
+    const model::Configuration& config, Index graph_index,
+    const Vector& budgets, const std::vector<Index>& capacities) {
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  const SrdfModel m = build_srdf(config, graph_index, budgets, capacities);
+  const dataflow::PasResult pas =
+      dataflow::compute_pas(m.graph, tg.required_period());
+  if (!pas.feasible) return std::nullopt;
+
+  // Sources: tasks with no input buffers. Sinks: tasks with no output
+  // buffers (a task can be both in a single-task graph).
+  std::vector<bool> has_input(static_cast<std::size_t>(tg.num_tasks()), false);
+  std::vector<bool> has_output(static_cast<std::size_t>(tg.num_tasks()),
+                               false);
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    has_input[static_cast<std::size_t>(tg.buffer(b).consumer)] = true;
+    has_output[static_cast<std::size_t>(tg.buffer(b).producer)] = true;
+  }
+
+  GraphLatency out;
+  for (Index src = 0; src < tg.num_tasks(); ++src) {
+    if (has_input[static_cast<std::size_t>(src)]) continue;
+    const double s_src =
+        pas.start_times[static_cast<std::size_t>(
+            m.wait_actor[static_cast<std::size_t>(src)])];
+    for (Index snk = 0; snk < tg.num_tasks(); ++snk) {
+      if (has_output[static_cast<std::size_t>(snk)]) continue;
+      const auto exec = static_cast<std::size_t>(
+          m.exec_actor[static_cast<std::size_t>(snk)]);
+      const double finish =
+          pas.start_times[exec] + m.graph.actor(m.exec_actor[
+              static_cast<std::size_t>(snk)]).firing_duration;
+      LatencyBound bound;
+      bound.source = src;
+      bound.sink = snk;
+      bound.latency = finish - s_src;
+      out.worst = std::max(out.worst, bound.latency);
+      out.pairs.push_back(bound);
+    }
+  }
+  return out;
+}
+
+}  // namespace bbs::core

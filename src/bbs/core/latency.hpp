@@ -1,0 +1,42 @@
+// End-to-end latency bounds for mapped task graphs.
+//
+// The paper computes budgets/buffers for a throughput constraint; a mapping
+// flow also needs the resulting worst-case source-to-sink latency. With a
+// PAS at period mu, the k-th execution of the sink finishes no later than
+//     s(v_sink,2) + (k-1)*mu + rho(v_sink,2),
+// while the k-th source input is consumed no earlier than s(v_src,1) (its
+// wait actor's start). The difference
+//     L = s(v_sink,2) + rho(v_sink,2) - s(v_src,1)
+// bounds the latency of every iteration under self-timed execution, by the
+// temporal monotonicity of the model. The start times used are the
+// componentwise-least PAS (Bellman-Ford fixpoint), which gives the tightest
+// bound of this form.
+#pragma once
+
+#include <optional>
+
+#include "bbs/core/srdf_construction.hpp"
+
+namespace bbs::core {
+
+struct LatencyBound {
+  Index source = 0;  ///< task index within the graph
+  Index sink = 0;    ///< task index within the graph
+  double latency = 0.0;
+};
+
+struct GraphLatency {
+  /// Bound for every (source, sink) pair where source has no input buffers
+  /// and sink no output buffers; empty when no PAS exists at mu.
+  std::vector<LatencyBound> pairs;
+  /// Largest entry of `pairs` (0 when empty).
+  double worst = 0.0;
+};
+
+/// Computes latency bounds for a mapped graph. Returns nullopt when the
+/// budgets/capacities do not sustain the required period (no PAS exists).
+std::optional<GraphLatency> compute_latency_bounds(
+    const model::Configuration& config, Index graph_index,
+    const Vector& budgets, const std::vector<Index>& capacities);
+
+}  // namespace bbs::core

@@ -1,0 +1,369 @@
+#include "bbs/core/program_builder.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+/// Union-find over SRDF actors; used to pick one reference actor (pinned
+/// start time 0) per weakly connected component.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+using Terms = std::vector<std::pair<Index, double>>;
+
+/// Accumulates `coeff * variable` if `var` is a real variable, otherwise
+/// contributes nothing (pinned start times are the constant 0).
+void add_term(Terms& terms, Index var, double coeff) {
+  if (var >= 0 && coeff != 0.0) terms.emplace_back(var, coeff);
+}
+
+}  // namespace
+
+Vector ProgramLayout::budgets_of(const Vector& x, Index graph) const {
+  const auto g = static_cast<std::size_t>(graph);
+  const auto& vars = beta_var[g];
+  Vector out(vars.size(), 0.0);
+  for (std::size_t t = 0; t < vars.size(); ++t) {
+    out[t] = (vars[t] >= 0) ? x[static_cast<std::size_t>(vars[t])]
+                            : fixed_budget_values[g][t];
+  }
+  return out;
+}
+
+Vector ProgramLayout::deltas_of(const Vector& x, Index graph) const {
+  const auto g = static_cast<std::size_t>(graph);
+  const auto& vars = delta_var[g];
+  Vector out(vars.size(), 0.0);
+  for (std::size_t b = 0; b < vars.size(); ++b) {
+    out[b] = (vars[b] >= 0) ? x[static_cast<std::size_t>(vars[b])]
+                            : fixed_delta_values[g][b];
+  }
+  return out;
+}
+
+BuiltProgram build_algorithm1(const model::Configuration& config,
+                              const BuildOptions& options) {
+  config.validate();
+  const Index num_graphs = config.num_task_graphs();
+  const bool budgets_fixed = options.fixed_budgets.has_value();
+  const bool deltas_fixed = options.fixed_deltas.has_value();
+  if (budgets_fixed) {
+    BBS_REQUIRE(static_cast<Index>(options.fixed_budgets->size()) ==
+                    num_graphs,
+                "build_algorithm1: fixed_budgets needs one vector per graph");
+  }
+  if (deltas_fixed) {
+    BBS_REQUIRE(static_cast<Index>(options.fixed_deltas->size()) == num_graphs,
+                "build_algorithm1: fixed_deltas needs one vector per graph");
+  }
+
+  ProgramLayout layout;
+  layout.models.reserve(static_cast<std::size_t>(num_graphs));
+  layout.start_var.resize(static_cast<std::size_t>(num_graphs));
+  layout.beta_var.resize(static_cast<std::size_t>(num_graphs));
+  layout.lambda_var.resize(static_cast<std::size_t>(num_graphs));
+  layout.delta_var.resize(static_cast<std::size_t>(num_graphs));
+  layout.fixed_budget_values.resize(static_cast<std::size_t>(num_graphs));
+  layout.fixed_delta_values.resize(static_cast<std::size_t>(num_graphs));
+
+  // ---- Variable layout ------------------------------------------------------
+  Index next_var = 0;
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    const model::TaskGraph& tg = config.task_graph(gi);
+    layout.models.push_back(build_srdf_skeleton(config, gi));
+    const SrdfModel& m = layout.models.back();
+
+    // One pinned reference per weakly connected component.
+    const auto num_actors = static_cast<std::size_t>(m.graph.num_actors());
+    UnionFind uf(num_actors);
+    for (Index q = 0; q < m.graph.num_queues(); ++q) {
+      uf.unite(static_cast<std::size_t>(m.graph.queue(q).from),
+               static_cast<std::size_t>(m.graph.queue(q).to));
+    }
+    std::vector<bool> component_pinned(num_actors, false);
+    layout.start_var[g].assign(num_actors, -1);
+    for (std::size_t v = 0; v < num_actors; ++v) {
+      const std::size_t root = uf.find(v);
+      if (!component_pinned[root]) {
+        component_pinned[root] = true;  // v becomes the component reference
+      } else {
+        layout.start_var[g][v] = next_var++;
+      }
+    }
+
+    const auto num_tasks = static_cast<std::size_t>(tg.num_tasks());
+    layout.beta_var[g].assign(num_tasks, -1);
+    layout.lambda_var[g].assign(num_tasks, -1);
+    if (budgets_fixed) {
+      const Vector& fixed = (*options.fixed_budgets)[g];
+      BBS_REQUIRE(fixed.size() == num_tasks,
+                  "build_algorithm1: fixed budget count mismatch");
+      layout.fixed_budget_values[g] = fixed;
+      for (double beta : fixed) {
+        if (!(beta > 0.0)) {
+          throw ModelError("build_algorithm1: fixed budgets must be positive");
+        }
+      }
+    } else {
+      for (std::size_t t = 0; t < num_tasks; ++t) {
+        layout.beta_var[g][t] = next_var++;
+        layout.lambda_var[g][t] = next_var++;
+      }
+    }
+
+    const auto num_buffers = static_cast<std::size_t>(tg.num_buffers());
+    layout.delta_var[g].assign(num_buffers, -1);
+    if (deltas_fixed) {
+      const Vector& fixed = (*options.fixed_deltas)[g];
+      BBS_REQUIRE(fixed.size() == num_buffers,
+                  "build_algorithm1: fixed delta count mismatch");
+      layout.fixed_delta_values[g] = fixed;
+      for (double d : fixed) {
+        if (d < 0.0) {
+          throw ModelError("build_algorithm1: fixed deltas must be >= 0");
+        }
+      }
+    } else {
+      for (std::size_t b = 0; b < num_buffers; ++b) {
+        layout.delta_var[g][b] = next_var++;
+      }
+    }
+  }
+  layout.num_vars = next_var;
+
+  solver::ConicProblemBuilder builder(next_var);
+
+  // ---- Objective (5): sum a(w) beta'(w) + sum b(e) zeta(e) delta'(e) --------
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const Index var = layout.beta_var[g][static_cast<std::size_t>(t)];
+      if (var >= 0) builder.set_objective(var, tg.task(t).budget_weight);
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const Index var = layout.delta_var[g][static_cast<std::size_t>(b)];
+      if (var >= 0) {
+        const model::Buffer& buf = tg.buffer(b);
+        builder.set_objective(
+            var, buf.size_weight * static_cast<double>(buf.container_size));
+      }
+    }
+  }
+
+  // ---- LP rows --------------------------------------------------------------
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    const model::TaskGraph& tg = config.task_graph(gi);
+    const SrdfModel& m = layout.models[g];
+    const double mu = tg.required_period();
+
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      const model::Task& task = tg.task(t);
+      const double rho = config.processor(task.processor).replenishment_interval;
+      const Index s1 = layout.start_var[g][static_cast<std::size_t>(
+          m.wait_actor[ti])];
+      const Index s2 = layout.start_var[g][static_cast<std::size_t>(
+          m.exec_actor[ti])];
+      const Index beta = layout.beta_var[g][ti];
+      const Index lambda = layout.lambda_var[g][ti];
+      const double fixed_beta =
+          budgets_fixed ? layout.fixed_budget_values[g][ti] : 0.0;
+
+      // (6) for e_i1i2 (E1, zero tokens): s2 >= s1 + rho - beta'.
+      {
+        Terms terms;
+        add_term(terms, s1, 1.0);
+        add_term(terms, s2, -1.0);
+        double rhs = -rho;
+        if (beta >= 0) {
+          add_term(terms, beta, -1.0);
+        } else {
+          rhs += fixed_beta;  // constant -(rho - beta)
+        }
+        builder.add_inequality(terms, rhs);
+      }
+
+      // (7) for the self-loop e_i2i2 (E2, one token):
+      // rho*chi*lambda <= mu  (start times cancel).
+      {
+        Terms terms;
+        double rhs = mu;
+        if (lambda >= 0) {
+          add_term(terms, lambda, rho * task.wcet);
+        } else {
+          rhs -= rho * task.wcet / fixed_beta;
+        }
+        builder.add_inequality(terms, rhs);
+      }
+    }
+
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const auto bi = static_cast<std::size_t>(b);
+      const model::Buffer& buf = tg.buffer(b);
+      const model::Task& prod = tg.task(buf.producer);
+      const model::Task& cons = tg.task(buf.consumer);
+      const double rho_p =
+          config.processor(prod.processor).replenishment_interval;
+      const double rho_c =
+          config.processor(cons.processor).replenishment_interval;
+
+      const Index s_prod_exec = layout.start_var[g][static_cast<std::size_t>(
+          m.exec_actor[static_cast<std::size_t>(buf.producer)])];
+      const Index s_prod_wait = layout.start_var[g][static_cast<std::size_t>(
+          m.wait_actor[static_cast<std::size_t>(buf.producer)])];
+      const Index s_cons_exec = layout.start_var[g][static_cast<std::size_t>(
+          m.exec_actor[static_cast<std::size_t>(buf.consumer)])];
+      const Index s_cons_wait = layout.start_var[g][static_cast<std::size_t>(
+          m.wait_actor[static_cast<std::size_t>(buf.consumer)])];
+      const Index lambda_p =
+          layout.lambda_var[g][static_cast<std::size_t>(buf.producer)];
+      const Index lambda_c =
+          layout.lambda_var[g][static_cast<std::size_t>(buf.consumer)];
+      const Index delta = layout.delta_var[g][bi];
+
+      // (7) data queue (E2): s(cons.wait) >= s(prod.exec)
+      //     + rho_p*chi_p*lambda_p - iota*mu.
+      {
+        Terms terms;
+        add_term(terms, s_prod_exec, 1.0);
+        add_term(terms, s_cons_wait, -1.0);
+        double rhs = static_cast<double>(buf.initial_fill) * mu;
+        if (lambda_p >= 0) {
+          add_term(terms, lambda_p, rho_p * prod.wcet);
+        } else {
+          rhs -= rho_p * prod.wcet /
+                 layout.fixed_budget_values[g][static_cast<std::size_t>(
+                     buf.producer)];
+        }
+        builder.add_inequality(terms, rhs);
+      }
+
+      // (7) space queue (E2): s(prod.wait) >= s(cons.exec)
+      //     + rho_c*chi_c*lambda_c - delta'*mu.
+      {
+        Terms terms;
+        add_term(terms, s_cons_exec, 1.0);
+        add_term(terms, s_prod_wait, -1.0);
+        double rhs = 0.0;
+        if (lambda_c >= 0) {
+          add_term(terms, lambda_c, rho_c * cons.wcet);
+        } else {
+          rhs -= rho_c * cons.wcet /
+                 layout.fixed_budget_values[g][static_cast<std::size_t>(
+                     buf.consumer)];
+        }
+        if (delta >= 0) {
+          add_term(terms, delta, -mu);
+        } else {
+          rhs += layout.fixed_delta_values[g][bi] * mu;
+        }
+        builder.add_inequality(terms, rhs);
+      }
+
+      if (delta >= 0) {
+        // delta' >= 0.
+        builder.add_inequality({{delta, -1.0}}, 0.0);
+        // Optional capacity cap: iota + delta' <= max_capacity.
+        if (buf.max_capacity != -1) {
+          builder.add_inequality(
+              {{delta, 1.0}},
+              static_cast<double>(buf.max_capacity - buf.initial_fill));
+        }
+      }
+    }
+  }
+
+  // (9) per processor: sum over tasks on p of (beta' + g) <= rho(p) - o(p).
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    Terms terms;
+    double rhs = config.processor(p).replenishment_interval -
+                 config.processor(p).scheduling_overhead;
+    Index tasks_on_p = 0;
+    for (Index gi = 0; gi < num_graphs; ++gi) {
+      const auto g = static_cast<std::size_t>(gi);
+      const model::TaskGraph& tg = config.task_graph(gi);
+      for (Index t = 0; t < tg.num_tasks(); ++t) {
+        if (tg.task(t).processor != p) continue;
+        ++tasks_on_p;
+        rhs -= static_cast<double>(config.granularity());
+        const Index beta = layout.beta_var[g][static_cast<std::size_t>(t)];
+        if (beta >= 0) {
+          add_term(terms, beta, 1.0);
+        } else {
+          rhs -= layout.fixed_budget_values[g][static_cast<std::size_t>(t)];
+        }
+      }
+    }
+    if (tasks_on_p > 0) builder.add_inequality(terms, rhs);
+  }
+
+  // (10) per memory: sum over buffers in m of (iota + delta' + 1)*zeta
+  //      <= sigma(m).
+  for (Index mem = 0; mem < config.num_memories(); ++mem) {
+    if (config.memory(mem).capacity == -1.0) continue;
+    Terms terms;
+    double rhs = config.memory(mem).capacity;
+    Index buffers_in_m = 0;
+    for (Index gi = 0; gi < num_graphs; ++gi) {
+      const auto g = static_cast<std::size_t>(gi);
+      const model::TaskGraph& tg = config.task_graph(gi);
+      for (Index b = 0; b < tg.num_buffers(); ++b) {
+        const model::Buffer& buf = tg.buffer(b);
+        if (buf.memory != mem) continue;
+        ++buffers_in_m;
+        const double zeta = static_cast<double>(buf.container_size);
+        rhs -= zeta * static_cast<double>(buf.initial_fill + 1);
+        const Index delta = layout.delta_var[g][static_cast<std::size_t>(b)];
+        if (delta >= 0) {
+          add_term(terms, delta, zeta);
+        } else {
+          rhs -= zeta * layout.fixed_delta_values[g][static_cast<std::size_t>(b)];
+        }
+      }
+    }
+    if (buffers_in_m > 0) builder.add_inequality(terms, rhs);
+  }
+
+  // ---- (8) SOC blocks: (lambda + beta', lambda - beta', 2) in SOC3 ----------
+  if (!budgets_fixed) {
+    for (Index gi = 0; gi < num_graphs; ++gi) {
+      const auto g = static_cast<std::size_t>(gi);
+      const model::TaskGraph& tg = config.task_graph(gi);
+      for (Index t = 0; t < tg.num_tasks(); ++t) {
+        const Index beta = layout.beta_var[g][static_cast<std::size_t>(t)];
+        const Index lambda = layout.lambda_var[g][static_cast<std::size_t>(t)];
+        builder.begin_soc(3);
+        builder.soc_row({{lambda, -1.0}, {beta, -1.0}}, 0.0);
+        builder.soc_row({{lambda, -1.0}, {beta, 1.0}}, 0.0);
+        builder.soc_row({}, 2.0);
+      }
+    }
+  }
+
+  return BuiltProgram{builder.build(), std::move(layout)};
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,86 @@
+// Translation of a configuration into the second-order cone program of
+// Algorithm 1 (Section IV of the paper).
+//
+// Decision variables (all real-valued):
+//   * s(v)       — PAS start time of every SRDF actor, except one reference
+//                  actor per weakly connected component (pinned to 0; start
+//                  times are translation invariant, and pinning keeps the
+//                  normal equations nonsingular);
+//   * beta'(w)   — continuous budget of every task;
+//   * lambda(w)  — the 1/beta'(w) surrogate of every task;
+//   * delta'(e)  — continuous token count of every buffer's *space queue*
+//                  (the data queue's tokens are the fixed initial fill
+//                  iota(b); the buffer capacity is gamma = iota + ceil(delta')).
+//
+// Constraints:
+//   (6)  E1 queues:        s(v_j) >= s(v_i) + rho(p_i) - beta'(w_i)
+//   (7)  E2 queues:        s(v_j) >= s(v_i) + rho(p_i)*chi(w_i)*lambda(w_i)
+//                                    - delta(e_ij)*mu(T)
+//   (8)  per task:         lambda(w)*beta'(w) >= 1, written as the SOC
+//                          membership (lambda+beta', lambda-beta', 2) in SOC3
+//   (9)  per processor:    sum_{w on p} (beta'(w) + g) <= rho(p) - o(p)
+//   (10) per memory:       sum_{b in m} (iota(b) + delta'(b) + 1)*zeta(b)
+//                          <= sigma(m)
+//   plus delta' >= 0 and the optional per-buffer capacity caps
+//        iota(b) + delta'(b) <= max_capacity(b).
+//
+// Note on (10): the paper states sum (delta'(e)+1)*zeta(e) over the queues of
+// the buffers in m; with all containers initially empty (iota = 0, as in all
+// of the paper's experiments) our form is identical, and for iota > 0 it
+// accounts the full buffer footprint gamma(b)*zeta(b) = (iota+delta')*zeta
+// plus the rounding container, which is conservative.
+//
+// The builder can also *fix* the budgets (two-phase baseline: buffer sizing
+// becomes the pure LP of prior work) or fix the space tokens (budget
+// computation for given buffer sizes).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bbs/core/srdf_construction.hpp"
+#include "bbs/solver/conic_problem.hpp"
+
+namespace bbs::core {
+
+struct BuildOptions {
+  /// Fixed budgets per graph (outer index = graph, inner = task). When set,
+  /// beta'/lambda disappear from the program, which becomes a pure LP.
+  std::optional<std::vector<Vector>> fixed_budgets;
+  /// Fixed space-queue token counts per graph (outer = graph, inner =
+  /// buffer). When set, delta' variables disappear.
+  std::optional<std::vector<Vector>> fixed_deltas;
+};
+
+/// Maps model entities to variable indices of the built program (-1 = not a
+/// variable: pinned reference start time, or fixed by BuildOptions).
+struct ProgramLayout {
+  std::vector<SrdfModel> models;              ///< SRDF skeleton per graph
+  std::vector<std::vector<Index>> start_var;  ///< [graph][srdf actor]
+  std::vector<std::vector<Index>> beta_var;   ///< [graph][task]
+  std::vector<std::vector<Index>> lambda_var; ///< [graph][task]
+  std::vector<std::vector<Index>> delta_var;  ///< [graph][buffer]
+  Index num_vars = 0;
+
+  /// Extracts the continuous budgets of a graph from a solution vector
+  /// (entries of fixed budgets are copied from the BuildOptions).
+  Vector budgets_of(const Vector& x, Index graph) const;
+  /// Extracts the continuous space-token counts of a graph.
+  Vector deltas_of(const Vector& x, Index graph) const;
+
+  // Copies of fixed values (so the extractors above are self-contained).
+  std::vector<Vector> fixed_budget_values;
+  std::vector<Vector> fixed_delta_values;
+};
+
+struct BuiltProgram {
+  solver::ConicProblem problem;
+  ProgramLayout layout;
+};
+
+/// Builds the Algorithm-1 program for a validated configuration.
+/// Throws ModelError on structurally invalid input.
+BuiltProgram build_algorithm1(const model::Configuration& config,
+                              const BuildOptions& options = {});
+
+}  // namespace bbs::core

@@ -1,0 +1,153 @@
+#include "bbs/core/refinement.hpp"
+
+#include <algorithm>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/rounding.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+struct Resource {
+  Index graph;
+  Index index;     ///< task or buffer index within the graph
+  bool is_budget;  ///< true: budget (step g), false: capacity (step 1)
+  double step_cost;
+};
+
+double weighted_cost(const model::Configuration& config,
+                     const std::vector<Vector>& budgets,
+                     const std::vector<std::vector<Index>>& caps) {
+  double cost = 0.0;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    const auto g = static_cast<std::size_t>(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      cost += tg.task(t).budget_weight *
+              budgets[g][static_cast<std::size_t>(t)];
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      cost += buf.size_weight * static_cast<double>(buf.container_size) *
+              static_cast<double>(caps[g][static_cast<std::size_t>(b)] -
+                                  buf.initial_fill);
+    }
+  }
+  return cost;
+}
+
+bool all_feasible(const model::Configuration& config,
+                  const std::vector<Vector>& budgets,
+                  const std::vector<std::vector<Index>>& caps) {
+  if (!verify_platform(config, budgets, caps)) return false;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    if (!verify_graph(config, gi, budgets[g], caps[g]).throughput_met) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RefinementStats refine_rounded_mapping(const model::Configuration& config,
+                                       MappingResult& result) {
+  BBS_REQUIRE(result.feasible(),
+              "refine_rounded_mapping: mapping must be feasible");
+  const Index g_step = config.granularity();
+
+  // Working copies of the integer allocation.
+  std::vector<Vector> budgets;
+  std::vector<std::vector<Index>> caps;
+  for (std::size_t gi = 0; gi < result.graphs.size(); ++gi) {
+    Vector b;
+    std::vector<Index> c;
+    for (const auto& t : result.graphs[gi].tasks) {
+      b.push_back(static_cast<double>(t.budget));
+    }
+    for (const auto& buf : result.graphs[gi].buffers) c.push_back(buf.capacity);
+    budgets.push_back(std::move(b));
+    caps.push_back(std::move(c));
+  }
+
+  RefinementStats stats;
+  stats.cost_before = weighted_cost(config, budgets, caps);
+
+  // Candidate resources, most expensive decrement first (stable across
+  // rounds; costs do not change).
+  std::vector<Resource> resources;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      resources.push_back(Resource{gi, t, true,
+                                   tg.task(t).budget_weight *
+                                       static_cast<double>(g_step)});
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      resources.push_back(Resource{
+          gi, b, false,
+          tg.buffer(b).size_weight *
+              static_cast<double>(tg.buffer(b).container_size)});
+    }
+  }
+  std::sort(resources.begin(), resources.end(),
+            [](const Resource& a, const Resource& b) {
+              return a.step_cost > b.step_cost;
+            });
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const Resource& r : resources) {
+      const auto g = static_cast<std::size_t>(r.graph);
+      if (r.is_budget) {
+        const auto t = static_cast<std::size_t>(r.index);
+        if (budgets[g][t] - static_cast<double>(g_step) <
+            static_cast<double>(g_step) - 1e-9) {
+          continue;  // budgets stay >= one granule
+        }
+        budgets[g][t] -= static_cast<double>(g_step);
+        if (all_feasible(config, budgets, caps)) {
+          ++stats.budget_decrements;
+          improved = true;
+        } else {
+          budgets[g][t] += static_cast<double>(g_step);
+        }
+      } else {
+        const auto b = static_cast<std::size_t>(r.index);
+        const model::Buffer& buf =
+            config.task_graph(r.graph).buffer(r.index);
+        const Index floor_cap = std::max<Index>(1, buf.initial_fill);
+        if (caps[g][b] <= floor_cap) continue;
+        --caps[g][b];
+        if (all_feasible(config, budgets, caps)) {
+          ++stats.capacity_decrements;
+          improved = true;
+        } else {
+          ++caps[g][b];
+        }
+      }
+    }
+  }
+
+  stats.cost_after = weighted_cost(config, budgets, caps);
+
+  // Write the refined allocation back, re-verifying per graph.
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    MappedGraph& mg = result.graphs[g];
+    for (std::size_t t = 0; t < mg.tasks.size(); ++t) {
+      mg.tasks[t].budget = static_cast<Index>(budgets[g][t]);
+    }
+    for (std::size_t b = 0; b < mg.buffers.size(); ++b) {
+      mg.buffers[b].capacity = caps[g][b];
+    }
+    mg.verification = verify_graph(config, gi, budgets[g], caps[g]);
+  }
+  result.objective_rounded = stats.cost_after;
+  return stats;
+}
+
+}  // namespace bbs::core

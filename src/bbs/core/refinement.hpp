@@ -1,0 +1,34 @@
+// Post-rounding integer refinement.
+//
+// Conservative rounding (Section IV) can overshoot the integer optimum by
+// up to one granule per budget and one container per buffer. Because
+// feasibility is monotone in every budget and capacity, a greedy descent
+// that repeatedly decrements the most expensive resource while the MCR and
+// platform checks still pass recovers most of that gap — at the price of
+// one MCR evaluation per attempted decrement. The result is still verified:
+// every accepted allocation passes the same independent checks as the
+// rounded one.
+//
+// The ablation bench bench_ablation_rounding shows the effect against the
+// exhaustive integer reference.
+#pragma once
+
+#include "bbs/core/budget_buffer_solver.hpp"
+
+namespace bbs::core {
+
+struct RefinementStats {
+  int budget_decrements = 0;    ///< granules removed across all tasks
+  int capacity_decrements = 0;  ///< containers removed across all buffers
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+
+/// Greedily decrements budgets (by the granularity g) and capacities (by
+/// one container) of a feasible mapping while all graphs keep MCR <= mu and
+/// the platform constraints hold. `result` is updated in place (budgets,
+/// capacities, rounded objective, verification data).
+RefinementStats refine_rounded_mapping(const model::Configuration& config,
+                                       MappingResult& result);
+
+}  // namespace bbs::core

@@ -1,0 +1,35 @@
+#include "bbs/core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::core {
+
+Index ceil_with_tolerance(double value, double eps) {
+  BBS_REQUIRE(eps >= 0.0, "ceil_with_tolerance: negative tolerance");
+  const double slack = eps * std::max(1.0, std::abs(value));
+  return static_cast<Index>(std::ceil(value - slack));
+}
+
+Index round_budget(double beta_continuous, Index granularity, double eps) {
+  BBS_REQUIRE(granularity >= 1, "round_budget: granularity must be >= 1");
+  BBS_REQUIRE(beta_continuous > 0.0, "round_budget: budget must be positive");
+  const Index granules = std::max<Index>(
+      1, ceil_with_tolerance(beta_continuous / static_cast<double>(granularity),
+                             eps));
+  return granules * granularity;
+}
+
+Index round_capacity(double delta_continuous, Index initial_fill, double eps) {
+  BBS_REQUIRE(delta_continuous >= -1e-9,
+              "round_capacity: negative token count");
+  BBS_REQUIRE(initial_fill >= 0, "round_capacity: negative initial fill");
+  const Index extra =
+      std::max<Index>(0, ceil_with_tolerance(std::max(0.0, delta_continuous),
+                                             eps));
+  return std::max<Index>(1, initial_fill + extra);
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,40 @@
+// Conservative rounding of the continuous Algorithm-1 solution
+// (Section IV of the paper).
+//
+// Budgets:    beta(w) = g * ceil(beta'(w) / g). Rounding budgets *up* is
+//             conservative because both actor durations of the task model
+//             shrink when the budget grows, and SRDF graphs are temporally
+//             monotonic; the "+ g" term of Constraint (9) pre-allocates the
+//             head-room this rounding can consume.
+// Capacities: gamma(b) = iota(b) + ceil(delta'(b)), at least 1 container.
+//             Extra tokens can only make token arrivals earlier (temporal
+//             monotonicity again); the "+ 1" of Constraint (10) pre-allocates
+//             the memory this rounding can consume.
+//
+// A relative epsilon absorbs solver round-off (a beta' of 8 + 1e-9 must not
+// be charged a full extra granule); the end-to-end conservativeness of the
+// epsilon is re-checked by the MCR verification pass after rounding.
+#pragma once
+
+#include <vector>
+
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::core {
+
+using linalg::Index;
+using linalg::Vector;
+
+/// ceil(value) with a relative tolerance: values within
+/// eps * max(1, |value|) below an integer round to that integer.
+Index ceil_with_tolerance(double value, double eps = 1e-7);
+
+/// beta = g * ceil(beta' / g), tolerance-aware, at least g.
+Index round_budget(double beta_continuous, Index granularity,
+                   double eps = 1e-7);
+
+/// gamma = iota + ceil(delta'), tolerance-aware, at least max(1, iota).
+Index round_capacity(double delta_continuous, Index initial_fill,
+                     double eps = 1e-7);
+
+}  // namespace bbs::core

@@ -1,0 +1,92 @@
+#include "bbs/core/srdf_construction.hpp"
+
+#include <string>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::core {
+
+namespace {
+
+SrdfModel build_common(const model::Configuration& config, Index graph_index,
+                       const Vector* budgets,
+                       const std::vector<Index>* capacities) {
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  SrdfModel m;
+  const Index nt = tg.num_tasks();
+  const Index nb = tg.num_buffers();
+  m.wait_actor.resize(static_cast<std::size_t>(nt));
+  m.exec_actor.resize(static_cast<std::size_t>(nt));
+  m.wait_queue.resize(static_cast<std::size_t>(nt));
+  m.self_queue.resize(static_cast<std::size_t>(nt));
+  m.data_queue.resize(static_cast<std::size_t>(nb));
+  m.space_queue.resize(static_cast<std::size_t>(nb));
+
+  for (Index t = 0; t < nt; ++t) {
+    const model::Task& task = tg.task(t);
+    const model::Processor& proc = config.processor(task.processor);
+    double rho_wait = 0.0;
+    double rho_exec = 0.0;
+    if (budgets != nullptr) {
+      const double beta = (*budgets)[static_cast<std::size_t>(t)];
+      if (!(beta > 0.0) || beta > proc.replenishment_interval) {
+        throw ModelError("build_srdf: budget of task '" + task.name +
+                         "' outside (0, replenishment interval]");
+      }
+      rho_wait = proc.replenishment_interval - beta;
+      rho_exec = proc.replenishment_interval * task.wcet / beta;
+    }
+    m.wait_actor[static_cast<std::size_t>(t)] =
+        m.graph.add_actor(task.name + ".wait", rho_wait);
+    m.exec_actor[static_cast<std::size_t>(t)] =
+        m.graph.add_actor(task.name + ".exec", rho_exec);
+    m.wait_queue[static_cast<std::size_t>(t)] = m.graph.add_queue(
+        m.wait_actor[static_cast<std::size_t>(t)],
+        m.exec_actor[static_cast<std::size_t>(t)], 0, task.name + ".w2e");
+    m.self_queue[static_cast<std::size_t>(t)] = m.graph.add_queue(
+        m.exec_actor[static_cast<std::size_t>(t)],
+        m.exec_actor[static_cast<std::size_t>(t)], 1, task.name + ".self");
+  }
+
+  for (Index b = 0; b < nb; ++b) {
+    const model::Buffer& buf = tg.buffer(b);
+    Index space_tokens = 0;
+    if (capacities != nullptr) {
+      const Index gamma = (*capacities)[static_cast<std::size_t>(b)];
+      if (gamma < 1 || gamma < buf.initial_fill) {
+        throw ModelError("build_srdf: capacity of buffer '" + buf.name +
+                         "' must be >= 1 and >= the initial fill");
+      }
+      space_tokens = gamma - buf.initial_fill;
+    }
+    m.data_queue[static_cast<std::size_t>(b)] = m.graph.add_queue(
+        m.exec_actor[static_cast<std::size_t>(buf.producer)],
+        m.wait_actor[static_cast<std::size_t>(buf.consumer)],
+        buf.initial_fill, buf.name + ".data");
+    m.space_queue[static_cast<std::size_t>(b)] = m.graph.add_queue(
+        m.exec_actor[static_cast<std::size_t>(buf.consumer)],
+        m.wait_actor[static_cast<std::size_t>(buf.producer)], space_tokens,
+        buf.name + ".space");
+  }
+  return m;
+}
+
+}  // namespace
+
+SrdfModel build_srdf(const model::Configuration& config, Index graph_index,
+                     const Vector& budgets,
+                     const std::vector<Index>& capacities) {
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  BBS_REQUIRE(budgets.size() == static_cast<std::size_t>(tg.num_tasks()),
+              "build_srdf: one budget per task required");
+  BBS_REQUIRE(capacities.size() == static_cast<std::size_t>(tg.num_buffers()),
+              "build_srdf: one capacity per buffer required");
+  return build_common(config, graph_index, &budgets, &capacities);
+}
+
+SrdfModel build_srdf_skeleton(const model::Configuration& config,
+                              Index graph_index) {
+  return build_common(config, graph_index, nullptr, nullptr);
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,66 @@
+// Construction of the budget-scheduler SRDF model of a task graph
+// (Section II-C of the paper, after Wiggers/Bekooij/Smit EMSOFT'09).
+//
+// Every task w becomes a two-actor dataflow component:
+//
+//            e_a1a2 (0 tokens)
+//     v_a1 ------------------> v_a2 --(self loop, 1 token)--+
+//      ^                        |  ^                        |
+//      |                        |  +------------------------+
+//   space queues             data queues
+//   (from consumers'         (to consumers' v_b1)
+//    v_b2, gamma-iota tokens)
+//
+// with firing durations
+//     rho(v_a1) = rho(p) - beta(w)          (worst-case budget wait)
+//     rho(v_a2) = rho(p) * chi(w) / beta(w) (execution under a TDM share)
+//
+// and every FIFO buffer becomes a data queue (iota(b) tokens) plus a reverse
+// space queue (gamma(b) - iota(b) tokens).
+//
+// The same construction is used twice: symbolically by the Algorithm-1
+// program builder (which needs the actor/queue indices and the E1/E2
+// partition but keeps beta and gamma as variables), and concretely by the
+// verifier/simulator (which fixes beta and gamma and evaluates durations).
+#pragma once
+
+#include <vector>
+
+#include "bbs/dataflow/srdf_graph.hpp"
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::core {
+
+using linalg::Index;
+using linalg::Vector;
+
+/// Index map from a task graph into its SRDF model.
+struct SrdfModel {
+  dataflow::SrdfGraph graph;
+  /// Per task: the wait actor v_i1 and the execute actor v_i2.
+  std::vector<Index> wait_actor;
+  std::vector<Index> exec_actor;
+  /// Per task: the queue e_i1i2 (in E1) and the self-loop e_i2i2 (in E2).
+  std::vector<Index> wait_queue;
+  std::vector<Index> self_queue;
+  /// Per buffer: the data queue (E2, iota tokens) and space queue (E2,
+  /// gamma - iota tokens).
+  std::vector<Index> data_queue;
+  std::vector<Index> space_queue;
+};
+
+/// Builds the SRDF model of configuration graph `graph_index` with concrete
+/// budgets (cycles, one entry per task) and buffer capacities (containers,
+/// one entry per buffer). Throws ModelError if a budget is outside
+/// (0, rho(p)] or a capacity is below the initial fill or < 1.
+SrdfModel build_srdf(const model::Configuration& config, Index graph_index,
+                     const Vector& budgets,
+                     const std::vector<Index>& capacities);
+
+/// Builds the SRDF skeleton only (all firing durations 0, data queues with
+/// iota tokens, space queues with 0 tokens). Used by the program builder,
+/// which replaces durations and token counts by decision variables.
+SrdfModel build_srdf_skeleton(const model::Configuration& config,
+                              Index graph_index);
+
+}  // namespace bbs::core

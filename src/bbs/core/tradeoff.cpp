@@ -1,0 +1,106 @@
+#include "bbs/core/tradeoff.hpp"
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::core {
+
+Vector TradeoffSweep::budget_deltas() const {
+  Vector deltas;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i - 1].feasible && points[i].feasible) {
+      deltas.push_back(points[i - 1].total_budget_continuous -
+                       points[i].total_budget_continuous);
+    }
+  }
+  return deltas;
+}
+
+TradeoffSweep sweep_max_capacity(model::Configuration& config,
+                                 Index graph_index, Index cap_lo, Index cap_hi,
+                                 const MappingOptions& options) {
+  BBS_REQUIRE(cap_lo >= 1 && cap_hi >= cap_lo,
+              "sweep_max_capacity: need 1 <= cap_lo <= cap_hi");
+  model::TaskGraph& tg = config.mutable_task_graph(graph_index);
+
+  // Remember the original caps so the sweep leaves no trace.
+  std::vector<Index> original_caps(static_cast<std::size_t>(tg.num_buffers()));
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    original_caps[static_cast<std::size_t>(b)] = tg.buffer(b).max_capacity;
+  }
+
+  TradeoffSweep sweep;
+  for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      tg.set_max_capacity(b, cap);
+    }
+    const MappingResult result = compute_budgets_and_buffers(config, options);
+
+    TradeoffPoint point;
+    point.max_capacity = cap;
+    point.feasible = result.feasible();
+    if (point.feasible) {
+      const MappedGraph& mg =
+          result.graphs[static_cast<std::size_t>(graph_index)];
+      for (const TaskAllocation& t : mg.tasks) {
+        point.budgets_continuous.push_back(t.budget_continuous);
+        point.budgets.push_back(t.budget);
+        point.total_budget_continuous += t.budget_continuous;
+      }
+      for (const BufferAllocation& b : mg.buffers) {
+        point.capacities.push_back(b.capacity);
+      }
+    }
+    sweep.points.push_back(std::move(point));
+  }
+
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    tg.set_max_capacity(b, original_caps[static_cast<std::size_t>(b)]);
+  }
+  return sweep;
+}
+
+std::optional<MinimalPeriodResult> minimal_feasible_period(
+    model::Configuration& config, Index graph_index, double period_hi,
+    double rel_tol, const MappingOptions& options) {
+  BBS_REQUIRE(period_hi > 0.0,
+              "minimal_feasible_period: period_hi must be positive");
+  BBS_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0,
+              "minimal_feasible_period: rel_tol must be in (0, 1)");
+  model::TaskGraph& tg = config.mutable_task_graph(graph_index);
+  const double original = tg.required_period();
+
+  const auto solve_at = [&](double period) {
+    tg.set_required_period(period);
+    return compute_budgets_and_buffers(config, options);
+  };
+
+  MappingResult at_hi = solve_at(period_hi);
+  if (!at_hi.feasible()) {
+    tg.set_required_period(original);
+    return std::nullopt;
+  }
+
+  // Bisection: the feasible set of periods is upward closed (a PAS for a
+  // smaller period is a PAS for any larger one, and constraints (9)/(10)
+  // only relax as mu grows).
+  double lo = 0.0;
+  double hi = period_hi;
+  MinimalPeriodResult best;
+  best.period = period_hi;
+  best.mapping = std::move(at_hi);
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    MappingResult r = solve_at(mid);
+    if (r.feasible()) {
+      hi = mid;
+      best.period = mid;
+      best.mapping = std::move(r);
+    } else {
+      lo = mid;
+    }
+  }
+  tg.set_required_period(original);
+  return best;
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,62 @@
+// Trade-off exploration between budgets and buffer sizes (Section V).
+//
+// The paper explores the non-linear budget/buffer trade-off by constraining
+// the maximum buffer capacity and re-solving; this module packages that sweep
+// (one SOCP per capacity bound) and reports the budget series that Figures
+// 2(a), 2(b) and 3 plot.
+#pragma once
+
+#include <vector>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+
+namespace bbs::core {
+
+struct TradeoffPoint {
+  Index max_capacity = 0;  ///< common capacity bound applied in this step
+  bool feasible = false;
+  /// Continuous budgets beta'(w), one per task of the swept graph.
+  Vector budgets_continuous;
+  /// Rounded budgets beta(w).
+  std::vector<Index> budgets;
+  /// Capacities gamma(b) chosen under the bound.
+  std::vector<Index> capacities;
+  /// Sum over tasks of beta' (the quantity whose reduction the paper plots).
+  double total_budget_continuous = 0.0;
+};
+
+struct TradeoffSweep {
+  std::vector<TradeoffPoint> points;
+
+  /// Budget deltas between consecutive feasible points:
+  /// delta[i] = total_budget(points[i-1]) - total_budget(points[i])
+  /// (the series of Figure 2(b)).
+  Vector budget_deltas() const;
+};
+
+/// Sweeps the common maximum capacity of all buffers of graph `graph_index`
+/// from `cap_lo` to `cap_hi` containers and solves the joint problem at each
+/// step. The configuration is restored before returning.
+TradeoffSweep sweep_max_capacity(model::Configuration& config,
+                                 Index graph_index, Index cap_lo, Index cap_hi,
+                                 const MappingOptions& options = {});
+
+struct MinimalPeriodResult {
+  /// Smallest feasible required period of the swept graph, within the
+  /// relative tolerance of the search.
+  double period = 0.0;
+  /// The mapping computed at that period.
+  MappingResult mapping;
+};
+
+/// Finds the smallest required period of graph `graph_index` for which the
+/// joint budget/buffer problem is feasible (the platform's maximum
+/// sustainable throughput), by bisection over the SOCP feasibility oracle.
+/// Other graphs keep their current requirements. The configuration is
+/// restored before returning. Returns nullopt when even `period_hi` is
+/// infeasible.
+std::optional<MinimalPeriodResult> minimal_feasible_period(
+    model::Configuration& config, Index graph_index, double period_hi,
+    double rel_tol = 1e-4, const MappingOptions& options = {});
+
+}  // namespace bbs::core

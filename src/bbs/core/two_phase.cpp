@@ -1,0 +1,67 @@
+#include "bbs/core/two_phase.hpp"
+
+#include <algorithm>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/rounding.hpp"
+
+namespace bbs::core {
+
+MappingResult solve_budget_first(const model::Configuration& config,
+                                 const MappingOptions& options) {
+  config.validate();
+  // Phase 1: per-task minimal budgets from the self-loop cycle of the task
+  // model: rho(p)*chi(w)/beta <= mu(T)  =>  beta >= rho(p)*chi(w)/mu(T).
+  std::vector<Vector> budgets;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    Vector beta(static_cast<std::size_t>(tg.num_tasks()), 0.0);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      const double rho =
+          config.processor(task.processor).replenishment_interval;
+      const double minimal = rho * task.wcet / tg.required_period();
+      // Commit the rounded (deployable) budget before phase 2, exactly as a
+      // staged mapping flow would.
+      beta[static_cast<std::size_t>(t)] = static_cast<double>(
+          round_budget(minimal, config.granularity(), options.rounding_eps));
+    }
+    budgets.push_back(std::move(beta));
+  }
+
+  BuildOptions build;
+  build.fixed_budgets = budgets;
+  const BuiltProgram program = build_algorithm1(config, build);
+  return solve_built_program(config, program, options);
+}
+
+MappingResult solve_buffer_first(const model::Configuration& config,
+                                 Index default_capacity,
+                                 const MappingOptions& options) {
+  config.validate();
+  BBS_REQUIRE(default_capacity >= 1,
+              "solve_buffer_first: capacity must be >= 1");
+  // Phase 1: commit buffer capacities. The space queue of buffer b then
+  // carries gamma - iota tokens.
+  std::vector<Vector> deltas;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    Vector d(static_cast<std::size_t>(tg.num_buffers()), 0.0);
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      Index gamma = default_capacity;
+      if (buf.max_capacity != -1) gamma = std::min(gamma, buf.max_capacity);
+      gamma = std::max(gamma, std::max<Index>(1, buf.initial_fill));
+      d[static_cast<std::size_t>(b)] =
+          static_cast<double>(gamma - buf.initial_fill);
+    }
+    deltas.push_back(std::move(d));
+  }
+
+  BuildOptions build;
+  build.fixed_deltas = deltas;
+  const BuiltProgram program = build_algorithm1(config, build);
+  return solve_built_program(config, program, options);
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,36 @@
+// Two-phase baselines: budget and buffer computation in separate mapping
+// phases, as in the flows the paper improves upon (Section I cites Moreira
+// et al. EMSOFT'07 and Stuijk et al. DAC'07).
+//
+// * budget_first: phase 1 assigns each task the minimal budget that sustains
+//   the throughput requirement in isolation (the self-loop bound
+//   beta >= rho(p)*chi(w)/mu(T), rounded up to the granularity); phase 2
+//   sizes the buffers for those fixed budgets — a pure LP, as in the earlier
+//   buffer-sizing literature.
+//
+// * buffer_first: phase 1 fixes every buffer at its maximum allowed capacity
+//   (or a caller-provided cap); phase 2 computes minimal budgets for those
+//   fixed buffer sizes (still a cone program: the hyperbolic constraint (8)
+//   remains).
+//
+// Both baselines can produce false negatives — configurations where a joint
+// solution exists but the committed phase-1 choice makes phase 2 infeasible —
+// and both can be arbitrarily more expensive than the joint optimum. The
+// ablation bench bench_ablation_twophase quantifies this.
+#pragma once
+
+#include "bbs/core/budget_buffer_solver.hpp"
+
+namespace bbs::core {
+
+/// Budget-first two-phase flow. `options` configures the phase-2 solve.
+MappingResult solve_budget_first(const model::Configuration& config,
+                                 const MappingOptions& options = {});
+
+/// Buffer-first two-phase flow: buffers are fixed at `default_capacity`
+/// containers (or at their max_capacity when set, whichever is smaller).
+MappingResult solve_buffer_first(const model::Configuration& config,
+                                 Index default_capacity,
+                                 const MappingOptions& options = {});
+
+}  // namespace bbs::core

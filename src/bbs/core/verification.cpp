@@ -1,0 +1,132 @@
+#include "bbs/core/verification.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/dataflow/pas.hpp"
+
+namespace bbs::core {
+
+GraphVerification verify_graph(const model::Configuration& config,
+                               Index graph_index, const Vector& budgets,
+                               const std::vector<Index>& capacities,
+                               double tolerance) {
+  GraphVerification out;
+  out.required_period = config.task_graph(graph_index).required_period();
+  const SrdfModel model = build_srdf(config, graph_index, budgets, capacities);
+
+  out.mcr = dataflow::max_cycle_ratio_bisect(model.graph,
+                                             1e-9 * out.required_period);
+  out.throughput_met =
+      out.mcr <= out.required_period * (1.0 + tolerance) + tolerance;
+  if (out.throughput_met) {
+    const dataflow::PasResult pas =
+        dataflow::compute_pas(model.graph, out.required_period);
+    // The PAS at the required period can still fail if the MCR sits within
+    // tolerance *above* mu; report what the PAS says in that case.
+    out.throughput_met = pas.feasible;
+    if (pas.feasible) out.start_times = pas.start_times;
+  }
+  return out;
+}
+
+bool verify_platform(const model::Configuration& config,
+                     const std::vector<Vector>& budgets,
+                     const std::vector<std::vector<Index>>& capacities,
+                     double tolerance) {
+  BBS_REQUIRE(budgets.size() ==
+                  static_cast<std::size_t>(config.num_task_graphs()),
+              "verify_platform: one budget vector per graph");
+  BBS_REQUIRE(capacities.size() ==
+                  static_cast<std::size_t>(config.num_task_graphs()),
+              "verify_platform: one capacity vector per graph");
+
+  // Constraint (4)/(9): per processor, budgets (plus overhead) fit in the
+  // replenishment interval. Note the rounded form checks the actual integer
+  // budgets, so the "+g" slack of (9) is no longer needed here.
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    double sum = config.processor(p).scheduling_overhead;
+    for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+      const model::TaskGraph& tg = config.task_graph(gi);
+      for (Index t = 0; t < tg.num_tasks(); ++t) {
+        if (tg.task(t).processor == p) {
+          sum += budgets[static_cast<std::size_t>(gi)]
+                        [static_cast<std::size_t>(t)];
+        }
+      }
+    }
+    if (sum > config.processor(p).replenishment_interval + tolerance) {
+      return false;
+    }
+  }
+
+  // Constraint (10) with concrete capacities: total buffer footprint per
+  // memory.
+  for (Index mem = 0; mem < config.num_memories(); ++mem) {
+    const double cap = config.memory(mem).capacity;
+    if (cap == -1.0) continue;
+    double used = 0.0;
+    for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+      const model::TaskGraph& tg = config.task_graph(gi);
+      for (Index b = 0; b < tg.num_buffers(); ++b) {
+        const model::Buffer& buf = tg.buffer(b);
+        if (buf.memory != mem) continue;
+        used += static_cast<double>(
+                    capacities[static_cast<std::size_t>(gi)]
+                              [static_cast<std::size_t>(b)]) *
+                static_cast<double>(buf.container_size);
+      }
+    }
+    if (used > cap + tolerance) return false;
+  }
+
+  // Per-buffer caps.
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      const Index gamma = capacities[static_cast<std::size_t>(gi)]
+                                    [static_cast<std::size_t>(b)];
+      if (buf.max_capacity != -1 && gamma > buf.max_capacity) return false;
+      if (gamma < 1 || gamma < buf.initial_fill) return false;
+    }
+  }
+  return true;
+}
+
+bool simulation_within_pas_bound(const model::Configuration& config,
+                                 Index graph_index, const Vector& budgets,
+                                 const std::vector<Index>& capacities,
+                                 const sim::GraphSimResult& sim_result,
+                                 double tolerance) {
+  if (sim_result.deadlocked) return false;
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  BBS_REQUIRE(sim_result.tasks.size() ==
+                  static_cast<std::size_t>(tg.num_tasks()),
+              "simulation_within_pas_bound: trace/task count mismatch");
+  const double mu = tg.required_period();
+
+  const SrdfModel m = build_srdf(config, graph_index, budgets, capacities);
+  const dataflow::PasResult pas = dataflow::compute_pas(m.graph, mu);
+  if (!pas.feasible) return false;
+
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    const auto exec = static_cast<std::size_t>(m.exec_actor[ti]);
+    const double s_exec = pas.start_times[exec];
+    const double rho_exec = m.graph.actor(m.exec_actor[ti]).firing_duration;
+    const sim::TaskTrace& trace = sim_result.tasks[ti];
+    for (std::size_t k = 0; k < trace.finish.size(); ++k) {
+      const double bound =
+          s_exec + static_cast<double>(k) * mu + rho_exec;
+      if (trace.finish[k] > bound + tolerance * std::max(1.0, bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bbs::core

@@ -1,0 +1,61 @@
+// Independent verification of a mapped configuration.
+//
+// Given concrete budgets and buffer capacities, the budget-scheduler SRDF
+// model is rebuilt with its actual firing durations and analysed with the
+// maximum-cycle-ratio machinery: the throughput requirement of task graph T
+// is met iff MCR(SRDF(T)) <= mu(T) (existence of a PAS with period mu, which
+// is sufficient by temporal monotonicity). This closes the loop around the
+// SOCP: any solver or rounding bug surfaces as a verification failure.
+#pragma once
+
+#include <vector>
+
+#include "bbs/core/srdf_construction.hpp"
+#include "bbs/sim/tdm_simulator.hpp"
+
+namespace bbs::core {
+
+struct GraphVerification {
+  /// Maximum cycle ratio of the graph's SRDF model (its minimal feasible
+  /// period, +inf when the model deadlocks).
+  double mcr = 0.0;
+  /// Required period mu(T).
+  double required_period = 0.0;
+  /// PAS start times for period mu (empty when infeasible).
+  Vector start_times;
+  bool throughput_met = false;
+};
+
+/// Verifies one task graph under the given budgets/capacities.
+GraphVerification verify_graph(const model::Configuration& config,
+                               Index graph_index, const Vector& budgets,
+                               const std::vector<Index>& capacities,
+                               double tolerance = 1e-6);
+
+/// Checks the platform constraints (9) and (10) for concrete integer
+/// budgets/capacities across all graphs: budget sums within replenishment
+/// intervals (minus overhead) and buffer footprints within memory
+/// capacities. Returns true iff all hold.
+bool verify_platform(const model::Configuration& config,
+                     const std::vector<Vector>& budgets,
+                     const std::vector<std::vector<Index>>& capacities,
+                     double tolerance = 1e-9);
+
+/// Checks the conservativeness property of the dataflow model (EMSOFT'09)
+/// on a TDM simulation trace: the k-th completion (k = 0, 1, ...) of every
+/// task must not exceed the PAS bound
+///
+///     s(v_exec) + k * mu(T) + rho(v_exec),
+///
+/// where s are the PAS start times of the budget-scheduler SRDF model at
+/// period mu. Unlike a measured steady-state period, this bound is exact at
+/// every k, so it is meaningful even for traces that have not reached the
+/// periodic regime. Returns false if the budgets/capacities do not admit a
+/// PAS at period mu, or the trace exceeds the bound anywhere.
+bool simulation_within_pas_bound(const model::Configuration& config,
+                                 Index graph_index, const Vector& budgets,
+                                 const std::vector<Index>& capacities,
+                                 const sim::GraphSimResult& sim_result,
+                                 double tolerance = 1e-6);
+
+}  // namespace bbs::core

@@ -1,0 +1,389 @@
+#include "bbs/dataflow/cycle_ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/pas.hpp"
+
+namespace bbs::dataflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True iff the graph has at least one directed cycle (Kahn elimination).
+bool has_cycle(const SrdfGraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_actors());
+  std::vector<Index> indeg(n, 0);
+  for (Index q = 0; q < g.num_queues(); ++q)
+    ++indeg[static_cast<std::size_t>(g.queue(q).to)];
+  std::vector<Index> stack;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indeg[v] == 0) stack.push_back(static_cast<Index>(v));
+  std::size_t removed = 0;
+  while (!stack.empty()) {
+    const Index v = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (Index qid : g.out_queues(v)) {
+      if (--indeg[static_cast<std::size_t>(g.queue(qid).to)] == 0)
+        stack.push_back(g.queue(qid).to);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace
+
+double max_cycle_ratio_bisect(const SrdfGraph& graph, double tol) {
+  BBS_REQUIRE(tol > 0.0, "max_cycle_ratio_bisect: tol must be positive");
+  if (graph.has_zero_token_cycle()) return kInf;
+  if (!has_cycle(graph)) return 0.0;
+
+  // Any cycle has duration sum <= total_duration() and token sum >= 1, so
+  // total_duration() is an upper bound on the MCR; MCR > 0 because some cycle
+  // exists (cycles of zero total duration make any positive period feasible,
+  // handled naturally by the search converging to ~0).
+  double lo = 0.0;
+  double hi = std::max(graph.total_duration(), tol);
+  if (!compute_pas(graph, hi).feasible) {
+    // Defensive: numerical slack in the oracle; widen once.
+    hi *= 2.0;
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= 0.0) break;
+    if (compute_pas(graph, mid).feasible) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double max_cycle_ratio_howard(const SrdfGraph& graph, double tol) {
+  if (graph.has_zero_token_cycle()) return kInf;
+  const Index n = graph.num_actors();
+  if (n == 0 || !has_cycle(graph)) return 0.0;
+
+  // Strip nodes that cannot lie on or reach a cycle (out-degree 0 closure);
+  // Howard's policy needs every live node to have a successor.
+  std::vector<Index> live_out(static_cast<std::size_t>(n), 0);
+  for (Index v = 0; v < n; ++v)
+    live_out[static_cast<std::size_t>(v)] =
+        static_cast<Index>(graph.out_queues(v).size());
+  std::vector<bool> dead(static_cast<std::size_t>(n), false);
+  {
+    std::vector<Index> stack;
+    for (Index v = 0; v < n; ++v)
+      if (live_out[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+    while (!stack.empty()) {
+      const Index v = stack.back();
+      stack.pop_back();
+      dead[static_cast<std::size_t>(v)] = true;
+      for (Index qid : graph.in_queues(v)) {
+        const Index u = graph.queue(qid).from;
+        if (!dead[static_cast<std::size_t>(u)] &&
+            --live_out[static_cast<std::size_t>(u)] == 0) {
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Initial policy: first live out-queue of each live node.
+  std::vector<Index> policy(static_cast<std::size_t>(n), -1);
+  for (Index v = 0; v < n; ++v) {
+    if (dead[static_cast<std::size_t>(v)]) continue;
+    for (Index qid : graph.out_queues(v)) {
+      if (!dead[static_cast<std::size_t>(graph.queue(qid).to)]) {
+        policy[static_cast<std::size_t>(v)] = qid;
+        break;
+      }
+    }
+    BBS_ASSERT_MSG(policy[static_cast<std::size_t>(v)] >= 0,
+                   "live node without live successor");
+  }
+
+  std::vector<double> eta(static_cast<std::size_t>(n), -kInf);
+  std::vector<double> pot(static_cast<std::size_t>(n), 0.0);
+
+  const auto weight = [&](Index qid) {
+    return graph.actor(graph.queue(qid).from).firing_duration;
+  };
+  const auto tokens = [&](Index qid) {
+    return static_cast<double>(graph.queue(qid).initial_tokens);
+  };
+
+  const int max_rounds = 8 * static_cast<int>(n) + 64;
+  for (int round = 0; round < max_rounds; ++round) {
+    // --- Policy evaluation -------------------------------------------------
+    // The policy graph is functional on live nodes: locate each node's cycle,
+    // compute the cycle ratio, then back-propagate potentials.
+    std::vector<int> colour(static_cast<std::size_t>(n), 0);  // 0 new
+    std::vector<bool> evaluated(static_cast<std::size_t>(n), false);
+    for (Index v = 0; v < n; ++v) {
+      if (dead[static_cast<std::size_t>(v)] ||
+          evaluated[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      // Walk until we hit an evaluated node or close a cycle.
+      std::vector<Index> path;
+      Index u = v;
+      while (!dead[static_cast<std::size_t>(u)] &&
+             !evaluated[static_cast<std::size_t>(u)] &&
+             colour[static_cast<std::size_t>(u)] == 0) {
+        colour[static_cast<std::size_t>(u)] = 1;
+        path.push_back(u);
+        u = graph.queue(policy[static_cast<std::size_t>(u)]).to;
+      }
+      if (!evaluated[static_cast<std::size_t>(u)] &&
+          colour[static_cast<std::size_t>(u)] == 1) {
+        // Found a new cycle starting at u: measure it.
+        double wsum = 0.0;
+        double tsum = 0.0;
+        Index c = u;
+        do {
+          const Index qid = policy[static_cast<std::size_t>(c)];
+          wsum += weight(qid);
+          tsum += tokens(qid);
+          c = graph.queue(qid).to;
+        } while (c != u);
+        BBS_ASSERT_MSG(tsum > 0.0, "policy cycle without tokens");
+        const double ratio = wsum / tsum;
+        // Fix potentials around the cycle: pot(u) = 0, then backwards.
+        eta[static_cast<std::size_t>(u)] = ratio;
+        pot[static_cast<std::size_t>(u)] = 0.0;
+        evaluated[static_cast<std::size_t>(u)] = true;
+        // Walk the cycle once more, assigning potentials from the relation
+        // pot(a) = w - eta*t + pot(next(a)), processed in reverse.
+        std::vector<Index> cycle;
+        c = graph.queue(policy[static_cast<std::size_t>(u)]).to;
+        while (c != u) {
+          cycle.push_back(c);
+          c = graph.queue(policy[static_cast<std::size_t>(c)]).to;
+        }
+        for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+          const Index a = *it;
+          const Index qid = policy[static_cast<std::size_t>(a)];
+          const Index nxt = graph.queue(qid).to;
+          eta[static_cast<std::size_t>(a)] = ratio;
+          pot[static_cast<std::size_t>(a)] = weight(qid) -
+                                             ratio * tokens(qid) +
+                                             pot[static_cast<std::size_t>(nxt)];
+          evaluated[static_cast<std::size_t>(a)] = true;
+        }
+      }
+      // Back-propagate along the walked path (tree part).
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const Index a = *it;
+        if (evaluated[static_cast<std::size_t>(a)]) continue;
+        const Index qid = policy[static_cast<std::size_t>(a)];
+        const Index nxt = graph.queue(qid).to;
+        eta[static_cast<std::size_t>(a)] = eta[static_cast<std::size_t>(nxt)];
+        pot[static_cast<std::size_t>(a)] = weight(qid) -
+                                           eta[static_cast<std::size_t>(a)] *
+                                               tokens(qid) +
+                                           pot[static_cast<std::size_t>(nxt)];
+        evaluated[static_cast<std::size_t>(a)] = true;
+      }
+      for (Index a : path) colour[static_cast<std::size_t>(a)] = 2;
+    }
+
+    // --- Policy improvement ------------------------------------------------
+    bool improved = false;
+    // Phase 1: switch to successors that reach a strictly better cycle.
+    for (Index u = 0; u < n; ++u) {
+      if (dead[static_cast<std::size_t>(u)]) continue;
+      for (Index qid : graph.out_queues(u)) {
+        const Index x = graph.queue(qid).to;
+        if (dead[static_cast<std::size_t>(x)]) continue;
+        if (eta[static_cast<std::size_t>(x)] >
+            eta[static_cast<std::size_t>(u)] + tol) {
+          policy[static_cast<std::size_t>(u)] = qid;
+          eta[static_cast<std::size_t>(u)] = eta[static_cast<std::size_t>(x)];
+          improved = true;
+        }
+      }
+    }
+    // Phase 2: within the same cycle class, improve the potential.
+    if (!improved) {
+      for (Index u = 0; u < n; ++u) {
+        if (dead[static_cast<std::size_t>(u)]) continue;
+        const double eta_u = eta[static_cast<std::size_t>(u)];
+        for (Index qid : graph.out_queues(u)) {
+          const Index x = graph.queue(qid).to;
+          if (dead[static_cast<std::size_t>(x)]) continue;
+          if (eta[static_cast<std::size_t>(x)] < eta_u - tol) continue;
+          const double cand = weight(qid) - eta_u * tokens(qid) +
+                              pot[static_cast<std::size_t>(x)];
+          if (cand > pot[static_cast<std::size_t>(u)] + tol) {
+            policy[static_cast<std::size_t>(u)] = qid;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  double best = 0.0;
+  for (Index v = 0; v < n; ++v) {
+    if (!dead[static_cast<std::size_t>(v)]) {
+      best = std::max(best, eta[static_cast<std::size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+double max_cycle_mean_karp(const SrdfGraph& graph) {
+  const auto n = static_cast<std::size_t>(graph.num_actors());
+  if (n == 0 || !has_cycle(graph)) return 0.0;
+
+  // D[k][v] = maximum weight of a k-edge walk ending in v (-inf if none).
+  std::vector<std::vector<double>> d(
+      n + 1, std::vector<double>(n, -kInf));
+  for (std::size_t v = 0; v < n; ++v) d[0][v] = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (Index q = 0; q < graph.num_queues(); ++q) {
+      const Queue& e = graph.queue(q);
+      const double w = graph.actor(e.from).firing_duration;
+      const auto u = static_cast<std::size_t>(e.from);
+      const auto v = static_cast<std::size_t>(e.to);
+      if (d[k - 1][u] > -kInf) {
+        d[k][v] = std::max(d[k][v], d[k - 1][u] + w);
+      }
+    }
+  }
+
+  double best = -kInf;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (d[n][v] == -kInf) continue;
+    double worst = kInf;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d[k][v] == -kInf) continue;
+      worst = std::min(worst,
+                       (d[n][v] - d[k][v]) / static_cast<double>(n - k));
+    }
+    best = std::max(best, worst);
+  }
+  return best == -kInf ? 0.0 : best;
+}
+
+namespace {
+
+/// Extracts some cycle from the zero-token subgraph (which must contain
+/// one); returns its queue ids in traversal order.
+std::vector<Index> zero_token_cycle(const SrdfGraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_actors());
+  // Iterative DFS with colouring over zero-token queues.
+  std::vector<int> colour(n, 0);            // 0 white, 1 on stack, 2 done
+  std::vector<Index> via_queue(n, -1);      // queue that discovered the node
+  std::vector<Index> parent(n, -1);
+  for (Index root = 0; root < g.num_actors(); ++root) {
+    if (colour[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<std::pair<Index, std::size_t>> stack{{root, 0}};
+    colour[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [v, next_edge] = stack.back();
+      const auto& out = g.out_queues(v);
+      bool descended = false;
+      while (next_edge < out.size()) {
+        const Index qid = out[next_edge++];
+        const Queue& q = g.queue(qid);
+        if (q.initial_tokens != 0) continue;
+        const auto to = static_cast<std::size_t>(q.to);
+        if (colour[to] == 1) {
+          // Found a cycle: walk back from v to q.to collecting queues.
+          std::vector<Index> cycle{qid};
+          Index cur = v;
+          while (cur != q.to) {
+            cycle.push_back(via_queue[static_cast<std::size_t>(cur)]);
+            cur = parent[static_cast<std::size_t>(cur)];
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (colour[to] == 0) {
+          colour[to] = 1;
+          parent[to] = v;
+          via_queue[to] = qid;
+          stack.emplace_back(q.to, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && next_edge >= out.size()) {
+        colour[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  BBS_ASSERT_MSG(false, "zero_token_cycle: no cycle found");
+  return {};
+}
+
+}  // namespace
+
+CriticalCycle critical_cycle(const SrdfGraph& graph, double tol) {
+  CriticalCycle out;
+  if (graph.has_zero_token_cycle()) {
+    out.ratio = kInf;
+    out.queues = zero_token_cycle(graph);
+    return out;
+  }
+  if (!has_cycle(graph)) return out;
+
+  out.ratio = max_cycle_ratio_howard(graph, tol);
+  // In the constraint graph with edge weights rho(src) - lambda*delta(e) and
+  // lambda slightly below the MCR, exactly the (near-)critical cycles have
+  // positive weight; Bellman-Ford with parent tracking extracts one.
+  const double eps = std::max(tol, 1e-9 * std::max(1.0, out.ratio));
+  const double lambda = out.ratio - eps;
+  const auto n = static_cast<std::size_t>(graph.num_actors());
+  std::vector<double> dist(n, 0.0);
+  std::vector<Index> parent_queue(n, -1);
+
+  Index relaxed_head = -1;
+  for (Index pass = 0; pass <= graph.num_actors(); ++pass) {
+    relaxed_head = -1;
+    for (Index qid = 0; qid < graph.num_queues(); ++qid) {
+      const Queue& q = graph.queue(qid);
+      const double cand =
+          dist[static_cast<std::size_t>(q.from)] +
+          graph.actor(q.from).firing_duration -
+          lambda * static_cast<double>(q.initial_tokens);
+      if (cand > dist[static_cast<std::size_t>(q.to)] + 1e-12) {
+        dist[static_cast<std::size_t>(q.to)] = cand;
+        parent_queue[static_cast<std::size_t>(q.to)] = qid;
+        relaxed_head = q.to;
+      }
+    }
+    if (relaxed_head < 0) break;
+  }
+  BBS_ASSERT_MSG(relaxed_head >= 0,
+                 "critical_cycle: no positive cycle below the MCR — "
+                 "inconsistent cycle-ratio computation");
+
+  // relaxed_head is reachable from a positive cycle; walking |V| parents
+  // lands on the cycle itself.
+  Index cur = relaxed_head;
+  for (Index i = 0; i < graph.num_actors(); ++i) {
+    cur = graph.queue(parent_queue[static_cast<std::size_t>(cur)]).from;
+  }
+  const Index anchor = cur;
+  std::vector<Index> cycle;
+  do {
+    const Index qid = parent_queue[static_cast<std::size_t>(cur)];
+    cycle.push_back(qid);
+    cur = graph.queue(qid).from;
+  } while (cur != anchor);
+  std::reverse(cycle.begin(), cycle.end());
+  out.queues = std::move(cycle);
+  return out;
+}
+
+}  // namespace bbs::dataflow

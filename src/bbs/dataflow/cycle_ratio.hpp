@@ -1,0 +1,52 @@
+// Maximum cycle ratio (MCR) analysis of SRDF graphs.
+//
+// The MCR of an SRDF graph is
+//
+//     MCR(G) = max over directed cycles C of  sum_{v in C} rho(v)
+//                                           / sum_{e in C} delta(e),
+//
+// and it equals the smallest period phi for which a periodic admissible
+// schedule exists. Three independent implementations are provided and
+// cross-checked in the test suite:
+//
+//   * max_cycle_ratio_bisect — binary search over the PAS feasibility oracle
+//     (robust; the library default),
+//   * max_cycle_ratio_howard — Howard's policy iteration (fast, exact up to
+//     floating-point arithmetic),
+//   * max_cycle_mean_karp — Karp's algorithm for the special case of the
+//     maximum cycle *mean* (used by tests on graphs whose queues all carry
+//     one token, where mean and ratio coincide).
+//
+// Conventions: an acyclic graph has MCR 0; a graph with a zero-token cycle
+// deadlocks and has MCR +infinity.
+#pragma once
+
+#include "bbs/dataflow/srdf_graph.hpp"
+
+namespace bbs::dataflow {
+
+/// Binary search on the PAS feasibility oracle; `tol` is the absolute
+/// bracket width at which the search stops.
+double max_cycle_ratio_bisect(const SrdfGraph& graph, double tol = 1e-9);
+
+/// Howard's policy iteration for the maximum cycle ratio.
+double max_cycle_ratio_howard(const SrdfGraph& graph, double tol = 1e-11);
+
+/// Karp's algorithm for the maximum cycle mean (token counts are ignored;
+/// every edge counts as length 1).
+double max_cycle_mean_karp(const SrdfGraph& graph);
+
+/// A critical cycle: a directed cycle attaining the maximum cycle ratio.
+struct CriticalCycle {
+  double ratio = 0.0;
+  /// Queue ids along the cycle, in traversal order (empty for acyclic
+  /// graphs; a zero-token cycle is returned with ratio +infinity).
+  std::vector<Index> queues;
+};
+
+/// Extracts a cycle attaining the MCR (via Howard's optimal policy). The
+/// throughput bottleneck of a mapped task graph lives on this cycle — the
+/// incremental buffer-sizing search in bbs/core enlarges buffers along it.
+CriticalCycle critical_cycle(const SrdfGraph& graph, double tol = 1e-11);
+
+}  // namespace bbs::dataflow

@@ -1,0 +1,29 @@
+#include "bbs/dataflow/dot_export.hpp"
+
+#include <sstream>
+
+#include "bbs/common/strings.hpp"
+
+namespace bbs::dataflow {
+
+std::string to_dot(const SrdfGraph& graph, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (Index v = 0; v < graph.num_actors(); ++v) {
+    const Actor& a = graph.actor(v);
+    os << "  a" << v << " [label=\"" << a.name << "\\nrho="
+       << format_double(a.firing_duration, 3) << "\"];\n";
+  }
+  for (Index q = 0; q < graph.num_queues(); ++q) {
+    const Queue& e = graph.queue(q);
+    os << "  a" << e.from << " -> a" << e.to << " [label=\""
+       << e.initial_tokens;
+    if (!e.label.empty()) os << " (" << e.label << ")";
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bbs::dataflow

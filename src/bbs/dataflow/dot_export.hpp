@@ -1,0 +1,14 @@
+// Graphviz DOT export of SRDF graphs, for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "bbs/dataflow/srdf_graph.hpp"
+
+namespace bbs::dataflow {
+
+/// Renders the graph in Graphviz DOT syntax. Actors are labelled with their
+/// name and firing duration; queues with their token count.
+std::string to_dot(const SrdfGraph& graph, const std::string& graph_name = "srdf");
+
+}  // namespace bbs::dataflow

@@ -1,0 +1,34 @@
+// Periodic admissible schedules (PAS) for SRDF graphs.
+//
+// A PAS with period phi assigns each actor a start time s(v) such that the
+// k-th firing starts at s(v) + (k-1)*phi and never consumes a token that has
+// not yet been produced. By Reiter's theorem (Constraint (1) of the paper),
+// such start times exist iff
+//
+//     s(v_j) >= s(v_i) + rho(v_i) - delta(e_ij) * phi     for every queue,
+//
+// i.e. iff the constraint graph with edge weights rho(v_i) - delta(e)*phi has
+// no positive-weight cycle. compute_pas solves this longest-path problem with
+// Bellman-Ford and returns the (componentwise least) start times.
+#pragma once
+
+#include "bbs/dataflow/srdf_graph.hpp"
+
+namespace bbs::dataflow {
+
+using linalg::Vector;
+
+struct PasResult {
+  bool feasible = false;
+  /// Start times s(v); meaningful only when feasible.
+  Vector start_times;
+};
+
+/// Computes a PAS with the given period, or reports infeasibility.
+PasResult compute_pas(const SrdfGraph& graph, double period);
+
+/// Checks Constraint (1) for every queue with tolerance `tol`.
+bool verify_pas(const SrdfGraph& graph, double period, const Vector& starts,
+                double tol = 1e-9);
+
+}  // namespace bbs::dataflow

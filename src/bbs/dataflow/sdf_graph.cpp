@@ -1,0 +1,219 @@
+#include "bbs/dataflow/sdf_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+
+namespace bbs::dataflow {
+
+namespace {
+
+using Int = std::int64_t;
+
+Int floor_div(Int a, Int b) {
+  BBS_ASSERT(b > 0);
+  Int q = a / b;
+  if ((a % b != 0) && (a < 0)) --q;
+  return q;
+}
+
+Int positive_mod(Int a, Int b) {
+  const Int m = a % b;
+  return m < 0 ? m + b : m;
+}
+
+struct Fraction {
+  Int num = 0;  // numerator; 0 means "unassigned"
+  Int den = 1;
+
+  static Fraction of(Int n, Int d) {
+    const Int g = std::gcd(n, d);
+    return Fraction{n / g, d / g};
+  }
+};
+
+}  // namespace
+
+Index SdfGraph::add_actor(std::string name, double firing_duration) {
+  BBS_REQUIRE(firing_duration >= 0.0,
+              "SdfGraph::add_actor: negative firing duration");
+  actors_.push_back(SdfActor{std::move(name), firing_duration});
+  return static_cast<Index>(actors_.size()) - 1;
+}
+
+Index SdfGraph::add_channel(Index from, Index to, Index production,
+                            Index consumption, Index initial_tokens) {
+  BBS_REQUIRE(from >= 0 && from < num_actors(),
+              "SdfGraph::add_channel: invalid source");
+  BBS_REQUIRE(to >= 0 && to < num_actors(),
+              "SdfGraph::add_channel: invalid target");
+  BBS_REQUIRE(production >= 1 && consumption >= 1,
+              "SdfGraph::add_channel: rates must be >= 1");
+  BBS_REQUIRE(initial_tokens >= 0,
+              "SdfGraph::add_channel: negative initial tokens");
+  channels_.push_back(
+      SdfChannel{from, to, production, consumption, initial_tokens});
+  return static_cast<Index>(channels_.size()) - 1;
+}
+
+const SdfActor& SdfGraph::actor(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_actors(), "SdfGraph::actor: bad id");
+  return actors_[static_cast<std::size_t>(id)];
+}
+
+const SdfChannel& SdfGraph::channel(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_channels(), "SdfGraph::channel: bad id");
+  return channels_[static_cast<std::size_t>(id)];
+}
+
+std::optional<std::vector<Index>> repetition_vector(const SdfGraph& graph) {
+  const auto n = static_cast<std::size_t>(graph.num_actors());
+  if (n == 0) return std::vector<Index>{};
+
+  // Propagate rational firing rates over the (undirected) channel relation:
+  // rate(to) = rate(from) * production / consumption. A conflict on any
+  // channel means the balance equations have no solution: inconsistent.
+  std::vector<std::vector<Index>> incident(n);
+  for (Index c = 0; c < graph.num_channels(); ++c) {
+    incident[static_cast<std::size_t>(graph.channel(c).from)].push_back(c);
+    incident[static_cast<std::size_t>(graph.channel(c).to)].push_back(c);
+  }
+  std::vector<Fraction> rate(n);
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (rate[seed].num != 0) continue;
+    rate[seed] = Fraction{1, 1};
+    std::vector<std::size_t> stack{seed};
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const Index cid : incident[v]) {
+        const SdfChannel& ch = graph.channel(cid);
+        const auto from = static_cast<std::size_t>(ch.from);
+        const auto to = static_cast<std::size_t>(ch.to);
+        // rate(to) / rate(from) = production / consumption.
+        const std::size_t known = (rate[from].num != 0) ? from : to;
+        const std::size_t other = (known == from) ? to : from;
+        Fraction expect;
+        if (known == from) {
+          expect = Fraction::of(rate[from].num * ch.production,
+                                rate[from].den * ch.consumption);
+        } else {
+          expect = Fraction::of(rate[to].num * ch.consumption,
+                                rate[to].den * ch.production);
+        }
+        if (rate[other].num == 0) {
+          rate[other] = expect;
+          stack.push_back(other);
+        } else if (rate[other].num * expect.den !=
+                   expect.num * rate[other].den) {
+          return std::nullopt;  // inconsistent
+        }
+      }
+    }
+  }
+
+  // Scale to the least common integer vector.
+  Int lcm_den = 1;
+  for (const Fraction& f : rate) {
+    lcm_den = std::lcm(lcm_den, f.den);
+  }
+  std::vector<Int> scaled(n);
+  Int g = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    scaled[v] = rate[v].num * (lcm_den / rate[v].den);
+    g = std::gcd(g, scaled[v]);
+  }
+  std::vector<Index> q(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Int value = scaled[v] / g;
+    BBS_ASSERT_MSG(value > 0 &&
+                       value <= std::numeric_limits<Index>::max(),
+                   "repetition vector entry out of range");
+    q[v] = static_cast<Index>(value);
+  }
+  return q;
+}
+
+SrdfExpansion expand_to_srdf(const SdfGraph& graph) {
+  const auto reps = repetition_vector(graph);
+  if (!reps) {
+    throw ModelError("expand_to_srdf: the SDF graph is inconsistent (its "
+                     "balance equations have no solution)");
+  }
+  SrdfExpansion out;
+  out.repetitions = *reps;
+  const auto n = static_cast<std::size_t>(graph.num_actors());
+  out.actor_copy.resize(n);
+
+  for (std::size_t a = 0; a < n; ++a) {
+    const Index qa = out.repetitions[a];
+    for (Index k = 0; k < qa; ++k) {
+      out.actor_copy[a].push_back(out.graph.add_actor(
+          graph.actor(static_cast<Index>(a)).name + "#" + std::to_string(k),
+          graph.actor(static_cast<Index>(a)).firing_duration));
+    }
+    // Sequential-execution cycle through the copies: copy k feeds copy k+1
+    // (zero tokens), and the last feeds the first with one token — i.e. one
+    // firing of each copy per iteration, in order. For qa = 1 this is the
+    // usual self-loop.
+    for (Index k = 0; k < qa; ++k) {
+      out.graph.add_queue(out.actor_copy[a][static_cast<std::size_t>(k)],
+                          out.actor_copy[a][static_cast<std::size_t>(
+                              (k + 1) % qa)],
+                          (k + 1 == qa) ? 1 : 0, "seq");
+    }
+  }
+
+  for (Index cid = 0; cid < graph.num_channels(); ++cid) {
+    const SdfChannel& ch = graph.channel(cid);
+    const auto qa = static_cast<Int>(
+        out.repetitions[static_cast<std::size_t>(ch.from)]);
+    const auto qb = static_cast<Int>(
+        out.repetitions[static_cast<std::size_t>(ch.to)]);
+    const auto p = static_cast<Int>(ch.production);
+    const auto c = static_cast<Int>(ch.consumption);
+    const auto d = static_cast<Int>(ch.initial_tokens);
+
+    // For firing j of the consumer (iteration 0) and each consumed token,
+    // find the producing firing i; i < 0 means an initial token with the
+    // dependency wrapping into earlier iterations.
+    // Keep only the tightest (minimal-token) queue per copy pair.
+    std::map<std::pair<Index, Index>, Index> tightest;
+    for (Int j = 0; j < qb; ++j) {
+      for (Int t = j * c; t < (j + 1) * c; ++t) {
+        const Int i = floor_div(t - d, p);
+        const Int src_copy = positive_mod(i, qa);
+        const Int delta = -floor_div(i, qa);
+        BBS_ASSERT_MSG(delta >= 0, "negative iteration distance");
+        const Index src =
+            out.actor_copy[static_cast<std::size_t>(ch.from)]
+                          [static_cast<std::size_t>(src_copy)];
+        const Index dst = out.actor_copy[static_cast<std::size_t>(ch.to)]
+                                        [static_cast<std::size_t>(j)];
+        const auto key = std::make_pair(src, dst);
+        const auto it = tightest.find(key);
+        if (it == tightest.end() ||
+            static_cast<Index>(delta) < it->second) {
+          tightest[key] = static_cast<Index>(delta);
+        }
+      }
+    }
+    for (const auto& [key, delta] : tightest) {
+      out.graph.add_queue(key.first, key.second, delta,
+                          "ch" + std::to_string(cid));
+    }
+  }
+  return out;
+}
+
+std::optional<double> sdf_iteration_period(const SdfGraph& graph) {
+  const SrdfExpansion expansion = expand_to_srdf(graph);
+  if (expansion.graph.has_zero_token_cycle()) return std::nullopt;
+  return max_cycle_ratio_bisect(expansion.graph, 1e-10);
+}
+
+}  // namespace bbs::dataflow

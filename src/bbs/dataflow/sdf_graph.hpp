@@ -1,0 +1,86 @@
+// Multi-rate synchronous dataflow (SDF) graphs and their expansion to
+// single-rate (SRDF/HSDF) form.
+//
+// The paper restricts itself to single-rate task graphs "for reasons of
+// space" (Section I) and names more dynamic dataflow as the essential next
+// step (Section VI). This module supplies the classic front-end for that
+// step: SDF actors fire with constant production/consumption rates; a
+// consistent SDF graph has a repetition vector q (the unique minimal firing
+// counts that return every queue to its initial fill), and it can be
+// expanded into an equivalent SRDF graph with q(a) copies of each actor
+// (Lee & Messerschmitt 1987; Sriram & Bhattacharyya 2000). The expanded
+// graph plugs directly into the MCR / PAS machinery of this library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bbs/dataflow/srdf_graph.hpp"
+
+namespace bbs::dataflow {
+
+struct SdfActor {
+  std::string name;
+  double firing_duration = 0.0;
+};
+
+struct SdfChannel {
+  Index from = 0;
+  Index to = 0;
+  Index production = 1;    ///< tokens produced per source firing (>= 1)
+  Index consumption = 1;   ///< tokens consumed per sink firing (>= 1)
+  Index initial_tokens = 0;
+};
+
+class SdfGraph {
+ public:
+  Index add_actor(std::string name, double firing_duration);
+  Index add_channel(Index from, Index to, Index production, Index consumption,
+                    Index initial_tokens = 0);
+
+  Index num_actors() const { return static_cast<Index>(actors_.size()); }
+  Index num_channels() const { return static_cast<Index>(channels_.size()); }
+  const SdfActor& actor(Index id) const;
+  const SdfChannel& channel(Index id) const;
+
+ private:
+  std::vector<SdfActor> actors_;
+  std::vector<SdfChannel> channels_;
+};
+
+/// Repetition vector q: the componentwise-smallest positive integers with
+/// q(from) * production = q(to) * consumption on every channel. Returns
+/// nullopt for inconsistent graphs (which cannot execute with bounded
+/// memory). Disconnected graphs are handled per weakly connected component.
+std::optional<std::vector<Index>> repetition_vector(const SdfGraph& graph);
+
+/// Result of the single-rate expansion.
+struct SrdfExpansion {
+  SrdfGraph graph;
+  /// actor_copy[a][k] = SRDF actor id of the k-th firing of SDF actor a
+  /// within one graph iteration (k < q(a)).
+  std::vector<std::vector<Index>> actor_copy;
+  std::vector<Index> repetitions;
+};
+
+/// Expands a consistent SDF graph into an equivalent SRDF graph: actor a
+/// becomes q(a) copies; each data dependency between specific firings
+/// becomes a queue whose token count is the iteration distance. Parallel
+/// queues between the same pair of firings are merged, keeping the smallest
+/// token count (the binding constraint). Sequential firing of each actor's
+/// copies is enforced with a token-carrying cycle through the copies, which
+/// models an actor bound to one sequential resource (and keeps the expansion
+/// deadlock-free exactly when the SDF graph is). Throws ModelError for
+/// inconsistent graphs.
+SrdfExpansion expand_to_srdf(const SdfGraph& graph);
+
+/// Maximum throughput of a consistent SDF graph in *graph iterations* per
+/// time unit: 1 / (MCR of the expansion) scaled by nothing — the expansion's
+/// MCR is the minimal period between successive firings of any single copy,
+/// which equals the minimal iteration period. Returns 0 for deadlocked
+/// graphs and +infinity-equivalents are avoided by returning nullopt.
+std::optional<double> sdf_iteration_period(const SdfGraph& graph);
+
+}  // namespace bbs::dataflow

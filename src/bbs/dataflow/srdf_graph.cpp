@@ -1,0 +1,145 @@
+#include "bbs/dataflow/srdf_graph.hpp"
+
+#include <algorithm>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::dataflow {
+
+Index SrdfGraph::add_actor(std::string name, double firing_duration) {
+  BBS_REQUIRE(firing_duration >= 0.0,
+              "SrdfGraph::add_actor: negative firing duration");
+  actors_.push_back(Actor{std::move(name), firing_duration});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<Index>(actors_.size()) - 1;
+}
+
+Index SrdfGraph::add_queue(Index from, Index to, Index initial_tokens,
+                           std::string label) {
+  BBS_REQUIRE(from >= 0 && from < num_actors(),
+              "SrdfGraph::add_queue: invalid source actor");
+  BBS_REQUIRE(to >= 0 && to < num_actors(),
+              "SrdfGraph::add_queue: invalid target actor");
+  BBS_REQUIRE(initial_tokens >= 0,
+              "SrdfGraph::add_queue: negative token count");
+  queues_.push_back(Queue{from, to, initial_tokens, std::move(label)});
+  const Index id = static_cast<Index>(queues_.size()) - 1;
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+const Actor& SrdfGraph::actor(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_actors(), "SrdfGraph::actor: bad id");
+  return actors_[static_cast<std::size_t>(id)];
+}
+
+const Queue& SrdfGraph::queue(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_queues(), "SrdfGraph::queue: bad id");
+  return queues_[static_cast<std::size_t>(id)];
+}
+
+void SrdfGraph::set_firing_duration(Index actor_id, double duration) {
+  BBS_REQUIRE(actor_id >= 0 && actor_id < num_actors(),
+              "SrdfGraph::set_firing_duration: bad id");
+  BBS_REQUIRE(duration >= 0.0,
+              "SrdfGraph::set_firing_duration: negative duration");
+  actors_[static_cast<std::size_t>(actor_id)].firing_duration = duration;
+}
+
+void SrdfGraph::set_initial_tokens(Index queue_id, Index tokens) {
+  BBS_REQUIRE(queue_id >= 0 && queue_id < num_queues(),
+              "SrdfGraph::set_initial_tokens: bad id");
+  BBS_REQUIRE(tokens >= 0, "SrdfGraph::set_initial_tokens: negative tokens");
+  queues_[static_cast<std::size_t>(queue_id)].initial_tokens = tokens;
+}
+
+const std::vector<Index>& SrdfGraph::out_queues(Index actor_id) const {
+  BBS_REQUIRE(actor_id >= 0 && actor_id < num_actors(),
+              "SrdfGraph::out_queues: bad id");
+  return out_[static_cast<std::size_t>(actor_id)];
+}
+
+const std::vector<Index>& SrdfGraph::in_queues(Index actor_id) const {
+  BBS_REQUIRE(actor_id >= 0 && actor_id < num_actors(),
+              "SrdfGraph::in_queues: bad id");
+  return in_[static_cast<std::size_t>(actor_id)];
+}
+
+bool SrdfGraph::is_valid() const {
+  for (const Actor& a : actors_) {
+    if (a.firing_duration < 0.0) return false;
+  }
+  for (const Queue& q : queues_) {
+    if (q.from < 0 || q.from >= num_actors()) return false;
+    if (q.to < 0 || q.to >= num_actors()) return false;
+    if (q.initial_tokens < 0) return false;
+  }
+  return true;
+}
+
+bool SrdfGraph::has_zero_token_cycle() const {
+  // Kahn's algorithm on the zero-token subgraph: a cycle remains iff not all
+  // actors can be topologically eliminated.
+  const auto n = static_cast<std::size_t>(num_actors());
+  std::vector<Index> indegree(n, 0);
+  for (const Queue& q : queues_) {
+    if (q.initial_tokens == 0) ++indegree[static_cast<std::size_t>(q.to)];
+  }
+  std::vector<Index> stack;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) stack.push_back(static_cast<Index>(v));
+  }
+  std::size_t removed = 0;
+  while (!stack.empty()) {
+    const Index v = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (Index qid : out_[static_cast<std::size_t>(v)]) {
+      const Queue& q = queues_[static_cast<std::size_t>(qid)];
+      if (q.initial_tokens != 0) continue;
+      if (--indegree[static_cast<std::size_t>(q.to)] == 0) {
+        stack.push_back(q.to);
+      }
+    }
+  }
+  return removed != n;
+}
+
+bool SrdfGraph::is_strongly_connected() const {
+  const auto n = static_cast<std::size_t>(num_actors());
+  if (n <= 1) return true;
+  // Two reachability sweeps (forward from 0, backward to 0).
+  auto sweep = [&](bool forward) {
+    std::vector<bool> seen(n, false);
+    std::vector<Index> stack{0};
+    seen[0] = true;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      const Index v = stack.back();
+      stack.pop_back();
+      ++count;
+      const auto& queues = forward ? out_[static_cast<std::size_t>(v)]
+                                   : in_[static_cast<std::size_t>(v)];
+      for (Index qid : queues) {
+        const Queue& q = queues_[static_cast<std::size_t>(qid)];
+        const Index next = forward ? q.to : q.from;
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    return count == n;
+  };
+  return sweep(true) && sweep(false);
+}
+
+double SrdfGraph::total_duration() const {
+  double s = 0.0;
+  for (const Actor& a : actors_) s += a.firing_duration;
+  return s;
+}
+
+}  // namespace bbs::dataflow

@@ -1,0 +1,80 @@
+// Single-rate dataflow (SRDF) graphs, also known as homogeneous synchronous
+// dataflow graphs, computation graphs (Karp & Miller) or marked graphs.
+//
+// An SRDF graph G = (V, E, rho, delta) has actors V with a firing duration
+// rho(v) and directed queues E carrying delta(e) initial tokens. In every
+// firing an actor consumes one token from each input queue and produces one
+// token on each output queue. This is the analysis model of Section II-B of
+// the paper; bbs/core builds these graphs from task graphs using the
+// two-actor budget-scheduler component of Section II-C.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::dataflow {
+
+using linalg::Index;
+
+struct Actor {
+  std::string name;
+  double firing_duration = 0.0;  ///< rho(v) >= 0
+};
+
+struct Queue {
+  Index from = 0;
+  Index to = 0;
+  Index initial_tokens = 0;  ///< delta(e) >= 0
+  std::string label;
+};
+
+/// A directed multigraph of actors and token queues. Mutable during
+/// construction; analyses treat it as immutable.
+class SrdfGraph {
+ public:
+  /// Adds an actor, returning its id (dense, 0-based).
+  Index add_actor(std::string name, double firing_duration);
+
+  /// Adds a queue from `from` to `to` with `initial_tokens` tokens.
+  Index add_queue(Index from, Index to, Index initial_tokens,
+                  std::string label = {});
+
+  Index num_actors() const { return static_cast<Index>(actors_.size()); }
+  Index num_queues() const { return static_cast<Index>(queues_.size()); }
+
+  const Actor& actor(Index id) const;
+  const Queue& queue(Index id) const;
+
+  void set_firing_duration(Index actor_id, double duration);
+  void set_initial_tokens(Index queue_id, Index tokens);
+
+  /// Ids of queues leaving / entering an actor.
+  const std::vector<Index>& out_queues(Index actor_id) const;
+  const std::vector<Index>& in_queues(Index actor_id) const;
+
+  /// True iff every queue endpoint is a valid actor and all durations and
+  /// token counts are nonnegative (construction enforces this; the check is
+  /// for graphs modified in place).
+  bool is_valid() const;
+
+  /// True iff there is a directed cycle whose queues all carry zero tokens
+  /// (such a graph deadlocks: no periodic schedule of any period exists).
+  bool has_zero_token_cycle() const;
+
+  /// True iff the graph is strongly connected (|V| <= 1 counts as true).
+  bool is_strongly_connected() const;
+
+  /// Sum of all firing durations (a trivial upper bound on any cycle's
+  /// duration sum, used to bracket cycle-ratio searches).
+  double total_duration() const;
+
+ private:
+  std::vector<Actor> actors_;
+  std::vector<Queue> queues_;
+  std::vector<std::vector<Index>> out_;
+  std::vector<std::vector<Index>> in_;
+};
+
+}  // namespace bbs::dataflow

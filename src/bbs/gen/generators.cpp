@@ -1,0 +1,288 @@
+#include "bbs/gen/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::gen {
+
+namespace {
+
+/// Sets a throughput requirement that a fair TDM split can meet:
+/// mu = margin * max over tasks of rho(p) * chi(w) / beta_fair(p).
+double feasible_period(const model::Configuration& config,
+                       const model::TaskGraph& tg, const GenParams& params) {
+  std::vector<Index> load(static_cast<std::size_t>(config.num_processors()),
+                          0);
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    ++load[static_cast<std::size_t>(tg.task(t).processor)];
+  }
+  double mu = 0.0;
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    const model::Processor& proc = config.processor(task.processor);
+    const double n = static_cast<double>(
+        load[static_cast<std::size_t>(task.processor)]);
+    const double beta_fair =
+        (proc.replenishment_interval - proc.scheduling_overhead -
+         static_cast<double>(params.granularity) * n) /
+        n;
+    BBS_ASSERT_MSG(beta_fair > 0.0, "generated platform is over-subscribed");
+    mu = std::max(mu, proc.replenishment_interval * task.wcet / beta_fair);
+  }
+  return params.feasible_margin * mu;
+}
+
+model::Configuration platform(const GenParams& params) {
+  model::Configuration config(params.granularity);
+  for (Index p = 0; p < params.num_processors; ++p) {
+    config.add_processor("p" + std::to_string(p + 1),
+                         params.replenishment_interval,
+                         params.scheduling_overhead);
+  }
+  config.add_memory("shared", -1.0);
+  return config;
+}
+
+}  // namespace
+
+model::Configuration producer_consumer_t1(double buffer_weight) {
+  model::Configuration config(1);
+  const Index p1 = config.add_processor("p1", 40.0);
+  const Index p2 = config.add_processor("p2", 40.0);
+  const Index mem = config.add_memory("m1", -1.0);
+
+  model::TaskGraph t1("T1", 10.0);
+  const Index wa = t1.add_task("wa", p1, 1.0);
+  const Index wb = t1.add_task("wb", p2, 1.0);
+  const Index bab = t1.add_buffer("bab", wa, wb, mem, 1, 0, buffer_weight);
+  (void)bab;
+  config.add_task_graph(std::move(t1));
+  return config;
+}
+
+model::Configuration three_stage_chain_t2(double buffer_weight) {
+  model::Configuration config(1);
+  const Index p1 = config.add_processor("p1", 40.0);
+  const Index p2 = config.add_processor("p2", 40.0);
+  const Index p3 = config.add_processor("p3", 40.0);
+  const Index mem = config.add_memory("m1", -1.0);
+
+  model::TaskGraph t2("T2", 10.0);
+  const Index wa = t2.add_task("wa", p1, 1.0);
+  const Index wb = t2.add_task("wb", p2, 1.0);
+  const Index wc = t2.add_task("wc", p3, 1.0);
+  t2.add_buffer("bab", wa, wb, mem, 1, 0, buffer_weight);
+  t2.add_buffer("bbc", wb, wc, mem, 1, 0, buffer_weight);
+  config.add_task_graph(std::move(t2));
+  return config;
+}
+
+model::Configuration make_chain(Index num_tasks, const GenParams& params) {
+  BBS_REQUIRE(num_tasks >= 1, "make_chain: need at least one task");
+  model::Configuration config = platform(params);
+  bbs::Rng rng(params.seed);
+
+  model::TaskGraph tg("chain" + std::to_string(num_tasks), 1.0);
+  for (Index t = 0; t < num_tasks; ++t) {
+    tg.add_task("t" + std::to_string(t), t % params.num_processors,
+                rng.next_real(params.wcet_lo, params.wcet_hi));
+  }
+  for (Index t = 0; t + 1 < num_tasks; ++t) {
+    tg.add_buffer("b" + std::to_string(t), t, t + 1, 0, 1, 0,
+                  params.buffer_weight);
+  }
+  // Fix the period after the WCETs are known.
+  model::TaskGraph sized(tg.name(), feasible_period(config, tg, params));
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    sized.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+  }
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    const model::Buffer& buf = tg.buffer(b);
+    sized.add_buffer(buf.name, buf.producer, buf.consumer, buf.memory,
+                     buf.container_size, buf.initial_fill, buf.size_weight);
+  }
+  config.add_task_graph(std::move(sized));
+  return config;
+}
+
+model::Configuration make_ring(Index num_tasks, const GenParams& params) {
+  BBS_REQUIRE(num_tasks >= 2, "make_ring: need at least two tasks");
+  model::Configuration config = platform(params);
+  bbs::Rng rng(params.seed);
+
+  model::TaskGraph tg("ring" + std::to_string(num_tasks), 1.0);
+  for (Index t = 0; t < num_tasks; ++t) {
+    tg.add_task("t" + std::to_string(t), t % params.num_processors,
+                rng.next_real(params.wcet_lo, params.wcet_hi));
+  }
+  // A ring's data queues form a cycle carrying exactly one token (the
+  // closing edge's initial fill), so a PAS needs
+  //     sum over tasks of ((rho - beta) + rho*chi/beta) <= mu,
+  // which dwarfs the per-task bound used for acyclic graphs. Size mu from
+  // that cycle with fair budgets.
+  double ring_cycle = 0.0;
+  {
+    std::vector<Index> load(
+        static_cast<std::size_t>(config.num_processors()), 0);
+    for (Index t = 0; t < num_tasks; ++t) {
+      ++load[static_cast<std::size_t>(tg.task(t).processor)];
+    }
+    for (Index t = 0; t < num_tasks; ++t) {
+      const model::Task& task = tg.task(t);
+      const model::Processor& proc = config.processor(task.processor);
+      const double n = static_cast<double>(
+          load[static_cast<std::size_t>(task.processor)]);
+      const double beta_fair =
+          (proc.replenishment_interval - proc.scheduling_overhead -
+           static_cast<double>(params.granularity) * n) /
+          n;
+      ring_cycle += (proc.replenishment_interval - beta_fair) +
+                    proc.replenishment_interval * task.wcet / beta_fair;
+    }
+  }
+  model::TaskGraph sized(
+      tg.name(), std::max(params.feasible_margin * ring_cycle,
+                          feasible_period(config, tg, params)));
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    sized.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+  }
+  for (Index t = 0; t < num_tasks; ++t) {
+    const Index next = (t + 1) % num_tasks;
+    // The closing edge carries one initially filled container; otherwise the
+    // data cycle has no tokens and the ring deadlocks.
+    const Index fill = (next == 0) ? 1 : 0;
+    sized.add_buffer("b" + std::to_string(t), t, next, 0, 1, fill,
+                     params.buffer_weight);
+  }
+  config.add_task_graph(std::move(sized));
+  return config;
+}
+
+model::Configuration make_split_join(Index fanout, Index depth,
+                                     const GenParams& params) {
+  BBS_REQUIRE(fanout >= 1 && depth >= 1,
+              "make_split_join: fanout and depth must be >= 1");
+  model::Configuration config = platform(params);
+  bbs::Rng rng(params.seed);
+
+  model::TaskGraph tg("splitjoin", 1.0);
+  Index next_proc = 0;
+  const auto add = [&](const std::string& name) {
+    const Index id = tg.add_task(name, next_proc % params.num_processors,
+                                 rng.next_real(params.wcet_lo, params.wcet_hi));
+    ++next_proc;
+    return id;
+  };
+  const Index source = add("src");
+  std::vector<std::vector<Index>> branches;
+  for (Index f = 0; f < fanout; ++f) {
+    std::vector<Index> branch;
+    for (Index d = 0; d < depth; ++d) {
+      branch.push_back(
+          add("b" + std::to_string(f) + "_" + std::to_string(d)));
+    }
+    branches.push_back(std::move(branch));
+  }
+  const Index sink = add("sink");
+
+  model::TaskGraph sized(tg.name(), feasible_period(config, tg, params));
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    sized.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+  }
+  Index edge = 0;
+  const auto connect = [&](Index from, Index to) {
+    sized.add_buffer("e" + std::to_string(edge++), from, to, 0, 1, 0,
+                     params.buffer_weight);
+  };
+  for (const auto& branch : branches) {
+    connect(source, branch.front());
+    for (std::size_t d = 0; d + 1 < branch.size(); ++d) {
+      connect(branch[d], branch[d + 1]);
+    }
+    connect(branch.back(), sink);
+  }
+  config.add_task_graph(std::move(sized));
+  return config;
+}
+
+model::Configuration make_random_dag(Index num_tasks,
+                                     double extra_edge_fraction,
+                                     const GenParams& params) {
+  BBS_REQUIRE(num_tasks >= 2, "make_random_dag: need at least two tasks");
+  BBS_REQUIRE(extra_edge_fraction >= 0.0,
+              "make_random_dag: negative edge fraction");
+  model::Configuration config = platform(params);
+  bbs::Rng rng(params.seed);
+
+  model::TaskGraph tg("dag" + std::to_string(num_tasks), 1.0);
+  for (Index t = 0; t < num_tasks; ++t) {
+    tg.add_task("t" + std::to_string(t),
+                static_cast<Index>(rng.next_int(0, params.num_processors - 1)),
+                rng.next_real(params.wcet_lo, params.wcet_hi));
+  }
+  model::TaskGraph sized(tg.name(), feasible_period(config, tg, params));
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    sized.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+  }
+  // Spanning chain keeps the graph weakly connected; extra forward edges add
+  // reconvergent paths (edges always go from lower to higher index: a DAG).
+  Index edge = 0;
+  for (Index t = 0; t + 1 < num_tasks; ++t) {
+    sized.add_buffer("c" + std::to_string(edge++), t, t + 1, 0, 1, 0,
+                     params.buffer_weight);
+  }
+  const auto extra = static_cast<Index>(
+      extra_edge_fraction * static_cast<double>(num_tasks));
+  for (Index e = 0; e < extra; ++e) {
+    const Index from = static_cast<Index>(rng.next_int(0, num_tasks - 2));
+    const Index to = static_cast<Index>(rng.next_int(from + 1, num_tasks - 1));
+    sized.add_buffer("x" + std::to_string(edge++), from, to, 0, 1, 0,
+                     params.buffer_weight);
+  }
+  config.add_task_graph(std::move(sized));
+  return config;
+}
+
+model::Configuration car_entertainment_preset() {
+  model::Configuration config(1);
+  const Index dsp = config.add_processor("dsp", 50.0, 1.0);
+  const Index cpu = config.add_processor("cpu", 50.0, 1.0);
+  const Index io = config.add_processor("io", 50.0, 0.5);
+  const Index sram = config.add_memory("sram", 64.0);
+  const Index dram = config.add_memory("dram", -1.0);
+
+  // Job 1: navigation audio prompts — decode -> mix -> render.
+  model::TaskGraph nav("nav-audio", 25.0);
+  {
+    const Index decode = nav.add_task("nav.decode", cpu, 2.0);
+    const Index mix = nav.add_task("nav.mix", dsp, 1.5);
+    const Index render = nav.add_task("nav.render", io, 1.0);
+    nav.add_buffer("nav.b0", decode, mix, sram, 2, 0, 1e-3);
+    nav.add_buffer("nav.b1", mix, render, sram, 1, 0, 1e-3);
+  }
+  config.add_task_graph(std::move(nav));
+
+  // Job 2: mp3 playback — parse -> decode -> post -> render, heavier and
+  // slightly slower-rate, sharing dsp and io with job 1.
+  model::TaskGraph mp3("mp3-playback", 30.0);
+  {
+    const Index parse = mp3.add_task("mp3.parse", cpu, 1.0);
+    const Index decode = mp3.add_task("mp3.decode", dsp, 3.0);
+    const Index post = mp3.add_task("mp3.post", dsp, 1.0);
+    const Index render = mp3.add_task("mp3.render", io, 1.0);
+    mp3.add_buffer("mp3.b0", parse, decode, dram, 4, 0, 1e-3);
+    mp3.add_buffer("mp3.b1", decode, post, sram, 2, 0, 1e-3);
+    mp3.add_buffer("mp3.b2", post, render, sram, 1, 0, 1e-3);
+  }
+  config.add_task_graph(std::move(mp3));
+  return config;
+}
+
+}  // namespace bbs::gen

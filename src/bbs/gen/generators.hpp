@@ -1,0 +1,72 @@
+// Synthetic configuration generators.
+//
+// The paper evaluates on two hand-built task graphs (T1 producer-consumer,
+// T2 three-stage chain); the generators here reproduce those exactly and add
+// parametric families (chains, rings, trees, random DAGs, multi-job presets)
+// used by the scaling benchmarks and the property-based tests. Throughput
+// requirements are derived from the platform parameters so that generated
+// instances are feasible by construction when `feasible_margin` > 1.
+#pragma once
+
+#include <cstdint>
+
+#include "bbs/common/rng.hpp"
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::gen {
+
+using linalg::Index;
+
+/// The paper's first experiment (Section V): two tasks w_a, w_b on
+/// processors p1, p2, replenishment interval 40 Mcycles, WCET 1 Mcycle,
+/// required period 10 Mcycles, one unit-container buffer, all containers
+/// initially empty. Budget weights 1, buffer weights `buffer_weight`
+/// (the paper prefers budget minimisation: buffer weight << budget weight).
+model::Configuration producer_consumer_t1(double buffer_weight = 1e-3);
+
+/// The paper's second experiment: T1 extended with task w_c on p3 and
+/// buffer b_bc; same parameters.
+model::Configuration three_stage_chain_t2(double buffer_weight = 1e-3);
+
+/// Parameters of the generated families.
+struct GenParams {
+  Index num_processors = 4;
+  double replenishment_interval = 40.0;
+  double scheduling_overhead = 0.0;
+  double wcet_lo = 0.5;
+  double wcet_hi = 2.0;
+  /// Required period = feasible_margin * (tightest per-task lower bound
+  /// given a fair budget split on the most loaded processor).
+  double feasible_margin = 1.5;
+  double buffer_weight = 1e-3;
+  Index granularity = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Chain of `num_tasks` tasks; task i feeds task i+1. Tasks are spread
+/// round-robin over the processors.
+model::Configuration make_chain(Index num_tasks, const GenParams& params = {});
+
+/// Ring of `num_tasks` tasks (the closing buffer starts with one filled
+/// container so the ring does not deadlock).
+model::Configuration make_ring(Index num_tasks, const GenParams& params = {});
+
+/// Balanced fan-out/fan-in tree: one source, `fanout` branches of length
+/// `depth`, merged into one sink (split/join pipeline).
+model::Configuration make_split_join(Index fanout, Index depth,
+                                     const GenParams& params = {});
+
+/// Random weakly connected DAG with `num_tasks` tasks and approximately
+/// `extra_edge_fraction` * num_tasks additional forward edges on top of a
+/// random spanning chain. WCETs are drawn uniformly from
+/// [wcet_lo, wcet_hi].
+model::Configuration make_random_dag(Index num_tasks,
+                                     double extra_edge_fraction,
+                                     const GenParams& params = {});
+
+/// A small multi-job system in the spirit of the paper's introduction
+/// (car entertainment): a navigation-audio chain and an mp3-playback chain
+/// sharing two of three processors, each with its own throughput requirement.
+model::Configuration car_entertainment_preset();
+
+}  // namespace bbs::gen

@@ -1,0 +1,230 @@
+#include "bbs/io/config_io.hpp"
+
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/io/json.hpp"
+#include "bbs/solver/ipm_solver.hpp"
+
+namespace bbs::io {
+
+namespace {
+
+using linalg::Index;
+
+Index to_index(double d, const std::string& what) {
+  if (d != std::floor(d)) {
+    throw ModelError("configuration json: " + what + " must be an integer");
+  }
+  return static_cast<Index>(d);
+}
+
+Index find_by_name(const JsonArray& arr, const std::string& name,
+                   const std::string& what) {
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (arr[i].as_object().at("name").as_string() == name) {
+      return static_cast<Index>(i);
+    }
+  }
+  throw ModelError("configuration json: unknown " + what + " '" + name + "'");
+}
+
+}  // namespace
+
+std::string configuration_to_json(const model::Configuration& config) {
+  JsonObject root;
+  root["granularity"] = JsonValue(static_cast<double>(config.granularity()));
+
+  JsonArray procs;
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    const model::Processor& proc = config.processor(p);
+    JsonObject o;
+    o["name"] = proc.name;
+    o["replenishment_interval"] = proc.replenishment_interval;
+    o["scheduling_overhead"] = proc.scheduling_overhead;
+    procs.push_back(JsonValue(std::move(o)));
+  }
+  root["processors"] = JsonValue(std::move(procs));
+
+  JsonArray mems;
+  for (Index m = 0; m < config.num_memories(); ++m) {
+    const model::Memory& mem = config.memory(m);
+    JsonObject o;
+    o["name"] = mem.name;
+    o["capacity"] = mem.capacity;
+    mems.push_back(JsonValue(std::move(o)));
+  }
+  root["memories"] = JsonValue(std::move(mems));
+
+  JsonArray graphs;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    JsonObject g;
+    g["name"] = tg.name();
+    g["required_period"] = tg.required_period();
+
+    JsonArray tasks;
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      JsonObject o;
+      o["name"] = task.name;
+      o["processor"] = config.processor(task.processor).name;
+      o["wcet"] = task.wcet;
+      o["budget_weight"] = task.budget_weight;
+      tasks.push_back(JsonValue(std::move(o)));
+    }
+    g["tasks"] = JsonValue(std::move(tasks));
+
+    JsonArray buffers;
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      JsonObject o;
+      o["name"] = buf.name;
+      o["producer"] = tg.task(buf.producer).name;
+      o["consumer"] = tg.task(buf.consumer).name;
+      o["memory"] = config.memory(buf.memory).name;
+      o["container_size"] = JsonValue(static_cast<double>(buf.container_size));
+      o["initial_fill"] = JsonValue(static_cast<double>(buf.initial_fill));
+      o["size_weight"] = buf.size_weight;
+      o["max_capacity"] = JsonValue(static_cast<double>(buf.max_capacity));
+      buffers.push_back(JsonValue(std::move(o)));
+    }
+    g["buffers"] = JsonValue(std::move(buffers));
+    graphs.push_back(JsonValue(std::move(g)));
+  }
+  root["task_graphs"] = JsonValue(std::move(graphs));
+  return write_json(JsonValue(std::move(root)));
+}
+
+model::Configuration configuration_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const JsonObject& root = doc.as_object();
+
+  model::Configuration config(
+      to_index(root.at("granularity").as_number(), "granularity"));
+
+  const JsonArray& procs = root.at("processors").as_array();
+  for (const JsonValue& v : procs) {
+    const JsonObject& o = v.as_object();
+    config.add_processor(o.at("name").as_string(),
+                         o.at("replenishment_interval").as_number(),
+                         o.contains("scheduling_overhead")
+                             ? o.at("scheduling_overhead").as_number()
+                             : 0.0);
+  }
+  const JsonArray& mems = root.at("memories").as_array();
+  for (const JsonValue& v : mems) {
+    const JsonObject& o = v.as_object();
+    config.add_memory(o.at("name").as_string(),
+                      o.contains("capacity") ? o.at("capacity").as_number()
+                                             : -1.0);
+  }
+
+  for (const JsonValue& gv : root.at("task_graphs").as_array()) {
+    const JsonObject& g = gv.as_object();
+    model::TaskGraph tg(g.at("name").as_string(),
+                        g.at("required_period").as_number());
+    const JsonArray& tasks = g.at("tasks").as_array();
+    for (const JsonValue& tv : tasks) {
+      const JsonObject& o = tv.as_object();
+      tg.add_task(o.at("name").as_string(),
+                  find_by_name(procs, o.at("processor").as_string(),
+                               "processor"),
+                  o.at("wcet").as_number(),
+                  o.contains("budget_weight")
+                      ? o.at("budget_weight").as_number()
+                      : 1.0);
+    }
+    for (const JsonValue& bv : g.at("buffers").as_array()) {
+      const JsonObject& o = bv.as_object();
+      const Index id = tg.add_buffer(
+          o.at("name").as_string(),
+          find_by_name(tasks, o.at("producer").as_string(), "task"),
+          find_by_name(tasks, o.at("consumer").as_string(), "task"),
+          find_by_name(mems, o.at("memory").as_string(), "memory"),
+          o.contains("container_size")
+              ? to_index(o.at("container_size").as_number(), "container_size")
+              : 1,
+          o.contains("initial_fill")
+              ? to_index(o.at("initial_fill").as_number(), "initial_fill")
+              : 0,
+          o.contains("size_weight") ? o.at("size_weight").as_number() : 1.0);
+      if (o.contains("max_capacity")) {
+        const Index cap = to_index(o.at("max_capacity").as_number(),
+                                   "max_capacity");
+        if (cap != -1) tg.set_max_capacity(id, cap);
+      }
+    }
+    config.add_task_graph(std::move(tg));
+  }
+  config.validate();
+  return config;
+}
+
+std::string mapping_result_to_json(const model::Configuration& config,
+                                   const core::MappingResult& result) {
+  JsonObject root;
+  root["status"] = std::string(solver::to_string(result.status));
+  root["objective_continuous"] = result.objective_continuous;
+  root["objective_rounded"] = result.objective_rounded;
+  root["ipm_iterations"] = JsonValue(static_cast<double>(result.ipm_iterations));
+  root["verified"] = result.verified;
+
+  JsonArray graphs;
+  for (std::size_t gi = 0; gi < result.graphs.size(); ++gi) {
+    const model::TaskGraph& tg =
+        config.task_graph(static_cast<Index>(gi));
+    const core::MappedGraph& mg = result.graphs[gi];
+    JsonObject g;
+    g["name"] = tg.name();
+    JsonArray tasks;
+    for (std::size_t t = 0; t < mg.tasks.size(); ++t) {
+      JsonObject o;
+      o["name"] = tg.task(static_cast<Index>(t)).name;
+      o["budget"] = JsonValue(static_cast<double>(mg.tasks[t].budget));
+      o["budget_continuous"] = mg.tasks[t].budget_continuous;
+      tasks.push_back(JsonValue(std::move(o)));
+    }
+    g["tasks"] = JsonValue(std::move(tasks));
+    JsonArray buffers;
+    for (std::size_t b = 0; b < mg.buffers.size(); ++b) {
+      JsonObject o;
+      o["name"] = tg.buffer(static_cast<Index>(b)).name;
+      o["capacity"] = JsonValue(static_cast<double>(mg.buffers[b].capacity));
+      o["tokens_continuous"] = mg.buffers[b].tokens_continuous;
+      buffers.push_back(JsonValue(std::move(o)));
+    }
+    g["buffers"] = JsonValue(std::move(buffers));
+    g["mcr"] = mg.verification.mcr;
+    g["required_period"] = mg.verification.required_period;
+    g["throughput_met"] = mg.verification.throughput_met;
+    graphs.push_back(JsonValue(std::move(g)));
+  }
+  root["task_graphs"] = JsonValue(std::move(graphs));
+  return write_json(JsonValue(std::move(root)));
+}
+
+std::string task_graph_to_dot(const model::Configuration& config,
+                              linalg::Index graph_index) {
+  const model::TaskGraph& tg = config.task_graph(graph_index);
+  std::string out = "digraph \"" + tg.name() + "\" {\n";
+  out += "  rankdir=LR;\n  node [shape=box];\n";
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const model::Task& task = tg.task(t);
+    out += "  t" + std::to_string(t) + " [label=\"" + task.name + "\\n" +
+           config.processor(task.processor).name +
+           ", chi=" + std::to_string(task.wcet) + "\"];\n";
+  }
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    const model::Buffer& buf = tg.buffer(b);
+    out += "  t" + std::to_string(buf.producer) + " -> t" +
+           std::to_string(buf.consumer) + " [label=\"" + buf.name + "\\n" +
+           config.memory(buf.memory).name +
+           ", zeta=" + std::to_string(buf.container_size) +
+           ", iota=" + std::to_string(buf.initial_fill) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace bbs::io

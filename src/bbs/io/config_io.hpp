@@ -1,0 +1,46 @@
+// JSON serialisation of configurations and mapping results.
+//
+// The on-disk schema mirrors the paper's tuple notation:
+//
+// {
+//   "granularity": 1,
+//   "processors": [{"name", "replenishment_interval", "scheduling_overhead"}],
+//   "memories":   [{"name", "capacity"}],               // capacity -1 = inf
+//   "task_graphs": [{
+//       "name", "required_period",
+//       "tasks":   [{"name", "processor", "wcet", "budget_weight"}],
+//       "buffers": [{"name", "producer", "consumer", "memory",
+//                    "container_size", "initial_fill", "size_weight",
+//                    "max_capacity"}]
+//   }]
+// }
+//
+// Processor/memory/task references are serialised by *name*, so files remain
+// human-editable and reorderable.
+#pragma once
+
+#include <string>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::io {
+
+/// Serialises a configuration to JSON text.
+std::string configuration_to_json(const model::Configuration& config);
+
+/// Parses a configuration from JSON text; throws ModelError on schema or
+/// reference errors.
+model::Configuration configuration_from_json(const std::string& text);
+
+/// Serialises a mapping result (budgets, capacities, verification data).
+std::string mapping_result_to_json(const model::Configuration& config,
+                                   const core::MappingResult& result);
+
+/// Graphviz DOT rendering of one task graph: tasks as boxes labelled with
+/// processor and WCET, buffers as edges labelled with memory, container
+/// size and initial fill.
+std::string task_graph_to_dot(const model::Configuration& config,
+                              linalg::Index graph_index);
+
+}  // namespace bbs::io

@@ -1,0 +1,380 @@
+#include "bbs/io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::io {
+
+JsonValue& JsonObject::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  entries_.emplace_back(key, JsonValue());
+  return entries_.back().second;
+}
+
+const JsonValue& JsonObject::at(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  throw ModelError("json: missing key '" + key + "'");
+}
+
+bool JsonObject::contains(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw ModelError("json: value is not a boolean");
+  return std::get<bool>(data_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw ModelError("json: value is not a number");
+  return std::get<double>(data_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw ModelError("json: value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw ModelError("json: value is not an array");
+  return std::get<JsonArray>(data_);
+}
+
+JsonArray& JsonValue::as_array() {
+  if (!is_array()) throw ModelError("json: value is not an array");
+  return std::get<JsonArray>(data_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw ModelError("json: value is not an object");
+  return std::get<JsonObject>(data_);
+}
+
+JsonObject& JsonValue::as_object() {
+  if (!is_object()) throw ModelError("json: value is not an object");
+  return std::get<JsonObject>(data_);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "json parse error at line " << line << ", column " << col << ": "
+       << what;
+    throw ModelError(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t len = 0;
+    while (lit[len] != '\0') ++len;
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("invalid \\u escape");
+            }
+            // UTF-8 encode the basic-multilingual-plane code point
+            // (surrogate pairs are not needed by this library's files).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape sequence");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      fail("malformed number '" + token + "'");
+    }
+    return JsonValue(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void write_value(const JsonValue& v, std::string& out, int indent);
+
+void write_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(double d, std::string& out) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void write_indent(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+void write_value(const JsonValue& v, std::string& out, int indent) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    write_number(v.as_number(), out);
+  } else if (v.is_string()) {
+    write_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    const JsonArray& arr = v.as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      write_indent(out, indent + 1);
+      write_value(arr[i], out, indent + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += '\n';
+    }
+    write_indent(out, indent);
+    out += ']';
+  } else {
+    const JsonObject& obj = v.as_object();
+    if (obj.size() == 0) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    const auto& entries = obj.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      write_indent(out, indent + 1);
+      write_string(entries[i].first, out);
+      out += ": ";
+      write_value(entries[i].second, out, indent + 1);
+      if (i + 1 < entries.size()) out += ',';
+      out += '\n';
+    }
+    write_indent(out, indent);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+std::string write_json(const JsonValue& value) {
+  std::string out;
+  write_value(value, out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace bbs::io

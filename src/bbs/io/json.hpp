@@ -1,0 +1,79 @@
+// Minimal JSON document model, parser and writer.
+//
+// Dependency-free subset sufficient for configuration files and result
+// reports: null, booleans, finite doubles, strings with the standard escape
+// sequences, arrays and objects (insertion-ordered). Numbers are always
+// parsed as double; the model layer converts to integers where required.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bbs::io {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+
+/// Insertion-ordered object: preserves the order keys were added in, which
+/// keeps serialised configurations diffable.
+class JsonObject {
+ public:
+  JsonValue& operator[](const std::string& key);
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  const std::vector<std::pair<std::string, JsonValue>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, JsonValue>> entries_;
+};
+
+class JsonValue {
+ public:
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}
+  JsonValue(bool b) : data_(b) {}
+  JsonValue(double d) : data_(d) {}
+  JsonValue(int i) : data_(static_cast<double>(i)) {}
+  JsonValue(long long i) : data_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : data_(std::string(s)) {}
+  JsonValue(std::string s) : data_(std::move(s)) {}
+  JsonValue(JsonArray a) : data_(std::move(a)) {}
+  JsonValue(JsonObject o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(data_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(data_); }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      data_;
+};
+
+/// Parses a JSON document. Throws ModelError with a line/column diagnostic on
+/// malformed input.
+JsonValue parse_json(const std::string& text);
+
+/// Serialises with two-space indentation and a trailing newline.
+std::string write_json(const JsonValue& value);
+
+}  // namespace bbs::io

@@ -1,0 +1,95 @@
+#include "bbs/linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::linalg {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  BBS_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  BBS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void scale(Vector& v, double alpha) {
+  for (double& x : v) x *= alpha;
+}
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+  BBS_REQUIRE(x.size() == cols_, "DenseMatrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector DenseMatrix::multiply_transpose(const Vector& x) const {
+  BBS_REQUIRE(x.size() == rows_,
+              "DenseMatrix::multiply_transpose: size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  BBS_REQUIRE(cols_ == other.rows_, "DenseMatrix::multiply: shape mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace bbs::linalg

@@ -1,0 +1,192 @@
+#include "bbs/linalg/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::linalg {
+
+namespace {
+
+/// Symmetrised adjacency (no self loops), sorted and deduplicated.
+std::vector<std::vector<Index>> build_adjacency(const SparseMatrix& a) {
+  BBS_REQUIRE(a.rows() == a.cols(), "ordering: matrix must be square");
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::vector<std::vector<Index>> adj(n);
+  for (Index c = 0; c < a.cols(); ++c) {
+    for (Index k = a.col_ptr()[c]; k < a.col_ptr()[c + 1]; ++k) {
+      const Index r = a.row_ind()[k];
+      if (r == c) continue;
+      adj[static_cast<std::size_t>(c)].push_back(r);
+      adj[static_cast<std::size_t>(r)].push_back(c);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+/// BFS levelisation from `start`; returns (last node visited, #levels).
+/// Used to locate a pseudo-peripheral node for RCM.
+std::pair<Index, int> bfs_depth(const std::vector<std::vector<Index>>& adj,
+                                Index start, std::vector<int>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::queue<Index> q;
+  q.push(start);
+  level[static_cast<std::size_t>(start)] = 0;
+  Index last = start;
+  int depth = 0;
+  while (!q.empty()) {
+    const Index u = q.front();
+    q.pop();
+    last = u;
+    depth = level[static_cast<std::size_t>(u)];
+    for (Index v : adj[static_cast<std::size_t>(u)]) {
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = depth + 1;
+        q.push(v);
+      }
+    }
+  }
+  return {last, depth};
+}
+
+std::vector<Index> rcm_ordering(const std::vector<std::vector<Index>>& adj) {
+  const std::size_t n = adj.size();
+  std::vector<Index> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<int> level(n, -1);
+
+  for (std::size_t root_scan = 0; root_scan < n; ++root_scan) {
+    if (visited[root_scan]) continue;
+    // Pseudo-peripheral start: two BFS sweeps from the component seed.
+    Index start = static_cast<Index>(root_scan);
+    auto [far1, d1] = bfs_depth(adj, start, level);
+    auto [far2, d2] = bfs_depth(adj, far1, level);
+    (void)d1;
+    (void)d2;
+    start = far1;
+    (void)far2;
+
+    // Cuthill–McKee BFS, neighbours in increasing-degree order.
+    std::queue<Index> q;
+    q.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    std::vector<Index> nbrs;
+    while (!q.empty()) {
+      const Index u = q.front();
+      q.pop();
+      order.push_back(u);
+      nbrs.clear();
+      for (Index v : adj[static_cast<std::size_t>(u)]) {
+        if (!visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = true;
+          nbrs.push_back(v);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&adj](Index a, Index b) {
+        return adj[static_cast<std::size_t>(a)].size() <
+               adj[static_cast<std::size_t>(b)].size();
+      });
+      for (Index v : nbrs) q.push(v);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<Index> min_degree_ordering(std::vector<std::vector<Index>> adj) {
+  const std::size_t n = adj.size();
+  std::vector<Index> order;
+  order.reserve(n);
+  std::vector<bool> eliminated(n, false);
+  // (degree, node) priority queue with lazy invalidation.
+  using Entry = std::pair<std::size_t, Index>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (std::size_t i = 0; i < n; ++i)
+    pq.emplace(adj[i].size(), static_cast<Index>(i));
+
+  std::vector<Index> merged;
+  while (!pq.empty()) {
+    const auto [deg, u] = pq.top();
+    pq.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    if (eliminated[ui] || adj[ui].size() != deg) continue;  // stale entry
+    eliminated[ui] = true;
+    order.push_back(u);
+
+    // Eliminate u: connect all remaining neighbours into a clique.
+    std::vector<Index> live;
+    for (Index v : adj[ui]) {
+      if (!eliminated[static_cast<std::size_t>(v)]) live.push_back(v);
+    }
+    for (Index v : live) {
+      auto& nv = adj[static_cast<std::size_t>(v)];
+      // nv := (nv ∪ live) \ {u, v}, keeping only non-eliminated nodes.
+      merged.clear();
+      merged.reserve(nv.size() + live.size());
+      for (Index w : nv) {
+        if (w != u && !eliminated[static_cast<std::size_t>(w)])
+          merged.push_back(w);
+      }
+      for (Index w : live) {
+        if (w != v) merged.push_back(w);
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      nv = merged;
+      pq.emplace(nv.size(), v);
+    }
+    adj[ui].clear();
+    adj[ui].shrink_to_fit();
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Index> compute_ordering(const SparseMatrix& pattern,
+                                    OrderingMethod method) {
+  const auto n = static_cast<std::size_t>(pattern.rows());
+  switch (method) {
+    case OrderingMethod::kNatural: {
+      std::vector<Index> p(n);
+      for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<Index>(i);
+      return p;
+    }
+    case OrderingMethod::kReverseCuthillMcKee:
+      return rcm_ordering(build_adjacency(pattern));
+    case OrderingMethod::kMinimumDegree:
+      return min_degree_ordering(build_adjacency(pattern));
+  }
+  throw ContractViolation("compute_ordering: unknown method");
+}
+
+bool is_permutation(const std::vector<Index>& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (Index v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+const char* ordering_name(OrderingMethod method) {
+  switch (method) {
+    case OrderingMethod::kNatural:
+      return "natural";
+    case OrderingMethod::kReverseCuthillMcKee:
+      return "rcm";
+    case OrderingMethod::kMinimumDegree:
+      return "min-degree";
+  }
+  return "?";
+}
+
+}  // namespace bbs::linalg

@@ -1,0 +1,36 @@
+// Fill-reducing orderings for the sparse LDL^T factorisation.
+//
+// The normal-equation matrices produced by the interior-point solver inherit
+// the topology of the task graphs, so orderings matter for the scaling
+// benchmark (bench_ablation_ordering). Three methods are provided:
+//   * Natural           — identity permutation (baseline),
+//   * ReverseCuthillMcKee — bandwidth-reducing BFS ordering,
+//   * MinimumDegree     — greedy minimum-degree on the elimination graph.
+#pragma once
+
+#include <vector>
+
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::linalg {
+
+enum class OrderingMethod {
+  kNatural,
+  kReverseCuthillMcKee,
+  kMinimumDegree,
+};
+
+/// Computes a fill-reducing permutation for a square matrix whose *pattern*
+/// is interpreted symmetrically (the union of the stored pattern and its
+/// transpose is used; values are ignored). Returns perm with
+/// perm[new_index] = old_index.
+std::vector<Index> compute_ordering(const SparseMatrix& pattern,
+                                    OrderingMethod method);
+
+/// True iff `p` is a permutation of 0..p.size()-1.
+bool is_permutation(const std::vector<Index>& p);
+
+/// Human-readable method name for reports.
+const char* ordering_name(OrderingMethod method);
+
+}  // namespace bbs::linalg

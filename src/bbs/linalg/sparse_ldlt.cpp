@@ -1,0 +1,204 @@
+#include "bbs/linalg/sparse_ldlt.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::linalg {
+
+namespace {
+
+/// Extracts the upper triangle (including the diagonal) of `a` in CSC form.
+SparseMatrix upper_triangle(const SparseMatrix& a) {
+  TripletList t(a.rows(), a.cols());
+  for (Index c = 0; c < a.cols(); ++c) {
+    for (Index k = a.col_ptr()[c]; k < a.col_ptr()[c + 1]; ++k) {
+      const Index r = a.row_ind()[k];
+      if (r <= c) t.add(r, c, a.values()[k]);
+    }
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+}  // namespace
+
+SparseLdlt::SparseLdlt(const SparseMatrix& a) : SparseLdlt(a, Options{}) {}
+
+SparseLdlt::SparseLdlt(const SparseMatrix& a, const Options& options) {
+  BBS_REQUIRE(a.rows() == a.cols(), "SparseLdlt: matrix must be square");
+  n_ = a.rows();
+  if (options.fixed_permutation != nullptr) {
+    BBS_REQUIRE(is_permutation(*options.fixed_permutation) &&
+                    options.fixed_permutation->size() ==
+                        static_cast<std::size_t>(n_),
+                "SparseLdlt: fixed_permutation is not a permutation of the "
+                "matrix dimension");
+    perm_ = *options.fixed_permutation;
+  } else {
+    perm_ = compute_ordering(a, options.ordering);
+  }
+  inv_perm_.resize(perm_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i)
+    inv_perm_[static_cast<std::size_t>(perm_[i])] = static_cast<Index>(i);
+
+  const SparseMatrix permuted = a.permute_symmetric(perm_);
+  const SparseMatrix upper = upper_triangle(permuted);
+  symbolic(upper);
+  numeric(upper, options);
+}
+
+void SparseLdlt::symbolic(const SparseMatrix& upper) {
+  // Elimination tree and column counts of L (Liu's algorithm as used in the
+  // LDL package): for column k, walk from each row index i < k towards the
+  // root, stopping at nodes already reached in this column's sweep.
+  parent_.assign(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> flag(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> lnz(static_cast<std::size_t>(n_), 0);
+
+  for (Index k = 0; k < n_; ++k) {
+    flag[static_cast<std::size_t>(k)] = k;
+    for (Index p = upper.col_ptr()[k]; p < upper.col_ptr()[k + 1]; ++p) {
+      Index i = upper.row_ind()[p];
+      while (i < k && flag[static_cast<std::size_t>(i)] != k) {
+        if (parent_[static_cast<std::size_t>(i)] == -1)
+          parent_[static_cast<std::size_t>(i)] = k;
+        ++lnz[static_cast<std::size_t>(i)];  // L(k, i) is a nonzero
+        flag[static_cast<std::size_t>(i)] = k;
+        i = parent_[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  lp_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index k = 0; k < n_; ++k)
+    lp_[static_cast<std::size_t>(k) + 1] =
+        lp_[static_cast<std::size_t>(k)] + lnz[static_cast<std::size_t>(k)];
+  li_.assign(static_cast<std::size_t>(lp_[static_cast<std::size_t>(n_)]), 0);
+  lx_.assign(li_.size(), 0.0);
+  d_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+void SparseLdlt::numeric(const SparseMatrix& upper, const Options& options) {
+  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+  std::vector<Index> pattern(static_cast<std::size_t>(n_), 0);
+  std::vector<Index> flag(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> lnz_next(static_cast<std::size_t>(n_), 0);
+  for (Index k = 0; k < n_; ++k)
+    lnz_next[static_cast<std::size_t>(k)] = lp_[static_cast<std::size_t>(k)];
+
+  for (Index k = 0; k < n_; ++k) {
+    // Scatter column k of the (permuted) upper triangle into y and compute
+    // the nonzero pattern of row k of L in topological order.
+    Index top = n_;
+    flag[static_cast<std::size_t>(k)] = k;
+    y[static_cast<std::size_t>(k)] = 0.0;
+    for (Index p = upper.col_ptr()[k]; p < upper.col_ptr()[k + 1]; ++p) {
+      Index i = upper.row_ind()[p];
+      if (i > k) continue;
+      y[static_cast<std::size_t>(i)] += upper.values()[p];
+      Index len = 0;
+      while (flag[static_cast<std::size_t>(i)] != k) {
+        pattern[static_cast<std::size_t>(len++)] = i;
+        flag[static_cast<std::size_t>(i)] = k;
+        i = parent_[static_cast<std::size_t>(i)];
+      }
+      while (len > 0) pattern[static_cast<std::size_t>(--top)] =
+          pattern[static_cast<std::size_t>(--len)];
+    }
+
+    double dk = y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] = 0.0;
+
+    // Sparse triangular solve along the pattern: for each i in the pattern
+    // (ascending elimination order), finalise L(k, i) and update.
+    for (Index s = top; s < n_; ++s) {
+      const Index i = pattern[static_cast<std::size_t>(s)];
+      const double yi = y[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(i)] = 0.0;
+      const Index pend = lnz_next[static_cast<std::size_t>(i)];
+      for (Index p = lp_[static_cast<std::size_t>(i)]; p < pend; ++p) {
+        y[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+            lx_[static_cast<std::size_t>(p)] * yi;
+      }
+      const double lki = yi / d_[static_cast<std::size_t>(i)];
+      dk -= lki * yi;
+      li_[static_cast<std::size_t>(pend)] = k;
+      lx_[static_cast<std::size_t>(pend)] = lki;
+      ++lnz_next[static_cast<std::size_t>(i)];
+    }
+
+    if (std::abs(dk) < options.min_pivot) {
+      throw NumericalError("SparseLdlt: pivot " + std::to_string(k) +
+                           " below minimum magnitude (" + std::to_string(dk) +
+                           ")");
+    }
+    if (dk < 0.0 && !options.allow_indefinite) {
+      throw NumericalError("SparseLdlt: negative pivot " + std::to_string(k) +
+                           " for a matrix required to be positive definite");
+    }
+    d_[static_cast<std::size_t>(k)] = dk;
+  }
+}
+
+void SparseLdlt::solve(Vector& b) const {
+  BBS_REQUIRE(b.size() == static_cast<std::size_t>(n_),
+              "SparseLdlt::solve: size mismatch");
+  // Permute: xp = P b.
+  Vector xp(b.size());
+  for (Index i = 0; i < n_; ++i)
+    xp[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+
+  // Forward solve L y = xp (L is unit lower triangular, stored by columns).
+  for (Index j = 0; j < n_; ++j) {
+    const double xj = xp[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    for (Index p = lp_[static_cast<std::size_t>(j)];
+         p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+      xp[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])] -=
+          lx_[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+  // Diagonal.
+  for (Index j = 0; j < n_; ++j)
+    xp[static_cast<std::size_t>(j)] /= d_[static_cast<std::size_t>(j)];
+  // Backward solve L' x = y.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    double s = xp[static_cast<std::size_t>(j)];
+    for (Index p = lp_[static_cast<std::size_t>(j)];
+         p < lp_[static_cast<std::size_t>(j) + 1]; ++p) {
+      s -= lx_[static_cast<std::size_t>(p)] *
+           xp[static_cast<std::size_t>(li_[static_cast<std::size_t>(p)])];
+    }
+    xp[static_cast<std::size_t>(j)] = s;
+  }
+
+  // Un-permute: b = P' xp.
+  for (Index i = 0; i < n_; ++i)
+    b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] =
+        xp[static_cast<std::size_t>(i)];
+}
+
+Vector SparseLdlt::solve_refined(const SparseMatrix& a, const Vector& b,
+                                 int refine_steps) const {
+  Vector x = b;
+  solve(x);
+  for (int it = 0; it < refine_steps; ++it) {
+    // r = b - A x; dx = A^{-1} r; x += dx.
+    Vector r = b;
+    a.gaxpy(-1.0, x, r);
+    solve(r);
+    axpy(1.0, r, x);
+  }
+  return x;
+}
+
+int SparseLdlt::negative_pivots() const {
+  int count = 0;
+  for (double d : d_)
+    if (d < 0.0) ++count;
+  return count;
+}
+
+}  // namespace bbs::linalg

@@ -1,0 +1,69 @@
+// Sparse LDL^T factorisation of symmetric matrices, in the style of the
+// classic up-looking algorithm (elimination tree + column counts + sparse
+// triangular solves). This is the workhorse behind the interior-point
+// solver's normal-equation solves.
+//
+// The input matrix must store the *full* symmetric pattern (both triangles);
+// the factorisation reads the upper triangle after applying a fill-reducing
+// permutation.
+#pragma once
+
+#include <vector>
+
+#include "bbs/linalg/ordering.hpp"
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::linalg {
+
+class SparseLdlt {
+ public:
+  struct Options {
+    OrderingMethod ordering = OrderingMethod::kMinimumDegree;
+    /// Pivots smaller in magnitude than this throw NumericalError.
+    double min_pivot = 1e-14;
+    /// If false, a negative pivot throws (use for matrices that must be SPD).
+    bool allow_indefinite = true;
+    /// When non-null, this permutation (perm[new] = old) is used instead of
+    /// computing one — callers that factorise a fixed sparsity pattern
+    /// repeatedly (the interior-point method) compute the ordering once and
+    /// reuse it. The pointee must outlive the constructor call only.
+    const std::vector<Index>* fixed_permutation = nullptr;
+  };
+
+  /// Factorises the symmetric matrix `a` (full pattern stored).
+  explicit SparseLdlt(const SparseMatrix& a);
+  SparseLdlt(const SparseMatrix& a, const Options& options);
+
+  /// Solves A x = b in place (applies the internal permutation).
+  void solve(Vector& b) const;
+
+  /// Solves with `refine_steps` rounds of iterative refinement against the
+  /// original matrix, which must be the matrix passed to the constructor.
+  Vector solve_refined(const SparseMatrix& a, const Vector& b,
+                       int refine_steps = 2) const;
+
+  /// Number of nonzeros in the factor L (excluding the unit diagonal).
+  Index factor_nnz() const { return static_cast<Index>(li_.size()); }
+
+  Index dim() const { return n_; }
+
+  /// Number of negative pivots (inertia check for quasi-definite systems).
+  int negative_pivots() const;
+
+  const std::vector<Index>& permutation() const { return perm_; }
+
+ private:
+  void symbolic(const SparseMatrix& upper);
+  void numeric(const SparseMatrix& upper, const Options& options);
+
+  Index n_ = 0;
+  std::vector<Index> perm_;     // perm_[new] = old
+  std::vector<Index> inv_perm_; // inv_perm_[old] = new
+  std::vector<Index> parent_;   // elimination tree
+  std::vector<Index> lp_;       // column pointers of L
+  std::vector<Index> li_;       // row indices of L
+  std::vector<double> lx_;      // values of L
+  std::vector<double> d_;       // diagonal D
+};
+
+}  // namespace bbs::linalg

@@ -1,0 +1,73 @@
+#include "bbs/model/configuration.hpp"
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::model {
+
+Configuration::Configuration(Index granularity) : granularity_(granularity) {
+  BBS_REQUIRE(granularity >= 1,
+              "Configuration: granularity g must be a positive integer");
+}
+
+Index Configuration::add_processor(std::string name,
+                                   double replenishment_interval,
+                                   double scheduling_overhead) {
+  BBS_REQUIRE(replenishment_interval > 0.0,
+              "Configuration::add_processor: replenishment interval must be "
+              "positive");
+  BBS_REQUIRE(scheduling_overhead >= 0.0,
+              "Configuration::add_processor: negative scheduling overhead");
+  processors_.push_back(
+      Processor{std::move(name), replenishment_interval, scheduling_overhead});
+  return static_cast<Index>(processors_.size()) - 1;
+}
+
+Index Configuration::add_memory(std::string name, double capacity) {
+  BBS_REQUIRE(capacity == -1.0 || capacity >= 0.0,
+              "Configuration::add_memory: capacity must be >= 0 or -1");
+  memories_.push_back(Memory{std::move(name), capacity});
+  return static_cast<Index>(memories_.size()) - 1;
+}
+
+Index Configuration::add_task_graph(TaskGraph graph) {
+  graphs_.push_back(std::move(graph));
+  return static_cast<Index>(graphs_.size()) - 1;
+}
+
+const Processor& Configuration::processor(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_processors(),
+              "Configuration::processor: bad id");
+  return processors_[static_cast<std::size_t>(id)];
+}
+
+const Memory& Configuration::memory(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_memories(),
+              "Configuration::memory: bad id");
+  return memories_[static_cast<std::size_t>(id)];
+}
+
+const TaskGraph& Configuration::task_graph(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_task_graphs(),
+              "Configuration::task_graph: bad id");
+  return graphs_[static_cast<std::size_t>(id)];
+}
+
+TaskGraph& Configuration::mutable_task_graph(Index id) {
+  BBS_REQUIRE(id >= 0 && id < num_task_graphs(),
+              "Configuration::mutable_task_graph: bad id");
+  return graphs_[static_cast<std::size_t>(id)];
+}
+
+Index Configuration::total_tasks() const {
+  Index total = 0;
+  for (const TaskGraph& g : graphs_) total += g.num_tasks();
+  return total;
+}
+
+Index Configuration::total_buffers() const {
+  Index total = 0;
+  for (const TaskGraph& g : graphs_) total += g.num_buffers();
+  return total;
+}
+
+}  // namespace bbs::model

@@ -1,0 +1,87 @@
+// Configurations: the full mapping input of Section II-A.
+//
+// A configuration C = (Q, P, M, mu, rho, o, sigma, g) bundles the task graphs
+// Q with the platform: processors P (TDM budget schedulers with
+// replenishment interval rho(p) and worst-case scheduling overhead o(p)),
+// memories M with storage capacity sigma(m), and the platform-wide budget
+// allocation granularity g.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bbs/model/task_graph.hpp"
+
+namespace bbs::model {
+
+struct Processor {
+  std::string name;
+  /// Replenishment interval rho(p) of the budget scheduler, in cycles.
+  double replenishment_interval = 0.0;
+  /// Worst-case scheduling overhead o(p) per replenishment interval.
+  double scheduling_overhead = 0.0;
+};
+
+struct Memory {
+  std::string name;
+  /// Storage capacity sigma(m), in the same units as container sizes.
+  /// -1 means unconstrained.
+  double capacity = -1.0;
+};
+
+class Configuration {
+ public:
+  /// `granularity` is the budget allocation granularity g in N*: budgets are
+  /// allocated in multiples of g cycles.
+  explicit Configuration(Index granularity = 1);
+
+  Index add_processor(std::string name, double replenishment_interval,
+                      double scheduling_overhead = 0.0);
+  Index add_memory(std::string name, double capacity = -1.0);
+
+  /// Adds a task graph and returns its index. The graph's processor/memory
+  /// references must point into this configuration (checked by validate()).
+  Index add_task_graph(TaskGraph graph);
+
+  Index num_processors() const { return static_cast<Index>(processors_.size()); }
+  Index num_memories() const { return static_cast<Index>(memories_.size()); }
+  Index num_task_graphs() const { return static_cast<Index>(graphs_.size()); }
+
+  const Processor& processor(Index id) const;
+  const Memory& memory(Index id) const;
+  const TaskGraph& task_graph(Index id) const;
+  TaskGraph& mutable_task_graph(Index id);
+
+  Index granularity() const { return granularity_; }
+
+  /// Total number of tasks across all graphs (|W_Q|).
+  Index total_tasks() const;
+  /// Total number of buffers across all graphs (|B_Q|).
+  Index total_buffers() const;
+
+  /// Structural validation: every reference resolves, parameters are in
+  /// range. Throws ModelError describing the first problem found.
+  void validate() const;
+
+ private:
+  Index granularity_;
+  std::vector<Processor> processors_;
+  std::vector<Memory> memories_;
+  std::vector<TaskGraph> graphs_;
+};
+
+/// Identifies a task globally: graph index + task index within the graph.
+struct TaskRef {
+  Index graph = 0;
+  Index task = 0;
+  bool operator==(const TaskRef&) const = default;
+};
+
+/// Identifies a buffer globally: graph index + buffer index within the graph.
+struct BufferRef {
+  Index graph = 0;
+  Index buffer = 0;
+  bool operator==(const BufferRef&) const = default;
+};
+
+}  // namespace bbs::model

@@ -1,0 +1,71 @@
+#include "bbs/model/task_graph.hpp"
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::model {
+
+TaskGraph::TaskGraph(std::string name, double required_period)
+    : name_(std::move(name)), required_period_(required_period) {
+  BBS_REQUIRE(required_period_ > 0.0,
+              "TaskGraph: required period must be positive");
+}
+
+void TaskGraph::set_required_period(double period) {
+  BBS_REQUIRE(period > 0.0,
+              "TaskGraph::set_required_period: period must be positive");
+  required_period_ = period;
+}
+
+Index TaskGraph::add_task(std::string name, Index processor, double wcet,
+                          double budget_weight) {
+  BBS_REQUIRE(wcet > 0.0, "TaskGraph::add_task: WCET must be positive");
+  BBS_REQUIRE(processor >= 0, "TaskGraph::add_task: invalid processor");
+  tasks_.push_back(Task{std::move(name), processor, wcet, budget_weight});
+  return static_cast<Index>(tasks_.size()) - 1;
+}
+
+Index TaskGraph::add_buffer(std::string name, Index producer, Index consumer,
+                            Index memory, Index container_size,
+                            Index initial_fill, double size_weight) {
+  BBS_REQUIRE(producer >= 0 && producer < num_tasks(),
+              "TaskGraph::add_buffer: invalid producer task");
+  BBS_REQUIRE(consumer >= 0 && consumer < num_tasks(),
+              "TaskGraph::add_buffer: invalid consumer task");
+  BBS_REQUIRE(memory >= 0, "TaskGraph::add_buffer: invalid memory");
+  BBS_REQUIRE(container_size >= 1,
+              "TaskGraph::add_buffer: container size must be >= 1");
+  BBS_REQUIRE(initial_fill >= 0,
+              "TaskGraph::add_buffer: negative initial fill");
+  buffers_.push_back(Buffer{std::move(name), producer, consumer, memory,
+                            container_size, initial_fill, size_weight, -1});
+  return static_cast<Index>(buffers_.size()) - 1;
+}
+
+const Task& TaskGraph::task(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_tasks(), "TaskGraph::task: bad id");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+const Buffer& TaskGraph::buffer(Index id) const {
+  BBS_REQUIRE(id >= 0 && id < num_buffers(), "TaskGraph::buffer: bad id");
+  return buffers_[static_cast<std::size_t>(id)];
+}
+
+Task& TaskGraph::mutable_task(Index id) {
+  BBS_REQUIRE(id >= 0 && id < num_tasks(), "TaskGraph::mutable_task: bad id");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+Buffer& TaskGraph::mutable_buffer(Index id) {
+  BBS_REQUIRE(id >= 0 && id < num_buffers(),
+              "TaskGraph::mutable_buffer: bad id");
+  return buffers_[static_cast<std::size_t>(id)];
+}
+
+void TaskGraph::set_max_capacity(Index buffer_id, Index max_capacity) {
+  BBS_REQUIRE(max_capacity == -1 || max_capacity >= 1,
+              "TaskGraph::set_max_capacity: capacity must be >= 1 or -1");
+  mutable_buffer(buffer_id).max_capacity = max_capacity;
+}
+
+}  // namespace bbs::model

@@ -1,0 +1,85 @@
+// Task graphs: the application model of Section II-A of the paper.
+//
+// A task graph T = (W, B, pi, chi, nu, zeta, iota) is a directed multigraph
+// whose vertices W are tasks and whose edges B are fixed-capacity FIFO
+// buffers. Task w runs on processor pi(w) with worst-case execution time
+// chi(w); buffer b lives in memory nu(b), has containers of size zeta(b) and
+// iota(b) initially filled containers. A task starts only when every input
+// buffer holds data and every output buffer has free space — the
+// back-pressure that couples buffer capacities to timing.
+//
+// The weight functions a (per task) and b (per buffer) steer the objective of
+// Algorithm 1: minimise sum a(w)*budget(w) + sum b(b)*zeta(b)*tokens(b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::model {
+
+using linalg::Index;
+
+struct Task {
+  std::string name;
+  Index processor = 0;        ///< pi(w): index into the configuration's processors
+  double wcet = 0.0;          ///< chi(w) in cycles (> 0)
+  double budget_weight = 1.0; ///< a(w): objective weight of this task's budget
+};
+
+struct Buffer {
+  std::string name;
+  Index producer = 0;         ///< task index within the owning graph
+  Index consumer = 0;         ///< task index within the owning graph
+  Index memory = 0;           ///< nu(b): index into the configuration's memories
+  Index container_size = 1;   ///< zeta(b) >= 1
+  Index initial_fill = 0;     ///< iota(b) >= 0 initially filled containers
+  double size_weight = 1.0;   ///< b(b): objective weight of this buffer's capacity
+  /// Optional upper bound on the capacity gamma(b) in containers
+  /// (-1 = unconstrained). The trade-off sweeps of Figures 2 and 3 constrain
+  /// this bound.
+  Index max_capacity = -1;
+};
+
+/// One streaming job: a task graph with a throughput requirement, expressed
+/// as the maximum admissible period mu(T) between successive task executions
+/// in the steady state (smaller period = higher throughput).
+class TaskGraph {
+ public:
+  TaskGraph(std::string name, double required_period);
+
+  Index add_task(std::string name, Index processor, double wcet,
+                 double budget_weight = 1.0);
+
+  Index add_buffer(std::string name, Index producer, Index consumer,
+                   Index memory, Index container_size = 1,
+                   Index initial_fill = 0, double size_weight = 1.0);
+
+  const std::string& name() const { return name_; }
+  double required_period() const { return required_period_; }
+
+  /// Tightens or relaxes the throughput requirement (used by the minimal-
+  /// period search); must stay positive.
+  void set_required_period(double period);
+
+  Index num_tasks() const { return static_cast<Index>(tasks_.size()); }
+  Index num_buffers() const { return static_cast<Index>(buffers_.size()); }
+
+  const Task& task(Index id) const;
+  const Buffer& buffer(Index id) const;
+
+  Task& mutable_task(Index id);
+  Buffer& mutable_buffer(Index id);
+
+  /// Sets the capacity cap gamma(b) <= max_capacity (containers); -1 clears.
+  void set_max_capacity(Index buffer_id, Index max_capacity);
+
+ private:
+  std::string name_;
+  double required_period_;
+  std::vector<Task> tasks_;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace bbs::model

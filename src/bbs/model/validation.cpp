@@ -1,0 +1,98 @@
+// Structural validation of configurations (Configuration::validate).
+#include <sstream>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::model {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& what) {
+  throw ModelError("invalid configuration: " + context + ": " + what);
+}
+
+}  // namespace
+
+void Configuration::validate() const {
+  if (granularity_ < 1) {
+    fail("platform", "granularity g must be a positive integer");
+  }
+  for (Index p = 0; p < num_processors(); ++p) {
+    const Processor& proc = processor(p);
+    std::ostringstream ctx;
+    ctx << "processor '" << proc.name << "'";
+    if (proc.replenishment_interval <= 0.0) {
+      fail(ctx.str(), "replenishment interval must be positive");
+    }
+    if (proc.scheduling_overhead < 0.0) {
+      fail(ctx.str(), "scheduling overhead must be nonnegative");
+    }
+    if (proc.scheduling_overhead >= proc.replenishment_interval) {
+      fail(ctx.str(),
+           "scheduling overhead consumes the whole replenishment interval");
+    }
+  }
+  for (Index m = 0; m < num_memories(); ++m) {
+    const Memory& mem = memory(m);
+    if (mem.capacity != -1.0 && mem.capacity < 0.0) {
+      fail("memory '" + mem.name + "'", "capacity must be >= 0 or -1");
+    }
+  }
+  for (Index gi = 0; gi < num_task_graphs(); ++gi) {
+    const TaskGraph& g = task_graph(gi);
+    const std::string gctx = "task graph '" + g.name() + "'";
+    if (g.required_period() <= 0.0) {
+      fail(gctx, "required period must be positive");
+    }
+    if (g.num_tasks() == 0) {
+      fail(gctx, "graph has no tasks");
+    }
+    for (Index t = 0; t < g.num_tasks(); ++t) {
+      const Task& task = g.task(t);
+      const std::string tctx = gctx + ", task '" + task.name + "'";
+      if (task.processor < 0 || task.processor >= num_processors()) {
+        fail(tctx, "processor reference out of range");
+      }
+      if (task.wcet <= 0.0) {
+        fail(tctx, "worst-case execution time must be positive");
+      }
+      const Processor& proc = processor(task.processor);
+      if (task.wcet > proc.replenishment_interval) {
+        // chi(w) may exceed one replenishment interval in general, but then
+        // even a full budget cannot finish an execution within one interval;
+        // the dataflow model still covers this (the va2 duration grows), so
+        // this is allowed — only a zero/negative budget headroom is fatal,
+        // which constraint (9) will detect as infeasibility.
+        continue;
+      }
+    }
+    for (Index b = 0; b < g.num_buffers(); ++b) {
+      const Buffer& buf = g.buffer(b);
+      const std::string bctx = gctx + ", buffer '" + buf.name + "'";
+      if (buf.producer < 0 || buf.producer >= g.num_tasks()) {
+        fail(bctx, "producer reference out of range");
+      }
+      if (buf.consumer < 0 || buf.consumer >= g.num_tasks()) {
+        fail(bctx, "consumer reference out of range");
+      }
+      if (buf.memory < 0 || buf.memory >= num_memories()) {
+        fail(bctx, "memory reference out of range");
+      }
+      if (buf.container_size < 1) {
+        fail(bctx, "container size zeta(b) must be a positive integer");
+      }
+      if (buf.initial_fill < 0) {
+        fail(bctx, "initial fill iota(b) must be nonnegative");
+      }
+      if (buf.max_capacity != -1 && buf.max_capacity < 1) {
+        fail(bctx, "maximum capacity must be >= 1 containers (or -1)");
+      }
+      if (buf.max_capacity != -1 && buf.initial_fill > buf.max_capacity) {
+        fail(bctx, "initial fill exceeds the maximum capacity");
+      }
+    }
+  }
+}
+
+}  // namespace bbs::model

@@ -1,0 +1,326 @@
+#include "bbs/sim/tdm_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/period.hpp"
+#include "bbs/common/rng.hpp"
+
+namespace bbs::sim {
+
+double tdm_advance(double t, double work, double wheel, double slice_offset,
+                   double slice_length) {
+  BBS_REQUIRE(wheel > 0.0 && slice_length > 0.0 &&
+                  slice_offset + slice_length <= wheel + 1e-9,
+              "tdm_advance: invalid slice");
+  BBS_REQUIRE(work >= 0.0, "tdm_advance: negative work");
+  if (work == 0.0) return t;
+
+  // Normalise to the wheel phase of the slice start.
+  const double base = std::floor((t - slice_offset) / wheel) * wheel +
+                      slice_offset;
+  double window_start = base;  // start of the slice window nearest below t
+  double remaining = work;
+  double now = std::max(t, window_start);
+
+  // First (possibly partial) window.
+  if (now < window_start + slice_length) {
+    const double available = window_start + slice_length - now;
+    if (remaining <= available) return now + remaining;
+    remaining -= available;
+  }
+  // Full windows: skip whole wheels analytically.
+  window_start += wheel;
+  const double full = std::floor(remaining / slice_length);
+  if (full >= 1.0) {
+    window_start += full * wheel;
+    remaining -= full * slice_length;
+    if (remaining == 0.0) {
+      // Finished exactly at the end of the last full window.
+      return window_start - wheel + slice_length;
+    }
+  }
+  return window_start + remaining;
+}
+
+double tdm_advance_windows(double t, double work, double wheel,
+                           const std::vector<SliceWindow>& windows) {
+  BBS_REQUIRE(!windows.empty(), "tdm_advance_windows: no windows");
+  double total = 0.0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    BBS_REQUIRE(windows[i].length > 0.0 &&
+                    windows[i].start + windows[i].length <= wheel + 1e-9,
+                "tdm_advance_windows: window outside the wheel");
+    if (i > 0) {
+      BBS_REQUIRE(windows[i].start >=
+                      windows[i - 1].start + windows[i - 1].length - 1e-12,
+                  "tdm_advance_windows: windows overlap or are unsorted");
+    }
+    total += windows[i].length;
+  }
+  BBS_REQUIRE(work >= 0.0, "tdm_advance_windows: negative work");
+  if (work == 0.0) return t;
+
+  double base = std::floor(t / wheel) * wheel;
+  double remaining = work;
+  bool first_wheel = true;
+  // Termination: the first (possibly partial) wheel, one analytic skip of
+  // full wheels, then at most two more wheels for the remainder.
+  for (int guard = 0; guard < 8; ++guard) {
+    for (const SliceWindow& w : windows) {
+      const double ws = base + w.start;
+      const double we = ws + w.length;
+      const double now = std::max(t, ws);
+      if (now < we) {
+        const double avail = we - now;
+        if (remaining <= avail) return now + remaining;
+        remaining -= avail;
+      }
+    }
+    base += wheel;
+    if (first_wheel) {
+      first_wheel = false;
+      const double full = std::floor(remaining / total);
+      if (full >= 1.0) {
+        base += full * wheel;
+        remaining -= full * total;
+        if (remaining == 0.0) {
+          // Finished exactly at the end of the last window of the last
+          // full wheel.
+          return base - wheel + windows.back().start + windows.back().length;
+        }
+      }
+    }
+  }
+  throw NumericalError("tdm_advance_windows: did not converge");
+}
+
+SimResult simulate_tdm(const model::Configuration& config,
+                       const std::vector<Vector>& budgets,
+                       const std::vector<std::vector<Index>>& capacities,
+                       const SimOptions& options) {
+  config.validate();
+  BBS_REQUIRE(options.iterations > 0, "simulate_tdm: iterations must be > 0");
+  BBS_REQUIRE(options.warmup >= 0 && options.warmup < options.iterations - 1,
+              "simulate_tdm: warmup must leave a measurement window");
+  BBS_REQUIRE(options.execution_time_scale > 0.0 &&
+                  options.execution_time_scale <= 1.0,
+              "simulate_tdm: execution_time_scale must be in (0, 1]");
+  const Index num_graphs = config.num_task_graphs();
+  BBS_REQUIRE(budgets.size() == static_cast<std::size_t>(num_graphs),
+              "simulate_tdm: one budget vector per graph");
+  BBS_REQUIRE(capacities.size() == static_cast<std::size_t>(num_graphs),
+              "simulate_tdm: one capacity vector per graph");
+
+  // --- Global slice assignment ---------------------------------------------
+  // Validate budgets and collect the tasks per processor in (graph, task)
+  // order.
+  struct TaskSlot {
+    Index graph;
+    Index task;
+  };
+  std::vector<std::vector<TaskSlot>> per_proc(
+      static_cast<std::size_t>(config.num_processors()));
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    const auto g = static_cast<std::size_t>(gi);
+    BBS_REQUIRE(budgets[g].size() == static_cast<std::size_t>(tg.num_tasks()),
+                "simulate_tdm: budget count mismatch");
+    BBS_REQUIRE(capacities[g].size() ==
+                    static_cast<std::size_t>(tg.num_buffers()),
+                "simulate_tdm: capacity count mismatch");
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      if (!(budgets[g][static_cast<std::size_t>(t)] > 0.0)) {
+        throw ModelError("simulate_tdm: task '" + tg.task(t).name +
+                         "' has a non-positive budget");
+      }
+      per_proc[static_cast<std::size_t>(tg.task(t).processor)].push_back(
+          TaskSlot{gi, t});
+    }
+  }
+
+  // windows[g][t]: this task's service windows within its wheel.
+  std::vector<std::vector<std::vector<SliceWindow>>> windows(
+      static_cast<std::size_t>(num_graphs));
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    windows[static_cast<std::size_t>(gi)].resize(static_cast<std::size_t>(
+        config.task_graph(gi).num_tasks()));
+  }
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    const model::Processor& proc = config.processor(p);
+    const auto& slots = per_proc[static_cast<std::size_t>(p)];
+    if (slots.empty()) continue;
+    double position = proc.scheduling_overhead;
+    if (options.placement == SlicePlacement::kContiguous) {
+      for (const TaskSlot& slot : slots) {
+        const double beta = budgets[static_cast<std::size_t>(slot.graph)]
+                                   [static_cast<std::size_t>(slot.task)];
+        windows[static_cast<std::size_t>(slot.graph)]
+               [static_cast<std::size_t>(slot.task)]
+                   .push_back(SliceWindow{position, beta});
+        position += beta;
+      }
+    } else {
+      // Scattered: deal quanta round-robin until every budget is granted.
+      const double quantum =
+          options.quantum > 0.0
+              ? options.quantum
+              : static_cast<double>(config.granularity());
+      std::vector<double> remaining;
+      for (const TaskSlot& slot : slots) {
+        remaining.push_back(budgets[static_cast<std::size_t>(slot.graph)]
+                                   [static_cast<std::size_t>(slot.task)]);
+      }
+      bool any = true;
+      while (any) {
+        any = false;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          if (remaining[i] <= 0.0) continue;
+          const double grant = std::min(quantum, remaining[i]);
+          windows[static_cast<std::size_t>(slots[i].graph)]
+                 [static_cast<std::size_t>(slots[i].task)]
+                     .push_back(SliceWindow{position, grant});
+          position += grant;
+          remaining[i] -= grant;
+          any = any || remaining[i] > 0.0;
+        }
+      }
+    }
+    if (position > proc.replenishment_interval + 1e-9) {
+      throw ModelError("simulate_tdm: budgets overflow the replenishment "
+                       "interval of processor '" + proc.name + "'");
+    }
+  }
+
+  bbs::Rng rng(options.seed);
+  SimResult result;
+  result.graphs.resize(static_cast<std::size_t>(num_graphs));
+
+  // --- Per-graph simulation --------------------------------------------------
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    const model::TaskGraph& tg = config.task_graph(gi);
+    GraphSimResult& out = result.graphs[g];
+    const auto nt = static_cast<std::size_t>(tg.num_tasks());
+
+    // Same-iteration dependency DAG: data edges with iota = 0 (producer
+    // before consumer) and space edges with gamma - iota = 0 (consumer
+    // before producer). A cycle here is a real deadlock.
+    std::vector<std::vector<Index>> same_k_succ(nt);
+    std::vector<Index> indeg(nt, 0);
+    bool invalid = false;
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      const Index gamma = capacities[g][static_cast<std::size_t>(b)];
+      if (gamma < 1 || gamma < buf.initial_fill) {
+        throw ModelError("simulate_tdm: invalid capacity for buffer '" +
+                         buf.name + "'");
+      }
+      if (buf.initial_fill == 0) {
+        same_k_succ[static_cast<std::size_t>(buf.producer)].push_back(
+            buf.consumer);
+        ++indeg[static_cast<std::size_t>(buf.consumer)];
+      }
+      if (gamma - buf.initial_fill == 0) {
+        same_k_succ[static_cast<std::size_t>(buf.consumer)].push_back(
+            buf.producer);
+        ++indeg[static_cast<std::size_t>(buf.producer)];
+      }
+    }
+    std::vector<Index> topo;
+    {
+      std::vector<Index> stack;
+      for (std::size_t t = 0; t < nt; ++t)
+        if (indeg[t] == 0) stack.push_back(static_cast<Index>(t));
+      while (!stack.empty()) {
+        const Index t = stack.back();
+        stack.pop_back();
+        topo.push_back(t);
+        for (Index s : same_k_succ[static_cast<std::size_t>(t)]) {
+          if (--indeg[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+        }
+      }
+      if (topo.size() != nt) {
+        out.deadlocked = true;
+        invalid = true;
+      }
+    }
+    if (invalid) continue;
+
+    out.tasks.assign(nt, TaskTrace{});
+    for (auto& tt : out.tasks) {
+      tt.start.assign(static_cast<std::size_t>(options.iterations), 0.0);
+      tt.finish.assign(static_cast<std::size_t>(options.iterations), 0.0);
+    }
+
+    // Execution-time draw for the k-th execution of task t.
+    const auto exec_time = [&](const model::Task& task) {
+      if (options.randomise_execution_times) {
+        return task.wcet *
+               rng.next_real(0.25 * options.execution_time_scale,
+                             options.execution_time_scale);
+      }
+      return task.wcet * options.execution_time_scale;
+    };
+
+    for (int k = 0; k < options.iterations; ++k) {
+      for (Index t : topo) {
+        const auto ti = static_cast<std::size_t>(t);
+        const model::Task& task = tg.task(t);
+        double ready = 0.0;
+        // Sequential task: previous execution must have finished.
+        if (k > 0) {
+          ready = out.tasks[ti].finish[static_cast<std::size_t>(k - 1)];
+        }
+        for (Index b = 0; b < tg.num_buffers(); ++b) {
+          const model::Buffer& buf = tg.buffer(b);
+          const Index gamma = capacities[g][static_cast<std::size_t>(b)];
+          if (buf.consumer == t) {
+            // Need the (k+1)-th filled container: produced by execution
+            // k - iota of the producer (0-based), or initially present.
+            const int dep = k - static_cast<int>(buf.initial_fill);
+            if (dep >= 0) {
+              ready = std::max(
+                  ready,
+                  out.tasks[static_cast<std::size_t>(buf.producer)]
+                      .finish[static_cast<std::size_t>(dep)]);
+            }
+          }
+          if (buf.producer == t) {
+            // Need a free container: released by execution
+            // k - (gamma - iota) of the consumer, or initially free.
+            const int dep = k - static_cast<int>(gamma - buf.initial_fill);
+            if (dep >= 0) {
+              ready = std::max(
+                  ready,
+                  out.tasks[static_cast<std::size_t>(buf.consumer)]
+                      .finish[static_cast<std::size_t>(dep)]);
+            }
+          }
+        }
+        const model::Processor& proc = config.processor(task.processor);
+        const double finish = tdm_advance_windows(
+            ready, exec_time(task), proc.replenishment_interval,
+            windows[g][ti]);
+        out.tasks[ti].start[static_cast<std::size_t>(k)] = ready;
+        out.tasks[ti].finish[static_cast<std::size_t>(k)] = finish;
+      }
+    }
+
+    // Steady-state period via periodicity detection on the post-warmup
+    // window (see bbs/common/period.hpp); fall back is a windowed average.
+    std::vector<std::vector<double>> window;
+    for (int k = options.warmup; k < options.iterations; ++k) {
+      std::vector<double> row(nt);
+      for (std::size_t t = 0; t < nt; ++t) {
+        row[t] = out.tasks[t].start[static_cast<std::size_t>(k)];
+      }
+      window.push_back(std::move(row));
+    }
+    out.measured_period = estimate_asymptotic_period(window);
+  }
+  return result;
+}
+
+}  // namespace bbs::sim

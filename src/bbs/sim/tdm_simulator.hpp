@@ -1,0 +1,108 @@
+// Discrete-event simulation of task graphs on a TDM-scheduled multiprocessor.
+//
+// This is the stand-in for the paper's MPSoC testbed: it executes the *task
+// graph itself* (not the dataflow abstraction) under time-division-multiplex
+// budget schedulers with FIFO back-pressure, and measures the achieved
+// steady-state period. The dataflow model of Section II-C is conservative for
+// this execution (EMSOFT'09, ref [10]), so every allocation computed by
+// Algorithm 1 must sustain the required period here — the property the
+// integration tests check.
+//
+// Semantics:
+//   * Processor p reserves o(p) cycles of scheduler overhead at the start of
+//     each replenishment interval rho(p); tasks own disjoint contiguous
+//     slices of beta(w) cycles, assigned in (graph, task) order.
+//   * A task execution starts when the previous execution of the same task
+//     has finished, every input buffer holds a filled container and every
+//     output buffer a free one; it then needs chi(w) (or a caller-scaled /
+//     randomised amount <= chi(w)) cycles *of its own slice*.
+//   * Containers are consumed/released at the end of an execution.
+//
+// Task graphs never exchange tokens, and budget schedulers isolate them in
+// time, so graphs are simulated independently but with globally assigned
+// slice offsets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::sim {
+
+using linalg::Index;
+using linalg::Vector;
+
+/// How each task's budget is laid out within the TDM wheel. The dataflow
+/// model of the paper only assumes "beta(w) cycles in every replenishment
+/// interval" — any placement is a valid budget scheduler — so analyses must
+/// be conservative for all of these (the integration tests check exactly
+/// that).
+enum class SlicePlacement {
+  /// One contiguous slice per task (classic TDM).
+  kContiguous,
+  /// The budget is split into granularity-sized quanta dealt round-robin
+  /// across the wheel (slotted TDM / weighted round-robin).
+  kScattered,
+};
+
+struct SimOptions {
+  /// Number of executions simulated per task.
+  int iterations = 256;
+  /// Executions excluded from the period measurement (transient).
+  int warmup = 64;
+  /// Actual execution time = scale * chi(w); must be in (0, 1].
+  double execution_time_scale = 1.0;
+  /// When true, each execution draws a uniform time in
+  /// [0.25, execution_time_scale] * chi(w) (data-dependent workloads).
+  bool randomise_execution_times = false;
+  std::uint64_t seed = 1;
+  SlicePlacement placement = SlicePlacement::kContiguous;
+  /// Quantum (cycles) for kScattered; <= 0 uses the platform granularity.
+  double quantum = 0.0;
+};
+
+struct TaskTrace {
+  Vector start;   ///< start time of the k-th execution
+  Vector finish;  ///< completion time of the k-th execution
+};
+
+struct GraphSimResult {
+  bool deadlocked = false;
+  std::vector<TaskTrace> tasks;
+  /// Average steady-state period of the graph's sink task (start-to-start
+  /// over the post-warmup window); 0 if not measurable.
+  double measured_period = 0.0;
+};
+
+struct SimResult {
+  std::vector<GraphSimResult> graphs;
+};
+
+/// Simulates every task graph of the configuration under the given budgets
+/// (cycles; one vector per graph) and buffer capacities (containers; one
+/// vector per graph). Throws ModelError if the budgets do not fit the TDM
+/// wheels or a capacity is invalid.
+SimResult simulate_tdm(const model::Configuration& config,
+                       const std::vector<Vector>& budgets,
+                       const std::vector<std::vector<Index>>& capacities,
+                       const SimOptions& options = {});
+
+/// Computes the completion time of `work` cycles of slice time for a slice
+/// [slice_offset, slice_offset + slice_length) within a TDM wheel of length
+/// `wheel`, starting at absolute time `t`. Exposed for unit testing.
+double tdm_advance(double t, double work, double wheel, double slice_offset,
+                   double slice_length);
+
+/// One service window within a TDM wheel: [start, start + length).
+struct SliceWindow {
+  double start = 0.0;
+  double length = 0.0;
+};
+
+/// Generalisation of tdm_advance to a set of disjoint windows per wheel
+/// (sorted by start). Exposed for unit testing.
+double tdm_advance_windows(double t, double work, double wheel,
+                           const std::vector<SliceWindow>& windows);
+
+}  // namespace bbs::sim

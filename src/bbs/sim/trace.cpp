@@ -1,0 +1,57 @@
+#include "bbs/sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/strings.hpp"
+
+namespace bbs::sim {
+
+double measured_period(const TaskTrace& trace, int warmup) {
+  const auto n = trace.start.size();
+  BBS_REQUIRE(warmup >= 0 && static_cast<std::size_t>(warmup) + 1 < n,
+              "measured_period: warmup leaves no window");
+  return (trace.start[n - 1] - trace.start[static_cast<std::size_t>(warmup)]) /
+         static_cast<double>(n - 1 - static_cast<std::size_t>(warmup));
+}
+
+double period_jitter(const TaskTrace& trace, int warmup) {
+  const auto n = trace.start.size();
+  BBS_REQUIRE(warmup >= 0 && static_cast<std::size_t>(warmup) + 1 < n,
+              "period_jitter: warmup leaves no window");
+  const double avg = measured_period(trace, warmup);
+  double jitter = 0.0;
+  for (std::size_t k = static_cast<std::size_t>(warmup) + 1; k < n; ++k) {
+    jitter = std::max(jitter,
+                      std::abs((trace.start[k] - trace.start[k - 1]) - avg));
+  }
+  return jitter;
+}
+
+double busy_fraction(const TaskTrace& trace) {
+  if (trace.start.empty()) return 0.0;
+  const double span = trace.finish.back();
+  if (span <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (std::size_t k = 0; k < trace.start.size(); ++k) {
+    busy += trace.finish[k] - trace.start[k];
+  }
+  return busy / span;
+}
+
+std::string to_csv(const GraphSimResult& result) {
+  std::ostringstream os;
+  os << "task,k,start,finish\n";
+  for (std::size_t t = 0; t < result.tasks.size(); ++t) {
+    const TaskTrace& tt = result.tasks[t];
+    for (std::size_t k = 0; k < tt.start.size(); ++k) {
+      os << t << "," << k << "," << format_double(tt.start[k], 6) << ","
+         << format_double(tt.finish[k], 6) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bbs::sim

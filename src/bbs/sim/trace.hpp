@@ -1,0 +1,25 @@
+// Analysis helpers over simulation traces: periods, jitter, utilisation and
+// CSV export for offline plotting.
+#pragma once
+
+#include <string>
+
+#include "bbs/sim/tdm_simulator.hpp"
+
+namespace bbs::sim {
+
+/// Average start-to-start period of one task over [warmup, end).
+double measured_period(const TaskTrace& trace, int warmup);
+
+/// Maximum deviation of start-to-start distances from the average period
+/// over [warmup, end) — the jitter of the steady-state schedule.
+double period_jitter(const TaskTrace& trace, int warmup);
+
+/// Fraction of wall-clock time the task spends between start and finish
+/// (includes slice waiting) over the whole trace.
+double busy_fraction(const TaskTrace& trace);
+
+/// Renders a trace as CSV: one line per execution `task,k,start,finish`.
+std::string to_csv(const GraphSimResult& result);
+
+}  // namespace bbs::sim

@@ -1,0 +1,191 @@
+#include "bbs/solver/cone.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::solver {
+
+namespace {
+
+double block_norm(const Vector& v, Index off, Index len) {
+  double s = 0.0;
+  for (Index i = off; i < off + len; ++i)
+    s += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+  return std::sqrt(s);
+}
+
+/// Smallest positive root of a*t^2 + b*t + c = 0, or +inf if none.
+/// Written against catastrophic cancellation: the stable quadratic formula
+/// with the sign trick is used.
+double smallest_positive_root(double a, double b, double c) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  constexpr double tiny = 1e-300;
+  if (std::abs(a) < tiny) {
+    if (std::abs(b) < tiny) return inf;
+    const double r = -c / b;
+    return r > 0.0 ? r : inf;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return inf;
+  const double sq = std::sqrt(disc);
+  const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  double r1 = q / a;
+  double r2 = (std::abs(q) < tiny) ? inf : c / q;
+  if (r1 > r2) std::swap(r1, r2);
+  if (r1 > 0.0) return r1;
+  if (r2 > 0.0) return r2;
+  return inf;
+}
+
+}  // namespace
+
+ConeSpec::ConeSpec(Index nonneg, std::vector<Index> soc_dims)
+    : nonneg_(nonneg), soc_dims_(std::move(soc_dims)) {
+  BBS_REQUIRE(nonneg_ >= 0, "ConeSpec: negative orthant size");
+  Index off = nonneg_;
+  soc_offsets_.reserve(soc_dims_.size());
+  for (Index q : soc_dims_) {
+    BBS_REQUIRE(q >= 2, "ConeSpec: SOC blocks must have dimension >= 2");
+    soc_offsets_.push_back(off);
+    off += q;
+  }
+  dim_ = off;
+}
+
+void ConeSpec::identity(Vector& v) const {
+  BBS_REQUIRE(v.size() == static_cast<std::size_t>(dim_),
+              "ConeSpec::identity: size mismatch");
+  for (Index i = 0; i < nonneg_; ++i) v[static_cast<std::size_t>(i)] = 1.0;
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    v[static_cast<std::size_t>(off)] = 1.0;
+    for (Index i = 1; i < soc_dims_[k]; ++i)
+      v[static_cast<std::size_t>(off + i)] = 0.0;
+  }
+}
+
+Vector ConeSpec::circ(const Vector& u, const Vector& v) const {
+  BBS_REQUIRE(u.size() == static_cast<std::size_t>(dim_) &&
+                  v.size() == static_cast<std::size_t>(dim_),
+              "ConeSpec::circ: size mismatch");
+  Vector w(u.size(), 0.0);
+  for (Index i = 0; i < nonneg_; ++i) {
+    w[static_cast<std::size_t>(i)] =
+        u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+  }
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    const Index q = soc_dims_[k];
+    // (u ∘ v)_0 = u'v ; (u ∘ v)_1 = u0 v1 + v0 u1.
+    double dot_uv = 0.0;
+    for (Index i = 0; i < q; ++i) {
+      dot_uv += u[static_cast<std::size_t>(off + i)] *
+                v[static_cast<std::size_t>(off + i)];
+    }
+    w[static_cast<std::size_t>(off)] = dot_uv;
+    const double u0 = u[static_cast<std::size_t>(off)];
+    const double v0 = v[static_cast<std::size_t>(off)];
+    for (Index i = 1; i < q; ++i) {
+      w[static_cast<std::size_t>(off + i)] =
+          u0 * v[static_cast<std::size_t>(off + i)] +
+          v0 * u[static_cast<std::size_t>(off + i)];
+    }
+  }
+  return w;
+}
+
+Vector ConeSpec::solve_circ(const Vector& lambda, const Vector& d) const {
+  BBS_REQUIRE(lambda.size() == static_cast<std::size_t>(dim_) &&
+                  d.size() == static_cast<std::size_t>(dim_),
+              "ConeSpec::solve_circ: size mismatch");
+  Vector x(d.size(), 0.0);
+  for (Index i = 0; i < nonneg_; ++i) {
+    const double li = lambda[static_cast<std::size_t>(i)];
+    if (li == 0.0) throw NumericalError("solve_circ: zero LP eigenvalue");
+    x[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i)] / li;
+  }
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    const Index q = soc_dims_[k];
+    // Solve Arw(lambda) x = d for the arrow matrix
+    //   Arw(l) = [ l0   l1' ; l1  l0 I ].
+    const double l0 = lambda[static_cast<std::size_t>(off)];
+    double l1_sq = 0.0;
+    double l1_dot_d1 = 0.0;
+    for (Index i = 1; i < q; ++i) {
+      const double li = lambda[static_cast<std::size_t>(off + i)];
+      l1_sq += li * li;
+      l1_dot_d1 += li * d[static_cast<std::size_t>(off + i)];
+    }
+    const double det = l0 * l0 - l1_sq;  // > 0 in the cone interior
+    if (det <= 0.0 || l0 <= 0.0) {
+      throw NumericalError("solve_circ: arrow matrix not positive definite");
+    }
+    const double d0 = d[static_cast<std::size_t>(off)];
+    const double x0 = (l0 * d0 - l1_dot_d1) / det;
+    x[static_cast<std::size_t>(off)] = x0;
+    for (Index i = 1; i < q; ++i) {
+      x[static_cast<std::size_t>(off + i)] =
+          (d[static_cast<std::size_t>(off + i)] -
+           lambda[static_cast<std::size_t>(off + i)] * x0) /
+          l0;
+    }
+  }
+  return x;
+}
+
+double ConeSpec::max_step(const Vector& u, const Vector& du,
+                          double cap) const {
+  double alpha = cap;
+  for (Index i = 0; i < nonneg_; ++i) {
+    const double d = du[static_cast<std::size_t>(i)];
+    if (d < 0.0) {
+      alpha = std::min(alpha, -u[static_cast<std::size_t>(i)] / d);
+    }
+  }
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    const Index q = soc_dims_[k];
+    // First positive root of f(t) = (u0+t d0)^2 - ||u1 + t d1||^2, which is
+    // where the ray exits the cone (f(0) > 0 in the interior).
+    double d1_sq = 0.0;
+    double u1_sq = 0.0;
+    double u1_dot_d1 = 0.0;
+    for (Index i = 1; i < q; ++i) {
+      const double ui = u[static_cast<std::size_t>(off + i)];
+      const double di = du[static_cast<std::size_t>(off + i)];
+      d1_sq += di * di;
+      u1_sq += ui * ui;
+      u1_dot_d1 += ui * di;
+    }
+    const double u0 = u[static_cast<std::size_t>(off)];
+    const double d0 = du[static_cast<std::size_t>(off)];
+    const double a = d0 * d0 - d1_sq;
+    const double b = 2.0 * (u0 * d0 - u1_dot_d1);
+    const double c = u0 * u0 - u1_sq;
+    alpha = std::min(alpha, smallest_positive_root(a, b, c));
+    // Guard the u0 + t d0 >= 0 branch explicitly: when u1 + t d1 hits zero at
+    // the same parameter, the quadratic can have a double root there.
+    if (d0 < 0.0) alpha = std::min(alpha, -u0 / d0);
+  }
+  return alpha;
+}
+
+bool ConeSpec::is_interior(const Vector& u, double margin) const {
+  if (u.size() != static_cast<std::size_t>(dim_)) return false;
+  for (Index i = 0; i < nonneg_; ++i) {
+    if (u[static_cast<std::size_t>(i)] <= margin) return false;
+  }
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    const Index q = soc_dims_[k];
+    const double u0 = u[static_cast<std::size_t>(off)];
+    const double n1 = block_norm(u, off + 1, q - 1);
+    if (u0 - n1 <= margin) return false;
+  }
+  return true;
+}
+
+}  // namespace bbs::solver

@@ -1,0 +1,72 @@
+// Symmetric cone support for the interior-point solver.
+//
+// The solver works with a composite cone
+//     K = R_+^l  ×  SOC(q_1) × ... × SOC(q_N)
+// laid out contiguously in every cone-dimension vector: first the `l`
+// nonnegative entries, then each second-order cone block
+//     SOC(q) = { (u0, u1) in R × R^{q-1} : u0 >= ||u1||_2 }.
+//
+// The Jordan-algebra operations here (identity element, circle product,
+// arrow-operator solves, step-to-boundary) are exactly the ones required by a
+// Nesterov–Todd scaled Mehrotra predictor-corrector method.
+#pragma once
+
+#include <vector>
+
+#include "bbs/linalg/dense_matrix.hpp"
+#include "bbs/linalg/sparse_matrix.hpp"
+
+namespace bbs::solver {
+
+using linalg::Index;
+using linalg::Vector;
+
+/// Composite symmetric cone description.
+class ConeSpec {
+ public:
+  ConeSpec() = default;
+  ConeSpec(Index nonneg, std::vector<Index> soc_dims);
+
+  /// Number of entries in the nonnegative-orthant block.
+  Index nonneg() const { return nonneg_; }
+
+  /// Dimensions of the second-order cone blocks (each >= 2).
+  const std::vector<Index>& soc_dims() const { return soc_dims_; }
+
+  /// Total vector dimension l + sum(q_k).
+  Index dim() const { return dim_; }
+
+  /// Barrier degree: l + number of SOC blocks. The duality measure is
+  /// mu = (s'z + tau*kappa) / (degree + 1).
+  Index degree() const {
+    return nonneg_ + static_cast<Index>(soc_dims_.size());
+  }
+
+  /// Offset of SOC block k within cone vectors.
+  Index soc_offset(std::size_t k) const { return soc_offsets_[k]; }
+
+  /// Writes the cone identity element e into `v` (must have size dim()).
+  void identity(Vector& v) const;
+
+  /// Jordan (circle) product w = u ∘ v.
+  Vector circ(const Vector& u, const Vector& v) const;
+
+  /// Solves the arrow system lambda ∘ x = d for x. `lambda` must be in the
+  /// interior of the cone.
+  Vector solve_circ(const Vector& lambda, const Vector& d) const;
+
+  /// Largest alpha >= 0 such that u + alpha*du stays in the cone, capped at
+  /// `cap`. `u` must be strictly interior.
+  double max_step(const Vector& u, const Vector& du, double cap = 1e10) const;
+
+  /// True iff u is in the interior of the cone (with slack margin).
+  bool is_interior(const Vector& u, double margin = 0.0) const;
+
+ private:
+  Index nonneg_ = 0;
+  std::vector<Index> soc_dims_;
+  std::vector<Index> soc_offsets_;
+  Index dim_ = 0;
+};
+
+}  // namespace bbs::solver

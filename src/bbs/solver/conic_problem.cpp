@@ -1,0 +1,103 @@
+#include "bbs/solver/conic_problem.hpp"
+
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::solver {
+
+ConicProblem::ConicProblem(Vector c, linalg::SparseMatrix g, Vector h,
+                           ConeSpec cone)
+    : c_(std::move(c)), g_(std::move(g)), h_(std::move(h)),
+      cone_(std::move(cone)) {
+  BBS_REQUIRE(g_.cols() == static_cast<Index>(c_.size()),
+              "ConicProblem: G column count must match |c|");
+  BBS_REQUIRE(g_.rows() == static_cast<Index>(h_.size()),
+              "ConicProblem: G row count must match |h|");
+  BBS_REQUIRE(cone_.dim() == g_.rows(),
+              "ConicProblem: cone dimension must match row count");
+}
+
+double ConicProblem::objective(const Vector& x) const {
+  return linalg::dot(c_, x);
+}
+
+double ConicProblem::primal_residual(const Vector& x, const Vector& s) const {
+  Vector r = h_;
+  g_.gaxpy(-1.0, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= s[i];
+  return linalg::norm_inf(r);
+}
+
+double ConicProblem::dual_residual(const Vector& z) const {
+  Vector r = c_;
+  g_.gaxpy_transpose(1.0, z, r);
+  return linalg::norm_inf(r);
+}
+
+ConicProblemBuilder::ConicProblemBuilder(Index num_vars)
+    : num_vars_(num_vars), c_(static_cast<std::size_t>(num_vars), 0.0) {
+  BBS_REQUIRE(num_vars >= 0, "ConicProblemBuilder: negative variable count");
+}
+
+void ConicProblemBuilder::set_objective(Index var, double coeff) {
+  BBS_REQUIRE(var >= 0 && var < num_vars_,
+              "ConicProblemBuilder::set_objective: variable out of range");
+  c_[static_cast<std::size_t>(var)] = coeff;
+}
+
+Index ConicProblemBuilder::add_inequality(
+    const std::vector<std::pair<Index, double>>& terms, double rhs) {
+  BBS_REQUIRE(soc_dims_.empty() && open_soc_remaining_ == 0,
+              "ConicProblemBuilder: LP rows must precede all SOC blocks");
+  const Index row = next_row_++;
+  ++nonneg_rows_;
+  h_.push_back(rhs);
+  for (const auto& [var, coeff] : terms) {
+    BBS_REQUIRE(var >= 0 && var < num_vars_,
+                "ConicProblemBuilder::add_inequality: variable out of range");
+    trip_rows_.push_back(row);
+    trip_cols_.push_back(var);
+    trip_vals_.push_back(coeff);
+  }
+  return row;
+}
+
+void ConicProblemBuilder::begin_soc(Index dim) {
+  BBS_REQUIRE(open_soc_remaining_ == 0,
+              "ConicProblemBuilder::begin_soc: previous SOC block unfinished");
+  BBS_REQUIRE(dim >= 2, "ConicProblemBuilder::begin_soc: dim must be >= 2");
+  soc_dims_.push_back(dim);
+  open_soc_remaining_ = dim;
+}
+
+void ConicProblemBuilder::soc_row(
+    const std::vector<std::pair<Index, double>>& terms, double rhs) {
+  BBS_REQUIRE(open_soc_remaining_ > 0,
+              "ConicProblemBuilder::soc_row: no open SOC block");
+  const Index row = next_row_++;
+  --open_soc_remaining_;
+  h_.push_back(rhs);
+  for (const auto& [var, coeff] : terms) {
+    BBS_REQUIRE(var >= 0 && var < num_vars_,
+                "ConicProblemBuilder::soc_row: variable out of range");
+    trip_rows_.push_back(row);
+    trip_cols_.push_back(var);
+    trip_vals_.push_back(coeff);
+  }
+}
+
+ConicProblem ConicProblemBuilder::build() {
+  if (open_soc_remaining_ != 0) {
+    throw ModelError("ConicProblemBuilder::build: unfinished SOC block");
+  }
+  linalg::TripletList t(next_row_, num_vars_);
+  for (std::size_t k = 0; k < trip_rows_.size(); ++k) {
+    t.add(trip_rows_[k], trip_cols_[k], trip_vals_[k]);
+  }
+  return ConicProblem(c_, linalg::SparseMatrix::from_triplets(t),
+                      Vector(h_.begin(), h_.end()),
+                      ConeSpec(nonneg_rows_, soc_dims_));
+}
+
+}  // namespace bbs::solver

@@ -1,0 +1,97 @@
+// Problem container for cone programs in standard inequality form:
+//
+//     minimise    c' x
+//     subject to  G x + s = h,   s in K,
+//
+// with K a composite cone (nonnegative orthant × second-order cones); see
+// ConeSpec. The dual is
+//
+//     maximise   -h' z
+//     subject to  G' z + c = 0,  z in K.
+//
+// A builder interface assembles G row by row so that the Algorithm-1
+// translator in bbs/core can emit constraints in the paper's order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bbs/linalg/sparse_matrix.hpp"
+#include "bbs/solver/cone.hpp"
+
+namespace bbs::solver {
+
+/// Immutable conic problem (validated on construction).
+class ConicProblem {
+ public:
+  ConicProblem(Vector c, linalg::SparseMatrix g, Vector h, ConeSpec cone);
+
+  Index num_vars() const { return static_cast<Index>(c_.size()); }
+  Index num_rows() const { return g_.rows(); }
+
+  const Vector& c() const { return c_; }
+  const linalg::SparseMatrix& g() const { return g_; }
+  const Vector& h() const { return h_; }
+  const ConeSpec& cone() const { return cone_; }
+
+  double objective(const Vector& x) const;
+
+  /// max_i |h_i - (Gx)_i - s_i| — primal equation residual.
+  double primal_residual(const Vector& x, const Vector& s) const;
+
+  /// max_i |(G'z + c)_i| — dual equation residual.
+  double dual_residual(const Vector& z) const;
+
+ private:
+  Vector c_;
+  linalg::SparseMatrix g_;
+  Vector h_;
+  ConeSpec cone_;
+};
+
+/// Incremental builder: declare variables, then append rows. Rows must be
+/// appended cone-block by cone-block: all nonnegative-orthant rows first,
+/// then each SOC block contiguously (the builder enforces this by
+/// construction: LP rows via add_inequality, SOC blocks via begin_soc/...).
+class ConicProblemBuilder {
+ public:
+  explicit ConicProblemBuilder(Index num_vars);
+
+  /// Sets the objective coefficient of variable `var`.
+  void set_objective(Index var, double coeff);
+
+  /// Appends the LP-cone row  sum_j coeffs_j x_j <= rhs
+  /// (i.e. slack s = rhs - a'x >= 0). Must precede all SOC blocks.
+  /// Returns the row index.
+  Index add_inequality(const std::vector<std::pair<Index, double>>& terms,
+                       double rhs);
+
+  /// Appends one SOC block of dimension `dim`. Rows of the block are then
+  /// filled with soc_row(); the slack vector (rhs - Gx) over the block must
+  /// lie in SOC(dim).
+  void begin_soc(Index dim);
+
+  /// Adds one row of the currently open SOC block:
+  /// s_row = rhs - sum_j coeffs_j x_j.
+  void soc_row(const std::vector<std::pair<Index, double>>& terms, double rhs);
+
+  /// Finishes the problem; throws ModelError on structural errors
+  /// (unfinished SOC block, etc.).
+  ConicProblem build();
+
+  Index num_rows() const { return next_row_; }
+
+ private:
+  Index num_vars_;
+  Vector c_;
+  std::vector<double> h_;
+  Index next_row_ = 0;
+  Index nonneg_rows_ = 0;
+  std::vector<Index> soc_dims_;
+  Index open_soc_remaining_ = 0;
+  std::vector<Index> trip_rows_;
+  std::vector<Index> trip_cols_;
+  std::vector<double> trip_vals_;
+};
+
+}  // namespace bbs::solver

@@ -1,0 +1,434 @@
+#include "bbs/solver/ipm_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::solver {
+
+namespace {
+
+using linalg::SparseMatrix;
+using linalg::TripletList;
+
+/// Ruiz equilibration of G: returns diagonal row/column scalings that bring
+/// the nonzero magnitudes of Dr * G * Dc towards 1. Rows belonging to the
+/// same second-order cone block receive a common factor (any per-block
+/// positive multiple of the identity is a cone automorphism; general diagonal
+/// scalings are not).
+struct Equilibration {
+  Vector row_scale;  // Dr
+  Vector col_scale;  // Dc
+};
+
+Equilibration ruiz_equilibrate(SparseMatrix& g, const ConeSpec& cone,
+                               int rounds) {
+  const auto m = static_cast<std::size_t>(g.rows());
+  const auto n = static_cast<std::size_t>(g.cols());
+  Equilibration eq{Vector(m, 1.0), Vector(n, 1.0)};
+
+  for (int round = 0; round < rounds; ++round) {
+    Vector row_max(m, 0.0);
+    Vector col_max(n, 0.0);
+    for (Index c = 0; c < g.cols(); ++c) {
+      for (Index k = g.col_ptr()[c]; k < g.col_ptr()[c + 1]; ++k) {
+        const double a = std::abs(g.values()[k]);
+        const auto r = static_cast<std::size_t>(g.row_ind()[k]);
+        row_max[r] = std::max(row_max[r], a);
+        col_max[static_cast<std::size_t>(c)] =
+            std::max(col_max[static_cast<std::size_t>(c)], a);
+      }
+    }
+    // SOC blocks must share one factor: use the block-wise maximum.
+    for (std::size_t b = 0; b < cone.soc_dims().size(); ++b) {
+      const Index off = cone.soc_offset(b);
+      const Index q = cone.soc_dims()[b];
+      double blk = 0.0;
+      for (Index i = off; i < off + q; ++i)
+        blk = std::max(blk, row_max[static_cast<std::size_t>(i)]);
+      for (Index i = off; i < off + q; ++i)
+        row_max[static_cast<std::size_t>(i)] = blk;
+    }
+    Vector dr(m, 1.0);
+    Vector dc(n, 1.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_max[i] > 0.0) dr[i] = 1.0 / std::sqrt(row_max[i]);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (col_max[j] > 0.0) dc[j] = 1.0 / std::sqrt(col_max[j]);
+    }
+    // Apply in place.
+    for (Index c = 0; c < g.cols(); ++c) {
+      for (Index k = g.col_ptr()[c]; k < g.col_ptr()[c + 1]; ++k) {
+        g.values()[k] *= dr[static_cast<std::size_t>(g.row_ind()[k])] *
+                         dc[static_cast<std::size_t>(c)];
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) eq.row_scale[i] *= dr[i];
+    for (std::size_t j = 0; j < n; ++j) eq.col_scale[j] *= dc[j];
+  }
+  return eq;
+}
+
+double safe_div(double a, double b) {
+  return (b == 0.0) ? 0.0 : a / b;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kPrimalInfeasible:
+      return "primal-infeasible";
+    case SolveStatus::kDualInfeasible:
+      return "dual-infeasible";
+    case SolveStatus::kMaxIterations:
+      return "max-iterations";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
+  }
+  return "?";
+}
+
+SolveResult IpmSolver::solve(const ConicProblem& problem) const {
+  const ConeSpec& cone = problem.cone();
+  const auto n = static_cast<std::size_t>(problem.num_vars());
+  const auto m = static_cast<std::size_t>(problem.num_rows());
+  BBS_REQUIRE(m > 0, "IpmSolver: problem has no constraints");
+  BBS_REQUIRE(n > 0, "IpmSolver: problem has no variables");
+
+  // --- Equilibrated working copy ------------------------------------------
+  SparseMatrix g = problem.g();
+  Equilibration eq{Vector(m, 1.0), Vector(n, 1.0)};
+  if (options_.equilibrate_rounds > 0) {
+    eq = ruiz_equilibrate(g, cone, options_.equilibrate_rounds);
+  }
+  Vector c(n), h(m);
+  for (std::size_t j = 0; j < n; ++j)
+    c[j] = problem.c()[j] * eq.col_scale[j];
+  for (std::size_t i = 0; i < m; ++i)
+    h[i] = problem.h()[i] * eq.row_scale[i];
+
+  const double norm_c = std::max(1.0, linalg::norm2(c));
+  const double norm_h = std::max(1.0, linalg::norm2(h));
+
+  // --- State ---------------------------------------------------------------
+  Vector x(n, 0.0);
+  Vector s(m), z(m);
+  cone.identity(s);
+  cone.identity(z);
+  double tau = 1.0;
+  double kappa = 1.0;
+
+  const double degree = static_cast<double>(cone.degree()) + 1.0;
+
+  NtScaling scaling(cone);
+  KktSystem::Options kkt_opts;
+  kkt_opts.ordering = options_.ordering;
+  kkt_opts.static_regularisation = options_.static_regularisation;
+  kkt_opts.refine_steps = options_.refine_steps;
+  KktSystem kkt(g, kkt_opts);
+
+  SolveResult result;
+  result.x = x;
+  result.s = s;
+  result.z = z;
+
+  auto finalise = [&](SolveStatus status, int iterations) {
+    result.status = status;
+    result.iterations = iterations;
+    result.tau = tau;
+    result.kappa = kappa;
+    const double t = (status == SolveStatus::kOptimal) ? tau : 1.0;
+    // Undo the equilibration and the homogenising scale.
+    result.x.assign(n, 0.0);
+    result.s.assign(m, 0.0);
+    result.z.assign(m, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+      result.x[j] = eq.col_scale[j] * x[j] / t;
+    for (std::size_t i = 0; i < m; ++i) {
+      result.s[i] = s[i] / (eq.row_scale[i] * t);
+      result.z[i] = eq.row_scale[i] * z[i] / t;
+    }
+    result.primal_objective = problem.objective(result.x);
+    result.dual_objective = -linalg::dot(problem.h(), result.z);
+    result.duality_gap =
+        std::abs(result.primal_objective - result.dual_objective);
+    result.primal_residual = problem.primal_residual(result.x, result.s);
+    result.dual_residual = problem.dual_residual(result.z);
+    if (options_.verbosity >= 1) {
+      std::fprintf(stderr,
+                   "[ipm] %s after %d iterations: pobj=%.9g dobj=%.9g "
+                   "pres=%.3g dres=%.3g\n",
+                   to_string(status), iterations, result.primal_objective,
+                   result.dual_objective, result.primal_residual,
+                   result.dual_residual);
+    }
+    return result;
+  };
+
+  Vector r_dual(n), r_pri(m);
+  Vector u1(n), v1(m), u2(n), v2(m);
+
+  // Best-iterate tracking: interior-point iterates eventually hit a
+  // numerical floor where the residuals wander; the best point seen is what
+  // gets reported when no further progress is possible.
+  double best_merit = std::numeric_limits<double>::infinity();
+  int best_iteration = -1;
+  Vector best_x = x;
+  Vector best_s = s;
+  Vector best_z = z;
+  double best_tau = tau;
+  double best_kappa = kappa;
+
+  auto restore_best = [&]() {
+    if (best_iteration >= 0) {
+      x = best_x;
+      s = best_s;
+      z = best_z;
+      tau = best_tau;
+      kappa = best_kappa;
+    }
+  };
+  auto best_meets_tolerances = [&]() {
+    return best_merit <= 1.0;  // merit is pre-normalised by the tolerances
+  };
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- Residuals of the embedding ---------------------------------------
+    // r_dual = G'z + c*tau ; r_pri = Gx - h*tau + s ; r_gap = c'x + h'z + kappa
+    for (std::size_t j = 0; j < n; ++j) r_dual[j] = c[j] * tau;
+    g.gaxpy_transpose(1.0, z, r_dual);
+    for (std::size_t i = 0; i < m; ++i) r_pri[i] = s[i] - h[i] * tau;
+    g.gaxpy(1.0, x, r_pri);
+    const double cx = linalg::dot(c, x);
+    const double hz = linalg::dot(h, z);
+    const double r_gap = cx + hz + kappa;
+
+    const double mu = (linalg::dot(s, z) + tau * kappa) / degree;
+
+    // --- Convergence tests -------------------------------------------------
+    {
+      const double pres = linalg::norm2(r_pri) / (tau * norm_h);
+      const double dres = linalg::norm2(r_dual) / (tau * norm_c);
+      const double pobj = cx / tau;
+      const double dobj = -hz / tau;
+      const double gap = linalg::dot(s, z) / (tau * tau);
+      const double rel_gap =
+          gap / std::max(1.0, std::min(std::abs(pobj), std::abs(dobj)));
+      if (options_.verbosity >= 2) {
+        std::fprintf(stderr,
+                     "[ipm] it=%2d mu=%.3e tau=%.3e kappa=%.3e pres=%.3e "
+                     "dres=%.3e gap=%.3e\n",
+                     iter, mu, tau, kappa, pres, dres, gap);
+      }
+      if (pres <= options_.feas_tol && dres <= options_.feas_tol &&
+          (rel_gap <= options_.gap_tol || gap <= options_.gap_tol)) {
+        return finalise(SolveStatus::kOptimal, iter);
+      }
+      // Merit: worst tolerance-normalised criterion (<= 1 means acceptable).
+      const double merit = std::max({pres / options_.feas_tol,
+                                     dres / options_.feas_tol,
+                                     std::min(rel_gap, gap) /
+                                         options_.gap_tol});
+      if (merit < best_merit) {
+        best_merit = merit;
+        best_iteration = iter;
+        best_x = x;
+        best_s = s;
+        best_z = z;
+        best_tau = tau;
+        best_kappa = kappa;
+      } else if (iter - best_iteration >= options_.stall_iterations) {
+        restore_best();
+        return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                                : SolveStatus::kMaxIterations,
+                        iter);
+      }
+      // Infeasibility certificates (checked on the normalised iterate).
+      if (hz < 0.0) {
+        Vector gtz(n, 0.0);
+        g.gaxpy_transpose(1.0, z, gtz);
+        if (linalg::norm2(gtz) * norm_h <= options_.feas_tol * (-hz)) {
+          return finalise(SolveStatus::kPrimalInfeasible, iter);
+        }
+      }
+      if (cx < 0.0) {
+        Vector gx_s = s;
+        g.gaxpy(1.0, x, gx_s);
+        if (linalg::norm2(gx_s) * norm_c <= options_.feas_tol * (-cx)) {
+          return finalise(SolveStatus::kDualInfeasible, iter);
+        }
+      }
+    }
+
+    // --- Scaling and KKT factorisation -------------------------------------
+    try {
+      scaling.update(s, z);
+      kkt.factorise(scaling);
+    } catch (const NumericalError&) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kNumericalFailure,
+                      iter);
+    }
+    const Vector& lambda = scaling.lambda();
+
+    // Constant-part solve: G'v1 = -c ; G u1 - W^2 v1 = h.
+    Vector p1(n);
+    for (std::size_t j = 0; j < n; ++j) p1[j] = -c[j];
+    kkt.solve(scaling, p1, h, u1, v1);
+    const double den_const = linalg::dot(c, u1) + linalg::dot(h, v1);
+
+    // One Newton direction for given (sigma, corrector terms).
+    const Vector lambda_sq = cone.circ(lambda, lambda);
+    auto compute_direction = [&](double sigma, const Vector* corr_s,
+                                 double corr_kappa, Vector& dx, Vector& dz,
+                                 Vector& ds, double& dtau, double& dkappa) {
+      const double eta = 1.0 - sigma;
+      // d_s = sigma*mu*e - lambda o lambda - corr ; d_kappa likewise.
+      Vector d_s(m, 0.0);
+      cone.identity(d_s);
+      for (std::size_t i = 0; i < m; ++i) {
+        d_s[i] = sigma * mu * d_s[i] - lambda_sq[i];
+        if (corr_s != nullptr) d_s[i] -= (*corr_s)[i];
+      }
+      const double d_kappa = sigma * mu - tau * kappa - corr_kappa;
+
+      const Vector ds_tilde = cone.solve_circ(lambda, d_s);
+      const Vector w_ds = scaling.apply_w(ds_tilde);
+
+      Vector p2(n), q2(m);
+      for (std::size_t j = 0; j < n; ++j) p2[j] = -eta * r_dual[j];
+      for (std::size_t i = 0; i < m; ++i) q2[i] = -eta * r_pri[i] - w_ds[i];
+      kkt.solve(scaling, p2, q2, u2, v2);
+
+      const double denom = den_const - kappa / tau;
+      const double numer = -eta * r_gap - linalg::dot(c, u2) -
+                           linalg::dot(h, v2) - d_kappa / tau;
+      if (denom == 0.0) throw NumericalError("ipm: singular tau equation");
+      dtau = numer / denom;
+
+      dx.assign(n, 0.0);
+      dz.assign(m, 0.0);
+      for (std::size_t j = 0; j < n; ++j) dx[j] = u2[j] + dtau * u1[j];
+      for (std::size_t i = 0; i < m; ++i) dz[i] = v2[i] + dtau * v1[i];
+      // ds = W (ds_tilde - W dz).
+      Vector wdz = scaling.apply_w(dz);
+      Vector tmp(m);
+      for (std::size_t i = 0; i < m; ++i) tmp[i] = ds_tilde[i] - wdz[i];
+      ds = scaling.apply_w(tmp);
+      dkappa = (d_kappa - kappa * dtau) / tau;
+    };
+
+    auto step_limit = [&](const Vector& ds, const Vector& dz, double dtau,
+                          double dkappa) {
+      double alpha = cone.max_step(s, ds);
+      alpha = std::min(alpha, cone.max_step(z, dz));
+      if (dtau < 0.0) alpha = std::min(alpha, -tau / dtau);
+      if (dkappa < 0.0) alpha = std::min(alpha, -kappa / dkappa);
+      return alpha;
+    };
+
+    Vector dx_aff(n), dz_aff(m), ds_aff(m);
+    double dtau_aff = 0.0;
+    double dkappa_aff = 0.0;
+    try {
+      compute_direction(0.0, nullptr, 0.0, dx_aff, dz_aff, ds_aff, dtau_aff,
+                        dkappa_aff);
+    } catch (const NumericalError&) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kNumericalFailure,
+                      iter);
+    }
+
+    const double alpha_aff =
+        std::min(1.0, step_limit(ds_aff, dz_aff, dtau_aff, dkappa_aff));
+
+    // Mehrotra heuristic for the centring parameter.
+    double mu_aff = 0.0;
+    {
+      Vector s_trial = s;
+      Vector z_trial = z;
+      linalg::axpy(alpha_aff, ds_aff, s_trial);
+      linalg::axpy(alpha_aff, dz_aff, z_trial);
+      const double tau_trial = tau + alpha_aff * dtau_aff;
+      const double kappa_trial = kappa + alpha_aff * dkappa_aff;
+      mu_aff = (linalg::dot(s_trial, z_trial) + tau_trial * kappa_trial) /
+               degree;
+    }
+    double sigma = std::pow(std::clamp(safe_div(mu_aff, mu), 0.0, 1.0), 3.0);
+
+    // Corrector terms: (W^{-T} ds_aff) o (W dz_aff) and dtau_aff*dkappa_aff.
+    const Vector corr =
+        cone.circ(scaling.apply_w_inv(ds_aff), scaling.apply_w(dz_aff));
+
+    Vector dx(n), dz(m), ds(m);
+    double dtau = 0.0;
+    double dkappa = 0.0;
+    try {
+      compute_direction(sigma, &corr, dtau_aff * dkappa_aff, dx, dz, ds, dtau,
+                        dkappa);
+    } catch (const NumericalError&) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kNumericalFailure,
+                      iter);
+    }
+
+    if (options_.verbosity >= 3) {
+      // Debug: residuals of the Newton system for the combined direction.
+      const double eta = 1.0 - sigma;
+      Vector e1(n, 0.0);
+      for (std::size_t j = 0; j < n; ++j)
+        e1[j] = c[j] * dtau + eta * r_dual[j];
+      g.gaxpy_transpose(1.0, dz, e1);
+      Vector e2(m, 0.0);
+      for (std::size_t i = 0; i < m; ++i)
+        e2[i] = ds[i] - h[i] * dtau + eta * r_pri[i];
+      g.gaxpy(1.0, dx, e2);
+      const double e3 = linalg::dot(c, dx) + linalg::dot(h, dz) + dkappa +
+                        eta * r_gap;
+      std::fprintf(stderr,
+                   "[ipm-dbg] |G'dz+c dtau+eta rd|=%.3e |G dx-h dtau+ds+eta "
+                   "rp|=%.3e |gap eq|=%.3e\n",
+                   linalg::norm_inf(e1), linalg::norm_inf(e2), std::abs(e3));
+    }
+
+    double alpha =
+        options_.step_fraction * step_limit(ds, dz, dtau, dkappa);
+    alpha = std::min(alpha, 1.0);
+    if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kNumericalFailure,
+                      iter);
+    }
+
+    linalg::axpy(alpha, dx, x);
+    linalg::axpy(alpha, ds, s);
+    linalg::axpy(alpha, dz, z);
+    tau += alpha * dtau;
+    kappa += alpha * dkappa;
+
+    if (!cone.is_interior(s) || !cone.is_interior(z) || tau <= 0.0 ||
+        kappa <= 0.0) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kNumericalFailure,
+                      iter + 1);
+    }
+  }
+
+  restore_best();
+  return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                          : SolveStatus::kMaxIterations,
+                  options_.max_iterations);
+}
+
+}  // namespace bbs::solver

@@ -1,0 +1,88 @@
+// Primal-dual interior-point method for cone programs (LP + second-order
+// cones) in the homogeneous self-dual embedding, with Nesterov–Todd scaling
+// and Mehrotra predictor-corrector steps.
+//
+// This is the replacement for the commercial SOCP solver (CPLEX) used in the
+// paper: it solves exactly the problem class of Algorithm 1 with polynomial
+// complexity and returns certificates of primal/dual infeasibility, which the
+// budget/buffer trade-off sweeps rely on to find the feasibility frontier.
+//
+// The embedding solves, in variables (x, z, s, tau, kappa):
+//
+//     G' z + c tau          = 0
+//     G x  - h tau + s      = 0
+//     c' x + h' z  + kappa  = 0
+//     s, z in K,  tau, kappa >= 0,
+//
+// whose strictly complementary solutions either recover an optimal
+// primal-dual pair (tau > 0) or an infeasibility certificate (kappa > 0).
+#pragma once
+
+#include <string>
+
+#include "bbs/solver/conic_problem.hpp"
+#include "bbs/solver/kkt_system.hpp"
+
+namespace bbs::solver {
+
+enum class SolveStatus {
+  kOptimal,
+  kPrimalInfeasible,  ///< certificate: z in K, G'z = 0, h'z < 0
+  kDualInfeasible,    ///< certificate: x with Gx + s = 0, s in K, c'x < 0
+  kMaxIterations,
+  kNumericalFailure,
+};
+
+const char* to_string(SolveStatus status);
+
+struct SolverOptions {
+  int max_iterations = 100;
+  double feas_tol = 1e-6;
+  double gap_tol = 1e-6;
+  /// Stop when the best merit seen has not improved for this many
+  /// iterations (the iterate has reached its numerical floor); the best
+  /// iterate is returned, as optimal if it meets the tolerances.
+  int stall_iterations = 15;
+  /// Fraction of the step to the cone boundary actually taken.
+  double step_fraction = 0.99;
+  int refine_steps = 1;
+  double static_regularisation = 1e-12;
+  linalg::OrderingMethod ordering = linalg::OrderingMethod::kMinimumDegree;
+  /// Ruiz equilibration rounds (0 disables scaling).
+  int equilibrate_rounds = 3;
+  /// 0 = silent, 1 = per-solve summary, 2 = per-iteration trace to stderr.
+  int verbosity = 0;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  Vector x;  ///< primal solution (or dual-infeasibility certificate)
+  Vector s;  ///< primal slacks
+  Vector z;  ///< dual solution (or primal-infeasibility certificate)
+  double primal_objective = 0.0;
+  double dual_objective = 0.0;
+  double duality_gap = 0.0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  int iterations = 0;
+  double tau = 0.0;
+  double kappa = 0.0;
+
+  bool is_optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves a conic problem. Stateless; thread-compatible (distinct instances
+/// may run concurrently).
+class IpmSolver {
+ public:
+  explicit IpmSolver(SolverOptions options = {}) : options_(options) {}
+
+  SolveResult solve(const ConicProblem& problem) const;
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace bbs::solver

@@ -1,0 +1,68 @@
+// Reduced KKT solve for the interior-point method.
+//
+// Each Newton step requires solutions (u, v) of
+//
+//     G' v           = p
+//     G  u - W^2 v   = q
+//
+// which reduce to the normal equations
+//
+//     (G' W^{-2} G) u = p + G' W^{-2} q,      v = W^{-2} (G u - q).
+//
+// The normal-equation matrix is symmetric positive definite whenever G has
+// full column rank; a small static regularisation plus iterative refinement
+// keeps the solve accurate as W becomes ill-conditioned near convergence.
+#pragma once
+
+#include <memory>
+
+#include "bbs/linalg/ordering.hpp"
+#include "bbs/linalg/sparse_ldlt.hpp"
+#include "bbs/linalg/sparse_matrix.hpp"
+#include "bbs/solver/nt_scaling.hpp"
+
+namespace bbs::solver {
+
+class KktSystem {
+ public:
+  struct Options {
+    linalg::OrderingMethod ordering = linalg::OrderingMethod::kMinimumDegree;
+    /// Static Tikhonov term added to the normal equations, relative to the
+    /// largest diagonal entry.
+    double static_regularisation = 1e-12;
+    /// Rounds of iterative refinement of the normal-equation solve.
+    int refine_steps = 1;
+    /// Rounds of refinement of the full 2x2 KKT system (restores accuracy
+    /// lost to the squared conditioning of the normal-equation reduction).
+    int outer_refine_steps = 3;
+  };
+
+  explicit KktSystem(const linalg::SparseMatrix& g);
+  KktSystem(const linalg::SparseMatrix& g, const Options& options);
+
+  /// Re-assembles and re-factorises the normal equations for a new scaling.
+  void factorise(const NtScaling& scaling);
+
+  /// Solves the 2x2 system above. `p` has num_vars entries, `q` has
+  /// cone-dimension entries. Must be called after factorise().
+  void solve(const NtScaling& scaling, const Vector& p, const Vector& q,
+             Vector& u, Vector& v) const;
+
+  /// Fill-in statistics of the last factorisation (for the ordering bench).
+  Index factor_nnz() const;
+
+ private:
+  void solve_once(const NtScaling& scaling, const Vector& p, const Vector& q,
+                  Vector& u, Vector& v) const;
+
+  linalg::SparseMatrix g_;
+  linalg::SparseMatrix gt_;
+  Options options_;
+  linalg::SparseMatrix normal_;  // unregularised G' W^{-2} G of last factorise
+  std::unique_ptr<linalg::SparseLdlt> factor_;
+  /// Fill-reducing permutation, computed on the first factorisation and
+  /// reused afterwards (the normal-equation pattern is iteration-invariant).
+  std::vector<linalg::Index> cached_permutation_;
+};
+
+}  // namespace bbs::solver

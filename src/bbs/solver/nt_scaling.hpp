@@ -1,0 +1,53 @@
+// Nesterov–Todd scaling for the composite cone.
+//
+// Given strictly interior s and z, the NT scaling point W is the unique
+// symmetric cone automorphism with W z = W^{-1} s =: lambda. For the
+// nonnegative orthant this is the diagonal matrix w_i = sqrt(s_i / z_i); for
+// a second-order cone it is eta * Q(w_bar) where Q is the quadratic
+// representation 2*w*w' - (w'Jw)*J of a unit-hyperbolic point w_bar and
+// eta = ((s'Js)/(z'Jz))^{1/4}.
+//
+// The interior-point method only needs:
+//   * lambda = W z,
+//   * application of W and W^{-1} to vectors (W is symmetric),
+//   * the block-diagonal matrix (W'W)^{-1} = W^{-2} for the KKT assembly.
+#pragma once
+
+#include <vector>
+
+#include "bbs/linalg/dense_matrix.hpp"
+#include "bbs/linalg/sparse_matrix.hpp"
+#include "bbs/solver/cone.hpp"
+
+namespace bbs::solver {
+
+class NtScaling {
+ public:
+  explicit NtScaling(const ConeSpec& cone);
+
+  /// Recomputes the scaling from the current strictly interior pair (s, z).
+  /// Throws NumericalError if either point has left the cone interior.
+  void update(const Vector& s, const Vector& z);
+
+  /// The scaled point lambda = W z = W^{-1} s.
+  const Vector& lambda() const { return lambda_; }
+
+  /// Returns W v (W is symmetric, so this is also W' v).
+  Vector apply_w(const Vector& v) const;
+
+  /// Returns W^{-1} v (also W^{-T} v).
+  Vector apply_w_inv(const Vector& v) const;
+
+  /// Block-diagonal sparse matrix W^{-2} = (W'W)^{-1}, used to assemble the
+  /// normal equations G' W^{-2} G.
+  linalg::SparseMatrix inverse_squared() const;
+
+ private:
+  const ConeSpec* cone_;
+  Vector w_lp_;      // diagonal scaling of the LP block
+  Vector lambda_;    // scaled point for the whole cone
+  std::vector<linalg::DenseMatrix> w_soc_;     // per-SOC W block
+  std::vector<linalg::DenseMatrix> w_inv_soc_; // per-SOC W^{-1} block
+};
+
+}  // namespace bbs::solver

@@ -1,0 +1,156 @@
+// Tests for the composite symmetric cone: layout, Jordan algebra, membership
+// and step-to-boundary computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/rng.hpp"
+#include "bbs/solver/cone.hpp"
+
+namespace bbs::solver {
+namespace {
+
+TEST(ConeSpec, LayoutAndDegree) {
+  const ConeSpec cone(3, {3, 5});
+  EXPECT_EQ(cone.dim(), 11);
+  EXPECT_EQ(cone.degree(), 5);  // 3 LP entries + 2 SOC blocks
+  EXPECT_EQ(cone.soc_offset(0), 3);
+  EXPECT_EQ(cone.soc_offset(1), 6);
+}
+
+TEST(ConeSpec, RejectsTinySocBlocks) {
+  EXPECT_THROW(ConeSpec(0, {1}), ContractViolation);
+  EXPECT_THROW(ConeSpec(-1, {}), ContractViolation);
+}
+
+TEST(ConeSpec, IdentityElement) {
+  const ConeSpec cone(2, {3});
+  Vector e(5);
+  cone.identity(e);
+  EXPECT_EQ(e, (Vector{1.0, 1.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(ConeSpec, CircLpIsComponentwise) {
+  const ConeSpec cone(3, {});
+  const Vector w = cone.circ({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0});
+  EXPECT_EQ(w, (Vector{4.0, 10.0, 18.0}));
+}
+
+TEST(ConeSpec, CircSocIsArrowProduct) {
+  const ConeSpec cone(0, {3});
+  // u o v = (u'v, u0*v1 + v0*u1).
+  const Vector w = cone.circ({2.0, 1.0, -1.0}, {3.0, 0.5, 2.0});
+  EXPECT_DOUBLE_EQ(w[0], 2.0 * 3.0 + 1.0 * 0.5 + (-1.0) * 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0 * 0.5 + 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 2.0 * 2.0 + 3.0 * (-1.0));
+}
+
+TEST(ConeSpec, IdentityIsCircNeutral) {
+  const ConeSpec cone(2, {4});
+  Vector e(6);
+  cone.identity(e);
+  Rng rng(3);
+  Vector u(6);
+  for (auto& x : u) x = rng.next_real(-1.0, 1.0);
+  const Vector w = cone.circ(e, u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(w[i], u[i], 1e-14);
+}
+
+TEST(ConeSpec, SolveCircInvertsCirc) {
+  const ConeSpec cone(2, {3, 4});
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Draw lambda strictly inside the cone.
+    Vector lambda(9);
+    lambda[0] = rng.next_real(0.1, 2.0);
+    lambda[1] = rng.next_real(0.1, 2.0);
+    for (std::size_t k : {std::size_t{2}, std::size_t{5}}) {
+      const std::size_t q = (k == 2) ? 3 : 4;
+      double tail = 0.0;
+      for (std::size_t i = 1; i < q; ++i) {
+        lambda[k + i] = rng.next_real(-0.5, 0.5);
+        tail += lambda[k + i] * lambda[k + i];
+      }
+      lambda[k] = std::sqrt(tail) + rng.next_real(0.1, 1.0);
+    }
+    Vector d(9);
+    for (auto& x : d) x = rng.next_real(-1.0, 1.0);
+    const Vector x = cone.solve_circ(lambda, d);
+    const Vector back = cone.circ(lambda, x);
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(back[i], d[i], 1e-10);
+  }
+}
+
+TEST(ConeSpec, SolveCircRejectsBoundaryLambda) {
+  const ConeSpec cone(1, {3});
+  EXPECT_THROW(cone.solve_circ({0.0, 1.0, 0.0, 0.0}, {1.0, 1.0, 1.0, 1.0}),
+               NumericalError);
+  // SOC boundary: head equals tail norm.
+  EXPECT_THROW(cone.solve_circ({1.0, 1.0, 1.0, 0.0}, {1.0, 1.0, 1.0, 1.0}),
+               NumericalError);
+}
+
+TEST(ConeSpec, InteriorMembership) {
+  const ConeSpec cone(1, {3});
+  EXPECT_TRUE(cone.is_interior({1.0, 2.0, 1.0, 1.0}));
+  EXPECT_FALSE(cone.is_interior({0.0, 2.0, 1.0, 1.0}));     // LP boundary
+  EXPECT_FALSE(cone.is_interior({1.0, 1.0, 1.0, 0.0}));     // SOC boundary
+  EXPECT_FALSE(cone.is_interior({1.0, 1.0, 2.0, 0.0}));     // outside SOC
+  EXPECT_FALSE(cone.is_interior({1.0, -1.0, 0.1, 0.1}));    // negative head
+}
+
+TEST(ConeSpec, MaxStepLpExact) {
+  const ConeSpec cone(2, {});
+  // u = (1, 2), du = (-0.5, -4): limits 2 and 0.5.
+  EXPECT_NEAR(cone.max_step({1.0, 2.0}, {-0.5, -4.0}), 0.5, 1e-12);
+  // Nonnegative direction: unbounded (capped).
+  EXPECT_DOUBLE_EQ(cone.max_step({1.0, 2.0}, {1.0, 0.0}, 99.0), 99.0);
+}
+
+TEST(ConeSpec, MaxStepSocAgainstClosedForm) {
+  const ConeSpec cone(0, {3});
+  // u = (1,0,0), du = (-1,0,0): boundary at alpha = 1.
+  EXPECT_NEAR(cone.max_step({1.0, 0.0, 0.0}, {-1.0, 0.0, 0.0}), 1.0, 1e-12);
+  // u = (2,1,0), du = (0,1,0): (2)^2 = (1+a)^2 -> a = 1.
+  EXPECT_NEAR(cone.max_step({2.0, 1.0, 0.0}, {0.0, 1.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(ConeSpec, MaxStepKeepsPointInsideRandomised) {
+  const ConeSpec cone(3, {3, 5});
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector u(11);
+    // Interior point.
+    for (int i = 0; i < 3; ++i) u[static_cast<std::size_t>(i)] =
+        rng.next_real(0.1, 3.0);
+    for (std::size_t off : {std::size_t{3}, std::size_t{6}}) {
+      const std::size_t q = (off == 3) ? 3 : 5;
+      double tail = 0.0;
+      for (std::size_t i = 1; i < q; ++i) {
+        u[off + i] = rng.next_real(-1.0, 1.0);
+        tail += u[off + i] * u[off + i];
+      }
+      u[off] = std::sqrt(tail) + rng.next_real(0.05, 1.5);
+    }
+    Vector du(11);
+    for (auto& x : du) x = rng.next_real(-1.0, 1.0);
+
+    const double alpha = cone.max_step(u, du, 1e6);
+    ASSERT_GT(alpha, 0.0);
+    // Just inside the step: still in the cone.
+    Vector inside = u;
+    linalg::axpy(0.999 * std::min(alpha, 1e5), du, inside);
+    EXPECT_TRUE(cone.is_interior(inside, -1e-9));
+    // Just beyond (when finite): outside or on the boundary.
+    if (alpha < 1e5) {
+      Vector outside = u;
+      linalg::axpy(alpha * 1.001 + 1e-12, du, outside);
+      EXPECT_FALSE(cone.is_interior(outside, 1e-12));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbs::solver

@@ -1,0 +1,94 @@
+// Tests for the conic problem container and its row-oriented builder.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/solver/conic_problem.hpp"
+
+namespace bbs::solver {
+namespace {
+
+TEST(ConicProblemBuilder, BuildsLpRows) {
+  ConicProblemBuilder b(2);
+  b.set_objective(0, 1.0);
+  b.set_objective(1, -2.0);
+  b.add_inequality({{0, 1.0}, {1, 2.0}}, 3.0);
+  b.add_inequality({{1, -1.0}}, 0.0);
+  const ConicProblem p = b.build();
+
+  EXPECT_EQ(p.num_vars(), 2);
+  EXPECT_EQ(p.num_rows(), 2);
+  EXPECT_EQ(p.cone().nonneg(), 2);
+  EXPECT_TRUE(p.cone().soc_dims().empty());
+  EXPECT_DOUBLE_EQ(p.c()[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.c()[1], -2.0);
+  EXPECT_DOUBLE_EQ(p.h()[0], 3.0);
+
+  const auto dense = p.g().to_dense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dense(1, 1), -1.0);
+}
+
+TEST(ConicProblemBuilder, BuildsSocBlocks) {
+  ConicProblemBuilder b(2);
+  b.add_inequality({{0, 1.0}}, 1.0);
+  b.begin_soc(3);
+  b.soc_row({{0, -1.0}, {1, -1.0}}, 0.0);
+  b.soc_row({{0, -1.0}, {1, 1.0}}, 0.0);
+  b.soc_row({}, 2.0);
+  const ConicProblem p = b.build();
+  EXPECT_EQ(p.cone().nonneg(), 1);
+  ASSERT_EQ(p.cone().soc_dims().size(), 1u);
+  EXPECT_EQ(p.cone().soc_dims()[0], 3);
+  EXPECT_EQ(p.num_rows(), 4);
+  EXPECT_DOUBLE_EQ(p.h()[3], 2.0);
+}
+
+TEST(ConicProblemBuilder, LpAfterSocRejected) {
+  ConicProblemBuilder b(1);
+  b.begin_soc(2);
+  b.soc_row({{0, 1.0}}, 0.0);
+  b.soc_row({{0, -1.0}}, 0.0);
+  EXPECT_THROW(b.add_inequality({{0, 1.0}}, 1.0), ContractViolation);
+}
+
+TEST(ConicProblemBuilder, UnfinishedSocRejected) {
+  ConicProblemBuilder b(1);
+  b.begin_soc(3);
+  b.soc_row({{0, 1.0}}, 0.0);
+  EXPECT_THROW(b.build(), ModelError);
+  EXPECT_THROW(b.begin_soc(2), ContractViolation);
+}
+
+TEST(ConicProblemBuilder, VariableRangeChecked) {
+  ConicProblemBuilder b(1);
+  EXPECT_THROW(b.set_objective(1, 1.0), ContractViolation);
+  EXPECT_THROW(b.add_inequality({{1, 1.0}}, 0.0), ContractViolation);
+  EXPECT_THROW(b.soc_row({{0, 1.0}}, 0.0), ContractViolation);
+}
+
+TEST(ConicProblem, ResidualEvaluation) {
+  ConicProblemBuilder b(1);
+  b.set_objective(0, 2.0);
+  b.add_inequality({{0, 1.0}}, 1.0);
+  const ConicProblem p = b.build();
+
+  // x = 0.5, s = 0.5: primal feasible exactly.
+  EXPECT_NEAR(p.primal_residual({0.5}, {0.5}), 0.0, 1e-15);
+  EXPECT_NEAR(p.primal_residual({0.5}, {0.0}), 0.5, 1e-15);
+  // z = 2 makes G'z + c = 1*2 + 2 = 4.
+  EXPECT_NEAR(p.dual_residual({2.0}), 4.0, 1e-15);
+  EXPECT_DOUBLE_EQ(p.objective({3.0}), 6.0);
+}
+
+TEST(ConicProblem, DimensionMismatchRejected) {
+  linalg::TripletList t(2, 1);
+  t.add(0, 0, 1.0);
+  const auto g = linalg::SparseMatrix::from_triplets(t);
+  EXPECT_THROW(
+      ConicProblem({1.0}, g, {1.0}, ConeSpec(2, {})),  // |h| != rows is fine;
+      ContractViolation);                              // here |h|=1 vs rows=2
+}
+
+}  // namespace
+}  // namespace bbs::solver

@@ -1,0 +1,123 @@
+// Tests for critical-cycle extraction: the returned cycle must be a real
+// directed cycle whose ratio equals the MCR, on hand-built and random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/rng.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+
+namespace bbs::dataflow {
+namespace {
+
+/// Verifies the structural cycle property and recomputes its ratio.
+double cycle_ratio_of(const SrdfGraph& g, const std::vector<Index>& queues) {
+  EXPECT_FALSE(queues.empty());
+  double duration = 0.0;
+  double tokens = 0.0;
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const Queue& q = g.queue(queues[i]);
+    const Queue& next = g.queue(queues[(i + 1) % queues.size()]);
+    EXPECT_EQ(q.to, next.from) << "queues do not chain into a cycle";
+    duration += g.actor(q.from).firing_duration;
+    tokens += static_cast<double>(q.initial_tokens);
+  }
+  return tokens > 0.0 ? duration / tokens
+                      : std::numeric_limits<double>::infinity();
+}
+
+TEST(CriticalCycle, SimpleTwoActorCycle) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 3.0);
+  const Index b = g.add_actor("b", 2.0);
+  g.add_queue(a, b, 0);
+  g.add_queue(b, a, 1);
+  const CriticalCycle c = critical_cycle(g);
+  EXPECT_NEAR(c.ratio, 5.0, 1e-8);
+  EXPECT_EQ(c.queues.size(), 2u);
+  EXPECT_NEAR(cycle_ratio_of(g, c.queues), 5.0, 1e-12);
+}
+
+TEST(CriticalCycle, PicksTheWorstOfTwoCycles) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 2.0);   // self loop: ratio 2
+  g.add_queue(a, a, 1);
+  const Index b = g.add_actor("b", 3.0);
+  const Index c = g.add_actor("c", 4.0);
+  g.add_queue(b, c, 1);
+  g.add_queue(c, b, 1);                    // ratio 3.5
+  const CriticalCycle crit = critical_cycle(g);
+  EXPECT_NEAR(crit.ratio, 3.5, 1e-8);
+  EXPECT_NEAR(cycle_ratio_of(g, crit.queues), 3.5, 1e-12);
+}
+
+TEST(CriticalCycle, SelfLoopExtracted) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 7.0);
+  g.add_queue(a, a, 2);  // ratio 3.5
+  const CriticalCycle crit = critical_cycle(g);
+  EXPECT_NEAR(crit.ratio, 3.5, 1e-8);
+  ASSERT_EQ(crit.queues.size(), 1u);
+  EXPECT_EQ(crit.queues[0], 0);
+}
+
+TEST(CriticalCycle, AcyclicReturnsEmpty) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 3);
+  const CriticalCycle crit = critical_cycle(g);
+  EXPECT_EQ(crit.ratio, 0.0);
+  EXPECT_TRUE(crit.queues.empty());
+}
+
+TEST(CriticalCycle, DeadlockReturnsZeroTokenCycle) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 0);
+  g.add_queue(b, a, 0);
+  g.add_queue(a, a, 1);  // live self loop must not distract
+  const CriticalCycle crit = critical_cycle(g);
+  EXPECT_TRUE(std::isinf(crit.ratio));
+  ASSERT_FALSE(crit.queues.empty());
+  double tokens = 0.0;
+  for (const Index qid : crit.queues) {
+    tokens += static_cast<double>(g.queue(qid).initial_tokens);
+  }
+  EXPECT_EQ(tokens, 0.0);
+  cycle_ratio_of(g, crit.queues);  // structural check
+}
+
+class CriticalCycleRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CriticalCycleRandom, CycleAttainsTheMcr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 5857 + 17);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 12));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v", rng.next_real(0.2, 4.0));
+    }
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 3)));
+    }
+    for (Index e = 0; e < n; ++e) {
+      g.add_queue(static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(1, 4)));
+    }
+    const double mcr = max_cycle_ratio_bisect(g, 1e-11);
+    const CriticalCycle crit = critical_cycle(g);
+    ASSERT_FALSE(crit.queues.empty());
+    const double recomputed = cycle_ratio_of(g, crit.queues);
+    EXPECT_NEAR(recomputed, mcr, 1e-6 * (1.0 + mcr))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriticalCycleRandom, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bbs::dataflow

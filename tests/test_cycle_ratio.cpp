@@ -1,0 +1,154 @@
+// Tests for the maximum-cycle-ratio analyses: hand-computed graphs, the
+// agreement of the three independent algorithms on random strongly connected
+// graphs, and the deadlock/acyclic conventions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bbs/common/rng.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+
+namespace bbs::dataflow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SrdfGraph two_cycle(double rho_a, double rho_b, Index tokens) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", rho_a);
+  const Index b = g.add_actor("b", rho_b);
+  g.add_queue(a, b, 0);
+  g.add_queue(b, a, tokens);
+  return g;
+}
+
+TEST(CycleRatio, SimpleTwoActorCycle) {
+  // Cycle duration 3 + 2 = 5, tokens 1 -> MCR 5.
+  const SrdfGraph g = two_cycle(3.0, 2.0, 1);
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 5.0, 1e-7);
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 5.0, 1e-9);
+}
+
+TEST(CycleRatio, TokensDivideRatio) {
+  const SrdfGraph g = two_cycle(3.0, 2.0, 4);
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 1.25, 1e-7);
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 1.25, 1e-9);
+}
+
+TEST(CycleRatio, SelfLoopDominates) {
+  SrdfGraph g = two_cycle(1.0, 1.0, 10);  // outer cycle ratio 0.2
+  g.add_queue(0, 0, 1);                   // self loop ratio 1.0
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 1.0, 1e-7);
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 1.0, 1e-9);
+}
+
+TEST(CycleRatio, MaxOverMultipleCycles) {
+  // Two disjoint cycles with ratios 2 and 7/3.
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 2.0);
+  g.add_queue(a, a, 1);
+  const Index b = g.add_actor("b", 3.0);
+  const Index c = g.add_actor("c", 4.0);
+  g.add_queue(b, c, 1);
+  g.add_queue(c, b, 2);
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 7.0 / 3.0, 1e-7);
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 7.0 / 3.0, 1e-9);
+}
+
+TEST(CycleRatio, AcyclicIsZero) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 5.0);
+  const Index b = g.add_actor("b", 7.0);
+  g.add_queue(a, b, 0);
+  EXPECT_DOUBLE_EQ(max_cycle_ratio_bisect(g), 0.0);
+  EXPECT_DOUBLE_EQ(max_cycle_ratio_howard(g), 0.0);
+  EXPECT_DOUBLE_EQ(max_cycle_mean_karp(g), 0.0);
+}
+
+TEST(CycleRatio, DeadlockIsInfinite) {
+  const SrdfGraph g = two_cycle(1.0, 1.0, 0);
+  EXPECT_EQ(max_cycle_ratio_bisect(g), kInf);
+  EXPECT_EQ(max_cycle_ratio_howard(g), kInf);
+}
+
+TEST(CycleRatio, KarpOnUnitTokenGraph) {
+  // Ring of 3 actors with durations 1, 2, 3 and unit tokens: mean = ratio
+  // = 6/3 = 2.
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 2.0);
+  const Index c = g.add_actor("c", 3.0);
+  g.add_queue(a, b, 1);
+  g.add_queue(b, c, 1);
+  g.add_queue(c, a, 1);
+  EXPECT_NEAR(max_cycle_mean_karp(g), 2.0, 1e-9);
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 2.0, 1e-9);
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 2.0, 1e-7);
+}
+
+TEST(CycleRatio, HowardHandlesTreesIntoCycles) {
+  // A tail actor feeding a cycle must not disturb the result.
+  SrdfGraph g = two_cycle(2.0, 2.0, 1);  // ratio 4
+  const Index t = g.add_actor("tail", 100.0);
+  g.add_queue(t, 0, 5);  // tail -> cycle, no cycle through tail
+  EXPECT_NEAR(max_cycle_ratio_howard(g), 4.0, 1e-9);
+  EXPECT_NEAR(max_cycle_ratio_bisect(g), 4.0, 1e-7);
+}
+
+/// Random strongly connected graphs: ring + chords, random durations and
+/// token counts; the three algorithms must agree (Karp only when all token
+/// counts are forced to 1).
+class CycleRatioAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleRatioAgreement, BisectEqualsHoward) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 12));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v" + std::to_string(v), rng.next_real(0.1, 5.0));
+    }
+    // Ring with >= 1 token per edge keeps it live and strongly connected.
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 3)));
+    }
+    const Index chords = static_cast<Index>(rng.next_int(0, n));
+    for (Index e = 0; e < chords; ++e) {
+      g.add_queue(static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(1, 4)));
+    }
+    const double bisect = max_cycle_ratio_bisect(g, 1e-10);
+    const double howard = max_cycle_ratio_howard(g);
+    EXPECT_NEAR(bisect, howard, 1e-6 * (1.0 + bisect))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(CycleRatioAgreement, KarpMatchesOnUnitTokens) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 10));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v" + std::to_string(v), rng.next_real(0.1, 5.0));
+    }
+    for (Index v = 0; v < n; ++v) g.add_queue(v, (v + 1) % n, 1);
+    const Index chords = static_cast<Index>(rng.next_int(0, n));
+    for (Index e = 0; e < chords; ++e) {
+      g.add_queue(static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(0, n - 1)), 1);
+    }
+    const double karp = max_cycle_mean_karp(g);
+    const double howard = max_cycle_ratio_howard(g);
+    const double bisect = max_cycle_ratio_bisect(g, 1e-10);
+    EXPECT_NEAR(karp, howard, 1e-7 * (1.0 + karp));
+    EXPECT_NEAR(karp, bisect, 1e-6 * (1.0 + karp));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CycleRatioAgreement, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bbs::dataflow

@@ -1,0 +1,116 @@
+// Tests for the SRDF graph container and its structural queries.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/dataflow/dot_export.hpp"
+#include "bbs/dataflow/srdf_graph.hpp"
+
+namespace bbs::dataflow {
+namespace {
+
+TEST(SrdfGraph, ConstructionAndAccessors) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.5);
+  const Index b = g.add_actor("b", 2.0);
+  const Index e = g.add_queue(a, b, 3, "data");
+  EXPECT_EQ(g.num_actors(), 2);
+  EXPECT_EQ(g.num_queues(), 1);
+  EXPECT_EQ(g.actor(a).name, "a");
+  EXPECT_DOUBLE_EQ(g.actor(b).firing_duration, 2.0);
+  EXPECT_EQ(g.queue(e).initial_tokens, 3);
+  EXPECT_EQ(g.out_queues(a).size(), 1u);
+  EXPECT_EQ(g.in_queues(b).size(), 1u);
+  EXPECT_TRUE(g.is_valid());
+  EXPECT_DOUBLE_EQ(g.total_duration(), 3.5);
+}
+
+TEST(SrdfGraph, RejectsBadArguments) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  EXPECT_THROW(g.add_actor("x", -1.0), ContractViolation);
+  EXPECT_THROW(g.add_queue(a, 7, 0), ContractViolation);
+  EXPECT_THROW(g.add_queue(7, a, 0), ContractViolation);
+  EXPECT_THROW(g.add_queue(a, a, -1), ContractViolation);
+  EXPECT_THROW(g.actor(5), ContractViolation);
+  EXPECT_THROW(g.queue(0), ContractViolation);
+}
+
+TEST(SrdfGraph, Mutators) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index e = g.add_queue(a, a, 1);
+  g.set_firing_duration(a, 4.0);
+  g.set_initial_tokens(e, 5);
+  EXPECT_DOUBLE_EQ(g.actor(a).firing_duration, 4.0);
+  EXPECT_EQ(g.queue(e).initial_tokens, 5);
+  EXPECT_THROW(g.set_firing_duration(a, -1.0), ContractViolation);
+  EXPECT_THROW(g.set_initial_tokens(e, -1), ContractViolation);
+}
+
+TEST(SrdfGraph, ZeroTokenCycleDetection) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 0);
+  g.add_queue(b, a, 1);
+  EXPECT_FALSE(g.has_zero_token_cycle());
+  // Remove the token: deadlock.
+  SrdfGraph h;
+  const Index c = h.add_actor("c", 1.0);
+  const Index d = h.add_actor("d", 1.0);
+  h.add_queue(c, d, 0);
+  h.add_queue(d, c, 0);
+  EXPECT_TRUE(h.has_zero_token_cycle());
+}
+
+TEST(SrdfGraph, SelfLoopZeroTokensIsDeadlock) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  g.add_queue(a, a, 0);
+  EXPECT_TRUE(g.has_zero_token_cycle());
+  g.set_initial_tokens(0, 1);
+  EXPECT_FALSE(g.has_zero_token_cycle());
+}
+
+TEST(SrdfGraph, StrongConnectivity) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 1);
+  EXPECT_FALSE(g.is_strongly_connected());
+  g.add_queue(b, a, 1);
+  EXPECT_TRUE(g.is_strongly_connected());
+
+  SrdfGraph single;
+  single.add_actor("only", 1.0);
+  EXPECT_TRUE(single.is_strongly_connected());
+}
+
+TEST(SrdfGraph, MultiEdgesSupported) {
+  // Two parallel queues between the same actors (the data/space pair of a
+  // buffer) must be kept distinct.
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 1.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 0, "data");
+  g.add_queue(a, b, 4, "more");
+  EXPECT_EQ(g.out_queues(a).size(), 2u);
+  EXPECT_EQ(g.queue(0).label, "data");
+  EXPECT_EQ(g.queue(1).initial_tokens, 4);
+}
+
+TEST(DotExport, ContainsActorsAndQueues) {
+  SrdfGraph g;
+  const Index a = g.add_actor("prod", 2.0);
+  const Index b = g.add_actor("cons", 1.0);
+  g.add_queue(a, b, 3, "buf");
+  const std::string dot = to_dot(g, "test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("prod"), std::string::npos);
+  EXPECT_NE(dot.find("cons"), std::string::npos);
+  EXPECT_NE(dot.find("a0 -> a1"), std::string::npos);
+  EXPECT_NE(dot.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbs::dataflow

@@ -1,0 +1,114 @@
+// Tests for the exhaustive integer reference and its relation to the SOCP:
+// the continuous optimum is a lower bound, the rounded SOCP solution an
+// upper bound, and on small instances the gap is at most the rounding slack.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/exact_reference.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(ExactReference, T1CappedMatchesHandComputation) {
+  // Capacity <= 3: the symmetric integer optimum is beta = 27 for both
+  // tasks (smallest integers with 80 - (ba+bb) + 40/ba + 40/bb <= 30), but
+  // asymmetric splits like (26, 28) reach the same total of 54 — assert the
+  // optimal cost, the capacity, and feasibility of the reported budgets.
+  model::Configuration config = gen::producer_consumer_t1();
+  config.mutable_task_graph(0).set_max_capacity(0, 3);
+  ExactSearchLimits limits;
+  limits.max_capacity = 3;
+  const auto best = exact_reference(config, limits);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->budgets[0][0] + best->budgets[0][1], 54.0, 1e-9);
+  EXPECT_EQ(best->capacities[0][0], 3);
+  EXPECT_NEAR(best->cost, 54.0 + 1e-3 * 3.0, 1e-9);
+  const GraphVerification v =
+      verify_graph(config, 0, best->budgets[0], best->capacities[0]);
+  EXPECT_TRUE(v.throughput_met);
+}
+
+TEST(ExactReference, SocpBracketsTheIntegerOptimum) {
+  for (const linalg::Index cap : {2, 4, 6, 8}) {
+    model::Configuration config = gen::producer_consumer_t1();
+    config.mutable_task_graph(0).set_max_capacity(0, cap);
+
+    const MappingResult socp = compute_budgets_and_buffers(config);
+    ASSERT_TRUE(socp.feasible());
+
+    ExactSearchLimits limits;
+    limits.max_capacity = cap;
+    const auto exact = exact_reference(config, limits);
+    ASSERT_TRUE(exact.has_value());
+
+    // Lower bound: continuous relaxation; upper bound: rounded allocation.
+    EXPECT_LE(socp.objective_continuous, exact->cost + 1e-6)
+        << "cap " << cap;
+    EXPECT_GE(socp.objective_rounded, exact->cost - 1e-6) << "cap " << cap;
+    // The rounding gap is at most one granule per task plus one container
+    // (the slack pre-paid by constraints (9) and (10)).
+    EXPECT_LE(socp.objective_rounded - exact->cost,
+              2.0 * 1.0 + 1e-3 * 1.0 + 1e-6)
+        << "cap " << cap;
+  }
+}
+
+TEST(ExactReference, InfeasibleInstanceReturnsNullopt) {
+  // mu = 1.9 with capacity cap 1 is infeasible even for the maximal budgets
+  // beta = 40 (cycle duration 2(40-40) + 2*40/40 = 2 > 1.9). Note mu = 2.2
+  // would NOT do here: the exhaustive search checks true feasibility, where
+  // beta = 40 is admissible, while Algorithm 1 conservatively reserves +g.
+  model::Configuration config(1);
+  const auto p1 = config.add_processor("p1", 40.0);
+  const auto p2 = config.add_processor("p2", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("T1", 1.9);
+  const auto wa = tg.add_task("wa", p1, 1.0);
+  const auto wb = tg.add_task("wb", p2, 1.0);
+  const auto b = tg.add_buffer("bab", wa, wb, mem);
+  tg.set_max_capacity(b, 1);
+  config.add_task_graph(std::move(tg));
+
+  ExactSearchLimits limits;
+  limits.max_capacity = 1;
+  EXPECT_FALSE(exact_reference(config, limits).has_value());
+}
+
+TEST(ExactReference, RespectsGranularity) {
+  model::Configuration config(5);  // budgets in multiples of 5
+  const auto p1 = config.add_processor("p1", 40.0);
+  const auto p2 = config.add_processor("p2", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("T1", 10.0);
+  const auto wa = tg.add_task("wa", p1, 1.0);
+  const auto wb = tg.add_task("wb", p2, 1.0);
+  const auto b = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
+  tg.set_max_capacity(b, 4);
+  config.add_task_graph(std::move(tg));
+
+  ExactSearchLimits limits;
+  limits.max_capacity = 4;
+  const auto best = exact_reference(config, limits);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(static_cast<int>(best->budgets[0][0]) % 5, 0);
+  EXPECT_EQ(static_cast<int>(best->budgets[0][1]) % 5, 0);
+  // The symmetric rounding (25, 25) is beaten by asymmetric grid points such
+  // as (20, 25): total 45 is the granularity-5 optimum.
+  EXPECT_NEAR(best->budgets[0][0] + best->budgets[0][1], 45.0, 1e-9);
+  const GraphVerification v =
+      verify_graph(config, 0, best->budgets[0], best->capacities[0]);
+  EXPECT_TRUE(v.throughput_met);
+}
+
+TEST(ExactReference, SearchSpaceGuard) {
+  const model::Configuration config = gen::three_stage_chain_t2();
+  ExactSearchLimits limits;
+  limits.max_capacity = 10;
+  limits.max_combinations = 10;  // deliberately tiny
+  EXPECT_THROW(exact_reference(config, limits), ModelError);
+}
+
+}  // namespace
+}  // namespace bbs::core

@@ -1,0 +1,150 @@
+// Tests for the synthetic configuration generators: exact reproduction of
+// the paper's T1/T2, structural properties, determinism, and feasibility by
+// construction.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::gen {
+namespace {
+
+TEST(Generators, T1MatchesPaperParameters) {
+  const model::Configuration c = producer_consumer_t1();
+  ASSERT_EQ(c.num_processors(), 2);
+  EXPECT_DOUBLE_EQ(c.processor(0).replenishment_interval, 40.0);
+  EXPECT_DOUBLE_EQ(c.processor(1).replenishment_interval, 40.0);
+  ASSERT_EQ(c.num_task_graphs(), 1);
+  const model::TaskGraph& tg = c.task_graph(0);
+  EXPECT_DOUBLE_EQ(tg.required_period(), 10.0);
+  ASSERT_EQ(tg.num_tasks(), 2);
+  EXPECT_DOUBLE_EQ(tg.task(0).wcet, 1.0);
+  EXPECT_DOUBLE_EQ(tg.task(1).wcet, 1.0);
+  EXPECT_NE(tg.task(0).processor, tg.task(1).processor);
+  ASSERT_EQ(tg.num_buffers(), 1);
+  EXPECT_EQ(tg.buffer(0).container_size, 1);
+  EXPECT_EQ(tg.buffer(0).initial_fill, 0);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Generators, T2ExtendsT1WithThirdStage) {
+  const model::Configuration c = three_stage_chain_t2();
+  ASSERT_EQ(c.num_processors(), 3);
+  const model::TaskGraph& tg = c.task_graph(0);
+  ASSERT_EQ(tg.num_tasks(), 3);
+  ASSERT_EQ(tg.num_buffers(), 2);
+  EXPECT_EQ(tg.buffer(0).producer, 0);
+  EXPECT_EQ(tg.buffer(0).consumer, 1);
+  EXPECT_EQ(tg.buffer(1).producer, 1);
+  EXPECT_EQ(tg.buffer(1).consumer, 2);
+  // Each task on its own processor (paper: p1, p2, p3).
+  EXPECT_NE(tg.task(0).processor, tg.task(1).processor);
+  EXPECT_NE(tg.task(1).processor, tg.task(2).processor);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Generators, ChainStructure) {
+  const model::Configuration c = make_chain(6);
+  const model::TaskGraph& tg = c.task_graph(0);
+  EXPECT_EQ(tg.num_tasks(), 6);
+  EXPECT_EQ(tg.num_buffers(), 5);
+  for (linalg::Index b = 0; b < tg.num_buffers(); ++b) {
+    EXPECT_EQ(tg.buffer(b).producer, b);
+    EXPECT_EQ(tg.buffer(b).consumer, b + 1);
+  }
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Generators, RingClosingEdgeCarriesToken) {
+  const model::Configuration c = make_ring(5);
+  const model::TaskGraph& tg = c.task_graph(0);
+  EXPECT_EQ(tg.num_buffers(), 5);
+  linalg::Index filled = 0;
+  for (linalg::Index b = 0; b < tg.num_buffers(); ++b) {
+    filled += tg.buffer(b).initial_fill;
+  }
+  EXPECT_EQ(filled, 1);  // exactly the closing edge
+}
+
+TEST(Generators, SplitJoinStructure) {
+  const model::Configuration c = make_split_join(3, 2);
+  const model::TaskGraph& tg = c.task_graph(0);
+  // src + 3*2 branch tasks + sink.
+  EXPECT_EQ(tg.num_tasks(), 8);
+  // Per branch: src->first, internal (depth-1), last->sink = depth+1 edges.
+  EXPECT_EQ(tg.num_buffers(), 9);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Generators, RandomDagIsAcyclicAndConnected) {
+  const model::Configuration c = make_random_dag(12, 0.8);
+  const model::TaskGraph& tg = c.task_graph(0);
+  EXPECT_EQ(tg.num_tasks(), 12);
+  EXPECT_GE(tg.num_buffers(), 11);  // spanning chain at minimum
+  for (linalg::Index b = 0; b < tg.num_buffers(); ++b) {
+    EXPECT_LT(tg.buffer(b).producer, tg.buffer(b).consumer);  // forward edge
+  }
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  GenParams params;
+  params.seed = 99;
+  const model::Configuration a = make_random_dag(10, 0.5, params);
+  const model::Configuration b = make_random_dag(10, 0.5, params);
+  ASSERT_EQ(a.task_graph(0).num_buffers(), b.task_graph(0).num_buffers());
+  for (linalg::Index t = 0; t < a.task_graph(0).num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(a.task_graph(0).task(t).wcet,
+                     b.task_graph(0).task(t).wcet);
+    EXPECT_EQ(a.task_graph(0).task(t).processor,
+              b.task_graph(0).task(t).processor);
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  GenParams pa;
+  pa.seed = 1;
+  GenParams pb;
+  pb.seed = 2;
+  const model::Configuration a = make_random_dag(10, 0.5, pa);
+  const model::Configuration b = make_random_dag(10, 0.5, pb);
+  bool any_diff = false;
+  for (linalg::Index t = 0; t < 10; ++t) {
+    if (a.task_graph(0).task(t).wcet != b.task_graph(0).task(t).wcet) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, CarEntertainmentPresetIsValidMultiJob) {
+  const model::Configuration c = car_entertainment_preset();
+  EXPECT_EQ(c.num_task_graphs(), 2);
+  EXPECT_GE(c.num_processors(), 3);
+  EXPECT_NO_THROW(c.validate());
+  // The two jobs share at least one processor.
+  std::vector<bool> used_by_0(static_cast<std::size_t>(c.num_processors()),
+                              false);
+  bool shared = false;
+  for (linalg::Index t = 0; t < c.task_graph(0).num_tasks(); ++t) {
+    used_by_0[static_cast<std::size_t>(c.task_graph(0).task(t).processor)] =
+        true;
+  }
+  for (linalg::Index t = 0; t < c.task_graph(1).num_tasks(); ++t) {
+    if (used_by_0[static_cast<std::size_t>(c.task_graph(1).task(t).processor)]) {
+      shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(Generators, Preconditions) {
+  EXPECT_THROW(make_chain(0), ContractViolation);
+  EXPECT_THROW(make_ring(1), ContractViolation);
+  EXPECT_THROW(make_split_join(0, 1), ContractViolation);
+  EXPECT_THROW(make_random_dag(1, 0.5), ContractViolation);
+  EXPECT_THROW(make_random_dag(5, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::gen

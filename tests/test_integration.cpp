@@ -1,0 +1,201 @@
+// Cross-module integration tests: the full pipeline
+//   generator -> Algorithm-1 SOCP -> rounding -> MCR verification
+//   -> TDM simulation
+// on multi-job systems and generated families, plus agreement between the
+// analytic model and the simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/two_phase.hpp"
+#include "bbs/dataflow/self_timed.hpp"
+#include "bbs/gen/generators.hpp"
+#include "bbs/io/config_io.hpp"
+#include "bbs/sim/tdm_simulator.hpp"
+
+namespace bbs {
+namespace {
+
+using core::MappingResult;
+using linalg::Index;
+using linalg::Vector;
+
+/// Runs the full pipeline and checks every stage's contract.
+void check_full_pipeline(const model::Configuration& config) {
+  const MappingResult r = core::compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  ASSERT_TRUE(r.verified);
+
+  std::vector<Vector> budgets;
+  std::vector<std::vector<Index>> caps;
+  for (std::size_t gi = 0; gi < r.graphs.size(); ++gi) {
+    Vector b;
+    std::vector<Index> c;
+    for (const auto& t : r.graphs[gi].tasks) {
+      b.push_back(static_cast<double>(t.budget));
+    }
+    for (const auto& buf : r.graphs[gi].buffers) c.push_back(buf.capacity);
+    budgets.push_back(std::move(b));
+    caps.push_back(std::move(c));
+  }
+
+  // The dataflow model is conservative. Two checks:
+  //  (1) the per-execution PAS bound, exact at every k (no steady state
+  //      required);
+  //  (2) the measured period against the requirement, with a slack that
+  //      covers finite-window bias when the (bursty) periodic regime is
+  //      longer than the observation window.
+  sim::SimOptions sim_opts;
+  sim_opts.iterations = 2048;
+  sim_opts.warmup = 512;
+  const sim::SimResult s = sim::simulate_tdm(config, budgets, caps, sim_opts);
+  double max_wheel = 0.0;
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    max_wheel = std::max(max_wheel,
+                         config.processor(p).replenishment_interval);
+  }
+  const double slack =
+      3.0 * max_wheel / (sim_opts.iterations - sim_opts.warmup);
+  for (std::size_t gi = 0; gi < s.graphs.size(); ++gi) {
+    ASSERT_FALSE(s.graphs[gi].deadlocked);
+    EXPECT_TRUE(core::simulation_within_pas_bound(
+        config, static_cast<Index>(gi), budgets[gi], caps[gi], s.graphs[gi]))
+        << config.task_graph(static_cast<Index>(gi)).name();
+    EXPECT_LE(s.graphs[gi].measured_period,
+              config.task_graph(static_cast<Index>(gi)).required_period() +
+                  slack)
+        << config.task_graph(static_cast<Index>(gi)).name();
+  }
+}
+
+TEST(Integration, PaperT1FullPipeline) {
+  check_full_pipeline(gen::producer_consumer_t1());
+}
+
+TEST(Integration, PaperT2FullPipeline) {
+  check_full_pipeline(gen::three_stage_chain_t2());
+}
+
+TEST(Integration, CarEntertainmentMultiJob) {
+  check_full_pipeline(gen::car_entertainment_preset());
+}
+
+class IntegrationFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationFamilies, ChainsRingsDagsSurviveFullPipeline) {
+  gen::GenParams params;
+  params.seed = static_cast<std::uint64_t>(GetParam());
+  check_full_pipeline(gen::make_chain(3 + GetParam() % 5, params));
+  check_full_pipeline(gen::make_ring(3 + GetParam() % 3, params));
+  check_full_pipeline(gen::make_random_dag(5 + GetParam() % 4, 0.4, params));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationFamilies, ::testing::Range(0, 6));
+
+TEST(Integration, SrdfSelfTimedMatchesMcrForMappedT1) {
+  // The SRDF model's self-timed execution converges to its MCR; with the
+  // computed allocation that MCR is at most the required period.
+  const model::Configuration config = gen::producer_consumer_t1();
+  const MappingResult r = core::compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+
+  const Vector budgets{static_cast<double>(r.graphs[0].tasks[0].budget),
+                       static_cast<double>(r.graphs[0].tasks[1].budget)};
+  const std::vector<Index> caps{r.graphs[0].buffers[0].capacity};
+  const core::SrdfModel m = core::build_srdf(config, 0, budgets, caps);
+  const dataflow::SelfTimedResult st =
+      dataflow::self_timed_execution(m.graph, 400, 200);
+  ASSERT_TRUE(st.deadlock_free);
+  EXPECT_NEAR(st.measured_period, r.graphs[0].verification.mcr,
+              1e-6 * (1.0 + st.measured_period));
+  EXPECT_LE(st.measured_period, 10.0 + 1e-6);
+}
+
+TEST(Integration, SimulatedPeriodNeverBeatsSrdfBoundByOrdersOfMagnitude) {
+  // Sanity on conservativeness direction: the analytic bound (MCR) is an
+  // upper bound on the simulated period, and not vacuously loose on T1.
+  const model::Configuration config = gen::producer_consumer_t1();
+  const MappingResult r = core::compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  const std::vector<Vector> budgets{
+      {static_cast<double>(r.graphs[0].tasks[0].budget),
+       static_cast<double>(r.graphs[0].tasks[1].budget)}};
+  const std::vector<std::vector<Index>> caps{{r.graphs[0].buffers[0].capacity}};
+  const sim::SimResult s = sim::simulate_tdm(config, budgets, caps);
+  const double simulated = s.graphs[0].measured_period;
+  const double bound = r.graphs[0].verification.mcr;
+  EXPECT_LE(simulated, bound + 1e-9);
+  EXPECT_GT(simulated, 0.05 * bound);
+}
+
+TEST(Integration, JsonRoundTripSolvesIdentically) {
+  const model::Configuration original = gen::three_stage_chain_t2();
+  const model::Configuration reloaded =
+      io::configuration_from_json(io::configuration_to_json(original));
+  const MappingResult a = core::compute_budgets_and_buffers(original);
+  const MappingResult b = core::compute_budgets_and_buffers(reloaded);
+  ASSERT_TRUE(a.feasible());
+  ASSERT_TRUE(b.feasible());
+  EXPECT_NEAR(a.objective_continuous, b.objective_continuous, 1e-9);
+  for (std::size_t t = 0; t < a.graphs[0].tasks.size(); ++t) {
+    EXPECT_EQ(a.graphs[0].tasks[t].budget, b.graphs[0].tasks[t].budget);
+  }
+}
+
+TEST(Integration, StartStopJobsByResolving) {
+  // Users start and stop jobs (paper Section I): mapping the multi-job
+  // system, then re-mapping with one job removed, must free budget — the
+  // remaining job's budgets can only shrink or stay equal.
+  const model::Configuration both = gen::car_entertainment_preset();
+  const MappingResult r_both = core::compute_budgets_and_buffers(both);
+  ASSERT_TRUE(r_both.feasible());
+
+  model::Configuration solo(both.granularity());
+  for (Index p = 0; p < both.num_processors(); ++p) {
+    solo.add_processor(both.processor(p).name,
+                       both.processor(p).replenishment_interval,
+                       both.processor(p).scheduling_overhead);
+  }
+  for (Index m = 0; m < both.num_memories(); ++m) {
+    solo.add_memory(both.memory(m).name, both.memory(m).capacity);
+  }
+  // Keep only the first job.
+  {
+    const model::TaskGraph& tg = both.task_graph(0);
+    model::TaskGraph copy(tg.name(), tg.required_period());
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      copy.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+    }
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      copy.add_buffer(buf.name, buf.producer, buf.consumer, buf.memory,
+                      buf.container_size, buf.initial_fill, buf.size_weight);
+    }
+    solo.add_task_graph(std::move(copy));
+  }
+  const MappingResult r_solo = core::compute_budgets_and_buffers(solo);
+  ASSERT_TRUE(r_solo.feasible());
+  for (std::size_t t = 0; t < r_solo.graphs[0].tasks.size(); ++t) {
+    EXPECT_LE(r_solo.graphs[0].tasks[t].budget_continuous,
+              r_both.graphs[0].tasks[t].budget_continuous + 1e-6);
+  }
+}
+
+TEST(Integration, TwoPhaseAndJointAgreeWhenUnconstrained) {
+  // With unconstrained buffers and budget-dominated weights the budget-first
+  // baseline finds the same budgets as the joint computation.
+  const model::Configuration config = gen::make_chain(4);
+  const MappingResult joint = core::compute_budgets_and_buffers(config);
+  const MappingResult staged = core::solve_budget_first(config);
+  ASSERT_TRUE(joint.feasible());
+  ASSERT_TRUE(staged.feasible());
+  for (std::size_t t = 0; t < joint.graphs[0].tasks.size(); ++t) {
+    EXPECT_EQ(joint.graphs[0].tasks[t].budget,
+              staged.graphs[0].tasks[t].budget);
+  }
+}
+
+}  // namespace
+}  // namespace bbs

@@ -1,0 +1,227 @@
+// Tests for the JSON parser/writer and the configuration serialisation.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/gen/generators.hpp"
+#include "bbs/io/config_io.hpp"
+#include "bbs/io/json.hpp"
+
+namespace bbs::io {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesContainers) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, {"b": null}], "c": ""})");
+  const JsonObject& o = v.as_object();
+  ASSERT_TRUE(o.contains("a"));
+  const JsonArray& arr = o.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.0);
+  EXPECT_TRUE(arr[2].as_object().at("b").is_null());
+  EXPECT_EQ(o.at("c").as_string(), "");
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = parse_json(R"("line\n\ttab \"q\" \\ A")");
+  EXPECT_EQ(v.as_string(), "line\n\ttab \"q\" \\ A");
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    parse_json("{\n  \"a\": ,\n}");
+    FAIL() << "no exception";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_json("1 2"), ModelError);
+  EXPECT_THROW(parse_json("{\"a\": 1} x"), ModelError);
+  EXPECT_THROW(parse_json(""), ModelError);
+  EXPECT_THROW(parse_json("{"), ModelError);
+  EXPECT_THROW(parse_json("[1,]"), ModelError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = parse_json("42");
+  EXPECT_THROW(v.as_string(), ModelError);
+  EXPECT_THROW(v.as_array(), ModelError);
+  EXPECT_THROW(v.as_object(), ModelError);
+  EXPECT_THROW(parse_json("\"s\"").as_number(), ModelError);
+}
+
+TEST(Json, WriteParseRoundTrip) {
+  JsonObject root;
+  root["name"] = "graph \"x\"";
+  root["count"] = 3;
+  root["ratio"] = 0.125;
+  JsonArray arr;
+  arr.push_back(JsonValue(true));
+  arr.push_back(JsonValue(nullptr));
+  root["list"] = JsonValue(std::move(arr));
+  const std::string text = write_json(JsonValue(std::move(root)));
+
+  const JsonValue back = parse_json(text);
+  EXPECT_EQ(back.as_object().at("name").as_string(), "graph \"x\"");
+  EXPECT_DOUBLE_EQ(back.as_object().at("count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(back.as_object().at("ratio").as_number(), 0.125);
+  EXPECT_EQ(back.as_object().at("list").as_array().size(), 2u);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonObject o;
+  o["z"] = 1;
+  o["a"] = 2;
+  EXPECT_EQ(o.entries()[0].first, "z");
+  EXPECT_EQ(o.entries()[1].first, "a");
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+  const model::Configuration original = gen::car_entertainment_preset();
+  const std::string text = configuration_to_json(original);
+  const model::Configuration back = configuration_from_json(text);
+
+  ASSERT_EQ(back.num_processors(), original.num_processors());
+  ASSERT_EQ(back.num_memories(), original.num_memories());
+  ASSERT_EQ(back.num_task_graphs(), original.num_task_graphs());
+  EXPECT_EQ(back.granularity(), original.granularity());
+  for (linalg::Index p = 0; p < original.num_processors(); ++p) {
+    EXPECT_EQ(back.processor(p).name, original.processor(p).name);
+    EXPECT_DOUBLE_EQ(back.processor(p).replenishment_interval,
+                     original.processor(p).replenishment_interval);
+    EXPECT_DOUBLE_EQ(back.processor(p).scheduling_overhead,
+                     original.processor(p).scheduling_overhead);
+  }
+  for (linalg::Index gi = 0; gi < original.num_task_graphs(); ++gi) {
+    const model::TaskGraph& a = original.task_graph(gi);
+    const model::TaskGraph& b = back.task_graph(gi);
+    ASSERT_EQ(b.num_tasks(), a.num_tasks());
+    ASSERT_EQ(b.num_buffers(), a.num_buffers());
+    EXPECT_DOUBLE_EQ(b.required_period(), a.required_period());
+    for (linalg::Index t = 0; t < a.num_tasks(); ++t) {
+      EXPECT_EQ(b.task(t).name, a.task(t).name);
+      EXPECT_EQ(b.task(t).processor, a.task(t).processor);
+      EXPECT_DOUBLE_EQ(b.task(t).wcet, a.task(t).wcet);
+    }
+    for (linalg::Index bu = 0; bu < a.num_buffers(); ++bu) {
+      EXPECT_EQ(b.buffer(bu).producer, a.buffer(bu).producer);
+      EXPECT_EQ(b.buffer(bu).consumer, a.buffer(bu).consumer);
+      EXPECT_EQ(b.buffer(bu).memory, a.buffer(bu).memory);
+      EXPECT_EQ(b.buffer(bu).container_size, a.buffer(bu).container_size);
+      EXPECT_EQ(b.buffer(bu).initial_fill, a.buffer(bu).initial_fill);
+      EXPECT_EQ(b.buffer(bu).max_capacity, a.buffer(bu).max_capacity);
+    }
+  }
+}
+
+TEST(ConfigIo, UnknownReferenceRejected) {
+  const std::string text = R"({
+    "granularity": 1,
+    "processors": [{"name": "p1", "replenishment_interval": 40}],
+    "memories": [{"name": "m1"}],
+    "task_graphs": [{
+      "name": "g", "required_period": 10,
+      "tasks": [{"name": "t", "processor": "NOPE", "wcet": 1}],
+      "buffers": []
+    }]
+  })";
+  EXPECT_THROW(configuration_from_json(text), ModelError);
+}
+
+TEST(ConfigIo, NonIntegerGranularityRejected) {
+  const std::string text = R"({
+    "granularity": 1.5,
+    "processors": [], "memories": [], "task_graphs": []
+  })";
+  EXPECT_THROW(configuration_from_json(text), ModelError);
+}
+
+TEST(ConfigIo, MappingResultSerialises) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const core::MappingResult r = core::compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  const std::string text = mapping_result_to_json(config, r);
+  const JsonValue v = parse_json(text);
+  const JsonObject& root = v.as_object();
+  EXPECT_EQ(root.at("status").as_string(), "optimal");
+  EXPECT_TRUE(root.at("verified").as_bool());
+  const JsonObject& g0 = root.at("task_graphs").as_array()[0].as_object();
+  EXPECT_EQ(g0.at("tasks").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(g0.at("tasks").as_array()[0].as_object()
+                       .at("budget").as_number(),
+                   4.0);
+  EXPECT_TRUE(g0.at("throughput_met").as_bool());
+}
+
+TEST(Json, MutatedDocumentsNeverCrash) {
+  // Deterministic mutation fuzzing: every single-character deletion,
+  // duplication and substitution of a valid document must either parse or
+  // throw ModelError — never crash or loop.
+  const std::string base =
+      R"({"a": [1, -2.5e3, true, null], "b": {"c": "x\n"}, "d": false})";
+  const std::string subs = "{}[]\",:09ex";
+  int parsed = 0;
+  int rejected = 0;
+  const auto try_parse = [&](const std::string& doc) {
+    try {
+      parse_json(doc);
+      ++parsed;
+    } catch (const ModelError&) {
+      ++rejected;
+    }
+  };
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string del = base;
+    del.erase(i, 1);
+    try_parse(del);
+    std::string dup = base;
+    dup.insert(i, 1, base[i]);
+    try_parse(dup);
+    for (const char c : subs) {
+      std::string sub = base;
+      sub[i] = c;
+      try_parse(sub);
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed, 0);  // some mutations stay valid (e.g. digit swaps)
+}
+
+TEST(Json, DeeplyNestedDocumentsParse) {
+  std::string doc;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < depth; ++i) doc += "]";
+  const JsonValue v = parse_json(doc);
+  const JsonValue* cur = &v;
+  for (int i = 0; i < depth; ++i) {
+    ASSERT_TRUE(cur->is_array());
+    cur = &cur->as_array()[0];
+  }
+  EXPECT_DOUBLE_EQ(cur->as_number(), 1.0);
+}
+
+TEST(ConfigIo, TaskGraphDotContainsStructure) {
+  const model::Configuration config = gen::three_stage_chain_t2();
+  const std::string dot = task_graph_to_dot(config, 0);
+  EXPECT_NE(dot.find("digraph \"T2\""), std::string::npos);
+  EXPECT_NE(dot.find("wa"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("t1 -> t2"), std::string::npos);
+  EXPECT_NE(dot.find("p2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbs::io

@@ -1,0 +1,106 @@
+// Tests for the end-to-end latency bounds: hand-computable cases, the
+// simulator never exceeding the bound, and behaviour on infeasible inputs.
+#include <gtest/gtest.h>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/latency.hpp"
+#include "bbs/gen/generators.hpp"
+#include "bbs/sim/tdm_simulator.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(Latency, SingleTaskGraph) {
+  // One task, no buffers: latency bound is the response time of the task
+  // under its budget scheduler: (rho - beta) + rho*chi/beta.
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  config.add_memory("m", -1.0);
+  model::TaskGraph tg("solo", 10.0);
+  tg.add_task("t", p, 1.0);
+  config.add_task_graph(std::move(tg));
+
+  const Vector budgets{8.0};
+  const auto lat = compute_latency_bounds(config, 0, budgets, {});
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_EQ(lat->pairs.size(), 1u);
+  EXPECT_EQ(lat->pairs[0].source, 0);
+  EXPECT_EQ(lat->pairs[0].sink, 0);
+  // s(v1) = 0, s(v2) >= s(v1) + (40-8) = 32 (least PAS), finish = 32 + 5.
+  EXPECT_NEAR(lat->worst, 37.0, 1e-9);
+}
+
+TEST(Latency, PipelineAddsStageDelays) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  // beta = 8 needs ceil(74/10) = 8 containers to sustain mu = 10.
+  const Vector budgets{8.0, 8.0};
+  const std::vector<Index> caps{8};
+  const auto lat = compute_latency_bounds(config, 0, budgets, caps);
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_EQ(lat->pairs.size(), 1u);
+  // Source wait starts at 0; sink exec starts no earlier than after the
+  // producer's response: (40-8) + 5 + (40-8), finishing +5 later.
+  EXPECT_NEAR(lat->worst, 32.0 + 5.0 + 32.0 + 5.0, 1e-9);
+}
+
+TEST(Latency, LargerBudgetsShrinkTheBound) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const std::vector<Index> caps{8};
+  const auto small = compute_latency_bounds(config, 0, {8.0, 8.0}, caps);
+  const auto large = compute_latency_bounds(config, 0, {20.0, 20.0}, caps);
+  ASSERT_TRUE(small.has_value());
+  ASSERT_TRUE(large.has_value());
+  EXPECT_LT(large->worst, small->worst);
+}
+
+TEST(Latency, InfeasiblePeriodReturnsNullopt) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  // beta = 2 violates the self-loop bound (needs >= 4): no PAS at mu = 10.
+  EXPECT_FALSE(compute_latency_bounds(config, 0, {2.0, 2.0}, {6}).has_value());
+}
+
+TEST(Latency, SimulatedLatencyWithinBound) {
+  // The k-th sink completion minus the k-th source start in the TDM
+  // simulation must stay below the analytic bound (the PAS dominates the
+  // self-timed execution).
+  const model::Configuration config = gen::three_stage_chain_t2();
+  const MappingResult r = compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  Vector budgets;
+  std::vector<Index> caps;
+  for (const auto& t : r.graphs[0].tasks) {
+    budgets.push_back(static_cast<double>(t.budget));
+  }
+  for (const auto& b : r.graphs[0].buffers) caps.push_back(b.capacity);
+
+  const auto lat = compute_latency_bounds(config, 0, budgets, caps);
+  ASSERT_TRUE(lat.has_value());
+
+  const sim::SimResult s = sim::simulate_tdm(config, {budgets}, {caps});
+  ASSERT_FALSE(s.graphs[0].deadlocked);
+  const auto& source = s.graphs[0].tasks[0];
+  const auto& sink = s.graphs[0].tasks[2];
+  for (std::size_t k = 0; k < source.start.size(); ++k) {
+    EXPECT_LE(sink.finish[k] - source.start[k], lat->worst + 1e-6);
+  }
+}
+
+TEST(Latency, MultipleSourcesAndSinks) {
+  // Split-join: one source, one sink, but tasks in between are neither.
+  const model::Configuration config = gen::make_split_join(3, 1);
+  const MappingResult r = compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  Vector budgets;
+  std::vector<Index> caps;
+  for (const auto& t : r.graphs[0].tasks) {
+    budgets.push_back(static_cast<double>(t.budget));
+  }
+  for (const auto& b : r.graphs[0].buffers) caps.push_back(b.capacity);
+  const auto lat = compute_latency_bounds(config, 0, budgets, caps);
+  ASSERT_TRUE(lat.has_value());
+  ASSERT_EQ(lat->pairs.size(), 1u);  // src x sink
+  EXPECT_GT(lat->worst, 0.0);
+}
+
+}  // namespace
+}  // namespace bbs::core

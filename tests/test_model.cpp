@@ -1,0 +1,140 @@
+// Tests for the application model: task graphs, configurations, validation.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/model/configuration.hpp"
+
+namespace bbs::model {
+namespace {
+
+Configuration valid_config() {
+  Configuration c(2);
+  const Index p = c.add_processor("p1", 40.0, 1.0);
+  const Index m = c.add_memory("m1", 100.0);
+  TaskGraph tg("job", 10.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  const Index b = tg.add_task("b", p, 2.0);
+  tg.add_buffer("ab", a, b, m, 4, 1, 0.5);
+  c.add_task_graph(std::move(tg));
+  return c;
+}
+
+TEST(Model, AccessorsAndCounts) {
+  const Configuration c = valid_config();
+  EXPECT_EQ(c.granularity(), 2);
+  EXPECT_EQ(c.num_processors(), 1);
+  EXPECT_EQ(c.num_memories(), 1);
+  EXPECT_EQ(c.num_task_graphs(), 1);
+  EXPECT_EQ(c.total_tasks(), 2);
+  EXPECT_EQ(c.total_buffers(), 1);
+  const TaskGraph& tg = c.task_graph(0);
+  EXPECT_EQ(tg.name(), "job");
+  EXPECT_DOUBLE_EQ(tg.required_period(), 10.0);
+  EXPECT_EQ(tg.buffer(0).container_size, 4);
+  EXPECT_EQ(tg.buffer(0).initial_fill, 1);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Model, ConstructionPreconditions) {
+  Configuration c(1);
+  EXPECT_THROW(Configuration(0), ContractViolation);
+  EXPECT_THROW(c.add_processor("p", 0.0), ContractViolation);
+  EXPECT_THROW(c.add_processor("p", 10.0, -1.0), ContractViolation);
+  EXPECT_THROW(c.add_memory("m", -2.0), ContractViolation);
+
+  EXPECT_THROW(TaskGraph("g", 0.0), ContractViolation);
+  TaskGraph tg("g", 1.0);
+  EXPECT_THROW(tg.add_task("t", 0, 0.0), ContractViolation);
+  const Index t = tg.add_task("t", 0, 1.0);
+  EXPECT_THROW(tg.add_buffer("b", t, 5, 0), ContractViolation);
+  EXPECT_THROW(tg.add_buffer("b", t, t, 0, 0), ContractViolation);
+  EXPECT_THROW(tg.add_buffer("b", t, t, 0, 1, -1), ContractViolation);
+}
+
+TEST(Model, ValidateCatchesDanglingProcessor) {
+  Configuration c(1);
+  c.add_memory("m", -1.0);
+  TaskGraph tg("g", 1.0);
+  tg.add_task("t", 3, 1.0);  // processor 3 does not exist
+  c.add_task_graph(std::move(tg));
+  EXPECT_THROW(c.validate(), ModelError);
+}
+
+TEST(Model, ValidateCatchesDanglingMemory) {
+  Configuration c(1);
+  const Index p = c.add_processor("p", 10.0);
+  TaskGraph tg("g", 1.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  tg.add_buffer("b", a, a, 2);  // memory 2 does not exist
+  c.add_task_graph(std::move(tg));
+  EXPECT_THROW(c.validate(), ModelError);
+}
+
+TEST(Model, ValidateCatchesOverheadConsumingWheel) {
+  Configuration c(1);
+  c.add_processor("p", 10.0, 10.0);
+  TaskGraph tg("g", 1.0);
+  tg.add_task("t", 0, 1.0);
+  c.add_task_graph(std::move(tg));
+  EXPECT_THROW(c.validate(), ModelError);
+}
+
+TEST(Model, ValidateCatchesEmptyGraph) {
+  Configuration c(1);
+  c.add_processor("p", 10.0);
+  c.add_task_graph(TaskGraph("empty", 1.0));
+  EXPECT_THROW(c.validate(), ModelError);
+}
+
+TEST(Model, ValidateCatchesFillAboveCap) {
+  Configuration c(1);
+  const Index p = c.add_processor("p", 10.0);
+  const Index m = c.add_memory("m", -1.0);
+  TaskGraph tg("g", 1.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  const Index b = tg.add_buffer("ab", a, a, m, 1, 5);
+  tg.set_max_capacity(b, 3);
+  c.add_task_graph(std::move(tg));
+  EXPECT_THROW(c.validate(), ModelError);
+}
+
+TEST(Model, MaxCapacitySetterContract) {
+  TaskGraph tg("g", 1.0);
+  const Index a = tg.add_task("a", 0, 1.0);
+  const Index b = tg.add_buffer("ab", a, a, 0);
+  tg.set_max_capacity(b, 5);
+  EXPECT_EQ(tg.buffer(b).max_capacity, 5);
+  tg.set_max_capacity(b, -1);
+  EXPECT_EQ(tg.buffer(b).max_capacity, -1);
+  EXPECT_THROW(tg.set_max_capacity(b, 0), ContractViolation);
+  EXPECT_THROW(tg.set_max_capacity(7, 5), ContractViolation);
+}
+
+TEST(Model, SelfBufferAllowed) {
+  // A task may feed itself (cyclic dependency through its own buffer).
+  Configuration c(1);
+  const Index p = c.add_processor("p", 10.0);
+  const Index m = c.add_memory("m", -1.0);
+  TaskGraph tg("g", 5.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  tg.add_buffer("loop", a, a, m, 1, 1);
+  c.add_task_graph(std::move(tg));
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Model, MultipleGraphsShareProcessors) {
+  Configuration c(1);
+  const Index p = c.add_processor("p", 40.0);
+  c.add_memory("m", -1.0);
+  for (int j = 0; j < 3; ++j) {
+    TaskGraph tg("job" + std::to_string(j), 20.0);
+    tg.add_task("t", p, 1.0);
+    c.add_task_graph(std::move(tg));
+  }
+  EXPECT_EQ(c.num_task_graphs(), 3);
+  EXPECT_EQ(c.total_tasks(), 3);
+  EXPECT_NO_THROW(c.validate());
+}
+
+}  // namespace
+}  // namespace bbs::model

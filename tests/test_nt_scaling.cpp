@@ -1,0 +1,126 @@
+// Tests for the Nesterov–Todd scaling: the defining identities
+// W z = W^{-1} s = lambda, W W^{-1} = I, and the consistency of the
+// block-diagonal W^{-2} with repeated applications of W^{-1}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/rng.hpp"
+#include "bbs/solver/nt_scaling.hpp"
+
+namespace bbs::solver {
+namespace {
+
+/// Draws a strictly interior point of the composite cone.
+Vector interior_point(const ConeSpec& cone, Rng& rng) {
+  Vector u(static_cast<std::size_t>(cone.dim()));
+  for (Index i = 0; i < cone.nonneg(); ++i) {
+    u[static_cast<std::size_t>(i)] = rng.next_real(0.05, 4.0);
+  }
+  for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
+    const auto off = static_cast<std::size_t>(cone.soc_offset(k));
+    const auto q = static_cast<std::size_t>(cone.soc_dims()[k]);
+    double tail = 0.0;
+    for (std::size_t i = 1; i < q; ++i) {
+      u[off + i] = rng.next_real(-1.5, 1.5);
+      tail += u[off + i] * u[off + i];
+    }
+    u[off] = std::sqrt(tail) + rng.next_real(0.05, 2.0);
+  }
+  return u;
+}
+
+class NtScalingRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(NtScalingRandom, DefiningIdentitiesHold) {
+  const ConeSpec cone(3, {3, 4, 6});
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  NtScaling scaling(cone);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vector s = interior_point(cone, rng);
+    const Vector z = interior_point(cone, rng);
+    scaling.update(s, z);
+
+    // lambda = W z = W^{-1} s.
+    const Vector wz = scaling.apply_w(z);
+    const Vector winv_s = scaling.apply_w_inv(s);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_NEAR(wz[i], winv_s[i], 1e-9);
+      EXPECT_NEAR(wz[i], scaling.lambda()[i], 1e-9);
+    }
+
+    // lambda must be in the cone interior (it is a geometric mean of two
+    // interior points).
+    EXPECT_TRUE(cone.is_interior(scaling.lambda()));
+
+    // W^{-1} (W v) = v for random v.
+    Vector v(s.size());
+    for (auto& x : v) x = rng.next_real(-2.0, 2.0);
+    const Vector round_trip = scaling.apply_w_inv(scaling.apply_w(v));
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(round_trip[i], v[i], 1e-9);
+    }
+
+    // The sparse W^{-2} equals applying W^{-1} twice.
+    const linalg::SparseMatrix w2inv = scaling.inverse_squared();
+    const Vector a = w2inv.multiply(v);
+    const Vector b = scaling.apply_w_inv(scaling.apply_w_inv(v));
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NtScalingRandom, ::testing::Values(1, 2, 3));
+
+TEST(NtScaling, LpBlockIsGeometricMeanScaling) {
+  const ConeSpec cone(2, {});
+  NtScaling scaling(cone);
+  scaling.update({4.0, 9.0}, {1.0, 4.0});
+  // lambda_i = sqrt(s_i z_i).
+  EXPECT_NEAR(scaling.lambda()[0], 2.0, 1e-14);
+  EXPECT_NEAR(scaling.lambda()[1], 6.0, 1e-14);
+  // W v = sqrt(s/z) .* v.
+  const Vector w1 = scaling.apply_w({1.0, 1.0});
+  EXPECT_NEAR(w1[0], 2.0, 1e-14);
+  EXPECT_NEAR(w1[1], 1.5, 1e-14);
+}
+
+TEST(NtScaling, SymmetricInSAndZAtIdentity) {
+  // With s == z, W must be the identity and lambda == s.
+  const ConeSpec cone(1, {3});
+  NtScaling scaling(cone);
+  const Vector s{2.0, 3.0, 1.0, -0.5};
+  scaling.update(s, s);
+  Vector v{0.7, -0.2, 0.9, 0.4};
+  const Vector wv = scaling.apply_w(v);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(wv[i], v[i], 1e-12);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(scaling.lambda()[i], s[i], 1e-12);
+  }
+}
+
+TEST(NtScaling, RejectsBoundaryPoints) {
+  const ConeSpec cone(1, {3});
+  NtScaling scaling(cone);
+  EXPECT_THROW(scaling.update({0.0, 2.0, 1.0, 0.0}, {1.0, 2.0, 1.0, 0.0}),
+               NumericalError);
+  EXPECT_THROW(scaling.update({1.0, 1.0, 1.0, 0.0}, {1.0, 2.0, 1.0, 0.0}),
+               NumericalError);
+}
+
+TEST(NtScaling, DualityMeasureInvariant) {
+  // s'z is preserved by the scaling: lambda'lambda = s'z.
+  const ConeSpec cone(2, {5});
+  Rng rng(5);
+  NtScaling scaling(cone);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector s = interior_point(cone, rng);
+    const Vector z = interior_point(cone, rng);
+    scaling.update(s, z);
+    EXPECT_NEAR(linalg::dot(scaling.lambda(), scaling.lambda()),
+                linalg::dot(s, z), 1e-8 * (1.0 + linalg::dot(s, z)));
+  }
+}
+
+}  // namespace
+}  // namespace bbs::solver

@@ -1,0 +1,97 @@
+// Tests for periodic admissible schedule computation (Reiter's condition).
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/rng.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/dataflow/pas.hpp"
+
+namespace bbs::dataflow {
+namespace {
+
+SrdfGraph pipeline(double rho_a, double rho_b, Index fwd_tokens,
+                   Index bwd_tokens) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", rho_a);
+  const Index b = g.add_actor("b", rho_b);
+  g.add_queue(a, b, fwd_tokens);
+  g.add_queue(b, a, bwd_tokens);
+  return g;
+}
+
+TEST(Pas, FeasibleAtAndAboveMcr) {
+  const SrdfGraph g = pipeline(3.0, 2.0, 0, 1);  // MCR 5
+  EXPECT_TRUE(compute_pas(g, 5.0).feasible);
+  EXPECT_TRUE(compute_pas(g, 7.5).feasible);
+  EXPECT_FALSE(compute_pas(g, 4.9).feasible);
+}
+
+TEST(Pas, StartTimesSatisfyReitersCondition) {
+  const SrdfGraph g = pipeline(3.0, 2.0, 0, 2);
+  const double period = 4.0;
+  const PasResult r = compute_pas(g, period);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(verify_pas(g, period, r.start_times));
+  // The zero-token queue forces b to start after a finishes.
+  EXPECT_GE(r.start_times[1], r.start_times[0] + 3.0 - 1e-9);
+}
+
+TEST(Pas, VerifyRejectsBadStartTimes) {
+  const SrdfGraph g = pipeline(3.0, 2.0, 0, 2);
+  EXPECT_FALSE(verify_pas(g, 4.0, {0.0, 0.0}));  // b cannot start with a
+}
+
+TEST(Pas, AcyclicAlwaysFeasible) {
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 10.0);
+  const Index b = g.add_actor("b", 10.0);
+  g.add_queue(a, b, 0);
+  const PasResult r = compute_pas(g, 0.001);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(verify_pas(g, 0.001, r.start_times));
+}
+
+TEST(Pas, DeadlockNeverFeasible) {
+  const SrdfGraph g = pipeline(1.0, 1.0, 0, 0);
+  EXPECT_FALSE(compute_pas(g, 1e9).feasible);
+}
+
+TEST(Pas, EmptyGraph) {
+  SrdfGraph g;
+  EXPECT_TRUE(compute_pas(g, 1.0).feasible);
+}
+
+TEST(Pas, RejectsNonPositivePeriod) {
+  SrdfGraph g;
+  g.add_actor("a", 1.0);
+  EXPECT_THROW(compute_pas(g, 0.0), ContractViolation);
+  EXPECT_THROW(compute_pas(g, -1.0), ContractViolation);
+}
+
+/// Property: for random live graphs, the PAS at the (bisected) MCR is
+/// feasible and its start times verify; just below the MCR it is infeasible.
+class PasAtMcr : public ::testing::TestWithParam<int> {};
+
+TEST_P(PasAtMcr, TightAtTheMcr) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 331 + 7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 10));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v", rng.next_real(0.5, 4.0));
+    }
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 2)));
+    }
+    const double mcr = max_cycle_ratio_bisect(g, 1e-11);
+    const PasResult at = compute_pas(g, mcr * (1.0 + 1e-9) + 1e-9);
+    EXPECT_TRUE(at.feasible);
+    EXPECT_TRUE(verify_pas(g, mcr * (1.0 + 1e-9) + 1e-9, at.start_times));
+    EXPECT_FALSE(compute_pas(g, mcr * 0.99).feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PasAtMcr, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace bbs::dataflow

@@ -1,0 +1,83 @@
+// Tests for the asymptotic-period detector, including the bursty schedules
+// that defeat naive windowed averages.
+#include <gtest/gtest.h>
+
+#include "bbs/common/period.hpp"
+
+namespace bbs {
+namespace {
+
+using Trace = std::vector<std::vector<double>>;
+
+TEST(PeriodEstimate, ExactOnStrictlyPeriodicTrace) {
+  Trace t;
+  for (int k = 0; k < 40; ++k) {
+    t.push_back({2.5 * k, 2.5 * k + 1.0});
+  }
+  EXPECT_NEAR(estimate_asymptotic_period(t), 2.5, 1e-12);
+}
+
+TEST(PeriodEstimate, DetectsLongCyclicity) {
+  // Bursts of 4 starts spaced 1.0, then a gap: cycle of 4 events per 10
+  // time units -> period 2.5. A q=1 match on the in-burst spacing must be
+  // rejected.
+  Trace t;
+  double base = 0.0;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    for (int j = 0; j < 4; ++j) t.push_back({base + j});
+    base += 10.0;
+  }
+  EXPECT_NEAR(estimate_asymptotic_period(t), 2.5, 1e-12);
+}
+
+TEST(PeriodEstimate, IgnoresTransient) {
+  // Irregular first half, exactly periodic second half.
+  Trace t;
+  for (int k = 0; k < 20; ++k) {
+    t.push_back({static_cast<double>(k * k % 7)});
+  }
+  const double anchor = 100.0;
+  for (int k = 0; k < 21; ++k) {
+    t.push_back({anchor + 3.25 * k});
+  }
+  EXPECT_NEAR(estimate_asymptotic_period(t), 3.25, 1e-12);
+}
+
+TEST(PeriodEstimate, MultiEntityMustAgree) {
+  // Entity 0 periodic with 2, entity 1 with 3: no common q fits -> falls
+  // back to the windowed average of entity 0.
+  Trace t;
+  for (int k = 0; k < 30; ++k) {
+    t.push_back({2.0 * k, 3.0 * k});
+  }
+  // Entity 0's fallback slope is 2.
+  EXPECT_NEAR(estimate_asymptotic_period(t), 2.0, 1e-12);
+}
+
+TEST(PeriodEstimate, PhaseShiftedEntities) {
+  // Same period, different offsets and jitter patterns per entity: the
+  // common period must still be found.
+  Trace t;
+  for (int k = 0; k < 40; ++k) {
+    const double wobble = (k % 2 == 0) ? 0.2 : 0.0;
+    t.push_back({5.0 * k + wobble, 5.0 * k + 3.0 - wobble});
+  }
+  // Cyclicity 2 with shift 10 -> period 5.
+  EXPECT_NEAR(estimate_asymptotic_period(t), 5.0, 1e-12);
+}
+
+TEST(PeriodEstimate, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(estimate_asymptotic_period({}), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_asymptotic_period({{1.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_asymptotic_period({{}, {}}), 0.0);
+  // Two samples: too short to detect, falls back to the half-window slope.
+  EXPECT_NEAR(estimate_asymptotic_period({{0.0}, {4.0}}), 4.0, 1e-12);
+}
+
+TEST(PeriodEstimate, ConstantTraceIsPeriodZero) {
+  Trace t(20, {7.0});
+  EXPECT_NEAR(estimate_asymptotic_period(t), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bbs

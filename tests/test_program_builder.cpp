@@ -1,0 +1,185 @@
+// Tests for the Algorithm-1 program builder: variable layout, constraint
+// counts, coefficient spot checks and the fixed-budget/fixed-delta modes.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/program_builder.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(ProgramBuilder, VariableLayoutForT1) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const BuiltProgram p = build_algorithm1(config);
+  // 4 actors, one pinned (connected SRDF) -> 3 start vars; 2 beta, 2 lambda,
+  // 1 delta = 8 variables.
+  EXPECT_EQ(p.layout.num_vars, 8);
+  EXPECT_EQ(p.problem.num_vars(), 8);
+  int pinned = 0;
+  for (const auto v : p.layout.start_var[0]) {
+    if (v < 0) ++pinned;
+  }
+  EXPECT_EQ(pinned, 1);
+}
+
+TEST(ProgramBuilder, RowAndConeCountsForT1) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const BuiltProgram p = build_algorithm1(config);
+  // LP rows: per task (6)+(7-self) = 4; per buffer data+space = 2;
+  // delta >= 0 = 1; per processor (9) = 2; no finite memory.
+  // SOC: one 3-dim block per task.
+  EXPECT_EQ(p.problem.cone().nonneg(), 4 + 2 + 1 + 2);
+  ASSERT_EQ(p.problem.cone().soc_dims().size(), 2u);
+  EXPECT_EQ(p.problem.num_rows(), 9 + 6);
+}
+
+TEST(ProgramBuilder, CapacityCapAddsRow) {
+  model::Configuration config = gen::producer_consumer_t1();
+  const BuiltProgram before = build_algorithm1(config);
+  config.mutable_task_graph(0).set_max_capacity(0, 5);
+  const BuiltProgram after = build_algorithm1(config);
+  EXPECT_EQ(after.problem.num_rows(), before.problem.num_rows() + 1);
+}
+
+TEST(ProgramBuilder, MemoryConstraintAddsRow) {
+  model::Configuration config(1);
+  const auto p1 = config.add_processor("p1", 40.0);
+  const auto p2 = config.add_processor("p2", 40.0);
+  const auto mem = config.add_memory("m", 12.0);  // finite!
+  model::TaskGraph tg("g", 10.0);
+  const auto a = tg.add_task("a", p1, 1.0);
+  const auto b = tg.add_task("b", p2, 1.0);
+  tg.add_buffer("ab", a, b, mem, 2, 0);
+  config.add_task_graph(std::move(tg));
+  const BuiltProgram prog = build_algorithm1(config);
+  // Same as T1 plus one memory row.
+  EXPECT_EQ(prog.problem.cone().nonneg(), 10);
+}
+
+TEST(ProgramBuilder, ObjectiveUsesWeightsAndContainerSizes) {
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 20.0);
+  const auto a = tg.add_task("a", p, 1.0, 2.5);   // a(w) = 2.5
+  const auto b = tg.add_task("b", p, 1.0, 1.0);
+  tg.add_buffer("ab", a, b, mem, 4, 0, 0.5);      // b(e)*zeta = 0.5*4 = 2
+  config.add_task_graph(std::move(tg));
+  const BuiltProgram prog = build_algorithm1(config);
+
+  const auto beta_a = prog.layout.beta_var[0][0];
+  const auto delta = prog.layout.delta_var[0][0];
+  EXPECT_DOUBLE_EQ(prog.problem.c()[static_cast<std::size_t>(beta_a)], 2.5);
+  EXPECT_DOUBLE_EQ(prog.problem.c()[static_cast<std::size_t>(delta)], 2.0);
+}
+
+TEST(ProgramBuilder, FixedBudgetsBecomePureLp) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  BuildOptions opts;
+  opts.fixed_budgets = std::vector<Vector>{{8.0, 8.0}};
+  const BuiltProgram p = build_algorithm1(config, opts);
+  EXPECT_TRUE(p.problem.cone().soc_dims().empty());
+  // beta/lambda variables gone: 3 start + 1 delta.
+  EXPECT_EQ(p.layout.num_vars, 4);
+  EXPECT_EQ(p.layout.beta_var[0][0], -1);
+  // Extractor returns the fixed values.
+  const Vector budgets =
+      p.layout.budgets_of(Vector(static_cast<std::size_t>(p.layout.num_vars),
+                                 0.0),
+                          0);
+  EXPECT_DOUBLE_EQ(budgets[0], 8.0);
+}
+
+TEST(ProgramBuilder, FixedDeltasRemoveDeltaVars) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  BuildOptions opts;
+  opts.fixed_deltas = std::vector<Vector>{{6.0}};
+  const BuiltProgram p = build_algorithm1(config, opts);
+  // 3 start + 2 beta + 2 lambda.
+  EXPECT_EQ(p.layout.num_vars, 7);
+  EXPECT_EQ(p.layout.delta_var[0][0], -1);
+  const Vector deltas =
+      p.layout.deltas_of(Vector(static_cast<std::size_t>(p.layout.num_vars),
+                                0.0),
+                         0);
+  EXPECT_DOUBLE_EQ(deltas[0], 6.0);
+}
+
+TEST(ProgramBuilder, MultiGraphSharedProcessorRow) {
+  // Two graphs on one processor: constraint (9) must couple both.
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  for (int j = 0; j < 2; ++j) {
+    model::TaskGraph tg("g" + std::to_string(j), 20.0);
+    tg.add_task("t", p, 1.0);
+    config.add_task_graph(std::move(tg));
+    (void)mem;
+  }
+  const BuiltProgram prog = build_algorithm1(config);
+  // Find the processor row: it has both beta variables with coefficient 1.
+  const auto b0 = prog.layout.beta_var[0][0];
+  const auto b1 = prog.layout.beta_var[1][0];
+  const auto dense = prog.problem.g().to_dense();
+  bool found = false;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(prog.problem.num_rows());
+       ++r) {
+    if (dense(r, static_cast<std::size_t>(b0)) == 1.0 &&
+        dense(r, static_cast<std::size_t>(b1)) == 1.0) {
+      found = true;
+      // rhs = rho - o - 2g = 40 - 0 - 2.
+      EXPECT_DOUBLE_EQ(prog.problem.h()[r], 38.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProgramBuilder, ValidatesFixedVectors) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  BuildOptions bad_count;
+  bad_count.fixed_budgets = std::vector<Vector>{{8.0}};  // one entry, 2 tasks
+  EXPECT_THROW(build_algorithm1(config, bad_count), ContractViolation);
+
+  BuildOptions bad_value;
+  bad_value.fixed_budgets = std::vector<Vector>{{8.0, 0.0}};
+  EXPECT_THROW(build_algorithm1(config, bad_value), ModelError);
+
+  BuildOptions bad_delta;
+  bad_delta.fixed_deltas = std::vector<Vector>{{-1.0}};
+  EXPECT_THROW(build_algorithm1(config, bad_delta), ModelError);
+}
+
+TEST(ProgramBuilder, InvalidConfigurationRejected) {
+  model::Configuration config(1);
+  config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 10.0);
+  tg.add_task("t", 0, 1.0);  // no processors exist
+  config.add_task_graph(std::move(tg));
+  EXPECT_THROW(build_algorithm1(config), ModelError);
+}
+
+TEST(ProgramBuilder, DisconnectedGraphPinsPerComponent) {
+  // Two independent producer-consumer pairs in ONE task graph: two weakly
+  // connected SRDF components -> two pinned references.
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 20.0);
+  const auto a = tg.add_task("a", p, 1.0);
+  const auto b = tg.add_task("b", p, 1.0);
+  const auto c = tg.add_task("c", p, 1.0);
+  const auto d = tg.add_task("d", p, 1.0);
+  tg.add_buffer("ab", a, b, mem);
+  tg.add_buffer("cd", c, d, mem);
+  config.add_task_graph(std::move(tg));
+  const BuiltProgram prog = build_algorithm1(config);
+  int pinned = 0;
+  for (const auto v : prog.layout.start_var[0]) {
+    if (v < 0) ++pinned;
+  }
+  EXPECT_EQ(pinned, 2);
+}
+
+}  // namespace
+}  // namespace bbs::core

@@ -1,0 +1,121 @@
+// Tests for the post-rounding integer refinement pass.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/exact_reference.hpp"
+#include "bbs/core/refinement.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(Refinement, NeverIncreasesCostAndStaysFeasible) {
+  for (const Index cap : {2, 4, 6, 8}) {
+    model::Configuration config = gen::producer_consumer_t1();
+    config.mutable_task_graph(0).set_max_capacity(0, cap);
+    MappingResult r = compute_budgets_and_buffers(config);
+    ASSERT_TRUE(r.feasible());
+    const double before = r.objective_rounded;
+
+    const RefinementStats stats = refine_rounded_mapping(config, r);
+    EXPECT_LE(stats.cost_after, stats.cost_before + 1e-12);
+    EXPECT_LE(r.objective_rounded, before + 1e-12);
+    for (const MappedGraph& mg : r.graphs) {
+      EXPECT_TRUE(mg.verification.throughput_met);
+    }
+  }
+}
+
+TEST(Refinement, ClosesTheRoundingGapOnT1) {
+  // With cap 6, rounding yields beta = 14 while the integer optimum is 14
+  // for one task and 13 for the other (total 27); refinement must reach
+  // the exact integer cost.
+  model::Configuration config = gen::producer_consumer_t1();
+  config.mutable_task_graph(0).set_max_capacity(0, 6);
+  MappingResult r = compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  refine_rounded_mapping(config, r);
+
+  ExactSearchLimits limits;
+  limits.max_capacity = 6;
+  const auto exact = exact_reference(config, limits);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(r.objective_rounded, exact->cost, 1e-9);
+}
+
+TEST(Refinement, ReachesExactOptimumAcrossCapsAndGranularities) {
+  for (const Index g : {1, 2}) {
+    for (const Index cap : {3, 5, 7}) {
+      model::Configuration config(g);
+      const auto p1 = config.add_processor("p1", 40.0);
+      const auto p2 = config.add_processor("p2", 40.0);
+      const auto mem = config.add_memory("m", -1.0);
+      model::TaskGraph tg("T1", 10.0);
+      const auto wa = tg.add_task("wa", p1, 1.0);
+      const auto wb = tg.add_task("wb", p2, 1.0);
+      const auto b = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
+      tg.set_max_capacity(b, cap);
+      config.add_task_graph(std::move(tg));
+
+      MappingResult r = compute_budgets_and_buffers(config);
+      ASSERT_TRUE(r.feasible());
+      refine_rounded_mapping(config, r);
+
+      ExactSearchLimits limits;
+      limits.max_capacity = cap;
+      const auto exact = exact_reference(config, limits);
+      ASSERT_TRUE(exact.has_value());
+      // Greedy descent is not guaranteed optimal in general, but on these
+      // instances it must come within one granule of the optimum; the paper
+      // already accepts one granule of sub-optimality from rounding.
+      EXPECT_LE(r.objective_rounded,
+                exact->cost + static_cast<double>(g) + 1e-9)
+          << "g=" << g << " cap=" << cap;
+      EXPECT_GE(r.objective_rounded, exact->cost - 1e-9);
+    }
+  }
+}
+
+TEST(Refinement, CapacitiesCanShrinkToo) {
+  // Unconstrained T1: rounding keeps 10 containers; the self-loop budgets
+  // (4) only need 10 — but with budget 4 the cycle needs
+  // ceil((72 + 20)/10) = 10, so capacity stays; use beta = 5 by weighting
+  // buffers expensively instead.
+  const model::Configuration config = gen::producer_consumer_t1(5.0);
+  MappingResult r = compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  const Index cap_before = r.graphs[0].buffers[0].capacity;
+  const RefinementStats stats = refine_rounded_mapping(config, r);
+  EXPECT_LE(r.graphs[0].buffers[0].capacity, cap_before);
+  EXPECT_GE(stats.capacity_decrements, 0);
+}
+
+TEST(Refinement, MultiJobStaysVerified) {
+  const model::Configuration config = gen::car_entertainment_preset();
+  MappingResult r = compute_budgets_and_buffers(config);
+  ASSERT_TRUE(r.feasible());
+  refine_rounded_mapping(config, r);
+  std::vector<Vector> budgets;
+  std::vector<std::vector<Index>> caps;
+  for (const auto& mg : r.graphs) {
+    Vector b;
+    std::vector<Index> c;
+    for (const auto& t : mg.tasks) b.push_back(static_cast<double>(t.budget));
+    for (const auto& buf : mg.buffers) c.push_back(buf.capacity);
+    budgets.push_back(std::move(b));
+    caps.push_back(std::move(c));
+  }
+  EXPECT_TRUE(verify_platform(config, budgets, caps));
+  for (const auto& mg : r.graphs) {
+    EXPECT_TRUE(mg.verification.throughput_met);
+  }
+}
+
+TEST(Refinement, RequiresFeasibleInput) {
+  model::Configuration config = gen::producer_consumer_t1();
+  MappingResult r;  // default: infeasible
+  EXPECT_THROW(refine_rounded_mapping(config, r), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::core

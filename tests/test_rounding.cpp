@@ -1,0 +1,65 @@
+// Tests for the conservative rounding rules of Section IV.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/rounding.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(Rounding, CeilWithToleranceBasics) {
+  EXPECT_EQ(ceil_with_tolerance(2.0), 2);
+  EXPECT_EQ(ceil_with_tolerance(2.1), 3);
+  EXPECT_EQ(ceil_with_tolerance(-0.5), 0);
+  EXPECT_EQ(ceil_with_tolerance(-1.2), -1);
+}
+
+TEST(Rounding, CeilAbsorbsSolverNoise) {
+  // Just above an integer by far less than the tolerance: stays.
+  EXPECT_EQ(ceil_with_tolerance(3.0 + 1e-10), 3);
+  // Clearly above: rounds up.
+  EXPECT_EQ(ceil_with_tolerance(3.0 + 1e-3), 4);
+  // The tolerance is relative: 1e6 + 0.05 is within 1e-7 * 1e6 = 0.1.
+  EXPECT_EQ(ceil_with_tolerance(1e6 + 0.05), 1000000);
+}
+
+TEST(Rounding, BudgetGranularity) {
+  EXPECT_EQ(round_budget(7.2, 1), 8);
+  EXPECT_EQ(round_budget(7.2, 4), 8);
+  EXPECT_EQ(round_budget(8.0, 4), 8);
+  EXPECT_EQ(round_budget(8.4, 4), 12);
+  EXPECT_EQ(round_budget(0.3, 5), 5);  // at least one granule
+}
+
+TEST(Rounding, BudgetIsNeverBelowContinuousMinusTolerance) {
+  for (const double beta : {0.1, 1.0, 3.9999999, 17.31, 36.1078}) {
+    for (const linalg::Index g : {1, 2, 5}) {
+      const linalg::Index rounded = round_budget(beta, g);
+      EXPECT_GE(static_cast<double>(rounded), beta - 1e-5 * beta - 1e-9);
+      EXPECT_EQ(rounded % g, 0);
+      EXPECT_GE(rounded, g);
+    }
+  }
+}
+
+TEST(Rounding, BudgetPreconditions) {
+  EXPECT_THROW(round_budget(1.0, 0), ContractViolation);
+  EXPECT_THROW(round_budget(0.0, 1), ContractViolation);
+  EXPECT_THROW(round_budget(-2.0, 1), ContractViolation);
+}
+
+TEST(Rounding, CapacityAddsInitialFill) {
+  EXPECT_EQ(round_capacity(2.3, 0), 3);
+  EXPECT_EQ(round_capacity(2.3, 2), 5);
+  EXPECT_EQ(round_capacity(0.0, 0), 1);   // gamma is at least 1
+  EXPECT_EQ(round_capacity(0.0, 4), 4);   // initially full buffer
+  EXPECT_EQ(round_capacity(3.0 + 1e-10, 0), 3);
+}
+
+TEST(Rounding, CapacityPreconditions) {
+  EXPECT_THROW(round_capacity(-1.0, 0), ContractViolation);
+  EXPECT_THROW(round_capacity(1.0, -1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::core

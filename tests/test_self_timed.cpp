@@ -1,0 +1,176 @@
+// Tests for self-timed SRDF execution: throughput convergence to the MCR and
+// temporal monotonicity (Section II-B2 of the paper).
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/rng.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/dataflow/self_timed.hpp"
+
+namespace bbs::dataflow {
+namespace {
+
+SrdfGraph ring(const std::vector<double>& durations,
+               const std::vector<Index>& tokens) {
+  SrdfGraph g;
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    g.add_actor("v" + std::to_string(i), durations[i]);
+  }
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    g.add_queue(static_cast<Index>(i),
+                static_cast<Index>((i + 1) % durations.size()), tokens[i]);
+  }
+  return g;
+}
+
+TEST(SelfTimed, PeriodEqualsMcrOnSimpleRing) {
+  const SrdfGraph g = ring({3.0, 2.0}, {1, 1});  // MCR = 5/2
+  const SelfTimedResult r = self_timed_execution(g, 64);
+  ASSERT_TRUE(r.deadlock_free);
+  EXPECT_NEAR(r.measured_period, 2.5, 1e-9);
+}
+
+TEST(SelfTimed, PipelineWithMoreTokensIsFaster) {
+  const SrdfGraph slow = ring({3.0, 2.0}, {0, 1});  // MCR 5
+  const SrdfGraph fast = ring({3.0, 2.0}, {0, 3});  // MCR 5/3
+  const double p_slow = self_timed_execution(slow, 64).measured_period;
+  const double p_fast = self_timed_execution(fast, 64).measured_period;
+  EXPECT_NEAR(p_slow, 5.0, 1e-9);
+  EXPECT_NEAR(p_fast, 5.0 / 3.0, 1e-9);
+}
+
+TEST(SelfTimed, DeadlockReported) {
+  const SrdfGraph g = ring({1.0, 1.0}, {0, 0});
+  EXPECT_FALSE(self_timed_execution(g, 8).deadlock_free);
+}
+
+TEST(SelfTimed, StartTimesNonDecreasingPerActor) {
+  const SrdfGraph g = ring({1.0, 4.0, 0.5}, {1, 1, 1});
+  const SelfTimedResult r = self_timed_execution(g, 32);
+  ASSERT_TRUE(r.deadlock_free);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t k = 1; k < r.start_times.size(); ++k) {
+      EXPECT_GE(r.start_times[k][v] + 1e-12, r.start_times[k - 1][v]);
+    }
+  }
+}
+
+TEST(SelfTimed, RespectsDependencies) {
+  // a -> b with no initial tokens: sigma(b,k) >= sigma(a,k) + rho(a).
+  SrdfGraph g;
+  const Index a = g.add_actor("a", 2.0);
+  const Index b = g.add_actor("b", 1.0);
+  g.add_queue(a, b, 0);
+  g.add_queue(b, a, 2);
+  const SelfTimedResult r = self_timed_execution(g, 16);
+  ASSERT_TRUE(r.deadlock_free);
+  for (std::size_t k = 0; k < r.start_times.size(); ++k) {
+    EXPECT_GE(r.start_times[k][static_cast<std::size_t>(b)] + 1e-12,
+              r.start_times[k][static_cast<std::size_t>(a)] + 2.0);
+  }
+}
+
+/// Property: self-timed throughput equals the MCR on random strongly
+/// connected live graphs.
+class SelfTimedVsMcr : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfTimedVsMcr, SteadyStatePeriodMatches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911 + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 8));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v", rng.next_real(0.5, 3.0));
+    }
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 2)));
+    }
+    // A couple of chords with tokens.
+    for (int e = 0; e < 2; ++e) {
+      g.add_queue(static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(0, n - 1)),
+                  static_cast<Index>(rng.next_int(1, 3)));
+    }
+    const double mcr = max_cycle_ratio_bisect(g, 1e-10);
+    const SelfTimedResult r = self_timed_execution(g, 600, 300);
+    ASSERT_TRUE(r.deadlock_free);
+    EXPECT_NEAR(r.measured_period, mcr, 1e-5 * (1.0 + mcr))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfTimedVsMcr, ::testing::Range(0, 6));
+
+/// Property: temporal monotonicity — shrinking one firing duration never
+/// delays any start time (Section II-B2).
+class Monotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(Monotonicity, ShorterDurationsNeverDelay) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 9);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 7));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v", rng.next_real(0.5, 3.0));
+    }
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 2)));
+    }
+    const SelfTimedResult before = self_timed_execution(g, 50);
+    ASSERT_TRUE(before.deadlock_free);
+
+    SrdfGraph faster = g;
+    const Index victim = static_cast<Index>(rng.next_int(0, n - 1));
+    faster.set_firing_duration(
+        victim, g.actor(victim).firing_duration * rng.next_real(0.1, 0.9));
+    const SelfTimedResult after = self_timed_execution(faster, 50);
+    ASSERT_TRUE(after.deadlock_free);
+
+    for (std::size_t k = 0; k < before.start_times.size(); ++k) {
+      for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+        EXPECT_LE(after.start_times[k][v],
+                  before.start_times[k][v] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(Monotonicity, MoreTokensNeverDelay) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(2, 7));
+    SrdfGraph g;
+    for (Index v = 0; v < n; ++v) {
+      g.add_actor("v", rng.next_real(0.5, 3.0));
+    }
+    for (Index v = 0; v < n; ++v) {
+      g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 2)));
+    }
+    const SelfTimedResult before = self_timed_execution(g, 50);
+    ASSERT_TRUE(before.deadlock_free);
+
+    SrdfGraph more = g;
+    const Index victim = static_cast<Index>(rng.next_int(0, n - 1));
+    more.set_initial_tokens(victim, g.queue(victim).initial_tokens + 1);
+    const SelfTimedResult after = self_timed_execution(more, 50);
+    ASSERT_TRUE(after.deadlock_free);
+
+    for (std::size_t k = 0; k < before.start_times.size(); ++k) {
+      for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+        EXPECT_LE(after.start_times[k][v],
+                  before.start_times[k][v] + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity, ::testing::Range(0, 6));
+
+TEST(SelfTimed, RejectsBadIterationCount) {
+  SrdfGraph g;
+  g.add_actor("a", 1.0);
+  EXPECT_THROW(self_timed_execution(g, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::dataflow

@@ -1,0 +1,114 @@
+// Tests for the budget-scheduler SRDF construction (Section II-C): structure,
+// firing durations, token placement and error handling.
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/srdf_construction.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(SrdfConstruction, TwoActorsPerTaskTwoQueuesPerBuffer) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const SrdfModel m = build_srdf(config, 0, {8.0, 8.0}, {3});
+  // 2 tasks -> 4 actors; per task: wait queue + self loop; per buffer:
+  // data + space queue.
+  EXPECT_EQ(m.graph.num_actors(), 4);
+  EXPECT_EQ(m.graph.num_queues(), 2 * 2 + 2 * 1);
+}
+
+TEST(SrdfConstruction, FiringDurationsMatchTheModel) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const double beta = 8.0;
+  const SrdfModel m = build_srdf(config, 0, {beta, beta}, {3});
+  // rho(v_a1) = 40 - 8 = 32 ; rho(v_a2) = 40 * 1 / 8 = 5.
+  EXPECT_DOUBLE_EQ(m.graph.actor(m.wait_actor[0]).firing_duration, 32.0);
+  EXPECT_DOUBLE_EQ(m.graph.actor(m.exec_actor[0]).firing_duration, 5.0);
+}
+
+TEST(SrdfConstruction, TokenPlacement) {
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 10.0);
+  const auto a = tg.add_task("a", p, 1.0);
+  const auto b = tg.add_task("b", p, 1.0);
+  tg.add_buffer("ab", a, b, mem, 1, 2);  // iota = 2
+  config.add_task_graph(std::move(tg));
+
+  const SrdfModel m = build_srdf(config, 0, {10.0, 10.0}, {5});
+  // Wait queue: 0 tokens; self loop: 1; data queue: iota = 2; space queue:
+  // gamma - iota = 3.
+  EXPECT_EQ(m.graph.queue(m.wait_queue[0]).initial_tokens, 0);
+  EXPECT_EQ(m.graph.queue(m.self_queue[0]).initial_tokens, 1);
+  EXPECT_EQ(m.graph.queue(m.data_queue[0]).initial_tokens, 2);
+  EXPECT_EQ(m.graph.queue(m.space_queue[0]).initial_tokens, 3);
+}
+
+TEST(SrdfConstruction, QueueOrientation) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  const SrdfModel m = build_srdf(config, 0, {8.0, 8.0}, {3});
+  // Data queue: producer exec -> consumer wait.
+  const dataflow::Queue& data = m.graph.queue(m.data_queue[0]);
+  EXPECT_EQ(data.from, m.exec_actor[0]);
+  EXPECT_EQ(data.to, m.wait_actor[1]);
+  // Space queue: consumer exec -> producer wait.
+  const dataflow::Queue& space = m.graph.queue(m.space_queue[0]);
+  EXPECT_EQ(space.from, m.exec_actor[1]);
+  EXPECT_EQ(space.to, m.wait_actor[0]);
+}
+
+TEST(SrdfConstruction, SkeletonHasZeroDurations) {
+  const model::Configuration config = gen::three_stage_chain_t2();
+  const SrdfModel m = build_srdf_skeleton(config, 0);
+  EXPECT_EQ(m.graph.num_actors(), 6);
+  for (linalg::Index v = 0; v < m.graph.num_actors(); ++v) {
+    EXPECT_DOUBLE_EQ(m.graph.actor(v).firing_duration, 0.0);
+  }
+  // Space queues carry 0 tokens in the skeleton (they become variables).
+  EXPECT_EQ(m.graph.queue(m.space_queue[0]).initial_tokens, 0);
+}
+
+TEST(SrdfConstruction, McrMatchesClosedFormForT1) {
+  // For symmetric budgets beta and capacity d, the throughput-limiting
+  // cycle gives MCR = max(40/beta, (2(40-beta) + 2*40/beta) / d).
+  const model::Configuration config = gen::producer_consumer_t1();
+  for (const double beta : {10.0, 20.0, 36.0}) {
+    for (const linalg::Index d : {1, 3, 7}) {
+      const SrdfModel m = build_srdf(config, 0, {beta, beta}, {d});
+      const double self_loop = 40.0 / beta;
+      const double buffer_cycle =
+          (2.0 * (40.0 - beta) + 2.0 * 40.0 / beta) / static_cast<double>(d);
+      const double expect = std::max(self_loop, buffer_cycle);
+      EXPECT_NEAR(dataflow::max_cycle_ratio_bisect(m.graph, 1e-10), expect,
+                  1e-6 * expect)
+          << "beta=" << beta << " d=" << d;
+    }
+  }
+}
+
+TEST(SrdfConstruction, RejectsBadBudgetsAndCapacities) {
+  const model::Configuration config = gen::producer_consumer_t1();
+  EXPECT_THROW(build_srdf(config, 0, {0.0, 8.0}, {3}), ModelError);
+  EXPECT_THROW(build_srdf(config, 0, {41.0, 8.0}, {3}), ModelError);
+  EXPECT_THROW(build_srdf(config, 0, {8.0, 8.0}, {0}), ModelError);
+  EXPECT_THROW(build_srdf(config, 0, {8.0}, {3}), ContractViolation);
+  EXPECT_THROW(build_srdf(config, 0, {8.0, 8.0}, {}), ContractViolation);
+}
+
+TEST(SrdfConstruction, CapacityBelowFillRejected) {
+  model::Configuration config(1);
+  const auto p = config.add_processor("p", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 10.0);
+  const auto a = tg.add_task("a", p, 1.0);
+  const auto b = tg.add_task("b", p, 1.0);
+  tg.add_buffer("ab", a, b, mem, 1, 3);
+  config.add_task_graph(std::move(tg));
+  EXPECT_THROW(build_srdf(config, 0, {10.0, 10.0}, {2}), ModelError);
+}
+
+}  // namespace
+}  // namespace bbs::core

@@ -1,0 +1,98 @@
+// Tests for the budget/buffer trade-off sweep (the machinery behind Figures
+// 2(a), 2(b) and 3 of the paper).
+#include <gtest/gtest.h>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/core/tradeoff.hpp"
+#include "bbs/gen/generators.hpp"
+
+namespace bbs::core {
+namespace {
+
+TEST(Tradeoff, T1SweepIsMonotoneDecreasingAndConvex) {
+  model::Configuration config = gen::producer_consumer_t1();
+  const TradeoffSweep sweep = sweep_max_capacity(config, 0, 1, 10);
+  ASSERT_EQ(sweep.points.size(), 10u);
+  for (const TradeoffPoint& p : sweep.points) {
+    ASSERT_TRUE(p.feasible) << "capacity " << p.max_capacity;
+  }
+  // Monotone decreasing budgets (Figure 2(a)).
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    EXPECT_LE(sweep.points[i].total_budget_continuous,
+              sweep.points[i - 1].total_budget_continuous + 1e-6);
+  }
+  // The marginal saving per extra container decreases (Figure 2(b)):
+  // the non-linearity of the trade-off.
+  const linalg::Vector deltas = sweep.budget_deltas();
+  ASSERT_EQ(deltas.size(), 9u);
+  for (std::size_t i = 1; i < deltas.size(); ++i) {
+    EXPECT_LE(deltas[i], deltas[i - 1] + 1e-4);
+  }
+  EXPECT_GT(deltas.front(), 4.0);  // ~4.83 Mcycles for the 2nd container
+  EXPECT_LT(deltas.back(), 1.0);   // ~0.30 for the 10th
+}
+
+TEST(Tradeoff, SweepRestoresOriginalCaps) {
+  model::Configuration config = gen::producer_consumer_t1();
+  config.mutable_task_graph(0).set_max_capacity(0, 7);
+  sweep_max_capacity(config, 0, 1, 3);
+  EXPECT_EQ(config.task_graph(0).buffer(0).max_capacity, 7);
+}
+
+TEST(Tradeoff, InfeasiblePointsMarked) {
+  // mu = 2.2 on T1 makes capacity 1 infeasible (needs beta > 39) while
+  // larger capacities work.
+  model::Configuration config(1);
+  const auto p1 = config.add_processor("p1", 40.0);
+  const auto p2 = config.add_processor("p2", 40.0);
+  const auto mem = config.add_memory("m", -1.0);
+  model::TaskGraph tg("T1", 2.2);
+  const auto wa = tg.add_task("wa", p1, 1.0);
+  const auto wb = tg.add_task("wb", p2, 1.0);
+  tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
+  config.add_task_graph(std::move(tg));
+
+  const TradeoffSweep sweep = sweep_max_capacity(config, 0, 1, 40);
+  ASSERT_EQ(sweep.points.size(), 40u);
+  EXPECT_FALSE(sweep.points.front().feasible);
+  EXPECT_TRUE(sweep.points.back().feasible);
+  // Feasibility is monotone in the capacity bound.
+  bool seen_feasible = false;
+  for (const TradeoffPoint& p : sweep.points) {
+    if (seen_feasible) EXPECT_TRUE(p.feasible);
+    seen_feasible = seen_feasible || p.feasible;
+  }
+  EXPECT_TRUE(seen_feasible);
+  // Deltas skip infeasible prefixes.
+  EXPECT_LT(sweep.budget_deltas().size(), 39u);
+}
+
+TEST(Tradeoff, T2MiddleTaskReducedLast) {
+  // Figure 3: sweeping both caps of the three-stage chain, the outer tasks'
+  // budgets drop below the middle task's budget as soon as capacity allows.
+  model::Configuration config = gen::three_stage_chain_t2();
+  const TradeoffSweep sweep = sweep_max_capacity(config, 0, 1, 10);
+  for (const TradeoffPoint& p : sweep.points) {
+    ASSERT_TRUE(p.feasible);
+    const double beta_a = p.budgets_continuous[0];
+    const double beta_b = p.budgets_continuous[1];
+    const double beta_c = p.budgets_continuous[2];
+    EXPECT_NEAR(beta_a, beta_c, 1e-3 * (beta_a + 1.0));
+    EXPECT_GE(beta_b, beta_a - 1e-6);
+  }
+  // At small capacity the gap is pronounced; it closes by capacity 10 when
+  // every budget reaches the self-loop bound 4.
+  EXPECT_GT(sweep.points[2].budgets_continuous[1] -
+                sweep.points[2].budgets_continuous[0],
+            1.0);
+  EXPECT_NEAR(sweep.points[9].budgets_continuous[1], 4.0, 0.2);
+}
+
+TEST(Tradeoff, RejectsBadRange) {
+  model::Configuration config = gen::producer_consumer_t1();
+  EXPECT_THROW(sweep_max_capacity(config, 0, 0, 5), ContractViolation);
+  EXPECT_THROW(sweep_max_capacity(config, 0, 4, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::core
