@@ -9,6 +9,7 @@
 #include "bbs/core/two_phase.hpp"
 #include "bbs/core/verification.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -56,15 +57,10 @@ TEST(BufferSizing, RespectsPerBufferCap) {
 }
 
 TEST(BufferSizing, RespectsMemoryCapacity) {
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", 3.0);  // three unit containers
-  model::TaskGraph tg("T1", 10.0);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.memory_capacity = 3.0;  // three unit containers
+  opts.size_weight = 1e-3;
+  const model::Configuration config = testing::two_task_chain(opts);
 
   // beta = 8 needs 9 containers > 3 in memory: fail.
   EXPECT_FALSE(size_buffers_for_budgets(config, 0, {8.0, 8.0}).has_value());
@@ -109,19 +105,11 @@ TEST(BufferSizing, AgreesWithLpPhaseOnChains) {
 TEST(BufferSizing, InitialFillReducesSpaceNeeded) {
   // With iota = 1 the data queue already carries a token; the same budgets
   // need no more capacity than the iota = 0 variant.
-  model::Configuration empty_start(1);
-  model::Configuration prefilled(1);
-  for (model::Configuration* config : {&empty_start, &prefilled}) {
-    const auto p1 = config->add_processor("p1", 40.0);
-    const auto p2 = config->add_processor("p2", 40.0);
-    const auto mem = config->add_memory("m", -1.0);
-    model::TaskGraph tg("T1", 10.0);
-    const auto wa = tg.add_task("wa", p1, 1.0);
-    const auto wb = tg.add_task("wb", p2, 1.0);
-    tg.add_buffer("bab", wa, wb, mem, 1,
-                  config == &prefilled ? 1 : 0, 1e-3);
-    config->add_task_graph(std::move(tg));
-  }
+  testing::TwoTaskOptions opts;
+  opts.size_weight = 1e-3;
+  const model::Configuration empty_start = testing::two_task_chain(opts);
+  opts.initial_fill = 1;
+  const model::Configuration prefilled = testing::two_task_chain(opts);
   const auto r0 = size_buffers_for_budgets(empty_start, 0, {10.0, 10.0});
   const auto r1 = size_buffers_for_budgets(prefilled, 0, {10.0, 10.0});
   ASSERT_TRUE(r0.has_value());

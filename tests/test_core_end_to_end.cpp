@@ -7,6 +7,7 @@
 
 #include "bbs/core/budget_buffer_solver.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -21,7 +22,7 @@ double t1_optimal_budget(double rho, double chi, double mu, double d) {
 }
 
 TEST(CoreEndToEnd, T1UnconstrainedPrefersMinimalBudgets) {
-  const model::Configuration config = gen::producer_consumer_t1();
+  const model::Configuration config = testing::paper_t1();
   const MappingResult r = compute_budgets_and_buffers(config);
   ASSERT_TRUE(r.feasible());
   ASSERT_TRUE(r.verified);
@@ -36,13 +37,15 @@ class T1ClosedForm : public ::testing::TestWithParam<int> {};
 
 TEST_P(T1ClosedForm, BudgetMatchesAnalyticOptimum) {
   const int d = GetParam();
-  model::Configuration config = gen::producer_consumer_t1();
+  model::Configuration config = testing::paper_t1();
   config.mutable_task_graph(0).set_max_capacity(0, d);
   const MappingResult r = compute_budgets_and_buffers(config);
   ASSERT_TRUE(r.feasible()) << "capacity " << d;
   const double expect = t1_optimal_budget(40.0, 1.0, 10.0, d);
-  EXPECT_NEAR(r.graphs[0].tasks[0].budget_continuous, expect, 1e-3 * expect);
-  EXPECT_NEAR(r.graphs[0].tasks[1].budget_continuous, expect, 1e-3 * expect);
+  BBS_EXPECT_NEAR_REL(r.graphs[0].tasks[0].budget_continuous, expect,
+                      testing::kSolverRelTol);
+  BBS_EXPECT_NEAR_REL(r.graphs[0].tasks[1].budget_continuous, expect,
+                      testing::kSolverRelTol);
   EXPECT_TRUE(r.verified);
   // The chosen capacity equals the cap (budgets are the expensive resource).
   EXPECT_EQ(r.graphs[0].buffers[0].capacity, d);
@@ -62,16 +65,13 @@ class T1ParamSweep : public ::testing::TestWithParam<T1Params> {};
 
 TEST_P(T1ParamSweep, ClosedFormHolds) {
   const T1Params p = GetParam();
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", p.rho);
-  const auto p2 = config.add_processor("p2", p.rho);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("T1", p.mu);
-  const auto wa = tg.add_task("wa", p1, p.chi);
-  const auto wb = tg.add_task("wb", p2, p.chi);
-  const auto buf = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-4);
-  tg.set_max_capacity(buf, p.cap);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.replenishment_interval = p.rho;
+  opts.required_period = p.mu;
+  opts.wcet_a = opts.wcet_b = p.chi;
+  opts.size_weight = 1e-4;
+  opts.max_capacity = p.cap;
+  const model::Configuration config = testing::two_task_chain(opts);
 
   const double expect =
       t1_optimal_budget(p.rho, p.chi, p.mu, static_cast<double>(p.cap));
@@ -81,7 +81,7 @@ TEST_P(T1ParamSweep, ClosedFormHolds) {
     return;
   }
   ASSERT_TRUE(r.feasible());
-  EXPECT_NEAR(r.graphs[0].tasks[0].budget_continuous, expect, 2e-3 * expect);
+  BBS_EXPECT_NEAR_REL(r.graphs[0].tasks[0].budget_continuous, expect, 2e-3);
   EXPECT_TRUE(r.verified);
 }
 
@@ -98,7 +98,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CoreEndToEnd, T2BudgetOfMiddleTaskStaysHigh) {
   // The paper's second experiment: with both capacities capped, wb interacts
   // with two buffers, so wa and wc budgets are reduced before wb's.
-  model::Configuration config = gen::three_stage_chain_t2();
+  model::Configuration config = testing::paper_t2();
   model::TaskGraph& tg = config.mutable_task_graph(0);
   tg.set_max_capacity(0, 4);
   tg.set_max_capacity(1, 4);
@@ -118,16 +118,10 @@ TEST(CoreEndToEnd, InfeasibleWhenBufferCapTooSmallForPeriod) {
   // needs beta >= 8, and cap d = 1 needs beta >= ~35.1 -> feasible; squeeze
   // with mu = 2.2: self-loop beta >= 18.2; d=1: 2(40-b)+80/b <= 2.2 needs
   // b >= ~39.1 > 39 -> infeasible.
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("T1", 2.2);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  const auto buf = tg.add_buffer("bab", wa, wb, mem);
-  tg.set_max_capacity(buf, 1);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.required_period = 2.2;
+  opts.max_capacity = 1;
+  const model::Configuration config = testing::two_task_chain(opts);
   const MappingResult r = compute_budgets_and_buffers(config);
   EXPECT_FALSE(r.feasible());
   EXPECT_EQ(r.status, solver::SolveStatus::kPrimalInfeasible);
@@ -135,19 +129,11 @@ TEST(CoreEndToEnd, InfeasibleWhenBufferCapTooSmallForPeriod) {
 
 TEST(CoreEndToEnd, MemoryConstraintLimitsCapacity) {
   // Finite memory forces a smaller buffer, hence larger budgets.
-  model::Configuration free_mem(1);
-  model::Configuration tight_mem(1);
-  for (model::Configuration* config : {&free_mem, &tight_mem}) {
-    const auto p1 = config->add_processor("p1", 40.0);
-    const auto p2 = config->add_processor("p2", 40.0);
-    const auto mem =
-        config->add_memory("m", config == &tight_mem ? 5.0 : -1.0);
-    model::TaskGraph tg("T1", 10.0);
-    const auto wa = tg.add_task("wa", p1, 1.0);
-    const auto wb = tg.add_task("wb", p2, 1.0);
-    tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-    config->add_task_graph(std::move(tg));
-  }
+  testing::TwoTaskOptions opts;
+  opts.size_weight = 1e-3;
+  const model::Configuration free_mem = testing::two_task_chain(opts);
+  opts.memory_capacity = 5.0;
+  const model::Configuration tight_mem = testing::two_task_chain(opts);
   const MappingResult r_free = compute_budgets_and_buffers(free_mem);
   const MappingResult r_tight = compute_budgets_and_buffers(tight_mem);
   ASSERT_TRUE(r_free.feasible());
@@ -160,20 +146,11 @@ TEST(CoreEndToEnd, MemoryConstraintLimitsCapacity) {
 }
 
 TEST(CoreEndToEnd, GranularityRoundsBudgetsUp) {
-  model::Configuration config(1);
-  {
-    // Rebuild T1 with granularity 8.
-    model::Configuration g8(8);
-    const auto p1 = g8.add_processor("p1", 40.0);
-    const auto p2 = g8.add_processor("p2", 40.0);
-    const auto mem = g8.add_memory("m", -1.0);
-    model::TaskGraph tg("T1", 10.0);
-    const auto wa = tg.add_task("wa", p1, 1.0);
-    const auto wb = tg.add_task("wb", p2, 1.0);
-    tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-    g8.add_task_graph(std::move(tg));
-    config = std::move(g8);
-  }
+  // T1 with granularity 8.
+  testing::TwoTaskOptions opts;
+  opts.granularity = 8;
+  opts.size_weight = 1e-3;
+  const model::Configuration config = testing::two_task_chain(opts);
   const MappingResult r = compute_budgets_and_buffers(config);
   ASSERT_TRUE(r.feasible());
   ASSERT_TRUE(r.verified);
@@ -215,7 +192,7 @@ TEST_P(GeneratedFamilies, RoundedSolutionsAlwaysVerify) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedFamilies, ::testing::Range(0, 8));
 
 TEST(CoreEndToEnd, ObjectiveRoundedAtLeastContinuous) {
-  const model::Configuration config = gen::three_stage_chain_t2();
+  const model::Configuration config = testing::paper_t2();
   const MappingResult r = compute_budgets_and_buffers(config);
   ASSERT_TRUE(r.feasible());
   EXPECT_GE(r.objective_rounded, r.objective_continuous - 1e-6);

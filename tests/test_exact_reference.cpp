@@ -7,6 +7,7 @@
 #include "bbs/core/budget_buffer_solver.hpp"
 #include "bbs/core/exact_reference.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -22,9 +23,10 @@ TEST(ExactReference, T1CappedMatchesHandComputation) {
   limits.max_capacity = 3;
   const auto best = exact_reference(config, limits);
   ASSERT_TRUE(best.has_value());
-  EXPECT_NEAR(best->budgets[0][0] + best->budgets[0][1], 54.0, 1e-9);
+  EXPECT_NEAR(best->budgets[0][0] + best->budgets[0][1], 54.0,
+              testing::kExactTol);
   EXPECT_EQ(best->capacities[0][0], 3);
-  EXPECT_NEAR(best->cost, 54.0 + 1e-3 * 3.0, 1e-9);
+  EXPECT_NEAR(best->cost, 54.0 + 1e-3 * 3.0, testing::kExactTol);
   const GraphVerification v =
       verify_graph(config, 0, best->budgets[0], best->capacities[0]);
   EXPECT_TRUE(v.throughput_met);
@@ -60,16 +62,10 @@ TEST(ExactReference, InfeasibleInstanceReturnsNullopt) {
   // beta = 40 (cycle duration 2(40-40) + 2*40/40 = 2 > 1.9). Note mu = 2.2
   // would NOT do here: the exhaustive search checks true feasibility, where
   // beta = 40 is admissible, while Algorithm 1 conservatively reserves +g.
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("T1", 1.9);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  const auto b = tg.add_buffer("bab", wa, wb, mem);
-  tg.set_max_capacity(b, 1);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.required_period = 1.9;
+  opts.max_capacity = 1;
+  const model::Configuration config = testing::two_task_chain(opts);
 
   ExactSearchLimits limits;
   limits.max_capacity = 1;
@@ -77,16 +73,11 @@ TEST(ExactReference, InfeasibleInstanceReturnsNullopt) {
 }
 
 TEST(ExactReference, RespectsGranularity) {
-  model::Configuration config(5);  // budgets in multiples of 5
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("T1", 10.0);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  const auto b = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-  tg.set_max_capacity(b, 4);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.granularity = 5;  // budgets in multiples of 5
+  opts.size_weight = 1e-3;
+  opts.max_capacity = 4;
+  const model::Configuration config = testing::two_task_chain(opts);
 
   ExactSearchLimits limits;
   limits.max_capacity = 4;

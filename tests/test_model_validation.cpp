@@ -1,0 +1,190 @@
+// Negative-path tests for configuration validation: every invalid shape must
+// be rejected with a diagnostic-carrying exception, never an abort or crash.
+//
+// Rejection happens in two layers (see common/assert.hpp):
+//  * construction-time contracts on the builder API (Configuration::add_*,
+//    TaskGraph::add_*) throw ContractViolation immediately;
+//  * Configuration::validate (model/validation.cpp) catches cross-entity
+//    problems the builders cannot see locally (dangling references, overhead
+//    vs. interval, empty graphs) and throws ModelError naming the entity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/model/configuration.hpp"
+#include "testing/support.hpp"
+
+namespace bbs::model {
+namespace {
+
+using bbs::testing::minimal_valid;
+
+/// Expects validate() to throw ModelError whose message contains `needle`.
+void expect_rejected(const Configuration& config, const std::string& needle) {
+  try {
+    config.validate();
+    FAIL() << "expected ModelError mentioning '" << needle << "'";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+/// Expects `fn` to throw ContractViolation whose message contains `needle`.
+template <typename Fn>
+void expect_contract(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected ContractViolation mentioning '" << needle << "'";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(Validation, MinimalConfigurationIsValid) {
+  EXPECT_NO_THROW(minimal_valid().validate());
+}
+
+// ---------------------------------------------------------------------------
+// Construction-time contracts
+// ---------------------------------------------------------------------------
+
+TEST(Validation, RejectsNonPositiveGranularity) {
+  expect_contract([] { Configuration config(0); }, "granularity");
+  expect_contract([] { Configuration config(-3); }, "granularity");
+}
+
+TEST(Validation, RejectsNonPositiveReplenishmentInterval) {
+  Configuration config(1);
+  expect_contract([&] { config.add_processor("p", 0.0); },
+                  "replenishment interval");
+  expect_contract([&] { config.add_processor("p", -40.0); },
+                  "replenishment interval");
+}
+
+TEST(Validation, RejectsNegativeSchedulingOverhead) {
+  Configuration config(1);
+  expect_contract([&] { config.add_processor("p", 40.0, -1.0); },
+                  "scheduling overhead");
+}
+
+TEST(Validation, RejectsNegativeMemoryCapacity) {
+  Configuration config(1);
+  expect_contract([&] { config.add_memory("m", -2.0); }, "capacity");
+}
+
+TEST(Validation, RejectsNonPositiveRequiredPeriod) {
+  expect_contract([] { TaskGraph tg("g", 0.0); }, "period");
+  expect_contract([] { TaskGraph tg("g", -10.0); }, "period");
+}
+
+TEST(Validation, RejectsNonPositiveWcet) {
+  TaskGraph tg("g", 10.0);
+  expect_contract([&] { tg.add_task("a", 0, 0.0); }, "WCET");
+  expect_contract([&] { tg.add_task("a", 0, -1.0); }, "WCET");
+}
+
+TEST(Validation, RejectsDanglingBufferEndpoints) {
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", 0, 1.0);
+  expect_contract([&] { tg.add_buffer("ab", Index{9}, a, 0); }, "producer");
+  expect_contract([&] { tg.add_buffer("ab", a, Index{9}, 0); }, "consumer");
+}
+
+TEST(Validation, RejectsNonPositiveContainerSize) {
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", 0, 1.0);
+  const Index b = tg.add_task("b", 0, 1.0);
+  expect_contract([&] { tg.add_buffer("ab", a, b, 0, /*container_size=*/0); },
+                  "container size");
+}
+
+TEST(Validation, RejectsNegativeInitialFill) {
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", 0, 1.0);
+  const Index b = tg.add_task("b", 0, 1.0);
+  expect_contract(
+      [&] { tg.add_buffer("ab", a, b, 0, 1, /*initial_fill=*/-1); },
+      "initial fill");
+}
+
+TEST(Validation, RejectsInvalidMaxCapacity) {
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", 0, 1.0);
+  const Index b = tg.add_task("b", 0, 1.0);
+  const Index ab = tg.add_buffer("ab", a, b, 0);
+  expect_contract([&] { tg.set_max_capacity(ab, 0); }, "capacity");
+}
+
+// ---------------------------------------------------------------------------
+// validate(): cross-entity problems the builders cannot see locally
+// ---------------------------------------------------------------------------
+
+TEST(Validation, RejectsOverheadConsumingWholeInterval) {
+  // add_processor only requires overhead >= 0; only validate() can relate it
+  // to the interval.
+  Configuration config(1);
+  config.add_processor("p", 40.0, 40.0);
+  expect_rejected(config, "scheduling overhead");
+}
+
+TEST(Validation, RejectsEmptyTaskGraph) {
+  Configuration config(1);
+  config.add_processor("p", 40.0);
+  config.add_task_graph(TaskGraph("g", 10.0));
+  expect_rejected(config, "no tasks");
+}
+
+TEST(Validation, RejectsDanglingProcessorReference) {
+  // add_task only checks processor >= 0; the range is configuration-level.
+  Configuration config(1);
+  config.add_processor("p", 40.0);
+  TaskGraph tg("g", 10.0);
+  tg.add_task("a", /*processor=*/7, 1.0);
+  config.add_task_graph(std::move(tg));
+  expect_rejected(config, "processor reference out of range");
+}
+
+TEST(Validation, RejectsDanglingMemoryReference) {
+  Configuration config(1);
+  const Index p = config.add_processor("p", 40.0);
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  const Index b = tg.add_task("b", p, 1.0);
+  tg.add_buffer("ab", a, b, /*memory=*/3);
+  config.add_task_graph(std::move(tg));
+  expect_rejected(config, "memory reference out of range");
+}
+
+TEST(Validation, RejectsInitialFillBeyondMaxCapacity) {
+  Configuration config(1);
+  const Index p = config.add_processor("p", 40.0);
+  const Index m = config.add_memory("m", -1.0);
+  TaskGraph tg("g", 10.0);
+  const Index a = tg.add_task("a", p, 1.0);
+  const Index b = tg.add_task("b", p, 1.0);
+  const Index ab = tg.add_buffer("ab", a, b, m, 1, /*initial_fill=*/5);
+  tg.set_max_capacity(ab, 3);
+  config.add_task_graph(std::move(tg));
+  expect_rejected(config, "initial fill exceeds");
+}
+
+TEST(Validation, DiagnosticNamesTheOffendingEntity) {
+  Configuration config(1);
+  config.add_processor("dsp0", 40.0, 40.0);
+  expect_rejected(config, "processor 'dsp0'");
+}
+
+TEST(Validation, ValidateDoesNotMutate) {
+  Configuration config = minimal_valid();
+  const Index before = config.num_task_graphs();
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.num_task_graphs(), before);
+}
+
+}  // namespace
+}  // namespace bbs::model

@@ -5,6 +5,7 @@
 #include "bbs/common/assert.hpp"
 #include "bbs/core/program_builder.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -43,29 +44,23 @@ TEST(ProgramBuilder, CapacityCapAddsRow) {
 }
 
 TEST(ProgramBuilder, MemoryConstraintAddsRow) {
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", 12.0);  // finite!
-  model::TaskGraph tg("g", 10.0);
-  const auto a = tg.add_task("a", p1, 1.0);
-  const auto b = tg.add_task("b", p2, 1.0);
-  tg.add_buffer("ab", a, b, mem, 2, 0);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.memory_capacity = 12.0;  // finite!
+  opts.container_size = 2;
+  const model::Configuration config = testing::two_task_chain(opts);
   const BuiltProgram prog = build_algorithm1(config);
   // Same as T1 plus one memory row.
   EXPECT_EQ(prog.problem.cone().nonneg(), 10);
 }
 
 TEST(ProgramBuilder, ObjectiveUsesWeightsAndContainerSizes) {
-  model::Configuration config(1);
-  const auto p = config.add_processor("p", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("g", 20.0);
-  const auto a = tg.add_task("a", p, 1.0, 2.5);   // a(w) = 2.5
-  const auto b = tg.add_task("b", p, 1.0, 1.0);
-  tg.add_buffer("ab", a, b, mem, 4, 0, 0.5);      // b(e)*zeta = 0.5*4 = 2
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.same_processor = true;
+  opts.required_period = 20.0;
+  opts.budget_weight_a = 2.5;                     // a(w) = 2.5
+  opts.container_size = 4;
+  opts.size_weight = 0.5;                         // b(e)*zeta = 0.5*4 = 2
+  const model::Configuration config = testing::two_task_chain(opts);
   const BuiltProgram prog = build_algorithm1(config);
 
   const auto beta_a = prog.layout.beta_var[0][0];

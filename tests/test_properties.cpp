@@ -7,6 +7,7 @@
 
 #include "bbs/core/tradeoff.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -54,15 +55,10 @@ TEST(Properties, ExtraMemoryConstraintNeverLowersCost) {
   const MappingResult r_free = compute_budgets_and_buffers(free_config);
   ASSERT_TRUE(r_free.feasible());
 
-  model::Configuration tight(1);
-  const auto p1 = tight.add_processor("p1", 40.0);
-  const auto p2 = tight.add_processor("p2", 40.0);
-  const auto mem = tight.add_memory("m", 7.0);  // capacity <= 6 after slack
-  model::TaskGraph tg("T1", 10.0);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-  tight.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.memory_capacity = 7.0;  // capacity <= 6 after slack
+  opts.size_weight = 1e-3;
+  const model::Configuration tight = testing::two_task_chain(opts);
   const MappingResult r_tight = compute_budgets_and_buffers(tight);
   ASSERT_TRUE(r_tight.feasible());
 
@@ -142,16 +138,11 @@ TEST(Properties, TaskOrderInvariance) {
 TEST(Properties, GranularityCoarseningNeverCheapensRounded) {
   double previous = 0.0;
   for (const Index g : {1, 2, 4, 8}) {
-    model::Configuration config(g);
-    const auto p1 = config.add_processor("p1", 40.0);
-    const auto p2 = config.add_processor("p2", 40.0);
-    const auto mem = config.add_memory("m", -1.0);
-    model::TaskGraph tg("T1", 10.0);
-    const auto wa = tg.add_task("wa", p1, 1.0);
-    const auto wb = tg.add_task("wb", p2, 1.0);
-    const auto buf = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-    tg.set_max_capacity(buf, 5);
-    config.add_task_graph(std::move(tg));
+    testing::TwoTaskOptions opts;
+    opts.granularity = g;
+    opts.size_weight = 1e-3;
+    opts.max_capacity = 5;
+    const model::Configuration config = testing::two_task_chain(opts);
     const MappingResult r = compute_budgets_and_buffers(config);
     ASSERT_TRUE(r.feasible()) << "g=" << g;
     EXPECT_GE(r.objective_rounded, previous - 1e-9) << "g=" << g;

@@ -5,6 +5,7 @@
 #include "bbs/core/exact_reference.hpp"
 #include "bbs/core/refinement.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -46,16 +47,11 @@ TEST(Refinement, ClosesTheRoundingGapOnT1) {
 TEST(Refinement, ReachesExactOptimumAcrossCapsAndGranularities) {
   for (const Index g : {1, 2}) {
     for (const Index cap : {3, 5, 7}) {
-      model::Configuration config(g);
-      const auto p1 = config.add_processor("p1", 40.0);
-      const auto p2 = config.add_processor("p2", 40.0);
-      const auto mem = config.add_memory("m", -1.0);
-      model::TaskGraph tg("T1", 10.0);
-      const auto wa = tg.add_task("wa", p1, 1.0);
-      const auto wb = tg.add_task("wb", p2, 1.0);
-      const auto b = tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-      tg.set_max_capacity(b, cap);
-      config.add_task_graph(std::move(tg));
+      testing::TwoTaskOptions opts;
+      opts.granularity = g;
+      opts.size_weight = 1e-3;
+      opts.max_capacity = cap;
+      model::Configuration config = testing::two_task_chain(opts);
 
       MappingResult r = compute_budgets_and_buffers(config);
       ASSERT_TRUE(r.feasible());

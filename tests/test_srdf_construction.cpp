@@ -6,6 +6,7 @@
 #include "bbs/core/srdf_construction.hpp"
 #include "bbs/dataflow/cycle_ratio.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -29,14 +30,10 @@ TEST(SrdfConstruction, FiringDurationsMatchTheModel) {
 }
 
 TEST(SrdfConstruction, TokenPlacement) {
-  model::Configuration config(1);
-  const auto p = config.add_processor("p", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("g", 10.0);
-  const auto a = tg.add_task("a", p, 1.0);
-  const auto b = tg.add_task("b", p, 1.0);
-  tg.add_buffer("ab", a, b, mem, 1, 2);  // iota = 2
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.same_processor = true;
+  opts.initial_fill = 2;  // iota = 2
+  const model::Configuration config = testing::two_task_chain(opts);
 
   const SrdfModel m = build_srdf(config, 0, {10.0, 10.0}, {5});
   // Wait queue: 0 tokens; self loop: 1; data queue: iota = 2; space queue:

@@ -5,6 +5,7 @@
 #include "bbs/common/assert.hpp"
 #include "bbs/core/tradeoff.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -42,15 +43,10 @@ TEST(Tradeoff, SweepRestoresOriginalCaps) {
 TEST(Tradeoff, InfeasiblePointsMarked) {
   // mu = 2.2 on T1 makes capacity 1 infeasible (needs beta > 39) while
   // larger capacities work.
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  model::TaskGraph tg("T1", 2.2);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-  config.add_task_graph(std::move(tg));
+  testing::TwoTaskOptions opts;
+  opts.required_period = 2.2;
+  opts.size_weight = 1e-3;
+  model::Configuration config = testing::two_task_chain(opts);
 
   const TradeoffSweep sweep = sweep_max_capacity(config, 0, 1, 40);
   ASSERT_EQ(sweep.points.size(), 40u);
@@ -59,7 +55,9 @@ TEST(Tradeoff, InfeasiblePointsMarked) {
   // Feasibility is monotone in the capacity bound.
   bool seen_feasible = false;
   for (const TradeoffPoint& p : sweep.points) {
-    if (seen_feasible) EXPECT_TRUE(p.feasible);
+    if (seen_feasible) {
+      EXPECT_TRUE(p.feasible);
+    }
     seen_feasible = seen_feasible || p.feasible;
   }
   EXPECT_TRUE(seen_feasible);

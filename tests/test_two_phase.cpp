@@ -7,6 +7,7 @@
 #include "bbs/core/tradeoff.hpp"
 #include "bbs/core/two_phase.hpp"
 #include "bbs/gen/generators.hpp"
+#include "testing/support.hpp"
 
 namespace bbs::core {
 namespace {
@@ -58,16 +59,11 @@ TEST(TwoPhase, BufferFirstOverprovisionsMemory) {
   // Committing large buffers first wastes memory the joint solve would not:
   // fix capacity 10 where the joint optimum under the same memory would use
   // fewer containers with slightly larger budgets.
-  model::Configuration config(1);
-  const auto p1 = config.add_processor("p1", 40.0);
-  const auto p2 = config.add_processor("p2", 40.0);
+  testing::TwoTaskOptions opts;
   // Memory fits 6 containers (zeta = 1; (10): capacity <= 5 after +1 slack).
-  const auto mem = config.add_memory("m", 6.0);
-  model::TaskGraph tg("T1", 10.0);
-  const auto wa = tg.add_task("wa", p1, 1.0);
-  const auto wb = tg.add_task("wb", p2, 1.0);
-  tg.add_buffer("bab", wa, wb, mem, 1, 0, 1e-3);
-  config.add_task_graph(std::move(tg));
+  opts.memory_capacity = 6.0;
+  opts.size_weight = 1e-3;
+  const model::Configuration config = testing::two_task_chain(opts);
 
   const MappingResult joint = compute_budgets_and_buffers(config);
   ASSERT_TRUE(joint.feasible());

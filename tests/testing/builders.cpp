@@ -1,0 +1,42 @@
+#include "testing/support.hpp"
+
+#include <utility>
+
+namespace bbs::testing {
+
+model::Configuration two_task_chain(const TwoTaskOptions& opts) {
+  model::Configuration config(opts.granularity);
+  const Index p1 = config.add_processor("p1", opts.replenishment_interval,
+                                        opts.scheduling_overhead);
+  const Index p2 = opts.same_processor
+                       ? p1
+                       : config.add_processor("p2",
+                                              opts.replenishment_interval,
+                                              opts.scheduling_overhead);
+  const Index mem = config.add_memory("m", opts.memory_capacity);
+
+  model::TaskGraph tg("g", opts.required_period);
+  const Index a = tg.add_task("a", p1, opts.wcet_a, opts.budget_weight_a);
+  const Index b = tg.add_task("b", p2, opts.wcet_b, opts.budget_weight_b);
+  const Index ab = tg.add_buffer("ab", a, b, mem, opts.container_size,
+                                 opts.initial_fill, opts.size_weight);
+  if (opts.max_capacity != -1) {
+    tg.set_max_capacity(ab, opts.max_capacity);
+  }
+  config.add_task_graph(std::move(tg));
+  config.validate();
+  return config;
+}
+
+model::Configuration minimal_valid() {
+  model::Configuration config(1);
+  const Index p = config.add_processor("p", 40.0);
+  config.add_memory("m", -1.0);
+  model::TaskGraph tg("g", 10.0);
+  tg.add_task("a", p, 1.0);
+  config.add_task_graph(std::move(tg));
+  config.validate();
+  return config;
+}
+
+}  // namespace bbs::testing
