@@ -7,8 +7,16 @@
 // chains / random DAGs to exhibit the polynomial growth.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "bbs/common/rng.hpp"
 #include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/program_builder.hpp"
+#include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/dataflow/srdf_graph.hpp"
 #include "bbs/gen/generators.hpp"
+#include "bbs/solver/kkt_system.hpp"
+#include "bbs/solver/nt_scaling.hpp"
 
 namespace {
 
@@ -81,6 +89,91 @@ void BM_MultiJobPreset(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiJobPreset)->Unit(benchmark::kMillisecond);
+
+// --- Hot-path micro-benchmarks: KKT factorisation and cycle ratio ----------
+
+/// Re-factorisation cost per IPM iteration: the scaling changes values every
+/// call (alternating between two interior points) while the sparsity pattern
+/// stays fixed, exactly as inside IpmSolver::solve.
+void BM_KktFactorise(benchmark::State& state) {
+  bbs::gen::GenParams params;
+  params.num_processors = 8;
+  params.seed = 13;
+  const bbs::model::Configuration config = bbs::gen::make_random_dag(
+      static_cast<bbs::linalg::Index>(state.range(0)), 0.5, params);
+  const bbs::core::BuiltProgram prog = bbs::core::build_algorithm1(config);
+  const bbs::solver::ConeSpec& cone = prog.problem.cone();
+
+  bbs::Rng rng(29);
+  const bbs::linalg::Vector s1 = bbs::solver::random_interior_point(cone, rng);
+  const bbs::linalg::Vector z1 = bbs::solver::random_interior_point(cone, rng);
+  const bbs::linalg::Vector s2 = bbs::solver::random_interior_point(cone, rng);
+  const bbs::linalg::Vector z2 = bbs::solver::random_interior_point(cone, rng);
+
+  bbs::solver::NtScaling scaling(cone);
+  bbs::solver::KktSystem kkt(prog.problem.g());
+  bool flip = false;
+  for (auto _ : state) {
+    scaling.update(flip ? s1 : s2, flip ? z1 : z2);
+    flip = !flip;
+    kkt.factorise(scaling);
+    benchmark::DoNotOptimize(kkt.factor_nnz());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KktFactorise)
+    ->RangeMultiplier(2)
+    ->Range(16, 64)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+/// Strongly connected ring-with-chords SRDF instance for the MCR kernels.
+bbs::dataflow::SrdfGraph ring_with_chords(bbs::linalg::Index n,
+                                          std::uint64_t seed) {
+  using bbs::linalg::Index;
+  bbs::Rng rng(seed);
+  bbs::dataflow::SrdfGraph g;
+  for (Index v = 0; v < n; ++v) {
+    g.add_actor("v" + std::to_string(v), rng.next_real(0.1, 5.0));
+  }
+  for (Index v = 0; v < n; ++v) {
+    g.add_queue(v, (v + 1) % n, static_cast<Index>(rng.next_int(1, 3)));
+  }
+  for (Index e = 0; e < 2 * n; ++e) {
+    g.add_queue(static_cast<Index>(rng.next_int(0, n - 1)),
+                static_cast<Index>(rng.next_int(0, n - 1)),
+                static_cast<Index>(rng.next_int(1, 4)));
+  }
+  return g;
+}
+
+void BM_MaxCycleRatioHoward(benchmark::State& state) {
+  const bbs::dataflow::SrdfGraph g =
+      ring_with_chords(static_cast<bbs::linalg::Index>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bbs::dataflow::max_cycle_ratio_howard(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxCycleRatioHoward)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
+
+void BM_MaxCycleRatioBisect(benchmark::State& state) {
+  const bbs::dataflow::SrdfGraph g =
+      ring_with_chords(static_cast<bbs::linalg::Index>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bbs::dataflow::max_cycle_ratio_bisect(g, 1e-9));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxCycleRatioBisect)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity();
 
 }  // namespace
 

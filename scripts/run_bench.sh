@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Reproducible perf workflow: runs the google-benchmark harness plus the
+# figure-reproduction harnesses and writes their results into a baselines
+# directory (committed under bench/baselines/ when refreshing the reference
+# numbers — see README "Performance").
+#
+# Usage: scripts/run_bench.sh [build_dir] [out_dir]
+#   build_dir  defaults to ./build
+#   out_dir    defaults to ./bench/baselines
+#
+# Extra benchmark flags can be passed via BENCH_FLAGS, e.g.
+#   BENCH_FLAGS=--benchmark_min_time=0.05 scripts/run_bench.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root/bench/baselines}"
+bench_dir="$build_dir/bench"
+
+[ -x "$bench_dir/bench_fig2a" ] || {
+  echo "error: benchmarks not built in $bench_dir (build with BBS_BUILD_BENCH=ON)" >&2
+  exit 1
+}
+
+mkdir -p "$out_dir"
+
+if [ -x "$bench_dir/bench_runtime" ]; then
+  echo "== bench_runtime -> $out_dir/runtime.json"
+  "$bench_dir/bench_runtime" \
+    --benchmark_format=json \
+    --benchmark_out="$out_dir/runtime.json" \
+    --benchmark_out_format=json \
+    ${BENCH_FLAGS:-}
+else
+  echo "!! bench_runtime not built (google-benchmark missing); skipping" >&2
+fi
+
+for fig in fig2a fig2b fig3; do
+  echo "== bench_$fig -> $out_dir/$fig.csv"
+  "$bench_dir/bench_$fig" > "$out_dir/$fig.csv"
+done
+
+echo "Baselines written to $out_dir"

@@ -17,8 +17,12 @@ GraphVerification verify_graph(const model::Configuration& config,
   out.required_period = config.task_graph(graph_index).required_period();
   const SrdfModel model = build_srdf(config, graph_index, budgets, capacities);
 
-  out.mcr = dataflow::max_cycle_ratio_bisect(model.graph,
-                                             1e-9 * out.required_period);
+  // Howard's default comparison epsilon (the old bisect call took a bracket
+  // width scaled by the period; a policy-improvement epsilon must stay tight
+  // or a large period would let near-critical cycles terminate early). Any
+  // residual MCR optimism is caught by the PAS re-check below, which remains
+  // the authoritative feasibility gate.
+  out.mcr = dataflow::max_cycle_ratio(model.graph);
   out.throughput_met =
       out.mcr <= out.required_period * (1.0 + tolerance) + tolerance;
   if (out.throughput_met) {

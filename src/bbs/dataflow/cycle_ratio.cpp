@@ -37,6 +37,10 @@ bool has_cycle(const SrdfGraph& g) {
 
 }  // namespace
 
+double max_cycle_ratio(const SrdfGraph& graph, double tol) {
+  return max_cycle_ratio_howard(graph, tol);
+}
+
 double max_cycle_ratio_bisect(const SrdfGraph& graph, double tol) {
   BBS_REQUIRE(tol > 0.0, "max_cycle_ratio_bisect: tol must be positive");
   if (graph.has_zero_token_cycle()) return kInf;

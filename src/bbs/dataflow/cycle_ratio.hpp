@@ -9,10 +9,12 @@
 // schedule exists. Three independent implementations are provided and
 // cross-checked in the test suite:
 //
-//   * max_cycle_ratio_bisect — binary search over the PAS feasibility oracle
-//     (robust; the library default),
 //   * max_cycle_ratio_howard — Howard's policy iteration (fast, exact up to
-//     floating-point arithmetic),
+//     floating-point arithmetic; the library default behind
+//     max_cycle_ratio),
+//   * max_cycle_ratio_bisect — binary search over the PAS feasibility oracle
+//     (one full longest-path pass per tolerance halving; kept as the slow,
+//     robust cross-check oracle for the test suite),
 //   * max_cycle_mean_karp — Karp's algorithm for the special case of the
 //     maximum cycle *mean* (used by tests on graphs whose queues all carry
 //     one token, where mean and ratio coincide).
@@ -25,8 +27,13 @@
 
 namespace bbs::dataflow {
 
+/// Maximum cycle ratio — the library default, currently Howard's policy
+/// iteration. `tol` is the comparison epsilon of the policy improvement.
+double max_cycle_ratio(const SrdfGraph& graph, double tol = 1e-11);
+
 /// Binary search on the PAS feasibility oracle; `tol` is the absolute
-/// bracket width at which the search stops.
+/// bracket width at which the search stops. Much slower than Howard — use
+/// max_cycle_ratio() outside of cross-check tests.
 double max_cycle_ratio_bisect(const SrdfGraph& graph, double tol = 1e-9);
 
 /// Howard's policy iteration for the maximum cycle ratio.

@@ -213,7 +213,7 @@ SrdfExpansion expand_to_srdf(const SdfGraph& graph) {
 std::optional<double> sdf_iteration_period(const SdfGraph& graph) {
   const SrdfExpansion expansion = expand_to_srdf(graph);
   if (expansion.graph.has_zero_token_cycle()) return std::nullopt;
-  return max_cycle_ratio_bisect(expansion.graph, 1e-10);
+  return max_cycle_ratio(expansion.graph, 1e-10);
 }
 
 }  // namespace bbs::dataflow

@@ -1,5 +1,6 @@
 #include "bbs/linalg/sparse_ldlt.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -7,25 +8,14 @@
 
 namespace bbs::linalg {
 
-namespace {
-
-/// Extracts the upper triangle (including the diagonal) of `a` in CSC form.
-SparseMatrix upper_triangle(const SparseMatrix& a) {
-  TripletList t(a.rows(), a.cols());
-  for (Index c = 0; c < a.cols(); ++c) {
-    for (Index k = a.col_ptr()[c]; k < a.col_ptr()[c + 1]; ++k) {
-      const Index r = a.row_ind()[k];
-      if (r <= c) t.add(r, c, a.values()[k]);
-    }
-  }
-  return SparseMatrix::from_triplets(t);
-}
-
-}  // namespace
-
 SparseLdlt::SparseLdlt(const SparseMatrix& a) : SparseLdlt(a, Options{}) {}
 
-SparseLdlt::SparseLdlt(const SparseMatrix& a, const Options& options) {
+SparseLdlt::SparseLdlt(const SparseMatrix& a, const Options& options)
+    : options_(options) {
+  // The stored copy is read only for min_pivot/allow_indefinite; the
+  // fixed_permutation pointee need not outlive the constructor, so drop the
+  // pointer rather than keep it dangling.
+  options_.fixed_permutation = nullptr;
   BBS_REQUIRE(a.rows() == a.cols(), "SparseLdlt: matrix must be square");
   n_ = a.rows();
   if (options.fixed_permutation != nullptr) {
@@ -42,13 +32,99 @@ SparseLdlt::SparseLdlt(const SparseMatrix& a, const Options& options) {
   for (std::size_t i = 0; i < perm_.size(); ++i)
     inv_perm_[static_cast<std::size_t>(perm_[i])] = static_cast<Index>(i);
 
-  const SparseMatrix permuted = a.permute_symmetric(perm_);
-  const SparseMatrix upper = upper_triangle(permuted);
-  symbolic(upper);
-  numeric(upper, options);
+  a_col_ptr_ = a.col_ptr();
+  a_row_ind_ = a.row_ind();
+
+  // Pattern of the upper triangle of P A P': count entries per permuted
+  // column, then place row indices and sort within columns.
+  up_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index c = 0; c < n_; ++c) {
+    const Index pc = inv_perm_[static_cast<std::size_t>(c)];
+    for (Index k = a_col_ptr_[static_cast<std::size_t>(c)];
+         k < a_col_ptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+      const Index pr =
+          inv_perm_[static_cast<std::size_t>(a_row_ind_[static_cast<std::size_t>(k)])];
+      if (pr <= pc) ++up_ptr_[static_cast<std::size_t>(pc) + 1];
+    }
+  }
+  for (Index c = 0; c < n_; ++c)
+    up_ptr_[static_cast<std::size_t>(c) + 1] +=
+        up_ptr_[static_cast<std::size_t>(c)];
+  up_ind_.assign(static_cast<std::size_t>(up_ptr_[static_cast<std::size_t>(n_)]),
+                 0);
+  {
+    std::vector<Index> next(up_ptr_.begin(), up_ptr_.end() - 1);
+    for (Index c = 0; c < n_; ++c) {
+      const Index pc = inv_perm_[static_cast<std::size_t>(c)];
+      for (Index k = a_col_ptr_[static_cast<std::size_t>(c)];
+           k < a_col_ptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+        const Index pr = inv_perm_[static_cast<std::size_t>(
+            a_row_ind_[static_cast<std::size_t>(k)])];
+        if (pr <= pc)
+          up_ind_[static_cast<std::size_t>(next[static_cast<std::size_t>(pc)]++)] =
+              pr;
+      }
+    }
+    for (Index c = 0; c < n_; ++c) {
+      std::sort(up_ind_.begin() + up_ptr_[static_cast<std::size_t>(c)],
+                up_ind_.begin() + up_ptr_[static_cast<std::size_t>(c) + 1]);
+    }
+  }
+  up_val_.assign(up_ind_.size(), 0.0);
+
+  // Scatter map: input nonzero -> slot in the permuted upper triangle.
+  scatter_.assign(a_row_ind_.size(), -1);
+  for (Index c = 0; c < n_; ++c) {
+    const Index pc = inv_perm_[static_cast<std::size_t>(c)];
+    for (Index k = a_col_ptr_[static_cast<std::size_t>(c)];
+         k < a_col_ptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+      const Index pr = inv_perm_[static_cast<std::size_t>(
+          a_row_ind_[static_cast<std::size_t>(k)])];
+      if (pr > pc) continue;
+      const auto begin = up_ind_.begin() + up_ptr_[static_cast<std::size_t>(pc)];
+      const auto end =
+          up_ind_.begin() + up_ptr_[static_cast<std::size_t>(pc) + 1];
+      const auto it = std::lower_bound(begin, end, pr);
+      BBS_ASSERT_MSG(it != end && *it == pr, "upper-triangle slot not found");
+      scatter_[static_cast<std::size_t>(k)] =
+          static_cast<Index>(it - up_ind_.begin());
+    }
+  }
+
+  symbolic();
+
+  work_y_.assign(static_cast<std::size_t>(n_), 0.0);
+  work_pattern_.assign(static_cast<std::size_t>(n_), 0);
+  work_flag_.assign(static_cast<std::size_t>(n_), -1);
+  work_next_.assign(static_cast<std::size_t>(n_), 0);
+  work_xp_.assign(static_cast<std::size_t>(n_), 0.0);
+  work_r_.assign(static_cast<std::size_t>(n_), 0.0);
+
+  scatter_values(a);
+  numeric();
 }
 
-void SparseLdlt::symbolic(const SparseMatrix& upper) {
+void SparseLdlt::refactor(const SparseMatrix& a) {
+  BBS_REQUIRE(a.rows() == n_ && a.cols() == n_ &&
+                  a.col_ptr() == a_col_ptr_ && a.row_ind() == a_row_ind_,
+              "SparseLdlt::refactor: sparsity pattern differs from the "
+              "matrix analysed at construction");
+  scatter_values(a);
+  numeric();
+}
+
+void SparseLdlt::scatter_values(const SparseMatrix& a) {
+  // The scatter map is a bijection from the kept input entries onto the
+  // upper-triangle slots (the permutation is bijective and the CSC input
+  // has unique entries), so plain assignment covers every slot.
+  const std::vector<double>& v = a.values();
+  for (std::size_t k = 0; k < scatter_.size(); ++k) {
+    const Index slot = scatter_[k];
+    if (slot >= 0) up_val_[static_cast<std::size_t>(slot)] = v[k];
+  }
+}
+
+void SparseLdlt::symbolic() {
   // Elimination tree and column counts of L (Liu's algorithm as used in the
   // LDL package): for column k, walk from each row index i < k towards the
   // root, stopping at nodes already reached in this column's sweep.
@@ -58,8 +134,9 @@ void SparseLdlt::symbolic(const SparseMatrix& upper) {
 
   for (Index k = 0; k < n_; ++k) {
     flag[static_cast<std::size_t>(k)] = k;
-    for (Index p = upper.col_ptr()[k]; p < upper.col_ptr()[k + 1]; ++p) {
-      Index i = upper.row_ind()[p];
+    for (Index p = up_ptr_[static_cast<std::size_t>(k)];
+         p < up_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      Index i = up_ind_[static_cast<std::size_t>(p)];
       while (i < k && flag[static_cast<std::size_t>(i)] != k) {
         if (parent_[static_cast<std::size_t>(i)] == -1)
           parent_[static_cast<std::size_t>(i)] = k;
@@ -79,13 +156,22 @@ void SparseLdlt::symbolic(const SparseMatrix& upper) {
   d_.assign(static_cast<std::size_t>(n_), 0.0);
 }
 
-void SparseLdlt::numeric(const SparseMatrix& upper, const Options& options) {
-  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
-  std::vector<Index> pattern(static_cast<std::size_t>(n_), 0);
-  std::vector<Index> flag(static_cast<std::size_t>(n_), -1);
-  std::vector<Index> lnz_next(static_cast<std::size_t>(n_), 0);
+void SparseLdlt::numeric() {
+  // A pass that throws mid-column leaves lx_/d_ half-updated; the factor
+  // stays poisoned until a later pass completes.
+  factor_valid_ = false;
+  // Reset the column-tagged workspaces: tags repeat across numeric passes,
+  // and work_y_ may hold residue if a previous pass threw mid-column.
+  std::fill(work_y_.begin(), work_y_.end(), 0.0);
+  std::fill(work_flag_.begin(), work_flag_.end(), -1);
   for (Index k = 0; k < n_; ++k)
-    lnz_next[static_cast<std::size_t>(k)] = lp_[static_cast<std::size_t>(k)];
+    work_next_[static_cast<std::size_t>(k)] = lp_[static_cast<std::size_t>(k)];
+  ++numeric_count_;
+
+  std::vector<double>& y = work_y_;
+  std::vector<Index>& pattern = work_pattern_;
+  std::vector<Index>& flag = work_flag_;
+  std::vector<Index>& lnz_next = work_next_;
 
   for (Index k = 0; k < n_; ++k) {
     // Scatter column k of the (permuted) upper triangle into y and compute
@@ -93,10 +179,11 @@ void SparseLdlt::numeric(const SparseMatrix& upper, const Options& options) {
     Index top = n_;
     flag[static_cast<std::size_t>(k)] = k;
     y[static_cast<std::size_t>(k)] = 0.0;
-    for (Index p = upper.col_ptr()[k]; p < upper.col_ptr()[k + 1]; ++p) {
-      Index i = upper.row_ind()[p];
+    for (Index p = up_ptr_[static_cast<std::size_t>(k)];
+         p < up_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      Index i = up_ind_[static_cast<std::size_t>(p)];
       if (i > k) continue;
-      y[static_cast<std::size_t>(i)] += upper.values()[p];
+      y[static_cast<std::size_t>(i)] += up_val_[static_cast<std::size_t>(p)];
       Index len = 0;
       while (flag[static_cast<std::size_t>(i)] != k) {
         pattern[static_cast<std::size_t>(len++)] = i;
@@ -128,24 +215,28 @@ void SparseLdlt::numeric(const SparseMatrix& upper, const Options& options) {
       ++lnz_next[static_cast<std::size_t>(i)];
     }
 
-    if (std::abs(dk) < options.min_pivot) {
+    if (std::abs(dk) < options_.min_pivot) {
       throw NumericalError("SparseLdlt: pivot " + std::to_string(k) +
                            " below minimum magnitude (" + std::to_string(dk) +
                            ")");
     }
-    if (dk < 0.0 && !options.allow_indefinite) {
+    if (dk < 0.0 && !options_.allow_indefinite) {
       throw NumericalError("SparseLdlt: negative pivot " + std::to_string(k) +
                            " for a matrix required to be positive definite");
     }
     d_[static_cast<std::size_t>(k)] = dk;
   }
+  factor_valid_ = true;
 }
 
 void SparseLdlt::solve(Vector& b) const {
+  BBS_REQUIRE(factor_valid_,
+              "SparseLdlt::solve: factorisation is invalid (a refactor threw "
+              "mid-pass); refactor successfully before solving");
   BBS_REQUIRE(b.size() == static_cast<std::size_t>(n_),
               "SparseLdlt::solve: size mismatch");
   // Permute: xp = P b.
-  Vector xp(b.size());
+  Vector& xp = work_xp_;
   for (Index i = 0; i < n_; ++i)
     xp[static_cast<std::size_t>(i)] =
         b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
@@ -182,16 +273,26 @@ void SparseLdlt::solve(Vector& b) const {
 
 Vector SparseLdlt::solve_refined(const SparseMatrix& a, const Vector& b,
                                  int refine_steps) const {
-  Vector x = b;
+  Vector x;
+  solve_refined_into(a, b, refine_steps, x);
+  return x;
+}
+
+void SparseLdlt::solve_refined_into(const SparseMatrix& a, const Vector& b,
+                                    int refine_steps, Vector& x) const {
+  BBS_REQUIRE(&x != &b,
+              "SparseLdlt::solve_refined_into: x must not alias b (the "
+              "refinement residual is computed against the original b)");
+  x = b;
   solve(x);
+  Vector& r = work_r_;
   for (int it = 0; it < refine_steps; ++it) {
     // r = b - A x; dx = A^{-1} r; x += dx.
-    Vector r = b;
+    r = b;
     a.gaxpy(-1.0, x, r);
     solve(r);
     axpy(1.0, r, x);
   }
-  return x;
 }
 
 int SparseLdlt::negative_pivots() const {

@@ -3,9 +3,20 @@
 // triangular solves). This is the workhorse behind the interior-point
 // solver's normal-equation solves.
 //
+// The factorisation is split into a symbolic phase (fill-reducing
+// permutation, elimination tree, column counts, workspaces) that runs once
+// in the constructor, and a numeric phase that can be re-run against new
+// values on the same sparsity pattern via refactor() with zero allocation —
+// the structure the interior-point method exploits, since its KKT pattern is
+// iteration-invariant.
+//
 // The input matrix must store the *full* symmetric pattern (both triangles);
 // the factorisation reads the upper triangle after applying a fill-reducing
 // permutation.
+//
+// Not reentrant: the solve methods are logically const but share internal
+// workspaces, so a SparseLdlt instance must not be used from multiple
+// threads concurrently (distinct instances are independent).
 #pragma once
 
 #include <vector>
@@ -34,6 +45,15 @@ class SparseLdlt {
   explicit SparseLdlt(const SparseMatrix& a);
   SparseLdlt(const SparseMatrix& a, const Options& options);
 
+  /// Numeric-only re-factorisation: reuses the stored permutation,
+  /// elimination tree, column pointers, and workspaces with no allocation.
+  /// `a` must have exactly the sparsity pattern of the constructor argument
+  /// (values are free to change); a pattern change throws ContractViolation.
+  /// A NumericalError thrown mid-pass leaves the factor invalid: solve()
+  /// then throws until a later refactor() completes (the previous factor is
+  /// overwritten in place, not preserved).
+  void refactor(const SparseMatrix& a);
+
   /// Solves A x = b in place (applies the internal permutation).
   void solve(Vector& b) const;
 
@@ -41,6 +61,12 @@ class SparseLdlt {
   /// original matrix, which must be the matrix passed to the constructor.
   Vector solve_refined(const SparseMatrix& a, const Vector& b,
                        int refine_steps = 2) const;
+
+  /// Allocation-free variant of solve_refined: writes the solution into `x`
+  /// (resized on first use) and reuses an internal residual workspace.
+  /// `x` must not alias `b`.
+  void solve_refined_into(const SparseMatrix& a, const Vector& b,
+                          int refine_steps, Vector& x) const;
 
   /// Number of nonzeros in the factor L (excluding the unit diagonal).
   Index factor_nnz() const { return static_cast<Index>(li_.size()); }
@@ -52,11 +78,23 @@ class SparseLdlt {
 
   const std::vector<Index>& permutation() const { return perm_; }
 
+  /// Factor access (tests and diagnostics): L is unit lower triangular,
+  /// stored by columns with an implicit diagonal; D is the pivot vector.
+  const std::vector<Index>& factor_col_ptr() const { return lp_; }
+  const std::vector<Index>& factor_row_ind() const { return li_; }
+  const std::vector<double>& factor_values() const { return lx_; }
+  const std::vector<double>& diagonal() const { return d_; }
+
+  /// Numeric factorisations performed so far (1 right after construction).
+  int numeric_count() const { return numeric_count_; }
+
  private:
-  void symbolic(const SparseMatrix& upper);
-  void numeric(const SparseMatrix& upper, const Options& options);
+  void symbolic();
+  void scatter_values(const SparseMatrix& a);
+  void numeric();
 
   Index n_ = 0;
+  Options options_;
   std::vector<Index> perm_;     // perm_[new] = old
   std::vector<Index> inv_perm_; // inv_perm_[old] = new
   std::vector<Index> parent_;   // elimination tree
@@ -64,6 +102,29 @@ class SparseLdlt {
   std::vector<Index> li_;       // row indices of L
   std::vector<double> lx_;      // values of L
   std::vector<double> d_;       // diagonal D
+
+  // Pattern of the constructor matrix, kept to validate refactor() inputs.
+  std::vector<Index> a_col_ptr_;
+  std::vector<Index> a_row_ind_;
+  // Permuted upper triangle: fixed pattern, values rewritten per refactor.
+  std::vector<Index> up_ptr_;
+  std::vector<Index> up_ind_;
+  std::vector<double> up_val_;
+  // scatter_[k] is the position in up_val_ receiving input nonzero k, or -1
+  // when the entry lands in the strict lower triangle after permutation.
+  std::vector<Index> scatter_;
+  // Numeric-phase workspaces (sized once in the constructor).
+  std::vector<double> work_y_;
+  std::vector<Index> work_pattern_;
+  std::vector<Index> work_flag_;
+  std::vector<Index> work_next_;
+  // Solve workspaces (mutable: solve() is logically const).
+  mutable Vector work_xp_;
+  mutable Vector work_r_;
+  int numeric_count_ = 0;
+  // False while a numeric pass is incomplete (it updates lx_/d_ in place, so
+  // a mid-pass throw leaves mixed old/new columns); solve() refuses then.
+  bool factor_valid_ = false;
 };
 
 }  // namespace bbs::linalg

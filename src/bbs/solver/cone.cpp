@@ -188,4 +188,22 @@ bool ConeSpec::is_interior(const Vector& u, double margin) const {
   return true;
 }
 
+Vector random_interior_point(const ConeSpec& cone, Rng& rng) {
+  Vector u(static_cast<std::size_t>(cone.dim()));
+  for (Index i = 0; i < cone.nonneg(); ++i) {
+    u[static_cast<std::size_t>(i)] = rng.next_real(0.05, 4.0);
+  }
+  for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
+    const auto off = static_cast<std::size_t>(cone.soc_offset(k));
+    const auto q = static_cast<std::size_t>(cone.soc_dims()[k]);
+    double tail = 0.0;
+    for (std::size_t i = 1; i < q; ++i) {
+      u[off + i] = rng.next_real(-1.5, 1.5);
+      tail += u[off + i] * u[off + i];
+    }
+    u[off] = std::sqrt(tail) + rng.next_real(0.05, 2.0);
+  }
+  return u;
+}
+
 }  // namespace bbs::solver

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "bbs/common/rng.hpp"
 #include "bbs/linalg/dense_matrix.hpp"
 #include "bbs/linalg/sparse_matrix.hpp"
 
@@ -68,5 +69,10 @@ class ConeSpec {
   std::vector<Index> soc_offsets_;
   Index dim_ = 0;
 };
+
+/// Draws a strictly interior point of the composite cone: positive LP
+/// coordinates, SOC blocks with the head strictly above the tail norm. Used
+/// by randomised tests and the scaling benchmarks.
+Vector random_interior_point(const ConeSpec& cone, Rng& rng);
 
 }  // namespace bbs::solver

@@ -1,6 +1,7 @@
 #include "bbs/solver/kkt_system.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "bbs/common/assert.hpp"
 
@@ -13,58 +14,84 @@ KktSystem::KktSystem(const linalg::SparseMatrix& g, const Options& options)
     : g_(g), gt_(g.transpose()), options_(options) {}
 
 void KktSystem::factorise(const NtScaling& scaling) {
-  const linalg::SparseMatrix s = scaling.inverse_squared();
-  normal_ = gt_.multiply(s.multiply(g_));
+  scaling.inverse_squared_into(s_);
+
+  const bool first = (factor_ == nullptr);
+  if (first) {
+    // One-time symbolic work: output patterns of S·G and G'·(S·G). The
+    // diagonal is forced into the normal pattern so the regularisation term
+    // below never changes the structure.
+    sg_ = linalg::CachedSpGemm(s_, g_);
+    normal_ = linalg::CachedSpGemm(gt_, sg_.result(),
+                                   /*include_diagonal=*/true);
+    regularised_ = normal_.result();
+    diag_pos_.assign(static_cast<std::size_t>(regularised_.cols()), -1);
+    for (Index c = 0; c < regularised_.cols(); ++c) {
+      for (Index k = regularised_.col_ptr()[c];
+           k < regularised_.col_ptr()[c + 1]; ++k) {
+        if (regularised_.row_ind()[k] == c) {
+          diag_pos_[static_cast<std::size_t>(c)] = k;
+          break;
+        }
+      }
+      BBS_ASSERT_MSG(diag_pos_[static_cast<std::size_t>(c)] >= 0,
+                     "normal-equation diagonal entry missing");
+    }
+  } else {
+    sg_.multiply(s_, g_);
+    normal_.multiply(gt_, sg_.result());
+  }
 
   // Largest diagonal magnitude for relative regularisation.
+  const std::vector<double>& nv = normal_.result().values();
   double max_diag = 0.0;
-  for (Index c = 0; c < normal_.cols(); ++c) {
-    for (Index k = normal_.col_ptr()[c]; k < normal_.col_ptr()[c + 1]; ++k) {
-      if (normal_.row_ind()[k] == c) {
-        max_diag = std::max(max_diag, std::abs(normal_.values()[k]));
-      }
-    }
+  for (const Index p : diag_pos_) {
+    max_diag = std::max(max_diag, std::abs(nv[static_cast<std::size_t>(p)]));
   }
   const double reg =
       options_.static_regularisation * std::max(1.0, max_diag);
 
-  linalg::TripletList t(normal_.rows(), normal_.cols());
-  for (Index c = 0; c < normal_.cols(); ++c) {
-    for (Index k = normal_.col_ptr()[c]; k < normal_.col_ptr()[c + 1]; ++k) {
-      t.add(normal_.row_ind()[k], c, normal_.values()[k]);
-    }
-    t.add(c, c, reg);
+  std::copy(nv.begin(), nv.end(), regularised_.values().begin());
+  for (const Index p : diag_pos_) {
+    regularised_.values()[static_cast<std::size_t>(p)] += reg;
   }
-  const linalg::SparseMatrix regularised =
-      linalg::SparseMatrix::from_triplets(t);
 
-  linalg::SparseLdlt::Options fopts;
-  fopts.ordering = options_.ordering;
-  fopts.allow_indefinite = false;  // normal equations must be SPD
-  if (cached_permutation_.empty()) {
-    cached_permutation_ = linalg::compute_ordering(regularised,
-                                                   options_.ordering);
+  if (first) {
+    linalg::SparseLdlt::Options fopts;
+    fopts.ordering = options_.ordering;
+    fopts.allow_indefinite = false;  // normal equations must be SPD
+    if (cached_permutation_.empty()) {
+      cached_permutation_ = linalg::compute_ordering(regularised_,
+                                                     options_.ordering);
+    }
+    fopts.fixed_permutation = &cached_permutation_;
+    factor_ = std::make_unique<linalg::SparseLdlt>(regularised_, fopts);
+    ++stats_.symbolic_factorisations;
+  } else {
+    factor_->refactor(regularised_);
   }
-  fopts.fixed_permutation = &cached_permutation_;
-  factor_ = std::make_unique<linalg::SparseLdlt>(regularised, fopts);
+  ++stats_.factorise_calls;
 }
 
 void KktSystem::solve_once(const NtScaling& scaling, const Vector& p,
                            const Vector& q, Vector& u, Vector& v) const {
   // rhs = p + G' W^{-2} q.
-  const Vector w2q = scaling.apply_w_inv(scaling.apply_w_inv(q));
-  Vector rhs = p;
-  g_.gaxpy_transpose(1.0, w2q, rhs);
+  scaling.apply_w_inv_into(q, work_tmp_m_);
+  scaling.apply_w_inv_into(work_tmp_m_, work_w2q_);
+  work_rhs_ = p;
+  g_.gaxpy_transpose(1.0, work_w2q_, work_rhs_);
 
   // u = (G' W^{-2} G)^{-1} rhs with refinement against the unregularised
   // normal matrix.
-  u = factor_->solve_refined(normal_, rhs, options_.refine_steps);
+  factor_->solve_refined_into(normal_.result(), work_rhs_,
+                              options_.refine_steps, u);
 
   // v = W^{-2} (G u - q).
-  Vector gu_minus_q(q.size());
-  for (std::size_t i = 0; i < q.size(); ++i) gu_minus_q[i] = -q[i];
-  g_.gaxpy(1.0, u, gu_minus_q);
-  v = scaling.apply_w_inv(scaling.apply_w_inv(gu_minus_q));
+  work_gu_.resize(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) work_gu_[i] = -q[i];
+  g_.gaxpy(1.0, u, work_gu_);
+  scaling.apply_w_inv_into(work_gu_, work_tmp_m_);
+  scaling.apply_w_inv_into(work_tmp_m_, v);
 }
 
 void KktSystem::solve(const NtScaling& scaling, const Vector& p,
@@ -83,23 +110,23 @@ void KktSystem::solve(const NtScaling& scaling, const Vector& p,
   // first solution degrades as the interior-point method approaches the
   // boundary; a couple of refinement rounds at this level restores the
   // direction accuracy cheaply (same factorisation, two mat-vecs per round).
-  Vector r1(p.size());
-  Vector r2(q.size());
-  Vector du(p.size());
-  Vector dv(q.size());
   for (int round = 0; round < options_.outer_refine_steps; ++round) {
     // r1 = p - G'v ; r2 = q - G u + W^2 v.
-    r1 = p;
-    g_.gaxpy_transpose(-1.0, v, r1);
-    const Vector w2v = scaling.apply_w(scaling.apply_w(v));
-    for (std::size_t i = 0; i < q.size(); ++i) r2[i] = q[i] + w2v[i];
-    g_.gaxpy(-1.0, u, r2);
+    work_r1_ = p;
+    g_.gaxpy_transpose(-1.0, v, work_r1_);
+    scaling.apply_w_into(v, work_tmp_m_);
+    scaling.apply_w_into(work_tmp_m_, work_w2v_);
+    work_r2_.resize(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i)
+      work_r2_[i] = q[i] + work_w2v_[i];
+    g_.gaxpy(-1.0, u, work_r2_);
 
-    const double err = std::max(linalg::norm_inf(r1), linalg::norm_inf(r2));
+    const double err =
+        std::max(linalg::norm_inf(work_r1_), linalg::norm_inf(work_r2_));
     if (err < 1e-14) break;
-    solve_once(scaling, r1, r2, du, dv);
-    linalg::axpy(1.0, du, u);
-    linalg::axpy(1.0, dv, v);
+    solve_once(scaling, work_r1_, work_r2_, work_du_, work_dv_);
+    linalg::axpy(1.0, work_du_, u);
+    linalg::axpy(1.0, work_dv_, v);
   }
 }
 

@@ -12,6 +12,17 @@
 // The normal-equation matrix is symmetric positive definite whenever G has
 // full column rank; a small static regularisation plus iterative refinement
 // keeps the solve accurate as W becomes ill-conditioned near convergence.
+//
+// The sparsity pattern of G' W^{-2} G is identical on every interior-point
+// iteration, so all symbolic work happens exactly once, on the first
+// factorise() call: the cached-pattern products S·G and G'·(S·G), the
+// fill-reducing ordering, and the LDL^T elimination-tree analysis. Every
+// later factorise() updates values in place and runs a numeric-only
+// refactorisation — no triplet assembly, no reallocation.
+//
+// Not reentrant: solve() is logically const but shares internal workspaces,
+// so a KktSystem instance must not be used from multiple threads
+// concurrently (distinct instances are independent).
 #pragma once
 
 #include <memory>
@@ -37,10 +48,23 @@ class KktSystem {
     int outer_refine_steps = 3;
   };
 
+  /// Counters exposing the symbolic-reuse invariant: after the first
+  /// factorise() call, every later call is numeric-only.
+  struct Stats {
+    int factorise_calls = 0;
+    /// Symbolic analyses performed (ordering + elimination tree + pattern
+    /// caches). Stays at 1 across all interior-point iterations.
+    int symbolic_factorisations = 0;
+  };
+
   explicit KktSystem(const linalg::SparseMatrix& g);
   KktSystem(const linalg::SparseMatrix& g, const Options& options);
 
   /// Re-assembles and re-factorises the normal equations for a new scaling.
+  /// The first call performs the symbolic analysis; later calls only update
+  /// values in place. A NumericalError thrown here invalidates the previous
+  /// factorisation (it is overwritten in place): solve() then throws until a
+  /// later factorise() succeeds.
   void factorise(const NtScaling& scaling);
 
   /// Solves the 2x2 system above. `p` has num_vars entries, `q` has
@@ -51,6 +75,8 @@ class KktSystem {
   /// Fill-in statistics of the last factorisation (for the ordering bench).
   Index factor_nnz() const;
 
+  const Stats& stats() const { return stats_; }
+
  private:
   void solve_once(const NtScaling& scaling, const Vector& p, const Vector& q,
                   Vector& u, Vector& v) const;
@@ -58,11 +84,27 @@ class KktSystem {
   linalg::SparseMatrix g_;
   linalg::SparseMatrix gt_;
   Options options_;
-  linalg::SparseMatrix normal_;  // unregularised G' W^{-2} G of last factorise
+  linalg::SparseMatrix s_;            // W^{-2}, fixed full block pattern
+  linalg::CachedSpGemm sg_;           // W^{-2} G
+  linalg::CachedSpGemm normal_;       // G' (W^{-2} G), diagonal kept present
+  linalg::SparseMatrix regularised_;  // normal + reg I (same pattern)
+  std::vector<Index> diag_pos_;       // value index of each diagonal entry
   std::unique_ptr<linalg::SparseLdlt> factor_;
   /// Fill-reducing permutation, computed on the first factorisation and
   /// reused afterwards (the normal-equation pattern is iteration-invariant).
   std::vector<linalg::Index> cached_permutation_;
+  Stats stats_;
+  // Solve workspaces, hoisted out of the refinement loops (mutable: solve()
+  // is logically const and runs several times per interior-point iteration).
+  mutable Vector work_tmp_m_;
+  mutable Vector work_w2q_;
+  mutable Vector work_rhs_;
+  mutable Vector work_gu_;
+  mutable Vector work_r1_;
+  mutable Vector work_r2_;
+  mutable Vector work_du_;
+  mutable Vector work_dv_;
+  mutable Vector work_w2v_;
 };
 
 }  // namespace bbs::solver

@@ -127,10 +127,17 @@ void NtScaling::update(const Vector& s, const Vector& z) {
 }
 
 Vector NtScaling::apply_w(const Vector& v) const {
+  Vector out;
+  apply_w_into(v, out);
+  return out;
+}
+
+void NtScaling::apply_w_into(const Vector& v, Vector& out) const {
   const ConeSpec& cone = *cone_;
   BBS_REQUIRE(v.size() == static_cast<std::size_t>(cone.dim()),
               "NtScaling::apply_w: size mismatch");
-  Vector out(v.size(), 0.0);
+  BBS_REQUIRE(&v != &out, "NtScaling::apply_w: aliased output");
+  out.assign(v.size(), 0.0);
   for (Index i = 0; i < cone.nonneg(); ++i) {
     out[static_cast<std::size_t>(i)] =
         w_lp_[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
@@ -148,14 +155,20 @@ Vector NtScaling::apply_w(const Vector& v) const {
       out[static_cast<std::size_t>(off + r)] = acc;
     }
   }
-  return out;
 }
 
 Vector NtScaling::apply_w_inv(const Vector& v) const {
+  Vector out;
+  apply_w_inv_into(v, out);
+  return out;
+}
+
+void NtScaling::apply_w_inv_into(const Vector& v, Vector& out) const {
   const ConeSpec& cone = *cone_;
   BBS_REQUIRE(v.size() == static_cast<std::size_t>(cone.dim()),
               "NtScaling::apply_w_inv: size mismatch");
-  Vector out(v.size(), 0.0);
+  BBS_REQUIRE(&v != &out, "NtScaling::apply_w_inv: aliased output");
+  out.assign(v.size(), 0.0);
   for (Index i = 0; i < cone.nonneg(); ++i) {
     out[static_cast<std::size_t>(i)] =
         v[static_cast<std::size_t>(i)] / w_lp_[static_cast<std::size_t>(i)];
@@ -173,30 +186,81 @@ Vector NtScaling::apply_w_inv(const Vector& v) const {
       out[static_cast<std::size_t>(off + r)] = acc;
     }
   }
-  return out;
 }
 
-linalg::SparseMatrix NtScaling::inverse_squared() const {
+void NtScaling::inverse_squared_into(linalg::SparseMatrix& out) const {
   const ConeSpec& cone = *cone_;
-  linalg::TripletList t(cone.dim(), cone.dim());
+  if (out.rows() == 0) {
+    // Build the fixed full block pattern once: one diagonal entry per LP
+    // coordinate, dense q x q blocks for the SOCs (explicit zeros kept).
+    linalg::TripletList t(cone.dim(), cone.dim());
+    for (Index i = 0; i < cone.nonneg(); ++i) t.add(i, i, 0.0);
+    for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
+      const Index off = cone.soc_offset(k);
+      const Index q = cone.soc_dims()[k];
+      for (Index c = 0; c < q; ++c) {
+        for (Index r = 0; r < q; ++r) t.add(off + r, off + c, 0.0);
+      }
+    }
+    out = linalg::SparseMatrix::from_triplets(t);
+  }
+  // Validate the full fixed layout, not just the entry count: the value
+  // writes below index through col_ptr assuming one diagonal entry per LP
+  // column and dense contiguous SOC blocks.
+  const auto pattern_ok = [&]() {
+    if (out.rows() != cone.dim() || out.cols() != cone.dim()) return false;
+    for (Index i = 0; i < cone.nonneg(); ++i) {
+      if (out.col_ptr()[i + 1] - out.col_ptr()[i] != 1 ||
+          out.row_ind()[out.col_ptr()[i]] != i) {
+        return false;
+      }
+    }
+    for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
+      const Index off = cone.soc_offset(k);
+      const Index q = cone.soc_dims()[k];
+      for (Index c = 0; c < q; ++c) {
+        const Index base = out.col_ptr()[off + c];
+        if (out.col_ptr()[off + c + 1] - base != q) return false;
+        for (Index r = 0; r < q; ++r) {
+          if (out.row_ind()[base + r] != off + r) return false;
+        }
+      }
+    }
+    return true;
+  };
+  BBS_REQUIRE(pattern_ok(),
+              "NtScaling::inverse_squared_into: matrix does not carry the "
+              "fixed W^{-2} block pattern");
+
+  std::vector<double>& vals = out.values();
   for (Index i = 0; i < cone.nonneg(); ++i) {
     const double w = w_lp_[static_cast<std::size_t>(i)];
-    t.add(i, i, 1.0 / (w * w));
+    vals[static_cast<std::size_t>(out.col_ptr()[i])] = 1.0 / (w * w);
   }
   for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
     const Index off = cone.soc_offset(k);
     const Index q = cone.soc_dims()[k];
-    // (W^{-2})_block = W^{-1}_block * W^{-1}_block.
-    const linalg::DenseMatrix sq = w_inv_soc_[k].multiply(w_inv_soc_[k]);
-    for (Index r = 0; r < q; ++r) {
-      for (Index c = 0; c < q; ++c) {
-        const double v =
-            sq(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
-        if (v != 0.0) t.add(off + r, off + c, v);
+    const linalg::DenseMatrix& winv = w_inv_soc_[k];
+    // Column off+c of the block holds rows off..off+q-1 contiguously;
+    // (W^{-2})_rc = sum_t W^{-1}_rt W^{-1}_tc, computed without a temporary.
+    for (Index c = 0; c < q; ++c) {
+      const Index base = out.col_ptr()[off + c];
+      for (Index r = 0; r < q; ++r) {
+        double acc = 0.0;
+        for (Index t = 0; t < q; ++t) {
+          acc += winv(static_cast<std::size_t>(r), static_cast<std::size_t>(t)) *
+                 winv(static_cast<std::size_t>(t), static_cast<std::size_t>(c));
+        }
+        vals[static_cast<std::size_t>(base + r)] = acc;
       }
     }
   }
-  return linalg::SparseMatrix::from_triplets(t);
+}
+
+linalg::SparseMatrix NtScaling::inverse_squared() const {
+  linalg::SparseMatrix out;
+  inverse_squared_into(out);
+  return out;
 }
 
 }  // namespace bbs::solver

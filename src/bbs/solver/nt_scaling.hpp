@@ -38,9 +38,21 @@ class NtScaling {
   /// Returns W^{-1} v (also W^{-T} v).
   Vector apply_w_inv(const Vector& v) const;
 
+  /// Allocation-free variants: write W v / W^{-1} v into `out` (resized on
+  /// first use). `out` must not alias `v`.
+  void apply_w_into(const Vector& v, Vector& out) const;
+  void apply_w_inv_into(const Vector& v, Vector& out) const;
+
   /// Block-diagonal sparse matrix W^{-2} = (W'W)^{-1}, used to assemble the
   /// normal equations G' W^{-2} G.
   linalg::SparseMatrix inverse_squared() const;
+
+  /// Writes W^{-2} into `out` on the *fixed* full block pattern (diagonal of
+  /// the LP block plus dense SOC blocks, explicit zeros kept so the pattern
+  /// is iteration-invariant). An empty `out` is built from scratch; later
+  /// calls update the values in place with no allocation. The fixed pattern
+  /// is what lets the KKT system cache its normal-equation structure.
+  void inverse_squared_into(linalg::SparseMatrix& out) const;
 
  private:
   const ConeSpec* cone_;

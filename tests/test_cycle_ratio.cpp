@@ -7,7 +7,9 @@
 #include <limits>
 
 #include "bbs/common/rng.hpp"
+#include "bbs/core/srdf_construction.hpp"
 #include "bbs/dataflow/cycle_ratio.hpp"
+#include "bbs/gen/generators.hpp"
 
 namespace bbs::dataflow {
 namespace {
@@ -149,6 +151,54 @@ TEST_P(CycleRatioAgreement, KarpMatchesOnUnitTokens) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CycleRatioAgreement, ::testing::Range(0, 10));
+
+TEST(CycleRatio, DefaultEntryPointIsHoward) {
+  const SrdfGraph g = two_cycle(3.0, 2.0, 1);
+  EXPECT_DOUBLE_EQ(max_cycle_ratio(g), max_cycle_ratio_howard(g));
+}
+
+/// Howard vs the bisection oracle on SRDF graphs constructed from the `gen`
+/// configuration families — the graphs the solver actually analyses in the
+/// incremental buffer-sizing search (self-loops, space queues, multi-rate
+/// structure), not just synthetic rings.
+class GenGraphAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenGraphAgreement, BisectEqualsHowardOnGenGraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  gen::GenParams params;
+  params.num_processors = 4;
+  params.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(3, 10));
+    model::Configuration config;
+    switch (trial % 3) {
+      case 0:
+        config = gen::make_chain(n, params);
+        break;
+      case 1:
+        config = gen::make_ring(n, params);
+        break;
+      default:
+        config = gen::make_random_dag(n, 0.5, params);
+        break;
+    }
+    const model::TaskGraph& tg = config.task_graph(0);
+    linalg::Vector budgets(static_cast<std::size_t>(tg.num_tasks()));
+    for (auto& b : budgets) b = rng.next_real(4.0, 36.0);
+    std::vector<Index> capacities(static_cast<std::size_t>(tg.num_buffers()));
+    for (auto& c : capacities) c = static_cast<Index>(rng.next_int(1, 4));
+
+    const core::SrdfModel m =
+        core::build_srdf(config, 0, budgets, capacities);
+    const double howard = max_cycle_ratio_howard(m.graph);
+    const double bisect = max_cycle_ratio_bisect(m.graph, 1e-10);
+    EXPECT_NEAR(howard, bisect, 1e-6 * (1.0 + bisect))
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenGraphAgreement, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace bbs::dataflow

@@ -1,0 +1,136 @@
+// Tests for the reduced KKT solve, focussing on the symbolic-reuse pipeline:
+// after the first factorise() all later calls must be numeric-only (one
+// symbolic analysis per KktSystem lifetime), and the reused factorisation
+// must solve exactly as well as a from-scratch one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/common/rng.hpp"
+#include "bbs/solver/kkt_system.hpp"
+#include "bbs/solver/nt_scaling.hpp"
+
+namespace bbs::solver {
+namespace {
+
+using linalg::Index;
+using linalg::SparseMatrix;
+using linalg::TripletList;
+
+/// G = [I_n; R] for a random sparse R: full column rank by construction.
+SparseMatrix random_g(Rng& rng, Index n, Index extra_rows, int extra_entries) {
+  TripletList t(n + extra_rows, n);
+  for (Index i = 0; i < n; ++i) t.add(i, i, 1.0);
+  for (int e = 0; e < extra_entries; ++e) {
+    t.add(n + static_cast<Index>(rng.next_int(0, extra_rows - 1)),
+          static_cast<Index>(rng.next_int(0, n - 1)),
+          rng.next_real(-2.0, 2.0));
+  }
+  return SparseMatrix::from_triplets(t);
+}
+
+/// Residuals of the 2x2 system: ||G'v - p||_inf and ||Gu - W^2 v - q||_inf.
+double kkt_residual(const SparseMatrix& g, const NtScaling& scaling,
+                    const Vector& p, const Vector& q, const Vector& u,
+                    const Vector& v) {
+  Vector r1(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j) r1[j] = -p[j];
+  g.gaxpy_transpose(1.0, v, r1);
+
+  const Vector w2v = scaling.apply_w(scaling.apply_w(v));
+  Vector r2(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) r2[i] = -w2v[i] - q[i];
+  g.gaxpy(1.0, u, r2);
+  return std::max(linalg::norm_inf(r1), linalg::norm_inf(r2));
+}
+
+TEST(KktSystem, RepeatedFactoriseRunsOneSymbolicAnalysis) {
+  const ConeSpec cone(6, {3, 4});
+  Rng rng(3);
+  const SparseMatrix g = random_g(rng, 5, cone.dim() - 5, 20);
+  NtScaling scaling(cone);
+  KktSystem kkt(g);
+  EXPECT_EQ(kkt.stats().factorise_calls, 0);
+
+  const int iterations = 5;
+  for (int it = 0; it < iterations; ++it) {
+    scaling.update(random_interior_point(cone, rng), random_interior_point(cone, rng));
+    kkt.factorise(scaling);
+
+    Vector p(static_cast<std::size_t>(g.cols()));
+    Vector q(static_cast<std::size_t>(g.rows()));
+    for (auto& x : p) x = rng.next_real(-1.0, 1.0);
+    for (auto& x : q) x = rng.next_real(-1.0, 1.0);
+    Vector u, v;
+    kkt.solve(scaling, p, q, u, v);
+    EXPECT_LT(kkt_residual(g, scaling, p, q, u, v), 1e-9) << "it=" << it;
+  }
+  // The acceptance invariant: one symbolic analysis total, no matter how
+  // many interior-point iterations re-factorise.
+  EXPECT_EQ(kkt.stats().factorise_calls, iterations);
+  EXPECT_EQ(kkt.stats().symbolic_factorisations, 1);
+}
+
+TEST(KktSystem, ReusedFactorisationMatchesFreshSystem) {
+  const ConeSpec cone(8, {4});
+  Rng rng(17);
+  const SparseMatrix g = random_g(rng, 6, cone.dim() - 6, 24);
+
+  // Reused system: factorised against several scalings in sequence.
+  NtScaling scaling(cone);
+  KktSystem reused(g);
+  for (int it = 0; it < 4; ++it) {
+    scaling.update(random_interior_point(cone, rng), random_interior_point(cone, rng));
+    reused.factorise(scaling);
+  }
+
+  // Fresh system factorised once against the final scaling only.
+  KktSystem fresh(g);
+  fresh.factorise(scaling);
+
+  Vector p(static_cast<std::size_t>(g.cols()));
+  Vector q(static_cast<std::size_t>(g.rows()));
+  for (auto& x : p) x = rng.next_real(-1.0, 1.0);
+  for (auto& x : q) x = rng.next_real(-1.0, 1.0);
+  Vector u1, v1, u2, v2;
+  reused.solve(scaling, p, q, u1, v1);
+  fresh.solve(scaling, p, q, u2, v2);
+  for (std::size_t i = 0; i < u1.size(); ++i) {
+    EXPECT_NEAR(u1[i], u2[i], 1e-10);
+  }
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    EXPECT_NEAR(v1[i], v2[i], 1e-10);
+  }
+}
+
+TEST(KktSystem, LpOnlyConeSolvesAccurately) {
+  const ConeSpec cone(12, {});
+  Rng rng(23);
+  const SparseMatrix g = random_g(rng, 7, cone.dim() - 7, 18);
+  NtScaling scaling(cone);
+  KktSystem kkt(g);
+  for (int it = 0; it < 3; ++it) {
+    scaling.update(random_interior_point(cone, rng), random_interior_point(cone, rng));
+    kkt.factorise(scaling);
+    Vector p(static_cast<std::size_t>(g.cols()), 1.0);
+    Vector q(static_cast<std::size_t>(g.rows()), -0.5);
+    Vector u, v;
+    kkt.solve(scaling, p, q, u, v);
+    EXPECT_LT(kkt_residual(g, scaling, p, q, u, v), 1e-9);
+  }
+  EXPECT_EQ(kkt.stats().symbolic_factorisations, 1);
+}
+
+TEST(KktSystem, SolveBeforeFactoriseThrows) {
+  const ConeSpec cone(4, {});
+  Rng rng(5);
+  const SparseMatrix g = random_g(rng, 3, 1, 3);
+  NtScaling scaling(cone);
+  const KktSystem kkt(g);
+  Vector p(3, 1.0), q(4, 1.0), u, v;
+  EXPECT_THROW(kkt.solve(scaling, p, q, u, v), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bbs::solver

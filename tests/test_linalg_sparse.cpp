@@ -211,6 +211,191 @@ TEST(SparseLdlt, SingularThrows) {
   EXPECT_THROW(SparseLdlt{a}, NumericalError);
 }
 
+TEST(SparseMatrix, CachedSpGemmMatchesFreshProduct) {
+  Rng rng(67);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index m = static_cast<Index>(rng.next_int(2, 10));
+    const Index k = static_cast<Index>(rng.next_int(2, 10));
+    const Index n = static_cast<Index>(rng.next_int(2, 10));
+    TripletList ta(m, k);
+    TripletList tb(k, n);
+    for (int e = 0; e < 25; ++e) {
+      ta.add(static_cast<Index>(rng.next_int(0, m - 1)),
+             static_cast<Index>(rng.next_int(0, k - 1)),
+             rng.next_real(-2.0, 2.0));
+      tb.add(static_cast<Index>(rng.next_int(0, k - 1)),
+             static_cast<Index>(rng.next_int(0, n - 1)),
+             rng.next_real(-2.0, 2.0));
+    }
+    SparseMatrix a = SparseMatrix::from_triplets(ta);
+    SparseMatrix b = SparseMatrix::from_triplets(tb);
+    CachedSpGemm cached(a, b);
+
+    // Change values (pattern untouched) and recompute in place: the result
+    // must match a from-scratch product entry for entry.
+    for (double& v : a.values()) v = rng.next_real(-2.0, 2.0);
+    for (double& v : b.values()) v = rng.next_real(-2.0, 2.0);
+    cached.multiply(a, b);
+    const DenseMatrix ref = a.multiply(b).to_dense();
+    const DenseMatrix got = cached.result().to_dense();
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) {
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+        EXPECT_NEAR(got(i, j), ref(i, j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SparseMatrix, CachedSpGemmRejectsPatternChange) {
+  const SparseMatrix a = small_matrix();
+  CachedSpGemm cached(a, a);
+  TripletList t(3, 3);
+  t.add(0, 0, 1.0);  // fewer entries than small_matrix
+  const SparseMatrix changed = SparseMatrix::from_triplets(t);
+  EXPECT_THROW(cached.multiply(a, changed), ContractViolation);
+  EXPECT_THROW(cached.multiply(changed, a), ContractViolation);
+
+  // Same shape and nnz, different pattern: must also be rejected.
+  TripletList t2(3, 3);
+  t2.add(0, 1, 1.0);
+  t2.add(1, 0, 1.0);
+  t2.add(1, 1, 1.0);
+  t2.add(1, 2, 1.0);
+  t2.add(2, 1, 1.0);
+  const SparseMatrix moved = SparseMatrix::from_triplets(t2);
+  ASSERT_EQ(moved.nnz(), a.nnz());
+  EXPECT_THROW(cached.multiply(a, moved), ContractViolation);
+  EXPECT_THROW(cached.multiply(moved, a), ContractViolation);
+}
+
+TEST(SparseMatrix, CachedSpGemmIncludeDiagonalKeepsRegularisationSlots) {
+  // Product with a structurally empty diagonal: include_diagonal must add
+  // explicit zero slots there, so regularisation never changes the pattern.
+  TripletList t(2, 2);
+  t.add(1, 0, 1.0);
+  t.add(0, 1, 1.0);
+  const SparseMatrix offdiag = SparseMatrix::from_triplets(t);
+  const SparseMatrix ident = SparseMatrix::identity(2);
+  const CachedSpGemm without(offdiag, ident);
+  EXPECT_EQ(without.result().nnz(), 2);
+  const CachedSpGemm with(offdiag, ident, /*include_diagonal=*/true);
+  EXPECT_EQ(with.result().nnz(), 4);
+  EXPECT_DOUBLE_EQ(with.result().to_dense()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(with.result().to_dense()(0, 1), 1.0);
+}
+
+/// Same pattern as `a`, different values, still symmetric and SPD: scales
+/// all entries and strengthens the diagonal.
+SparseMatrix perturbed_spd(const SparseMatrix& a) {
+  SparseMatrix b = a;
+  for (double& v : b.values()) v *= 0.75;
+  for (Index c = 0; c < b.cols(); ++c) {
+    for (Index k = b.col_ptr()[c]; k < b.col_ptr()[c + 1]; ++k) {
+      if (b.row_ind()[k] == c) b.values()[k] += 1.0 + 0.1 * c;
+    }
+  }
+  return b;
+}
+
+TEST(SparseLdlt, RefactorMatchesFreshFactorisationBitExact) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = static_cast<Index>(rng.next_int(3, 25));
+    const SparseMatrix a = random_spd(rng, n, 3 * n);
+    SparseLdlt f(a);
+    EXPECT_EQ(f.numeric_count(), 1);
+
+    const SparseMatrix b = perturbed_spd(a);
+    f.refactor(b);
+    EXPECT_EQ(f.numeric_count(), 2);
+
+    // A from-scratch factorisation of b under the same permutation must
+    // produce bit-identical L and D.
+    SparseLdlt::Options opts;
+    opts.fixed_permutation = &f.permutation();
+    const SparseLdlt fresh(b, opts);
+    ASSERT_EQ(f.factor_col_ptr(), fresh.factor_col_ptr());
+    ASSERT_EQ(f.factor_row_ind(), fresh.factor_row_ind());
+    ASSERT_EQ(f.factor_values().size(), fresh.factor_values().size());
+    for (std::size_t k = 0; k < f.factor_values().size(); ++k) {
+      EXPECT_EQ(f.factor_values()[k], fresh.factor_values()[k]) << "k=" << k;
+    }
+    for (std::size_t k = 0; k < f.diagonal().size(); ++k) {
+      EXPECT_EQ(f.diagonal()[k], fresh.diagonal()[k]) << "k=" << k;
+    }
+  }
+}
+
+TEST(SparseLdlt, RefactorSolvesTheNewMatrix) {
+  Rng rng(43);
+  const Index n = 20;
+  const SparseMatrix a = random_spd(rng, n, 40);
+  SparseLdlt f(a);
+  const SparseMatrix b = perturbed_spd(a);
+  f.refactor(b);
+
+  Vector x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.next_real(-3.0, 3.0);
+  Vector rhs = b.multiply(x_true);
+  f.solve(rhs);
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(rhs[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SparseLdlt, RefactorRejectsPatternChange) {
+  Rng rng(47);
+  const SparseMatrix a = random_spd(rng, 10, 20);
+  SparseLdlt f(a);
+
+  // Same dimension, different pattern: diagonal only.
+  TripletList t(10, 10);
+  for (Index i = 0; i < 10; ++i) t.add(i, i, 2.0);
+  const SparseMatrix diag = SparseMatrix::from_triplets(t);
+  EXPECT_THROW(f.refactor(diag), ContractViolation);
+
+  // Different dimension.
+  TripletList t2(11, 11);
+  for (Index i = 0; i < 11; ++i) t2.add(i, i, 2.0);
+  EXPECT_THROW(f.refactor(SparseMatrix::from_triplets(t2)),
+               ContractViolation);
+
+  // The failed calls must not have corrupted the factorisation.
+  Vector x_true(10, 1.0);
+  Vector rhs = a.multiply(x_true);
+  f.solve(rhs);
+  for (std::size_t i = 0; i < x_true.size(); ++i) {
+    EXPECT_NEAR(rhs[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SparseLdlt, RefactorAfterFailedNumericPassRecovers) {
+  // A refactor attempt that dies on a small pivot must leave the workspaces
+  // clean enough that a later refactor of a good matrix succeeds exactly.
+  Rng rng(53);
+  const Index n = 12;
+  const SparseMatrix a = random_spd(rng, n, 24);
+  SparseLdlt f(a);
+
+  SparseMatrix singular = a;
+  for (double& v : singular.values()) v = 0.0;
+  EXPECT_THROW(f.refactor(singular), NumericalError);
+
+  // The half-updated factor is poisoned: solving now must throw rather than
+  // silently mix old and new columns.
+  Vector rhs(static_cast<std::size_t>(n), 1.0);
+  EXPECT_THROW(f.solve(rhs), ContractViolation);
+
+  const SparseMatrix b = perturbed_spd(a);
+  f.refactor(b);
+  SparseLdlt::Options opts;
+  opts.fixed_permutation = &f.permutation();
+  const SparseLdlt fresh(b, opts);
+  for (std::size_t k = 0; k < f.factor_values().size(); ++k) {
+    EXPECT_EQ(f.factor_values()[k], fresh.factor_values()[k]);
+  }
+}
+
 TEST(SparseLdlt, FactorNnzBoundedByDenseTriangle) {
   Rng rng(9);
   const Index n = 20;

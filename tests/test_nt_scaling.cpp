@@ -12,24 +12,6 @@
 namespace bbs::solver {
 namespace {
 
-/// Draws a strictly interior point of the composite cone.
-Vector interior_point(const ConeSpec& cone, Rng& rng) {
-  Vector u(static_cast<std::size_t>(cone.dim()));
-  for (Index i = 0; i < cone.nonneg(); ++i) {
-    u[static_cast<std::size_t>(i)] = rng.next_real(0.05, 4.0);
-  }
-  for (std::size_t k = 0; k < cone.soc_dims().size(); ++k) {
-    const auto off = static_cast<std::size_t>(cone.soc_offset(k));
-    const auto q = static_cast<std::size_t>(cone.soc_dims()[k]);
-    double tail = 0.0;
-    for (std::size_t i = 1; i < q; ++i) {
-      u[off + i] = rng.next_real(-1.5, 1.5);
-      tail += u[off + i] * u[off + i];
-    }
-    u[off] = std::sqrt(tail) + rng.next_real(0.05, 2.0);
-  }
-  return u;
-}
 
 class NtScalingRandom : public ::testing::TestWithParam<int> {};
 
@@ -38,8 +20,8 @@ TEST_P(NtScalingRandom, DefiningIdentitiesHold) {
   Rng rng(static_cast<std::uint64_t>(GetParam()));
   NtScaling scaling(cone);
   for (int trial = 0; trial < 25; ++trial) {
-    const Vector s = interior_point(cone, rng);
-    const Vector z = interior_point(cone, rng);
+    const Vector s = random_interior_point(cone, rng);
+    const Vector z = random_interior_point(cone, rng);
     scaling.update(s, z);
 
     // lambda = W z = W^{-1} s.
@@ -71,6 +53,43 @@ TEST_P(NtScalingRandom, DefiningIdentitiesHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NtScalingRandom, ::testing::Values(1, 2, 3));
+
+TEST(NtScaling, InverseSquaredIntoReusesFixedPattern) {
+  const ConeSpec cone(3, {3});
+  Rng rng(9);
+  NtScaling scaling(cone);
+  scaling.update(random_interior_point(cone, rng),
+                 random_interior_point(cone, rng));
+
+  linalg::SparseMatrix w2inv;
+  scaling.inverse_squared_into(w2inv);  // builds the fixed pattern
+  const linalg::Index nnz_first = w2inv.nnz();
+
+  scaling.update(random_interior_point(cone, rng),
+                 random_interior_point(cone, rng));
+  scaling.inverse_squared_into(w2inv);  // in-place value update
+  EXPECT_EQ(w2inv.nnz(), nnz_first);
+
+  // Values must match repeated W^{-1} application.
+  const Vector v = random_interior_point(cone, rng);
+  const Vector a = w2inv.multiply(v);
+  const Vector b = scaling.apply_w_inv(scaling.apply_w_inv(v));
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(NtScaling, InverseSquaredIntoRejectsForeignPattern) {
+  const ConeSpec cone(4, {});
+  Rng rng(11);
+  NtScaling scaling(cone);
+  scaling.update(random_interior_point(cone, rng),
+                 random_interior_point(cone, rng));
+
+  // Right dimension and entry count, wrong layout (all entries in column 0).
+  linalg::TripletList t(4, 4);
+  for (linalg::Index r = 0; r < 4; ++r) t.add(r, 0, 1.0);
+  linalg::SparseMatrix wrong = linalg::SparseMatrix::from_triplets(t);
+  EXPECT_THROW(scaling.inverse_squared_into(wrong), ContractViolation);
+}
 
 TEST(NtScaling, LpBlockIsGeometricMeanScaling) {
   const ConeSpec cone(2, {});
@@ -114,8 +133,8 @@ TEST(NtScaling, DualityMeasureInvariant) {
   Rng rng(5);
   NtScaling scaling(cone);
   for (int trial = 0; trial < 20; ++trial) {
-    const Vector s = interior_point(cone, rng);
-    const Vector z = interior_point(cone, rng);
+    const Vector s = random_interior_point(cone, rng);
+    const Vector z = random_interior_point(cone, rng);
     scaling.update(s, z);
     EXPECT_NEAR(linalg::dot(scaling.lambda(), scaling.lambda()),
                 linalg::dot(s, z), 1e-8 * (1.0 + linalg::dot(s, z)));
