@@ -17,23 +17,27 @@ build_dir="${1:-$repo_root/build}"
 out_dir="${2:-$repo_root/bench/baselines}"
 bench_dir="$build_dir/bench"
 
-[ -x "$bench_dir/bench_fig2a" ] || {
-  echo "error: benchmarks not built in $bench_dir (build with BBS_BUILD_BENCH=ON)" >&2
-  exit 1
-}
+# Every harness that feeds the committed baselines must be present: a
+# missing binary would silently leave a stale file in the baselines
+# directory, so it is a hard error, not a skip.
+missing=0
+for bin in bench_runtime bench_fig2a bench_fig2b bench_fig3; do
+  if [ ! -x "$bench_dir/$bin" ]; then
+    echo "error: $bench_dir/$bin not built (build with BBS_BUILD_BENCH=ON" \
+         "and google-benchmark installed)" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
 
 mkdir -p "$out_dir"
 
-if [ -x "$bench_dir/bench_runtime" ]; then
-  echo "== bench_runtime -> $out_dir/runtime.json"
-  "$bench_dir/bench_runtime" \
-    --benchmark_format=json \
-    --benchmark_out="$out_dir/runtime.json" \
-    --benchmark_out_format=json \
-    ${BENCH_FLAGS:-}
-else
-  echo "!! bench_runtime not built (google-benchmark missing); skipping" >&2
-fi
+echo "== bench_runtime -> $out_dir/runtime.json"
+"$bench_dir/bench_runtime" \
+  --benchmark_format=json \
+  --benchmark_out="$out_dir/runtime.json" \
+  --benchmark_out_format=json \
+  ${BENCH_FLAGS:-}
 
 for fig in fig2a fig2b fig3; do
   echo "== bench_$fig -> $out_dir/$fig.csv"

@@ -1,0 +1,40 @@
+// Minimal scope guard: runs a callable on scope exit, including exits by
+// exception. Used wherever a function temporarily mutates caller-owned
+// state (the trade-off sweep caps, for instance) and must restore it on
+// every path out.
+#pragma once
+
+#include <utility>
+
+namespace bbs {
+
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F on_exit) : on_exit_(std::move(on_exit)) {}
+  ~ScopeGuard() {
+    if (armed_) on_exit_();
+  }
+
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ScopeGuard(ScopeGuard&& other) noexcept
+      : on_exit_(std::move(other.on_exit_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  ScopeGuard& operator=(ScopeGuard&&) = delete;
+
+  /// Disarms the guard: the callable will not run.
+  void dismiss() { armed_ = false; }
+
+ private:
+  F on_exit_;
+  bool armed_ = true;
+};
+
+template <typename F>
+ScopeGuard<F> make_scope_guard(F on_exit) {
+  return ScopeGuard<F>(std::move(on_exit));
+}
+
+}  // namespace bbs

@@ -8,9 +8,16 @@ namespace bbs::core {
 MappingResult solve_built_program(const model::Configuration& config,
                                   const BuiltProgram& program,
                                   const MappingOptions& options) {
-  MappingResult result;
   const solver::IpmSolver ipm(options.ipm);
-  const solver::SolveResult sol = ipm.solve(program.problem);
+  return mapping_from_solution(config, program, ipm.solve(program.problem),
+                               options);
+}
+
+MappingResult mapping_from_solution(const model::Configuration& config,
+                                    const BuiltProgram& program,
+                                    const solver::SolveResult& sol,
+                                    const MappingOptions& options) {
+  MappingResult result;
   result.status = sol.status;
   result.ipm_iterations = sol.iterations;
   if (sol.status != solver::SolveStatus::kOptimal) {
@@ -20,11 +27,7 @@ MappingResult solve_built_program(const model::Configuration& config,
 
   const Index num_graphs = config.num_task_graphs();
   result.graphs.resize(static_cast<std::size_t>(num_graphs));
-  bool all_ok = true;
   double rounded_cost = 0.0;
-
-  std::vector<Vector> budgets_by_graph;
-  std::vector<std::vector<Index>> caps_by_graph;
 
   for (Index gi = 0; gi < num_graphs; ++gi) {
     const auto g = static_cast<std::size_t>(gi);
@@ -35,46 +38,33 @@ MappingResult solve_built_program(const model::Configuration& config,
     const Vector delta_cont = program.layout.deltas_of(sol.x, gi);
 
     mg.tasks.resize(static_cast<std::size_t>(tg.num_tasks()));
-    Vector budgets(static_cast<std::size_t>(tg.num_tasks()), 0.0);
     for (Index t = 0; t < tg.num_tasks(); ++t) {
       const auto ti = static_cast<std::size_t>(t);
       mg.tasks[ti].budget_continuous = beta_cont[ti];
       mg.tasks[ti].budget = round_budget(
           beta_cont[ti], config.granularity(), options.rounding_eps);
-      budgets[ti] = static_cast<double>(mg.tasks[ti].budget);
-      rounded_cost += tg.task(t).budget_weight * budgets[ti];
+      rounded_cost += tg.task(t).budget_weight *
+                      static_cast<double>(mg.tasks[ti].budget);
     }
 
     mg.buffers.resize(static_cast<std::size_t>(tg.num_buffers()));
-    std::vector<Index> capacities(static_cast<std::size_t>(tg.num_buffers()),
-                                  0);
     for (Index b = 0; b < tg.num_buffers(); ++b) {
       const auto bi = static_cast<std::size_t>(b);
       const model::Buffer& buf = tg.buffer(b);
       mg.buffers[bi].tokens_continuous = delta_cont[bi];
       mg.buffers[bi].capacity = round_capacity(
           delta_cont[bi], buf.initial_fill, options.rounding_eps);
-      capacities[bi] = mg.buffers[bi].capacity;
       // Rounded weighted cost counts the space tokens, mirroring the
       // objective (5): b(e)*zeta(e)*delta(e).
       rounded_cost += buf.size_weight *
                       static_cast<double>(buf.container_size) *
-                      static_cast<double>(capacities[bi] - buf.initial_fill);
+                      static_cast<double>(mg.buffers[bi].capacity -
+                                          buf.initial_fill);
     }
-
-    if (options.verify) {
-      mg.verification = verify_graph(config, gi, budgets, capacities);
-      all_ok = all_ok && mg.verification.throughput_met;
-    }
-    budgets_by_graph.push_back(std::move(budgets));
-    caps_by_graph.push_back(std::move(capacities));
   }
 
   result.objective_rounded = rounded_cost;
-  if (options.verify) {
-    all_ok = all_ok && verify_platform(config, budgets_by_graph, caps_by_graph);
-    result.verified = all_ok;
-  }
+  if (options.verify) verify_mapping(config, result);
   return result;
 }
 
@@ -82,6 +72,33 @@ MappingResult compute_budgets_and_buffers(const model::Configuration& config,
                                           const MappingOptions& options) {
   const BuiltProgram program = build_algorithm1(config);
   return solve_built_program(config, program, options);
+}
+
+void verify_mapping(const model::Configuration& config,
+                    MappingResult& result) {
+  if (!result.feasible()) return;
+  bool all_ok = true;
+  std::vector<Vector> budgets_by_graph;
+  std::vector<std::vector<Index>> caps_by_graph;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    MappedGraph& mg = result.graphs[static_cast<std::size_t>(gi)];
+    Vector budgets;
+    std::vector<Index> capacities;
+    budgets.reserve(mg.tasks.size());
+    capacities.reserve(mg.buffers.size());
+    for (const TaskAllocation& t : mg.tasks) {
+      budgets.push_back(static_cast<double>(t.budget));
+    }
+    for (const BufferAllocation& b : mg.buffers) {
+      capacities.push_back(b.capacity);
+    }
+    mg.verification = verify_graph(config, gi, budgets, capacities);
+    all_ok = all_ok && mg.verification.throughput_met;
+    budgets_by_graph.push_back(std::move(budgets));
+    caps_by_graph.push_back(std::move(capacities));
+  }
+  all_ok = all_ok && verify_platform(config, budgets_by_graph, caps_by_graph);
+  result.verified = all_ok;
 }
 
 }  // namespace bbs::core

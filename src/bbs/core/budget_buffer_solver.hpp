@@ -70,4 +70,20 @@ MappingResult solve_built_program(const model::Configuration& config,
                                   const BuiltProgram& program,
                                   const MappingOptions& options);
 
+/// The rounding + verification tail of the flow: turns a raw IPM solution of
+/// `program` into a MappingResult. Shared by the one-shot solvers above and
+/// the warm-started SolverSession (which produces the SolveResult through a
+/// persistent workspace).
+MappingResult mapping_from_solution(const model::Configuration& config,
+                                    const BuiltProgram& program,
+                                    const solver::SolveResult& solution,
+                                    const MappingOptions& options);
+
+/// (Re)runs the MCR + platform verification pass on a feasible rounded
+/// mapping, filling per-graph verification data and `verified`. Lets search
+/// drivers probe with `options.verify == false` — a probe is only a
+/// feasibility query — and verify just the mapping they return. No-op on
+/// infeasible results.
+void verify_mapping(const model::Configuration& config, MappingResult& result);
+
 }  // namespace bbs::core

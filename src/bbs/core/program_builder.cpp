@@ -37,6 +37,121 @@ void add_term(Terms& terms, Index var, double coeff) {
   if (var >= 0 && coeff != 0.0) terms.emplace_back(var, coeff);
 }
 
+// ---------------------------------------------------------------------------
+// Right-hand sides of the LP rows, shared between the initial build and the
+// in-place refresh path (BuiltProgram::refresh_*). Each reads the *current*
+// configuration and fixed values, so a refresh after a parameter change
+// reproduces exactly what a fresh build would emit.
+// ---------------------------------------------------------------------------
+
+/// (6) for e_i1i2: s2 >= s1 + rho - beta'.
+double e1_rhs(const model::Configuration& config, const ProgramLayout& layout,
+              Index gi, Index t) {
+  const model::Task& task = config.task_graph(gi).task(t);
+  double rhs = -config.processor(task.processor).replenishment_interval;
+  if (layout.budgets_fixed) {
+    rhs += layout.fixed_budget_values[static_cast<std::size_t>(gi)]
+                                     [static_cast<std::size_t>(t)];
+  }
+  return rhs;
+}
+
+/// (7) for the self-loop e_i2i2: rho*chi*lambda <= mu.
+double selfloop_rhs(const model::Configuration& config,
+                    const ProgramLayout& layout, Index gi, Index t) {
+  const model::TaskGraph& tg = config.task_graph(gi);
+  const model::Task& task = tg.task(t);
+  double rhs = tg.required_period();
+  if (layout.budgets_fixed) {
+    const double rho = config.processor(task.processor).replenishment_interval;
+    rhs -= rho * task.wcet /
+           layout.fixed_budget_values[static_cast<std::size_t>(gi)]
+                                     [static_cast<std::size_t>(t)];
+  }
+  return rhs;
+}
+
+/// (7) data queue: s(cons.wait) >= s(prod.exec) + rho_p*chi_p*lambda_p
+/// - iota*mu.
+double data_queue_rhs(const model::Configuration& config,
+                      const ProgramLayout& layout, Index gi, Index b) {
+  const model::TaskGraph& tg = config.task_graph(gi);
+  const model::Buffer& buf = tg.buffer(b);
+  double rhs = static_cast<double>(buf.initial_fill) * tg.required_period();
+  if (layout.budgets_fixed) {
+    const model::Task& prod = tg.task(buf.producer);
+    const double rho_p =
+        config.processor(prod.processor).replenishment_interval;
+    rhs -= rho_p * prod.wcet /
+           layout.fixed_budget_values[static_cast<std::size_t>(gi)]
+                                     [static_cast<std::size_t>(buf.producer)];
+  }
+  return rhs;
+}
+
+/// (7) space queue: s(prod.wait) >= s(cons.exec) + rho_c*chi_c*lambda_c
+/// - delta'*mu.
+double space_queue_rhs(const model::Configuration& config,
+                       const ProgramLayout& layout, Index gi, Index b) {
+  const model::TaskGraph& tg = config.task_graph(gi);
+  const model::Buffer& buf = tg.buffer(b);
+  double rhs = 0.0;
+  if (layout.budgets_fixed) {
+    const model::Task& cons = tg.task(buf.consumer);
+    const double rho_c =
+        config.processor(cons.processor).replenishment_interval;
+    rhs -= rho_c * cons.wcet /
+           layout.fixed_budget_values[static_cast<std::size_t>(gi)]
+                                     [static_cast<std::size_t>(buf.consumer)];
+  }
+  if (layout.deltas_fixed) {
+    rhs += layout.fixed_delta_values[static_cast<std::size_t>(gi)]
+                                    [static_cast<std::size_t>(b)] *
+           tg.required_period();
+  }
+  return rhs;
+}
+
+/// (9) per processor: sum over tasks on p of (beta' + g) <= rho(p) - o(p).
+double processor_rhs(const model::Configuration& config,
+                     const ProgramLayout& layout, Index p) {
+  double rhs = config.processor(p).replenishment_interval -
+               config.processor(p).scheduling_overhead;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      if (tg.task(t).processor != p) continue;
+      rhs -= static_cast<double>(config.granularity());
+      if (layout.budgets_fixed) {
+        rhs -= layout.fixed_budget_values[static_cast<std::size_t>(gi)]
+                                         [static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  return rhs;
+}
+
+/// (10) per memory: sum over buffers in m of (iota + delta' + 1)*zeta
+/// <= sigma(m).
+double memory_rhs(const model::Configuration& config,
+                  const ProgramLayout& layout, Index mem) {
+  double rhs = config.memory(mem).capacity;
+  for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+    const model::TaskGraph& tg = config.task_graph(gi);
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      const model::Buffer& buf = tg.buffer(b);
+      if (buf.memory != mem) continue;
+      const double zeta = static_cast<double>(buf.container_size);
+      rhs -= zeta * static_cast<double>(buf.initial_fill + 1);
+      if (layout.deltas_fixed) {
+        rhs -= zeta * layout.fixed_delta_values[static_cast<std::size_t>(gi)]
+                                               [static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  return rhs;
+}
+
 }  // namespace
 
 Vector ProgramLayout::budgets_of(const Vector& x, Index graph) const {
@@ -78,6 +193,8 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
   }
 
   ProgramLayout layout;
+  layout.budgets_fixed = budgets_fixed;
+  layout.deltas_fixed = deltas_fixed;
   layout.models.reserve(static_cast<std::size_t>(num_graphs));
   layout.start_var.resize(static_cast<std::size_t>(num_graphs));
   layout.beta_var.resize(static_cast<std::size_t>(num_graphs));
@@ -173,11 +290,28 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
   }
 
   // ---- LP rows --------------------------------------------------------------
+  // Row indices (and later the -mu coefficient slots) are recorded in `rows`
+  // as constraints are emitted, keyed by the originating model entity; the
+  // refresh_* members replay the rhs helpers against a mutated
+  // configuration to update the program in place.
+  ProgramRowMap rows;
+  rows.graphs.resize(static_cast<std::size_t>(num_graphs));
+  rows.processor_row.assign(static_cast<std::size_t>(config.num_processors()),
+                            -1);
+  rows.memory_row.assign(static_cast<std::size_t>(config.num_memories()), -1);
+
   for (Index gi = 0; gi < num_graphs; ++gi) {
     const auto g = static_cast<std::size_t>(gi);
     const model::TaskGraph& tg = config.task_graph(gi);
     const SrdfModel& m = layout.models[g];
     const double mu = tg.required_period();
+    ProgramRowMap::GraphRows& gr = rows.graphs[g];
+    gr.task_e1.assign(static_cast<std::size_t>(tg.num_tasks()), -1);
+    gr.task_selfloop.assign(static_cast<std::size_t>(tg.num_tasks()), -1);
+    gr.buf_data.assign(static_cast<std::size_t>(tg.num_buffers()), -1);
+    gr.buf_space.assign(static_cast<std::size_t>(tg.num_buffers()), -1);
+    gr.buf_cap.assign(static_cast<std::size_t>(tg.num_buffers()), -1);
+    gr.space_delta_slot.assign(static_cast<std::size_t>(tg.num_buffers()), -1);
 
     for (Index t = 0; t < tg.num_tasks(); ++t) {
       const auto ti = static_cast<std::size_t>(t);
@@ -189,34 +323,24 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
           m.exec_actor[ti])];
       const Index beta = layout.beta_var[g][ti];
       const Index lambda = layout.lambda_var[g][ti];
-      const double fixed_beta =
-          budgets_fixed ? layout.fixed_budget_values[g][ti] : 0.0;
 
       // (6) for e_i1i2 (E1, zero tokens): s2 >= s1 + rho - beta'.
       {
         Terms terms;
         add_term(terms, s1, 1.0);
         add_term(terms, s2, -1.0);
-        double rhs = -rho;
-        if (beta >= 0) {
-          add_term(terms, beta, -1.0);
-        } else {
-          rhs += fixed_beta;  // constant -(rho - beta)
-        }
-        builder.add_inequality(terms, rhs);
+        add_term(terms, beta, -1.0);
+        gr.task_e1[ti] =
+            builder.add_inequality(terms, e1_rhs(config, layout, gi, t));
       }
 
       // (7) for the self-loop e_i2i2 (E2, one token):
       // rho*chi*lambda <= mu  (start times cancel).
       {
         Terms terms;
-        double rhs = mu;
-        if (lambda >= 0) {
-          add_term(terms, lambda, rho * task.wcet);
-        } else {
-          rhs -= rho * task.wcet / fixed_beta;
-        }
-        builder.add_inequality(terms, rhs);
+        add_term(terms, lambda, rho * task.wcet);
+        gr.task_selfloop[ti] =
+            builder.add_inequality(terms, selfloop_rhs(config, layout, gi, t));
       }
     }
 
@@ -250,15 +374,9 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
         Terms terms;
         add_term(terms, s_prod_exec, 1.0);
         add_term(terms, s_cons_wait, -1.0);
-        double rhs = static_cast<double>(buf.initial_fill) * mu;
-        if (lambda_p >= 0) {
-          add_term(terms, lambda_p, rho_p * prod.wcet);
-        } else {
-          rhs -= rho_p * prod.wcet /
-                 layout.fixed_budget_values[g][static_cast<std::size_t>(
-                     buf.producer)];
-        }
-        builder.add_inequality(terms, rhs);
+        add_term(terms, lambda_p, rho_p * prod.wcet);
+        gr.buf_data[bi] = builder.add_inequality(
+            terms, data_queue_rhs(config, layout, gi, b));
       }
 
       // (7) space queue (E2): s(prod.wait) >= s(cons.exec)
@@ -267,20 +385,10 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
         Terms terms;
         add_term(terms, s_cons_exec, 1.0);
         add_term(terms, s_prod_wait, -1.0);
-        double rhs = 0.0;
-        if (lambda_c >= 0) {
-          add_term(terms, lambda_c, rho_c * cons.wcet);
-        } else {
-          rhs -= rho_c * cons.wcet /
-                 layout.fixed_budget_values[g][static_cast<std::size_t>(
-                     buf.consumer)];
-        }
-        if (delta >= 0) {
-          add_term(terms, delta, -mu);
-        } else {
-          rhs += layout.fixed_delta_values[g][bi] * mu;
-        }
-        builder.add_inequality(terms, rhs);
+        add_term(terms, lambda_c, rho_c * cons.wcet);
+        add_term(terms, delta, -mu);
+        gr.buf_space[bi] = builder.add_inequality(
+            terms, space_queue_rhs(config, layout, gi, b));
       }
 
       if (delta >= 0) {
@@ -288,7 +396,7 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
         builder.add_inequality({{delta, -1.0}}, 0.0);
         // Optional capacity cap: iota + delta' <= max_capacity.
         if (buf.max_capacity != -1) {
-          builder.add_inequality(
+          gr.buf_cap[bi] = builder.add_inequality(
               {{delta, 1.0}},
               static_cast<double>(buf.max_capacity - buf.initial_fill));
         }
@@ -299,8 +407,6 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
   // (9) per processor: sum over tasks on p of (beta' + g) <= rho(p) - o(p).
   for (Index p = 0; p < config.num_processors(); ++p) {
     Terms terms;
-    double rhs = config.processor(p).replenishment_interval -
-                 config.processor(p).scheduling_overhead;
     Index tasks_on_p = 0;
     for (Index gi = 0; gi < num_graphs; ++gi) {
       const auto g = static_cast<std::size_t>(gi);
@@ -308,16 +414,13 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
       for (Index t = 0; t < tg.num_tasks(); ++t) {
         if (tg.task(t).processor != p) continue;
         ++tasks_on_p;
-        rhs -= static_cast<double>(config.granularity());
-        const Index beta = layout.beta_var[g][static_cast<std::size_t>(t)];
-        if (beta >= 0) {
-          add_term(terms, beta, 1.0);
-        } else {
-          rhs -= layout.fixed_budget_values[g][static_cast<std::size_t>(t)];
-        }
+        add_term(terms, layout.beta_var[g][static_cast<std::size_t>(t)], 1.0);
       }
     }
-    if (tasks_on_p > 0) builder.add_inequality(terms, rhs);
+    if (tasks_on_p > 0) {
+      rows.processor_row[static_cast<std::size_t>(p)] =
+          builder.add_inequality(terms, processor_rhs(config, layout, p));
+    }
   }
 
   // (10) per memory: sum over buffers in m of (iota + delta' + 1)*zeta
@@ -325,7 +428,6 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
   for (Index mem = 0; mem < config.num_memories(); ++mem) {
     if (config.memory(mem).capacity == -1.0) continue;
     Terms terms;
-    double rhs = config.memory(mem).capacity;
     Index buffers_in_m = 0;
     for (Index gi = 0; gi < num_graphs; ++gi) {
       const auto g = static_cast<std::size_t>(gi);
@@ -334,17 +436,14 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
         const model::Buffer& buf = tg.buffer(b);
         if (buf.memory != mem) continue;
         ++buffers_in_m;
-        const double zeta = static_cast<double>(buf.container_size);
-        rhs -= zeta * static_cast<double>(buf.initial_fill + 1);
-        const Index delta = layout.delta_var[g][static_cast<std::size_t>(b)];
-        if (delta >= 0) {
-          add_term(terms, delta, zeta);
-        } else {
-          rhs -= zeta * layout.fixed_delta_values[g][static_cast<std::size_t>(b)];
-        }
+        add_term(terms, layout.delta_var[g][static_cast<std::size_t>(b)],
+                 static_cast<double>(buf.container_size));
       }
     }
-    if (buffers_in_m > 0) builder.add_inequality(terms, rhs);
+    if (buffers_in_m > 0) {
+      rows.memory_row[static_cast<std::size_t>(mem)] =
+          builder.add_inequality(terms, memory_rhs(config, layout, mem));
+    }
   }
 
   // ---- (8) SOC blocks: (lambda + beta', lambda - beta', 2) in SOC3 ----------
@@ -363,7 +462,136 @@ BuiltProgram build_algorithm1(const model::Configuration& config,
     }
   }
 
-  return BuiltProgram{builder.build(), std::move(layout)};
+  BuiltProgram program{builder.build(), std::move(layout), std::move(rows)};
+
+  // Resolve the CSC slots of the -mu coefficients now that G exists.
+  for (Index gi = 0; gi < num_graphs; ++gi) {
+    const auto g = static_cast<std::size_t>(gi);
+    ProgramRowMap::GraphRows& gr = program.rows.graphs[g];
+    for (std::size_t b = 0; b < gr.buf_space.size(); ++b) {
+      const Index delta = program.layout.delta_var[g][b];
+      if (delta < 0) continue;
+      gr.space_delta_slot[b] =
+          program.problem.g_value_slot(gr.buf_space[b], delta);
+      BBS_ASSERT_MSG(gr.space_delta_slot[b] >= 0,
+                     "space-queue row lost its delta coefficient");
+    }
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// In-place refresh path
+// ---------------------------------------------------------------------------
+
+void BuiltProgram::refresh_required_period(const model::Configuration& config,
+                                           Index graph) {
+  BBS_REQUIRE(graph >= 0 &&
+                  static_cast<std::size_t>(graph) < rows.graphs.size(),
+              "refresh_required_period: graph out of range");
+  const auto g = static_cast<std::size_t>(graph);
+  const model::TaskGraph& tg = config.task_graph(graph);
+  const double mu = tg.required_period();
+  const ProgramRowMap::GraphRows& gr = rows.graphs[g];
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    problem.set_h(gr.task_selfloop[static_cast<std::size_t>(t)],
+                  selfloop_rhs(config, layout, graph, t));
+  }
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    problem.set_h(gr.buf_data[bi], data_queue_rhs(config, layout, graph, b));
+    problem.set_h(gr.buf_space[bi],
+                  space_queue_rhs(config, layout, graph, b));
+    if (gr.space_delta_slot[bi] >= 0) {
+      problem.set_g_value(gr.space_delta_slot[bi], -mu);
+    }
+  }
+}
+
+void BuiltProgram::refresh_buffer_cap(const model::Configuration& config,
+                                      Index graph, Index buffer) {
+  BBS_REQUIRE(graph >= 0 &&
+                  static_cast<std::size_t>(graph) < rows.graphs.size(),
+              "refresh_buffer_cap: graph out of range");
+  const model::Buffer& buf = config.task_graph(graph).buffer(buffer);
+  const Index row =
+      rows.graphs[static_cast<std::size_t>(graph)]
+          .buf_cap[static_cast<std::size_t>(buffer)];
+  BBS_REQUIRE(row >= 0,
+              "refresh_buffer_cap: buffer had no capacity cap when the "
+              "program was built (set a finite max_capacity before building)");
+  BBS_REQUIRE(buf.max_capacity != -1,
+              "refresh_buffer_cap: cannot remove a cap in place");
+  problem.set_h(row,
+                static_cast<double>(buf.max_capacity - buf.initial_fill));
+}
+
+void BuiltProgram::refresh_fixed_budgets(const model::Configuration& config,
+                                         Index graph, const Vector& budgets) {
+  BBS_REQUIRE(layout.budgets_fixed,
+              "refresh_fixed_budgets: program was built with variable budgets");
+  BBS_REQUIRE(graph >= 0 &&
+                  static_cast<std::size_t>(graph) < rows.graphs.size(),
+              "refresh_fixed_budgets: graph out of range");
+  const auto g = static_cast<std::size_t>(graph);
+  const model::TaskGraph& tg = config.task_graph(graph);
+  BBS_REQUIRE(budgets.size() == static_cast<std::size_t>(tg.num_tasks()),
+              "refresh_fixed_budgets: budget count mismatch");
+  for (double beta : budgets) {
+    if (!(beta > 0.0)) {
+      throw ModelError("refresh_fixed_budgets: budgets must be positive");
+    }
+  }
+  layout.fixed_budget_values[g] = budgets;
+
+  const ProgramRowMap::GraphRows& gr = rows.graphs[g];
+  for (Index t = 0; t < tg.num_tasks(); ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    problem.set_h(gr.task_e1[ti], e1_rhs(config, layout, graph, t));
+    problem.set_h(gr.task_selfloop[ti],
+                  selfloop_rhs(config, layout, graph, t));
+  }
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    problem.set_h(gr.buf_data[bi], data_queue_rhs(config, layout, graph, b));
+    problem.set_h(gr.buf_space[bi],
+                  space_queue_rhs(config, layout, graph, b));
+  }
+  // Processor rows aggregate fixed budgets across all graphs.
+  for (Index p = 0; p < config.num_processors(); ++p) {
+    const Index row = rows.processor_row[static_cast<std::size_t>(p)];
+    if (row >= 0) problem.set_h(row, processor_rhs(config, layout, p));
+  }
+}
+
+void BuiltProgram::refresh_fixed_deltas(const model::Configuration& config,
+                                        Index graph, const Vector& deltas) {
+  BBS_REQUIRE(layout.deltas_fixed,
+              "refresh_fixed_deltas: program was built with variable deltas");
+  BBS_REQUIRE(graph >= 0 &&
+                  static_cast<std::size_t>(graph) < rows.graphs.size(),
+              "refresh_fixed_deltas: graph out of range");
+  const auto g = static_cast<std::size_t>(graph);
+  const model::TaskGraph& tg = config.task_graph(graph);
+  BBS_REQUIRE(deltas.size() == static_cast<std::size_t>(tg.num_buffers()),
+              "refresh_fixed_deltas: delta count mismatch");
+  for (double d : deltas) {
+    if (d < 0.0) {
+      throw ModelError("refresh_fixed_deltas: deltas must be >= 0");
+    }
+  }
+  layout.fixed_delta_values[g] = deltas;
+
+  const ProgramRowMap::GraphRows& gr = rows.graphs[g];
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    problem.set_h(gr.buf_space[static_cast<std::size_t>(b)],
+                  space_queue_rhs(config, layout, graph, b));
+  }
+  // Memory rows aggregate fixed deltas across all graphs.
+  for (Index mem = 0; mem < config.num_memories(); ++mem) {
+    const Index row = rows.memory_row[static_cast<std::size_t>(mem)];
+    if (row >= 0) problem.set_h(row, memory_rhs(config, layout, mem));
+  }
 }
 
 }  // namespace bbs::core

@@ -71,11 +71,62 @@ struct ProgramLayout {
   // Copies of fixed values (so the extractors above are self-contained).
   std::vector<Vector> fixed_budget_values;
   std::vector<Vector> fixed_delta_values;
+  bool budgets_fixed = false;
+  bool deltas_fixed = false;
+};
+
+/// Row and coefficient-slot bookkeeping recorded while the program is
+/// built, keyed by the model entity each constraint came from. This is what
+/// makes *in-place* parameter updates possible: changing a buffer's
+/// capacity cap or a graph's target period rewrites only the affected `h`
+/// entries (and the -mu coefficients on delta' in G) of the existing
+/// problem instead of rebuilding it — the sparsity pattern, cone and
+/// variable layout are untouched, so a persistent solver workspace keeps
+/// its symbolic factorisation across re-solves (see core::SolverSession).
+struct ProgramRowMap {
+  struct GraphRows {
+    std::vector<Index> task_e1;        ///< (6) rows, one per task
+    std::vector<Index> task_selfloop;  ///< (7) self-loop rows, one per task
+    std::vector<Index> buf_data;       ///< (7) data-queue rows, per buffer
+    std::vector<Index> buf_space;      ///< (7) space-queue rows, per buffer
+    std::vector<Index> buf_cap;        ///< cap rows, per buffer (-1 = uncapped)
+    /// CSC value slot in G of the -mu coefficient on delta' in the
+    /// space-queue row (-1 when the deltas are fixed).
+    std::vector<Index> space_delta_slot;
+  };
+  std::vector<GraphRows> graphs;
+  std::vector<Index> processor_row;  ///< (9) rows, -1 = no tasks on p
+  std::vector<Index> memory_row;     ///< (10) rows, -1 = unconstrained/empty
 };
 
 struct BuiltProgram {
   solver::ConicProblem problem;
   ProgramLayout layout;
+  ProgramRowMap rows;
+
+  // In-place, pattern-preserving parameter updates. Each rewrites the h
+  // entries (and for the period the -mu coefficients of G) recorded in
+  // `rows` from the current state of `config`, which must be the
+  // configuration the program was built from, mutated only in the
+  // corresponding parameter. Throws ContractViolation when the update has
+  // no slot to land in (e.g. a cap row for a buffer that was unbounded at
+  // build time).
+
+  /// Re-reads graph `graph`'s required period mu(T).
+  void refresh_required_period(const model::Configuration& config,
+                               Index graph);
+  /// Re-reads the capacity cap of buffer `buffer` of graph `graph` (the
+  /// buffer must have had a cap when the program was built).
+  void refresh_buffer_cap(const model::Configuration& config, Index graph,
+                          Index buffer);
+  /// Replaces the fixed budgets of graph `graph` (programs built with
+  /// BuildOptions::fixed_budgets only) and rewrites every row they enter.
+  void refresh_fixed_budgets(const model::Configuration& config, Index graph,
+                             const Vector& budgets);
+  /// Replaces the fixed space-token counts of graph `graph` (programs built
+  /// with BuildOptions::fixed_deltas only).
+  void refresh_fixed_deltas(const model::Configuration& config, Index graph,
+                            const Vector& deltas);
 };
 
 /// Builds the Algorithm-1 program for a validated configuration.

@@ -150,4 +150,9 @@ RefinementStats refine_rounded_mapping(const model::Configuration& config,
   return stats;
 }
 
+RefinementStats refine_rounded_mapping(const SolverSession& session,
+                                       MappingResult& result) {
+  return refine_rounded_mapping(session.config(), result);
+}
+
 }  // namespace bbs::core

@@ -13,7 +13,7 @@
 // exhaustive integer reference.
 #pragma once
 
-#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/solver_session.hpp"
 
 namespace bbs::core {
 
@@ -29,6 +29,14 @@ struct RefinementStats {
 /// the platform constraints hold. `result` is updated in place (budgets,
 /// capacities, rounded objective, verification data).
 RefinementStats refine_rounded_mapping(const model::Configuration& config,
+                                       MappingResult& result);
+
+/// Session flavour: refines a mapping produced by `session.solve()` against
+/// the session's *internal* configuration copy — the one carrying all
+/// in-place parameter updates (caps, periods). Refining a session result
+/// against the caller's original configuration would silently verify stale
+/// constraints.
+RefinementStats refine_rounded_mapping(const SolverSession& session,
                                        MappingResult& result);
 
 }  // namespace bbs::core

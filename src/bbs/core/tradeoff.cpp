@@ -1,6 +1,7 @@
 #include "bbs/core/tradeoff.hpp"
 
 #include "bbs/common/assert.hpp"
+#include "bbs/common/scope_guard.hpp"
 
 namespace bbs::core {
 
@@ -17,23 +18,39 @@ Vector TradeoffSweep::budget_deltas() const {
 
 TradeoffSweep sweep_max_capacity(model::Configuration& config,
                                  Index graph_index, Index cap_lo, Index cap_hi,
-                                 const MappingOptions& options) {
+                                 const MappingOptions& options,
+                                 const TradeoffPointCallback& on_point) {
   BBS_REQUIRE(cap_lo >= 1 && cap_hi >= cap_lo,
               "sweep_max_capacity: need 1 <= cap_lo <= cap_hi");
   model::TaskGraph& tg = config.mutable_task_graph(graph_index);
 
-  // Remember the original caps so the sweep leaves no trace.
+  // The caller's caps are mutated only long enough to build the session
+  // program (the cap rows must exist), and restored on *every* exit path —
+  // a solve or callback throwing mid-sweep must not leave the caller's
+  // configuration altered.
   std::vector<Index> original_caps(static_cast<std::size_t>(tg.num_buffers()));
   for (Index b = 0; b < tg.num_buffers(); ++b) {
     original_caps[static_cast<std::size_t>(b)] = tg.buffer(b).max_capacity;
   }
+  const auto restore_caps = make_scope_guard([&] {
+    for (Index b = 0; b < tg.num_buffers(); ++b) {
+      tg.set_max_capacity(b, original_caps[static_cast<std::size_t>(b)]);
+    }
+  });
+  for (Index b = 0; b < tg.num_buffers(); ++b) {
+    tg.set_max_capacity(b, cap_lo);
+  }
+
+  // One session for the whole sweep: built once, each step rewrites the cap
+  // rows in place and warm-starts from the previous point.
+  SessionOptions session_options;
+  session_options.mapping = options;
+  SolverSession session(config, session_options);
 
   TradeoffSweep sweep;
   for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
-    for (Index b = 0; b < tg.num_buffers(); ++b) {
-      tg.set_max_capacity(b, cap);
-    }
-    const MappingResult result = compute_budgets_and_buffers(config, options);
+    session.set_all_buffer_caps(graph_index, cap);
+    const MappingResult result = session.solve();
 
     TradeoffPoint point;
     point.max_capacity = cap;
@@ -50,11 +67,8 @@ TradeoffSweep sweep_max_capacity(model::Configuration& config,
         point.capacities.push_back(b.capacity);
       }
     }
+    if (on_point) on_point(point);
     sweep.points.push_back(std::move(point));
-  }
-
-  for (Index b = 0; b < tg.num_buffers(); ++b) {
-    tg.set_max_capacity(b, original_caps[static_cast<std::size_t>(b)]);
   }
   return sweep;
 }
@@ -66,17 +80,24 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
               "minimal_feasible_period: period_hi must be positive");
   BBS_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0,
               "minimal_feasible_period: rel_tol must be in (0, 1)");
-  model::TaskGraph& tg = config.mutable_task_graph(graph_index);
-  const double original = tg.required_period();
+
+  // The session owns a configuration copy, so the caller's configuration is
+  // never touched; every probe rewrites the period-dependent entries in
+  // place and warm-starts from the last feasible point. Probes are pure
+  // feasibility queries — the MCR verification pass runs once, on the
+  // mapping actually returned.
+  SessionOptions session_options;
+  session_options.mapping = options;
+  session_options.mapping.verify = false;
+  SolverSession session(config, session_options);
 
   const auto solve_at = [&](double period) {
-    tg.set_required_period(period);
-    return compute_budgets_and_buffers(config, options);
+    session.set_required_period(graph_index, period);
+    return session.solve();
   };
 
   MappingResult at_hi = solve_at(period_hi);
   if (!at_hi.feasible()) {
-    tg.set_required_period(original);
     return std::nullopt;
   }
 
@@ -99,7 +120,10 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
       lo = mid;
     }
   }
-  tg.set_required_period(original);
+  if (options.verify) {
+    session.set_required_period(graph_index, best.period);
+    verify_mapping(session.config(), best.mapping);
+  }
   return best;
 }
 

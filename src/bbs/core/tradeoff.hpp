@@ -4,11 +4,18 @@
 // the maximum buffer capacity and re-solving; this module packages that sweep
 // (one SOCP per capacity bound) and reports the budget series that Figures
 // 2(a), 2(b) and 3 plot.
+//
+// Both drivers run through a SolverSession: the program is built once, each
+// step rewrites only the changed bound/rhs entries in place, the KKT
+// system's symbolic factorisation is shared by every solve, and each point
+// warm-starts from the previous one (see core/solver_session.hpp).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <vector>
 
-#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/solver_session.hpp"
 
 namespace bbs::core {
 
@@ -34,12 +41,19 @@ struct TradeoffSweep {
   Vector budget_deltas() const;
 };
 
+/// Called after every solved sweep point (feasible or not): progress
+/// reporting, early logging, or aborting a long sweep by throwing.
+using TradeoffPointCallback = std::function<void(const TradeoffPoint&)>;
+
 /// Sweeps the common maximum capacity of all buffers of graph `graph_index`
 /// from `cap_lo` to `cap_hi` containers and solves the joint problem at each
-/// step. The configuration is restored before returning.
+/// step through one warm-started SolverSession. The configuration is
+/// restored before returning — also when a solve or the callback throws
+/// mid-sweep (scope guard).
 TradeoffSweep sweep_max_capacity(model::Configuration& config,
                                  Index graph_index, Index cap_lo, Index cap_hi,
-                                 const MappingOptions& options = {});
+                                 const MappingOptions& options = {},
+                                 const TradeoffPointCallback& on_point = {});
 
 struct MinimalPeriodResult {
   /// Smallest feasible required period of the swept graph, within the

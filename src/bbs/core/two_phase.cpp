@@ -7,9 +7,8 @@
 
 namespace bbs::core {
 
-MappingResult solve_budget_first(const model::Configuration& config,
-                                 const MappingOptions& options) {
-  config.validate();
+std::vector<Vector> budget_first_budgets(const model::Configuration& config,
+                                         double rounding_eps) {
   // Phase 1: per-task minimal budgets from the self-loop cycle of the task
   // model: rho(p)*chi(w)/beta <= mu(T)  =>  beta >= rho(p)*chi(w)/mu(T).
   std::vector<Vector> budgets;
@@ -24,23 +23,17 @@ MappingResult solve_budget_first(const model::Configuration& config,
       // Commit the rounded (deployable) budget before phase 2, exactly as a
       // staged mapping flow would.
       beta[static_cast<std::size_t>(t)] = static_cast<double>(
-          round_budget(minimal, config.granularity(), options.rounding_eps));
+          round_budget(minimal, config.granularity(), rounding_eps));
     }
     budgets.push_back(std::move(beta));
   }
-
-  BuildOptions build;
-  build.fixed_budgets = budgets;
-  const BuiltProgram program = build_algorithm1(config, build);
-  return solve_built_program(config, program, options);
+  return budgets;
 }
 
-MappingResult solve_buffer_first(const model::Configuration& config,
-                                 Index default_capacity,
-                                 const MappingOptions& options) {
-  config.validate();
+std::vector<Vector> buffer_first_deltas(const model::Configuration& config,
+                                        Index default_capacity) {
   BBS_REQUIRE(default_capacity >= 1,
-              "solve_buffer_first: capacity must be >= 1");
+              "buffer_first_deltas: capacity must be >= 1");
   // Phase 1: commit buffer capacities. The space queue of buffer b then
   // carries gamma - iota tokens.
   std::vector<Vector> deltas;
@@ -57,11 +50,114 @@ MappingResult solve_buffer_first(const model::Configuration& config,
     }
     deltas.push_back(std::move(d));
   }
+  return deltas;
+}
 
+MappingResult solve_budget_first(const model::Configuration& config,
+                                 const MappingOptions& options) {
+  config.validate();
   BuildOptions build;
-  build.fixed_deltas = deltas;
+  build.fixed_budgets = budget_first_budgets(config, options.rounding_eps);
   const BuiltProgram program = build_algorithm1(config, build);
   return solve_built_program(config, program, options);
+}
+
+MappingResult solve_buffer_first(const model::Configuration& config,
+                                 Index default_capacity,
+                                 const MappingOptions& options) {
+  config.validate();
+  BuildOptions build;
+  build.fixed_deltas = buffer_first_deltas(config, default_capacity);
+  const BuiltProgram program = build_algorithm1(config, build);
+  return solve_built_program(config, program, options);
+}
+
+std::vector<MappingResult> sweep_buffer_first(
+    const model::Configuration& config, Index cap_lo, Index cap_hi,
+    const MappingOptions& options) {
+  BBS_REQUIRE(cap_lo >= 1 && cap_hi >= cap_lo,
+              "sweep_buffer_first: need 1 <= cap_lo <= cap_hi");
+  config.validate();
+
+  SessionOptions session_options;
+  session_options.mapping = options;
+  session_options.build.fixed_deltas = buffer_first_deltas(config, cap_lo);
+  SolverSession session(config, session_options);
+
+  std::vector<MappingResult> results;
+  results.reserve(static_cast<std::size_t>(cap_hi - cap_lo + 1));
+  for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
+    if (cap != cap_lo) {
+      const std::vector<Vector> deltas = buffer_first_deltas(config, cap);
+      for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+        session.set_fixed_deltas(gi, deltas[static_cast<std::size_t>(gi)]);
+      }
+    }
+    results.push_back(session.solve());
+  }
+  return results;
+}
+
+std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
+    const model::Configuration& config, Index graph_index, double period_hi,
+    double rel_tol, const MappingOptions& options) {
+  BBS_REQUIRE(period_hi > 0.0,
+              "minimal_feasible_period_budget_first: period_hi must be "
+              "positive");
+  BBS_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0,
+              "minimal_feasible_period_budget_first: rel_tol must be in "
+              "(0, 1)");
+  config.validate();
+
+  // The session is built once with the phase-1 budgets at period_hi; every
+  // probe re-commits the swept graph's budgets for the candidate period and
+  // rewrites the period-dependent entries, all in place.
+  model::Configuration at_hi_config = config;
+  at_hi_config.mutable_task_graph(graph_index).set_required_period(period_hi);
+  SessionOptions session_options;
+  session_options.mapping = options;
+  // Probes are feasibility queries; the returned mapping is verified once
+  // at the end.
+  session_options.mapping.verify = false;
+  session_options.build.fixed_budgets =
+      budget_first_budgets(at_hi_config, options.rounding_eps);
+  SolverSession session(at_hi_config, session_options);
+
+  const auto solve_at = [&](double period) {
+    session.set_required_period(graph_index, period);
+    session.set_fixed_budgets(
+        graph_index,
+        budget_first_budgets(session.config(), options.rounding_eps)
+            [static_cast<std::size_t>(graph_index)]);
+    return session.solve();
+  };
+
+  MappingResult at_hi = solve_at(period_hi);
+  if (!at_hi.feasible()) {
+    return std::nullopt;
+  }
+
+  double lo = 0.0;
+  double hi = period_hi;
+  MinimalPeriodResult best;
+  best.period = period_hi;
+  best.mapping = std::move(at_hi);
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    MappingResult r = solve_at(mid);
+    if (r.feasible()) {
+      hi = mid;
+      best.period = mid;
+      best.mapping = std::move(r);
+    } else {
+      lo = mid;
+    }
+  }
+  if (options.verify) {
+    session.set_required_period(graph_index, best.period);
+    verify_mapping(session.config(), best.mapping);
+  }
+  return best;
 }
 
 }  // namespace bbs::core

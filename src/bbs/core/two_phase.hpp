@@ -19,7 +19,9 @@
 // ablation bench bench_ablation_twophase quantifies this.
 #pragma once
 
-#include "bbs/core/budget_buffer_solver.hpp"
+#include <vector>
+
+#include "bbs/core/tradeoff.hpp"
 
 namespace bbs::core {
 
@@ -32,5 +34,42 @@ MappingResult solve_budget_first(const model::Configuration& config,
 MappingResult solve_buffer_first(const model::Configuration& config,
                                  Index default_capacity,
                                  const MappingOptions& options = {});
+
+/// The phase-1 commitments, exposed so session-based drivers can update a
+/// prepared program in place instead of rebuilding it per step.
+
+/// Minimal rounded budgets per graph for the current periods (the
+/// budget-first phase 1): beta = round_up(rho(p)*chi(w)/mu(T)).
+std::vector<Vector> budget_first_budgets(const model::Configuration& config,
+                                         double rounding_eps = 1e-7);
+
+/// Space-token counts per graph for a common default capacity (the
+/// buffer-first phase 1): delta = gamma - iota with gamma clamped to
+/// [max(1, iota), max_capacity].
+std::vector<Vector> buffer_first_deltas(const model::Configuration& config,
+                                        Index default_capacity);
+
+/// Buffer-first flow across a whole range of default capacities — the
+/// two-phase side of the capacity trade-off sweep — through one warm-started
+/// SolverSession: the pure-LP phase-2 program is built once and only the
+/// fixed token counts change between points. Element i of the result is the
+/// flow at capacity cap_lo + i.
+std::vector<MappingResult> sweep_buffer_first(
+    const model::Configuration& config, Index cap_lo, Index cap_hi,
+    const MappingOptions& options = {});
+
+/// Smallest required period of graph `graph_index` for which the
+/// *budget-first two-phase* flow succeeds, by the same bisection as
+/// minimal_feasible_period but re-committing the phase-1 budgets at every
+/// probe (each probe updates the session's fixed budgets and period in
+/// place). Because the committed budgets move in granularity steps, the
+/// two-phase feasibility set is only approximately upward closed; the
+/// search treats it as monotone, exactly as a staged mapping flow would.
+/// Returns nullopt when even `period_hi` fails. Compared against the joint
+/// flow, the gap between the two minima quantifies the false negatives of
+/// staged mapping (Section I).
+std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
+    const model::Configuration& config, Index graph_index, double period_hi,
+    double rel_tol = 1e-4, const MappingOptions& options = {});
 
 }  // namespace bbs::core

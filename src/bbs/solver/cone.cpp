@@ -188,6 +188,22 @@ bool ConeSpec::is_interior(const Vector& u, double margin) const {
   return true;
 }
 
+double ConeSpec::interior_margin(const Vector& u) const {
+  BBS_REQUIRE(u.size() == static_cast<std::size_t>(dim_),
+              "ConeSpec::interior_margin: size mismatch");
+  double margin = std::numeric_limits<double>::infinity();
+  for (Index i = 0; i < nonneg_; ++i) {
+    margin = std::min(margin, u[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t k = 0; k < soc_dims_.size(); ++k) {
+    const Index off = soc_offsets_[k];
+    const Index q = soc_dims_[k];
+    const double u0 = u[static_cast<std::size_t>(off)];
+    margin = std::min(margin, u0 - block_norm(u, off + 1, q - 1));
+  }
+  return margin;
+}
+
 Vector random_interior_point(const ConeSpec& cone, Rng& rng) {
   Vector u(static_cast<std::size_t>(cone.dim()));
   for (Index i = 0; i < cone.nonneg(); ++i) {

@@ -63,6 +63,12 @@ class ConeSpec {
   /// True iff u is in the interior of the cone (with slack margin).
   bool is_interior(const Vector& u, double margin = 0.0) const;
 
+  /// Distance of u from the cone boundary along the identity direction:
+  /// min over the LP entries u_i and the SOC residuals u0 - ||u1||.
+  /// Positive iff u is strictly interior; u + (t - margin)*e has margin t
+  /// for any t. Used to push warm-start points back into the interior.
+  double interior_margin(const Vector& u) const;
+
  private:
   Index nonneg_ = 0;
   std::vector<Index> soc_dims_;

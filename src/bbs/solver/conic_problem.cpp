@@ -1,5 +1,6 @@
 #include "bbs/solver/conic_problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "bbs/common/assert.hpp"
@@ -16,6 +17,31 @@ ConicProblem::ConicProblem(Vector c, linalg::SparseMatrix g, Vector h,
               "ConicProblem: G row count must match |h|");
   BBS_REQUIRE(cone_.dim() == g_.rows(),
               "ConicProblem: cone dimension must match row count");
+}
+
+void ConicProblem::set_h(Index row, double value) {
+  BBS_REQUIRE(row >= 0 && row < num_rows(),
+              "ConicProblem::set_h: row out of range");
+  h_[static_cast<std::size_t>(row)] = value;
+}
+
+void ConicProblem::set_g_value(Index slot, double value) {
+  BBS_REQUIRE(slot >= 0 && slot < g_.nnz(),
+              "ConicProblem::set_g_value: slot out of range");
+  g_.values()[static_cast<std::size_t>(slot)] = value;
+}
+
+Index ConicProblem::g_value_slot(Index row, Index col) const {
+  BBS_REQUIRE(row >= 0 && row < num_rows() && col >= 0 && col < num_vars(),
+              "ConicProblem::g_value_slot: index out of range");
+  const auto& col_ptr = g_.col_ptr();
+  const auto& row_ind = g_.row_ind();
+  // Row indices are sorted within each column: binary search.
+  const auto first = row_ind.begin() + col_ptr[static_cast<std::size_t>(col)];
+  const auto last = row_ind.begin() + col_ptr[static_cast<std::size_t>(col) + 1];
+  const auto it = std::lower_bound(first, last, row);
+  if (it == last || *it != row) return -1;
+  return static_cast<Index>(it - row_ind.begin());
 }
 
 double ConicProblem::objective(const Vector& x) const {

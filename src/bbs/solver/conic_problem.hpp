@@ -21,7 +21,12 @@
 
 namespace bbs::solver {
 
-/// Immutable conic problem (validated on construction).
+/// Conic problem (validated on construction). Structurally immutable: the
+/// sparsity pattern of G and the cone are fixed for the problem's lifetime.
+/// Numeric values of h and existing G entries may be updated in place via
+/// the hooks below — the pattern-preserving re-solve path that lets a
+/// persistent solver workspace keep its symbolic factorisation valid across
+/// parameter changes (see core::SolverSession).
 class ConicProblem {
  public:
   ConicProblem(Vector c, linalg::SparseMatrix g, Vector h, ConeSpec cone);
@@ -33,6 +38,17 @@ class ConicProblem {
   const linalg::SparseMatrix& g() const { return g_; }
   const Vector& h() const { return h_; }
   const ConeSpec& cone() const { return cone_; }
+
+  /// In-place update of one right-hand-side entry.
+  void set_h(Index row, double value);
+
+  /// In-place update of one stored G entry, addressed by its CSC value slot
+  /// (as returned by g_value_slot). Entries cannot be added or removed.
+  void set_g_value(Index slot, double value);
+
+  /// CSC value slot of the stored entry (row, col) of G, or -1 when the
+  /// entry is structurally zero.
+  Index g_value_slot(Index row, Index col) const;
 
   double objective(const Vector& x) const;
 

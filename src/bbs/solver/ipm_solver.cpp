@@ -13,25 +13,24 @@ namespace {
 using linalg::SparseMatrix;
 using linalg::TripletList;
 
-/// Ruiz equilibration of G: returns diagonal row/column scalings that bring
-/// the nonzero magnitudes of Dr * G * Dc towards 1. Rows belonging to the
+/// Ruiz equilibration of G in place: accumulates diagonal row/column
+/// scalings that bring the nonzero magnitudes of Dr * G * Dc towards 1 into
+/// `row_scale` / `col_scale` (reset to 1 on entry). Rows belonging to the
 /// same second-order cone block receive a common factor (any per-block
 /// positive multiple of the identity is a cone automorphism; general diagonal
-/// scalings are not).
-struct Equilibration {
-  Vector row_scale;  // Dr
-  Vector col_scale;  // Dc
-};
-
-Equilibration ruiz_equilibrate(SparseMatrix& g, const ConeSpec& cone,
-                               int rounds) {
+/// scalings are not). `row_max` / `col_max` are caller-owned work buffers so
+/// repeated solves through a workspace allocate nothing here.
+void ruiz_equilibrate(SparseMatrix& g, const ConeSpec& cone, int rounds,
+                      Vector& row_scale, Vector& col_scale, Vector& row_max,
+                      Vector& col_max) {
   const auto m = static_cast<std::size_t>(g.rows());
   const auto n = static_cast<std::size_t>(g.cols());
-  Equilibration eq{Vector(m, 1.0), Vector(n, 1.0)};
+  row_scale.assign(m, 1.0);
+  col_scale.assign(n, 1.0);
 
   for (int round = 0; round < rounds; ++round) {
-    Vector row_max(m, 0.0);
-    Vector col_max(n, 0.0);
+    row_max.assign(m, 0.0);
+    col_max.assign(n, 0.0);
     for (Index c = 0; c < g.cols(); ++c) {
       for (Index k = g.col_ptr()[c]; k < g.col_ptr()[c + 1]; ++k) {
         const double a = std::abs(g.values()[k]);
@@ -51,25 +50,22 @@ Equilibration ruiz_equilibrate(SparseMatrix& g, const ConeSpec& cone,
       for (Index i = off; i < off + q; ++i)
         row_max[static_cast<std::size_t>(i)] = blk;
     }
-    Vector dr(m, 1.0);
-    Vector dc(n, 1.0);
+    // Turn the maxima into this round's scalings in place.
     for (std::size_t i = 0; i < m; ++i) {
-      if (row_max[i] > 0.0) dr[i] = 1.0 / std::sqrt(row_max[i]);
+      row_max[i] = (row_max[i] > 0.0) ? 1.0 / std::sqrt(row_max[i]) : 1.0;
     }
     for (std::size_t j = 0; j < n; ++j) {
-      if (col_max[j] > 0.0) dc[j] = 1.0 / std::sqrt(col_max[j]);
+      col_max[j] = (col_max[j] > 0.0) ? 1.0 / std::sqrt(col_max[j]) : 1.0;
     }
-    // Apply in place.
     for (Index c = 0; c < g.cols(); ++c) {
       for (Index k = g.col_ptr()[c]; k < g.col_ptr()[c + 1]; ++k) {
-        g.values()[k] *= dr[static_cast<std::size_t>(g.row_ind()[k])] *
-                         dc[static_cast<std::size_t>(c)];
+        g.values()[k] *= row_max[static_cast<std::size_t>(g.row_ind()[k])] *
+                         col_max[static_cast<std::size_t>(c)];
       }
     }
-    for (std::size_t i = 0; i < m; ++i) eq.row_scale[i] *= dr[i];
-    for (std::size_t j = 0; j < n; ++j) eq.col_scale[j] *= dc[j];
+    for (std::size_t i = 0; i < m; ++i) row_scale[i] *= row_max[i];
+    for (std::size_t j = 0; j < n; ++j) col_scale[j] *= col_max[j];
   }
-  return eq;
 }
 
 double safe_div(double a, double b) {
@@ -94,44 +90,143 @@ const char* to_string(SolveStatus status) {
   return "?";
 }
 
+void IpmWorkspace::reset() { *this = IpmWorkspace(); }
+
 SolveResult IpmSolver::solve(const ConicProblem& problem) const {
-  const ConeSpec& cone = problem.cone();
+  IpmWorkspace workspace;
+  return solve(problem, workspace);
+}
+
+SolveResult IpmSolver::solve(const ConicProblem& problem,
+                             IpmWorkspace& ws) const {
   const auto n = static_cast<std::size_t>(problem.num_vars());
   const auto m = static_cast<std::size_t>(problem.num_rows());
   BBS_REQUIRE(m > 0, "IpmSolver: problem has no constraints");
   BBS_REQUIRE(n > 0, "IpmSolver: problem has no variables");
 
-  // --- Equilibrated working copy ------------------------------------------
-  SparseMatrix g = problem.g();
-  Equilibration eq{Vector(m, 1.0), Vector(n, 1.0)};
-  if (options_.equilibrate_rounds > 0) {
-    eq = ruiz_equilibrate(g, cone, options_.equilibrate_rounds);
+  // --- Bind the workspace to the problem structure -------------------------
+  bool g_changed = true;
+  if (!ws.bound_) {
+    ws.cone_ = std::make_unique<ConeSpec>(problem.cone());
+    ws.g_ = problem.g();
+    ws.raw_g_values_ = problem.g().values();
+    ws.scaling_ = std::make_unique<NtScaling>(*ws.cone_);
+    ws.bound_ = true;
+  } else {
+    BBS_REQUIRE(ws.g_.rows() == problem.g().rows() &&
+                    ws.g_.cols() == problem.g().cols() &&
+                    ws.g_.col_ptr() == problem.g().col_ptr() &&
+                    ws.g_.row_ind() == problem.g().row_ind() &&
+                    ws.cone_->nonneg() == problem.cone().nonneg() &&
+                    ws.cone_->soc_dims() == problem.cone().soc_dims(),
+                "IpmSolver: workspace is bound to a different problem "
+                "structure (use IpmWorkspace::reset)");
+    g_changed = problem.g().values() != ws.raw_g_values_;
+    if (g_changed) {
+      ws.raw_g_values_ = problem.g().values();
+      std::copy(problem.g().values().begin(), problem.g().values().end(),
+                ws.g_.values().begin());
+    }
   }
-  Vector c(n), h(m);
-  for (std::size_t j = 0; j < n; ++j)
-    c[j] = problem.c()[j] * eq.col_scale[j];
-  for (std::size_t i = 0; i < m; ++i)
-    h[i] = problem.h()[i] * eq.row_scale[i];
+  // The workspace's copy: every reference the persistent state holds points
+  // here, never into `problem`.
+  const ConeSpec& cone = *ws.cone_;
+
+  // --- Equilibrated working copy. The scalings depend only on G, so a
+  // re-solve that changed just h/c (a capacity-bound sweep step) keeps the
+  // previous equilibrated copy and scalings — and the KKT values below —
+  // untouched. -------------------------------------------------------------
+  SparseMatrix& g = ws.g_;
+  if (g_changed) {
+    if (options_.equilibrate_rounds > 0) {
+      ruiz_equilibrate(g, cone, options_.equilibrate_rounds, ws.row_scale_,
+                       ws.col_scale_, ws.ruiz_row_max_, ws.ruiz_col_max_);
+    } else {
+      ws.row_scale_.assign(m, 1.0);
+      ws.col_scale_.assign(n, 1.0);
+    }
+  }
+  const Vector& row_scale = ws.row_scale_;
+  const Vector& col_scale = ws.col_scale_;
+  Vector& c = ws.c_;
+  Vector& h = ws.h_;
+  c.resize(n);
+  h.resize(m);
+  for (std::size_t j = 0; j < n; ++j) c[j] = problem.c()[j] * col_scale[j];
+  for (std::size_t i = 0; i < m; ++i) h[i] = problem.h()[i] * row_scale[i];
 
   const double norm_c = std::max(1.0, linalg::norm2(c));
   const double norm_h = std::max(1.0, linalg::norm2(h));
 
   // --- State ---------------------------------------------------------------
-  Vector x(n, 0.0);
-  Vector s(m), z(m);
-  cone.identity(s);
-  cone.identity(z);
+  Vector& x = ws.x_;
+  Vector& s = ws.s_;
+  Vector& z = ws.z_;
+  Vector& e = ws.e_;
+  e.assign(m, 0.0);
+  cone.identity(e);
   double tau = 1.0;
   double kappa = 1.0;
 
+  // Warm start: map the previous optimal solution into the new equilibrated
+  // coordinates and push it back into the cone interior along the identity.
+  // Any anomaly (non-finite data, point irrecoverably outside the cone)
+  // falls back to the cold start below.
+  bool warm = false;
+  if (options_.warm_start && ws.have_warm_) {
+    x.resize(n);
+    s.resize(m);
+    z.resize(m);
+    double check = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] = ws.warm_x_[j] / col_scale[j];
+      check += std::abs(x[j]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      s[i] = ws.warm_s_[i] * row_scale[i];
+      z[i] = ws.warm_z_[i] / row_scale[i];
+      check += std::abs(s[i]) + std::abs(z[i]);
+    }
+    if (std::isfinite(check)) {
+      // Push both cone points back to at least `pad` from the boundary
+      // along the identity. (A Skajaa-style convex blend with the identity
+      // was measured too: identical iteration counts on the paper's sweeps,
+      // so the simpler shift stays.)
+      const double pad = std::max(options_.warm_start_margin, 1e-10);
+      const double margin_s = cone.interior_margin(s);
+      const double margin_z = cone.interior_margin(z);
+      if (margin_s < pad) linalg::axpy(pad - margin_s, e, s);
+      if (margin_z < pad) linalg::axpy(pad - margin_z, e, z);
+      tau = 1.0;
+      kappa = std::max(linalg::dot(s, z) / static_cast<double>(cone.degree()),
+                       pad * pad);
+      warm = cone.is_interior(s) && cone.is_interior(z) &&
+             std::isfinite(kappa);
+    }
+  }
+  if (!warm) {
+    x.assign(n, 0.0);
+    s.assign(m, 0.0);
+    z.assign(m, 0.0);
+    cone.identity(s);
+    cone.identity(z);
+    tau = 1.0;
+    kappa = 1.0;
+  }
+
   const double degree = static_cast<double>(cone.degree()) + 1.0;
 
-  NtScaling scaling(cone);
-  KktSystem::Options kkt_opts;
-  kkt_opts.ordering = options_.ordering;
-  kkt_opts.static_regularisation = options_.static_regularisation;
-  kkt_opts.refine_steps = options_.refine_steps;
-  KktSystem kkt(g, kkt_opts);
+  NtScaling& scaling = *ws.scaling_;
+  if (ws.kkt_ == nullptr) {
+    KktSystem::Options kkt_opts;
+    kkt_opts.ordering = options_.ordering;
+    kkt_opts.static_regularisation = options_.static_regularisation;
+    kkt_opts.refine_steps = options_.refine_steps;
+    ws.kkt_ = std::make_unique<KktSystem>(g, kkt_opts);
+  } else if (g_changed) {
+    ws.kkt_->update_matrix_values(g);
+  }
+  KktSystem& kkt = *ws.kkt_;
 
   SolveResult result;
   result.x = x;
@@ -143,16 +238,17 @@ SolveResult IpmSolver::solve(const ConicProblem& problem) const {
     result.iterations = iterations;
     result.tau = tau;
     result.kappa = kappa;
+    result.warm_started = warm;
     const double t = (status == SolveStatus::kOptimal) ? tau : 1.0;
     // Undo the equilibration and the homogenising scale.
     result.x.assign(n, 0.0);
     result.s.assign(m, 0.0);
     result.z.assign(m, 0.0);
     for (std::size_t j = 0; j < n; ++j)
-      result.x[j] = eq.col_scale[j] * x[j] / t;
+      result.x[j] = col_scale[j] * x[j] / t;
     for (std::size_t i = 0; i < m; ++i) {
-      result.s[i] = s[i] / (eq.row_scale[i] * t);
-      result.z[i] = eq.row_scale[i] * z[i] / t;
+      result.s[i] = s[i] / (row_scale[i] * t);
+      result.z[i] = row_scale[i] * z[i] / t;
     }
     result.primal_objective = problem.objective(result.x);
     result.dual_objective = -linalg::dot(problem.h(), result.z);
@@ -162,26 +258,55 @@ SolveResult IpmSolver::solve(const ConicProblem& problem) const {
     result.dual_residual = problem.dual_residual(result.z);
     if (options_.verbosity >= 1) {
       std::fprintf(stderr,
-                   "[ipm] %s after %d iterations: pobj=%.9g dobj=%.9g "
+                   "[ipm] %s after %d iterations%s: pobj=%.9g dobj=%.9g "
                    "pres=%.3g dres=%.3g\n",
-                   to_string(status), iterations, result.primal_objective,
-                   result.dual_objective, result.primal_residual,
-                   result.dual_residual);
+                   to_string(status), iterations, warm ? " (warm)" : "",
+                   result.primal_objective, result.dual_objective,
+                   result.primal_residual, result.dual_residual);
+    }
+    // Workspace bookkeeping: counters, plus the warm-start snapshot for the
+    // next structurally identical solve. Only optimal solutions are stored
+    // (an infeasibility certificate is no starting point), but a stored
+    // snapshot *survives* infeasible solves in between: in a bisection
+    // roughly every other probe lands on the infeasible side, and the last
+    // known optimum of a nearby parameter remains a far better seed than
+    // the cone identity.
+    ++ws.solves_;
+    ws.total_iterations_ += iterations;
+    if (warm) ++ws.warm_started_solves_;
+    if (status == SolveStatus::kOptimal) {
+      ws.warm_x_ = result.x;
+      ws.warm_s_ = result.s;
+      ws.warm_z_ = result.z;
+      ws.have_warm_ = true;
     }
     return result;
   };
 
-  Vector r_dual(n), r_pri(m);
-  Vector u1(n), v1(m), u2(n), v2(m);
+  Vector& r_dual = ws.r_dual_;
+  Vector& r_pri = ws.r_pri_;
+  Vector& u1 = ws.u1_;
+  Vector& v1 = ws.v1_;
+  Vector& u2 = ws.u2_;
+  Vector& v2 = ws.v2_;
+  r_dual.resize(n);
+  r_pri.resize(m);
+  u1.resize(n);
+  v1.resize(m);
+  u2.resize(n);
+  v2.resize(m);
 
   // Best-iterate tracking: interior-point iterates eventually hit a
   // numerical floor where the residuals wander; the best point seen is what
   // gets reported when no further progress is possible.
   double best_merit = std::numeric_limits<double>::infinity();
   int best_iteration = -1;
-  Vector best_x = x;
-  Vector best_s = s;
-  Vector best_z = z;
+  Vector& best_x = ws.best_x_;
+  Vector& best_s = ws.best_s_;
+  Vector& best_z = ws.best_z_;
+  best_x = x;
+  best_s = s;
+  best_z = z;
   double best_tau = tau;
   double best_kappa = kappa;
 
@@ -334,7 +459,9 @@ SolveResult IpmSolver::solve(const ConicProblem& problem) const {
       return alpha;
     };
 
-    Vector dx_aff(n), dz_aff(m), ds_aff(m);
+    Vector& dx_aff = ws.dx_aff_;
+    Vector& dz_aff = ws.dz_aff_;
+    Vector& ds_aff = ws.ds_aff_;
     double dtau_aff = 0.0;
     double dkappa_aff = 0.0;
     try {
@@ -368,7 +495,9 @@ SolveResult IpmSolver::solve(const ConicProblem& problem) const {
     const Vector corr =
         cone.circ(scaling.apply_w_inv(ds_aff), scaling.apply_w(dz_aff));
 
-    Vector dx(n), dz(m), ds(m);
+    Vector& dx = ws.dx_;
+    Vector& dz = ws.dz_;
+    Vector& ds = ws.ds_;
     double dtau = 0.0;
     double dkappa = 0.0;
     try {

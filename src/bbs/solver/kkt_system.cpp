@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "bbs/common/assert.hpp"
 
@@ -12,6 +13,32 @@ KktSystem::KktSystem(const linalg::SparseMatrix& g)
 
 KktSystem::KktSystem(const linalg::SparseMatrix& g, const Options& options)
     : g_(g), gt_(g.transpose()), options_(options) {}
+
+void KktSystem::update_matrix_values(const linalg::SparseMatrix& g) {
+  BBS_REQUIRE(g.rows() == g_.rows() && g.cols() == g_.cols() &&
+                  g.col_ptr() == g_.col_ptr() && g.row_ind() == g_.row_ind(),
+              "KktSystem::update_matrix_values: pattern mismatch");
+  if (gt_slot_of_g_slot_.empty() && g_.nnz() > 0) {
+    // Iterating G column by column visits the entries of each row — i.e.
+    // each column of G' — in ascending column order, which is exactly the
+    // storage order of gt_: one running cursor per gt_ column recovers the
+    // slot mapping.
+    std::vector<Index> cursor(gt_.col_ptr().begin(), gt_.col_ptr().end() - 1);
+    gt_slot_of_g_slot_.resize(static_cast<std::size_t>(g_.nnz()));
+    for (Index c = 0; c < g_.cols(); ++c) {
+      for (Index k = g_.col_ptr()[static_cast<std::size_t>(c)];
+           k < g_.col_ptr()[static_cast<std::size_t>(c) + 1]; ++k) {
+        const auto r = static_cast<std::size_t>(g_.row_ind()[k]);
+        gt_slot_of_g_slot_[static_cast<std::size_t>(k)] = cursor[r]++;
+      }
+    }
+  }
+  std::copy(g.values().begin(), g.values().end(), g_.values().begin());
+  for (std::size_t k = 0; k < gt_slot_of_g_slot_.size(); ++k) {
+    gt_.values()[static_cast<std::size_t>(gt_slot_of_g_slot_[k])] =
+        g_.values()[k];
+  }
+}
 
 void KktSystem::factorise(const NtScaling& scaling) {
   scaling.inverse_squared_into(s_);
@@ -110,6 +137,10 @@ void KktSystem::solve(const NtScaling& scaling, const Vector& p,
   // first solution degrades as the interior-point method approaches the
   // boundary; a couple of refinement rounds at this level restores the
   // direction accuracy cheaply (same factorisation, two mat-vecs per round).
+  // The rounds are deliberately unconditional (apart from the
+  // at-machine-precision exit): progress-based early exits were tried for
+  // the warm-started re-solve path and destabilise cold solves whose
+  // refinement converges non-monotonically in the inf-norm.
   for (int round = 0; round < options_.outer_refine_steps; ++round) {
     // r1 = p - G'v ; r2 = q - G u + W^2 v.
     work_r1_ = p;

@@ -67,6 +67,16 @@ class KktSystem {
   /// later factorise() succeeds.
   void factorise(const NtScaling& scaling);
 
+  /// Replaces the numeric values of G in place. `g` must carry exactly the
+  /// sparsity pattern this system was built from (ContractViolation
+  /// otherwise). All symbolic state — cached product patterns, ordering,
+  /// elimination tree — stays valid, so repeated solves of a structurally
+  /// identical problem with different coefficients (trade-off sweeps,
+  /// binary searches) never re-run the symbolic analysis; the next
+  /// factorise() call picks up the new values through the numeric-only
+  /// path.
+  void update_matrix_values(const linalg::SparseMatrix& g);
+
   /// Solves the 2x2 system above. `p` has num_vars entries, `q` has
   /// cone-dimension entries. Must be called after factorise().
   void solve(const NtScaling& scaling, const Vector& p, const Vector& q,
@@ -83,6 +93,9 @@ class KktSystem {
 
   linalg::SparseMatrix g_;
   linalg::SparseMatrix gt_;
+  /// Value slot in gt_ of each value slot of g_, for in-place transposed
+  /// value updates (update_matrix_values).
+  std::vector<Index> gt_slot_of_g_slot_;
   Options options_;
   linalg::SparseMatrix s_;            // W^{-2}, fixed full block pattern
   linalg::CachedSpGemm sg_;           // W^{-2} G

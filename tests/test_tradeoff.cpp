@@ -2,6 +2,8 @@
 // 2(a), 2(b) and 3 of the paper).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "bbs/common/assert.hpp"
 #include "bbs/core/tradeoff.hpp"
 #include "bbs/gen/generators.hpp"
@@ -38,6 +40,37 @@ TEST(Tradeoff, SweepRestoresOriginalCaps) {
   config.mutable_task_graph(0).set_max_capacity(0, 7);
   sweep_max_capacity(config, 0, 1, 3);
   EXPECT_EQ(config.task_graph(0).buffer(0).max_capacity, 7);
+}
+
+TEST(Tradeoff, SweepRestoresCapsWhenThrowingMidSweep) {
+  // A throw from inside the sweep loop (here: the per-point callback, the
+  // supported way to abort a long sweep) must not leave the caller's
+  // configuration with sweep-mutated caps.
+  model::Configuration config = gen::producer_consumer_t1();
+  config.mutable_task_graph(0).set_max_capacity(0, 7);
+  int points_seen = 0;
+  const auto abort_at_second_point = [&](const TradeoffPoint& point) {
+    EXPECT_TRUE(point.feasible);
+    if (++points_seen == 2) throw std::runtime_error("abort sweep");
+  };
+  EXPECT_THROW(
+      sweep_max_capacity(config, 0, 1, 10, {}, abort_at_second_point),
+      std::runtime_error);
+  EXPECT_EQ(points_seen, 2);
+  EXPECT_EQ(config.task_graph(0).buffer(0).max_capacity, 7);
+}
+
+TEST(Tradeoff, SweepSharesOneSymbolicFactorisationViaCallback) {
+  // The sweep must not rebuild solver state between points: consecutive
+  // feasible points arrive strictly ordered, one per capacity.
+  model::Configuration config = gen::producer_consumer_t1();
+  Index expected_cap = 1;
+  const TradeoffSweep sweep = sweep_max_capacity(
+      config, 0, 1, 6, {}, [&](const TradeoffPoint& point) {
+        EXPECT_EQ(point.max_capacity, expected_cap++);
+      });
+  EXPECT_EQ(expected_cap, 7);
+  EXPECT_EQ(sweep.points.size(), 6u);
 }
 
 TEST(Tradeoff, InfeasiblePointsMarked) {

@@ -28,6 +28,42 @@ model::Configuration two_task_chain(const TwoTaskOptions& opts) {
   return config;
 }
 
+model::Configuration multi_graph_sweep(const MultiGraphSweepOptions& opts) {
+  model::Configuration config(opts.granularity);
+  const Index p0 = config.add_processor("p0", opts.replenishment_interval,
+                                        opts.scheduling_overhead);
+  const Index p1 = config.add_processor("p1", opts.replenishment_interval,
+                                        opts.scheduling_overhead);
+  const Index p2 = config.add_processor("p2", opts.replenishment_interval,
+                                        opts.scheduling_overhead);
+  const Index mem = config.add_memory("m", opts.memory_capacity);
+
+  {
+    model::TaskGraph video("video", opts.period_video);
+    const Index a = video.add_task("v_dec", p0, 1.0);
+    const Index b = video.add_task("v_scale", p1, 1.0);
+    const Index c = video.add_task("v_out", p2, 1.0);
+    const Index ab = video.add_buffer("v_ab", a, b, mem, 1, 0,
+                                      opts.buffer_weight);
+    const Index bc = video.add_buffer("v_bc", b, c, mem, 1, 0,
+                                      opts.buffer_weight);
+    video.set_max_capacity(ab, opts.initial_cap);
+    video.set_max_capacity(bc, opts.initial_cap);
+    config.add_task_graph(std::move(video));
+  }
+  {
+    model::TaskGraph audio("audio", opts.period_audio);
+    const Index a = audio.add_task("a_dec", p0, 1.0);
+    const Index b = audio.add_task("a_out", p2, 1.0);
+    const Index ab = audio.add_buffer("a_ab", a, b, mem, 1, 0,
+                                      opts.buffer_weight);
+    audio.set_max_capacity(ab, opts.initial_cap);
+    config.add_task_graph(std::move(audio));
+  }
+  config.validate();
+  return config;
+}
+
 model::Configuration minimal_valid() {
   model::Configuration config(1);
   const Index p = config.add_processor("p", 40.0);

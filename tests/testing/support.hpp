@@ -99,4 +99,27 @@ model::Configuration two_task_chain(const TwoTaskOptions& opts = {});
 /// negative-path tests: one processor, one memory, one single-task graph.
 model::Configuration minimal_valid();
 
+/// Options for the shared multi-graph sweep preset: two task graphs — a
+/// three-stage "video" chain over p0 -> p1 -> p2 and a two-task "audio"
+/// chain over p0 -> p2 — contending for processors p0/p2 and one memory.
+/// Every buffer carries a finite max_capacity (`initial_cap`), so programs
+/// built from the preset have capacity-cap rows and support the in-place
+/// cap updates of SolverSession; sweeps then move the caps inside
+/// [1, initial_cap] and beyond.
+struct MultiGraphSweepOptions {
+  double replenishment_interval = 40.0;
+  double scheduling_overhead = 0.0;
+  /// -1 leaves the shared memory unconstrained.
+  double memory_capacity = -1.0;
+  /// max_capacity applied to every buffer of both graphs.
+  Index initial_cap = 8;
+  double buffer_weight = 1e-3;
+  double period_video = 12.0;
+  double period_audio = 16.0;
+  Index granularity = 1;
+};
+
+/// Builds the validated two-graph sweep preset described above.
+model::Configuration multi_graph_sweep(const MultiGraphSweepOptions& opts = {});
+
 }  // namespace bbs::testing
