@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "bbs/api/engine.hpp"
 #include "bbs/common/rng.hpp"
 #include "bbs/core/budget_buffer_solver.hpp"
 #include "bbs/core/program_builder.hpp"
@@ -182,6 +183,63 @@ void BM_TwoPhaseRebuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TwoPhaseRebuild)->Unit(benchmark::kMillisecond);
+
+// --- Service API: batched, session-pooled execution ------------------------
+
+/// A mixed batch against the car-entertainment preset: solves at three
+/// different periods of the first job plus a latency analysis — all one
+/// problem structure, so a pooling engine serves the whole batch from one
+/// session (program built once, one symbolic factorisation, warm starts).
+std::vector<bbs::api::Request> mixed_engine_batch() {
+  std::vector<bbs::api::Request> batch;
+  for (const double scale : {1.0, 1.25, 0.9}) {
+    bbs::model::Configuration config = bbs::gen::car_entertainment_preset();
+    bbs::model::TaskGraph& tg = config.mutable_task_graph(0);
+    tg.set_required_period(tg.required_period() * scale);
+    bbs::api::Request request;
+    request.payload = bbs::api::SolveRequest{std::move(config)};
+    batch.push_back(std::move(request));
+  }
+  bbs::api::Request latency;
+  latency.payload =
+      bbs::api::LatencyRequest{bbs::gen::car_entertainment_preset()};
+  batch.push_back(std::move(latency));
+  return batch;
+}
+
+void check_engine_batch(benchmark::State& state,
+                        const std::vector<bbs::api::Response>& responses) {
+  for (const bbs::api::Response& response : responses) {
+    if (!response.ok()) state.SkipWithError("engine request failed");
+  }
+  benchmark::DoNotOptimize(responses.back().diagnostics.ipm_iterations);
+}
+
+/// N mixed requests through one pooling engine: everything after the first
+/// request hits the warm session.
+void BM_EngineBatch(benchmark::State& state) {
+  const std::vector<bbs::api::Request> batch = mixed_engine_batch();
+  for (auto _ : state) {
+    bbs::api::Engine engine;
+    check_engine_batch(state, engine.run_batch(batch));
+  }
+}
+BENCHMARK(BM_EngineBatch)->Unit(benchmark::kMillisecond);
+
+/// The same batch with pooling disabled: N fresh processes' worth of cold
+/// solves (program rebuild, symbolic factorisation and cold start per
+/// request) — what dispatching each request to its own solve_cli process
+/// would cost in solver work.
+void BM_EngineBatchCold(benchmark::State& state) {
+  const std::vector<bbs::api::Request> batch = mixed_engine_batch();
+  bbs::api::EngineOptions options;
+  options.max_pool_sessions = 0;
+  for (auto _ : state) {
+    bbs::api::Engine engine(options);
+    check_engine_batch(state, engine.run_batch(batch));
+  }
+}
+BENCHMARK(BM_EngineBatchCold)->Unit(benchmark::kMillisecond);
 
 // --- Hot-path micro-benchmarks: KKT factorisation and cycle ratio ----------
 

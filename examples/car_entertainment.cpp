@@ -12,7 +12,7 @@
 //   $ ./car_entertainment
 #include <cstdio>
 
-#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/api/engine.hpp"
 #include "bbs/gen/generators.hpp"
 #include "bbs/io/config_io.hpp"
 #include "bbs/sim/tdm_simulator.hpp"
@@ -51,7 +51,19 @@ int main() {
   const model::Configuration config = gen::car_entertainment_preset();
 
   std::printf("== both jobs running ==\n");
-  const core::MappingResult both = core::compute_budgets_and_buffers(config);
+  // Mapped through the service API: a start/stop-happy infotainment head
+  // unit would stream such requests at one engine and let the session pool
+  // absorb the repeated structures.
+  api::Engine engine;
+  api::Request request;
+  request.payload = api::SolveRequest{config};
+  const api::Response response = engine.run(request);
+  if (response.status == api::ResponseStatus::kError) {
+    std::printf("mapping failed: %s\n", response.error.c_str());
+    return 1;
+  }
+  const core::MappingResult& both =
+      std::get<api::SolvePayload>(response.payload).mapping;
   if (!both.feasible()) {
     std::printf("mapping failed: %s\n", solver::to_string(both.status));
     return 1;

@@ -10,7 +10,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/api/engine.hpp"
 #include "bbs/sim/tdm_simulator.hpp"
 
 int main() {
@@ -31,7 +31,18 @@ int main() {
   config.add_task_graph(std::move(job));
 
   // --- 2. Compute budgets and buffer sizes simultaneously ------------------
-  const core::MappingResult result = core::compute_budgets_and_buffers(config);
+  // One typed request through the service API; repeated requests of the
+  // same system would share the engine's pooled, warm solver session.
+  api::Engine engine;
+  api::Request request;
+  request.payload = api::SolveRequest{config};
+  const api::Response response = engine.run(request);
+  if (response.status == api::ResponseStatus::kError) {
+    std::printf("solve failed: %s\n", response.error.c_str());
+    return 1;
+  }
+  const core::MappingResult& result =
+      std::get<api::SolvePayload>(response.payload).mapping;
   if (!result.feasible()) {
     std::printf("no feasible allocation: %s\n",
                 solver::to_string(result.status));

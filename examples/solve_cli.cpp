@@ -1,15 +1,20 @@
-// solve_cli: JSON in, JSON out — the library as a mapping-flow step.
+// solve_cli: the service API as a mapping-flow step.
 //
-// Reads a configuration (see bbs/io/config_io.hpp for the schema) from a
-// file or stdin, computes budgets and buffer capacities simultaneously, and
-// writes the mapping result as JSON to stdout. Exit code 0 on a verified
-// feasible mapping, 2 on infeasibility, 1 on usage/parse errors.
+// Single-request mode reads a configuration (see bbs/io/config_io.hpp for
+// the schema) from a file or stdin, computes budgets and buffer capacities
+// simultaneously through the api::Engine, and writes the mapping result as
+// JSON to stdout:
 //
 //   $ ./solve_cli my_system.json > mapping.json
-//   $ ./tradeoff_explorer t1 1 1   # related: sweep tool
 //
-// With --latency, per-job worst-case source-to-sink latency bounds are
-// appended to the report.
+// Batch mode processes a JSONL request stream (see bbs/io/api_io.hpp for
+// the envelope): one service-API request per input line, one response per
+// output line. Requests of one problem structure share a pooled, warm
+// solver session, so scenario sweeps and repeated solves of the same
+// system amortise program build, symbolic factorisation and warm starts
+// across the whole stream:
+//
+//   $ ./solve_cli --batch requests.jsonl > responses.jsonl
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,23 +22,103 @@
 #include <sstream>
 #include <string>
 
-#include "bbs/core/budget_buffer_solver.hpp"
-#include "bbs/core/latency.hpp"
+#include "bbs/api/engine.hpp"
+#include "bbs/io/api_io.hpp"
 #include "bbs/io/config_io.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: %s [--latency] [--batch] [--help] [input.json|-]\n"
+    "\n"
+    "Computes budgets and buffer capacities simultaneously (DATE'10\n"
+    "Algorithm 1). Input defaults to stdin ('-').\n"
+    "\n"
+    "options:\n"
+    "  --latency  append worst-case source-to-sink latency bounds per task\n"
+    "             graph to stderr (single-request mode only)\n"
+    "  --batch    treat the input as a JSONL stream of service-API\n"
+    "             requests (one per line; see io/api_io.hpp for the\n"
+    "             schema) and write one response per line to stdout\n"
+    "  --help     print this message and exit\n"
+    "\n"
+    "exit codes:\n"
+    "  0  verified feasible mapping (single mode); every request executed\n"
+    "     with status \"ok\" (batch mode)\n"
+    "  1  usage, file or configuration errors\n"
+    "  2  the solve was infeasible or failed verification (single mode);\n"
+    "     at least one request came back \"infeasible\" or \"error\"\n"
+    "     (batch mode — per-line errors are reported in the responses and\n"
+    "     never abort the stream)\n";
+
+int run_batch(bbs::api::Engine& engine, std::istream& in) {
+  using namespace bbs;
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    api::Response response;
+    try {
+      response = engine.run(io::request_from_json(line));
+    } catch (const std::exception& e) {
+      // A line that does not even parse as a request still produces a
+      // response line, keeping input and output streams aligned.
+      response.kind = "unknown";
+      response.status = api::ResponseStatus::kError;
+      response.error = e.what();
+    }
+    all_ok = all_ok && response.ok();
+    std::fputs(io::write_json_compact(io::response_to_json_value(response))
+                   .c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return all_ok ? 0 : 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bbs;
   bool want_latency = false;
+  bool batch = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--latency") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--latency") == 0) {
       want_latency = true;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      batch = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      std::printf(kUsage, argv[0]);
+      return 0;
+    } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      std::fprintf(stderr, kUsage, argv[0]);
+      return 1;
     } else if (path.empty()) {
-      path = argv[i];
+      path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s [--latency] [config.json]\n", argv[0]);
+      std::fprintf(stderr, "unexpected extra argument '%s'\n", arg);
+      std::fprintf(stderr, kUsage, argv[0]);
       return 1;
     }
+  }
+
+  api::Engine engine;
+
+  if (batch) {
+    if (path.empty() || path == "-") {
+      return run_batch(engine, std::cin);
+    }
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    return run_batch(engine, in);
   }
 
   std::string text;
@@ -60,27 +145,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const core::MappingResult result =
-      core::compute_budgets_and_buffers(config);
-  std::fputs(io::mapping_result_to_json(config, result).c_str(), stdout);
+  // Single-request mode runs through the same Engine as the batch path;
+  // --latency upgrades the request so the bounds ride along.
+  api::Request request;
+  if (want_latency) {
+    request.payload = api::LatencyRequest{config};
+  } else {
+    request.payload = api::SolveRequest{config};
+  }
+  const api::Response response = engine.run(request);
+  if (response.status == api::ResponseStatus::kError) {
+    std::fprintf(stderr, "solve failed: %s\n", response.error.c_str());
+    return 1;
+  }
 
-  if (want_latency && result.feasible()) {
-    for (linalg::Index gi = 0; gi < config.num_task_graphs(); ++gi) {
-      const auto g = static_cast<std::size_t>(gi);
-      linalg::Vector budgets;
-      std::vector<linalg::Index> caps;
-      for (const auto& t : result.graphs[g].tasks) {
-        budgets.push_back(static_cast<double>(t.budget));
-      }
-      for (const auto& b : result.graphs[g].buffers) {
-        caps.push_back(b.capacity);
-      }
-      const auto lat = core::compute_latency_bounds(config, gi, budgets, caps);
-      if (lat) {
-        std::fprintf(stderr, "latency bound of '%s': %.4f\n",
-                     config.task_graph(gi).name().c_str(), lat->worst);
-      }
+  const core::MappingResult* mapping = nullptr;
+  if (const auto* p = std::get_if<api::SolvePayload>(&response.payload)) {
+    mapping = &p->mapping;
+  } else if (const auto* p =
+                 std::get_if<api::LatencyPayload>(&response.payload)) {
+    mapping = &p->mapping;
+  }
+  // The single-request report keeps the name-annotated schema of
+  // mapping_result_to_json (stable since the first release).
+  std::fputs(io::mapping_result_to_json(config, *mapping).c_str(), stdout);
+
+  if (want_latency && mapping->feasible()) {
+    const auto& payload = std::get<api::LatencyPayload>(response.payload);
+    for (const auto& bound : payload.graphs) {
+      if (!bound.has_pas) continue;
+      std::fprintf(stderr, "latency bound of '%s': %.4f\n",
+                   config.task_graph(bound.graph).name().c_str(),
+                   bound.latency.worst);
     }
   }
-  return result.feasible() && result.verified ? 0 : 2;
+  return mapping->feasible() && mapping->verified ? 0 : 2;
 }

@@ -5,6 +5,10 @@
 // ready for plotting. This is the generalised version of the experiments
 // behind Figures 2 and 3 of the paper.
 //
+// The sweep runs through the service API (api::Engine with a SweepRequest),
+// whose pooled, warm-started sessions solve every capacity step on one
+// program build and symbolic factorisation.
+//
 //   $ ./tradeoff_explorer                 # paper's T1, capacities 1..10
 //   $ ./tradeoff_explorer t2 1 10         # paper's T2
 //   $ ./tradeoff_explorer config.json 2 8 # your own configuration
@@ -14,7 +18,7 @@
 #include <sstream>
 #include <string>
 
-#include "bbs/core/tradeoff.hpp"
+#include "bbs/api/engine.hpp"
 #include "bbs/gen/generators.hpp"
 #include "bbs/io/config_io.hpp"
 
@@ -61,7 +65,20 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  const core::TradeoffSweep sweep = core::sweep_max_capacity(config, 0, lo, hi);
+  api::Engine engine;
+  api::Request request;
+  api::SweepRequest sweep_request{config};
+  sweep_request.graph = 0;
+  sweep_request.cap_lo = lo;
+  sweep_request.cap_hi = hi;
+  request.payload = std::move(sweep_request);
+  const api::Response response = engine.run(request);
+  if (response.status == api::ResponseStatus::kError) {
+    std::fprintf(stderr, "sweep failed: %s\n", response.error.c_str());
+    return 1;
+  }
+  const core::TradeoffSweep& sweep =
+      std::get<api::SweepPayload>(response.payload).sweep;
   for (const core::TradeoffPoint& p : sweep.points) {
     std::printf("%d,%d", static_cast<int>(p.max_capacity),
                 p.feasible ? 1 : 0);
@@ -81,5 +98,10 @@ int main(int argc, char** argv) {
   std::printf("# marginal budget saving per extra container:");
   for (const double d : deltas) std::printf(" %.3f", d);
   std::printf("\n");
+  const api::Diagnostics& diag = response.diagnostics;
+  std::printf("# %d solves (%d warm-started), %ld ipm iterations, "
+              "%ld symbolic factorisation(s), %.1f ms\n",
+              diag.solves, diag.warm_started_solves, diag.ipm_iterations,
+              diag.symbolic_factorisations, diag.wall_ms);
   return 0;
 }

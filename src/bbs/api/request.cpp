@@ -1,0 +1,55 @@
+#include "bbs/api/request.hpp"
+
+#include "bbs/api/response.hpp"
+
+namespace bbs::api {
+
+namespace {
+
+struct ConfigOf {
+  template <typename T>
+  const model::Configuration& operator()(const T& r) const {
+    return r.configuration;
+  }
+};
+
+struct MutableConfigOf {
+  template <typename T>
+  model::Configuration& operator()(T& r) const {
+    return r.configuration;
+  }
+};
+
+struct KindOf {
+  const char* operator()(const SolveRequest&) const { return "solve"; }
+  const char* operator()(const SweepRequest&) const { return "sweep"; }
+  const char* operator()(const MinPeriodRequest&) const { return "min_period"; }
+  const char* operator()(const TwoPhaseRequest&) const { return "two_phase"; }
+  const char* operator()(const LatencyRequest&) const { return "latency"; }
+};
+
+}  // namespace
+
+const model::Configuration& Request::configuration() const {
+  return std::visit(ConfigOf{}, payload);
+}
+
+model::Configuration& Request::configuration() {
+  return std::visit(MutableConfigOf{}, payload);
+}
+
+const char* Request::kind() const { return std::visit(KindOf{}, payload); }
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kInfeasible:
+      return "infeasible";
+    case ResponseStatus::kError:
+      return "error";
+  }
+  return "error";
+}
+
+}  // namespace bbs::api

@@ -1,0 +1,103 @@
+// Typed request surface of the service API.
+//
+// Every workload the library supports — the paper's joint solve, the
+// capacity trade-off sweep, the maximum-throughput binary search, the
+// two-phase baselines and the latency analysis — is expressed as one
+// `Request` value: a tagged variant over per-kind payloads, each carrying
+// the full `model::Configuration` it operates on plus its kind-specific
+// options. Requests are plain values: serialisable (see io/api_io.hpp),
+// copyable, and independent of any solver state. `api::Engine` executes
+// them (engine.hpp); the old free-function drivers remain as thin,
+// deprecated-but-stable wrappers around the same core.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "bbs/model/configuration.hpp"
+#include "bbs/solver/ipm_solver.hpp"
+
+namespace bbs::api {
+
+using linalg::Index;
+
+/// Options honoured by every request kind. The IPM options and
+/// `rounding_eps` are baked into the solver session that serves the
+/// request, so requests that differ in them never share a pooled session.
+struct RequestOptions {
+  solver::SolverOptions ipm;
+  /// Run the independent MCR/platform verification pass on every mapping
+  /// the request returns (sweep points report budgets/capacities only and
+  /// are never verified).
+  bool verify = true;
+  /// Rounding tolerance (see bbs/core/rounding.hpp).
+  double rounding_eps = 1e-7;
+};
+
+/// compute_budgets_and_buffers: the paper's joint budget/buffer solve.
+struct SolveRequest {
+  model::Configuration configuration;
+};
+
+/// sweep_max_capacity: common capacity bound of graph `graph` swept over
+/// [cap_lo, cap_hi], one joint solve per step. Buffers of the swept graph
+/// are capped at the swept bound regardless of their configured
+/// max_capacity, exactly like the free-function driver.
+struct SweepRequest {
+  model::Configuration configuration;
+  Index graph = 0;
+  Index cap_lo = 1;
+  Index cap_hi = 1;
+};
+
+/// minimal_feasible_period(_budget_first): smallest feasible required
+/// period of graph `graph`, by bisection below `period_hi`.
+struct MinPeriodRequest {
+  enum class Flow { kJoint, kBudgetFirst };
+  model::Configuration configuration;
+  Index graph = 0;
+  double period_hi = 0.0;
+  double rel_tol = 1e-4;
+  Flow flow = Flow::kJoint;
+};
+
+/// solve_budget_first / solve_buffer_first / sweep_buffer_first: the staged
+/// baselines. Budget-first ignores the capacity fields. Buffer-first fixes
+/// every buffer at min(cap, max_capacity) containers for each cap in
+/// [cap_lo, cap_hi]; with cap_hi == -1 only cap_lo is solved.
+struct TwoPhaseRequest {
+  enum class Mode { kBudgetFirst, kBufferFirst };
+  model::Configuration configuration;
+  Mode mode = Mode::kBudgetFirst;
+  Index cap_lo = 1;
+  Index cap_hi = -1;
+};
+
+/// Joint solve followed by worst-case source-to-sink latency bounds on the
+/// rounded allocation (core/latency.hpp), for graph `graph` or for every
+/// graph when `graph == -1`.
+struct LatencyRequest {
+  model::Configuration configuration;
+  Index graph = -1;
+};
+
+using RequestPayload = std::variant<SolveRequest, SweepRequest,
+                                    MinPeriodRequest, TwoPhaseRequest,
+                                    LatencyRequest>;
+
+struct Request {
+  /// Caller-chosen correlation id, echoed verbatim in the response (JSONL
+  /// batch streams rely on it; may stay empty).
+  std::string id;
+  RequestOptions options;
+  RequestPayload payload;
+
+  /// The embedded configuration of whichever kind this request is.
+  const model::Configuration& configuration() const;
+  model::Configuration& configuration();
+  /// Stable kind tag: "solve", "sweep", "min_period", "two_phase",
+  /// "latency" — the same strings the JSON schema uses.
+  const char* kind() const;
+};
+
+}  // namespace bbs::api

@@ -1,0 +1,107 @@
+// Typed response surface of the service API.
+//
+// A `Response` mirrors its request: the same kind tag and correlation id,
+// a status, a typed result payload, and execution diagnostics (IPM effort,
+// warm-start and symbolic-reuse counters, wall time). Responses are plain
+// values with a full JSON round-trip (io/api_io.hpp); result arrays are
+// ordered exactly like the request's configuration (graph i / task t /
+// buffer b of the payload correspond to the same indices of the
+// configuration).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/core/latency.hpp"
+#include "bbs/core/tradeoff.hpp"
+
+namespace bbs::api {
+
+enum class ResponseStatus {
+  /// The request executed and produced at least one feasible mapping (for
+  /// sweeps: at least one feasible point).
+  kOk,
+  /// The request executed but no probed configuration was feasible.
+  kInfeasible,
+  /// The request could not be executed (malformed model, contract
+  /// violation, numerical failure escaping the solver); see `error`.
+  kError,
+};
+
+const char* to_string(ResponseStatus status);
+
+/// Execution diagnostics of one request: where the time and the IPM effort
+/// went, and whether the cross-solve reuse machinery was engaged.
+struct Diagnostics {
+  double wall_ms = 0.0;
+  /// Interior-point iterations summed over every solve of this request.
+  long ipm_iterations = 0;
+  /// Number of IPM solves the request performed (sweep points, bisection
+  /// probes, or 1 for plain solves).
+  int solves = 0;
+  /// How many of those solves were seeded from a previous optimum.
+  int warm_started_solves = 0;
+  /// Symbolic KKT factorisations of the session that served the request
+  /// since it was created. Stays 1 for every request of a pooled batch that
+  /// shares one problem structure — the reuse invariant.
+  long symbolic_factorisations = 0;
+  /// True when the request was served by a session created for an earlier
+  /// request of the same structure (program build + symbolic analysis were
+  /// amortised away entirely).
+  bool session_reused = false;
+};
+
+struct SolvePayload {
+  core::MappingResult mapping;
+};
+
+struct SweepPayload {
+  core::TradeoffSweep sweep;
+};
+
+struct MinPeriodPayload {
+  /// False when even period_hi was infeasible; `period`/`mapping` are then
+  /// meaningless and the response status is kInfeasible.
+  bool found = false;
+  double period = 0.0;
+  core::MappingResult mapping;
+};
+
+struct TwoPhasePayload {
+  /// One mapping per solved capacity (buffer-first sweeps), or exactly one
+  /// entry for budget-first and single-capacity buffer-first requests.
+  std::vector<core::MappingResult> mappings;
+};
+
+struct LatencyPayload {
+  core::MappingResult mapping;
+  struct GraphBound {
+    Index graph = 0;
+    /// False when the rounded allocation admits no PAS at the required
+    /// period (no latency bound of this form exists).
+    bool has_pas = false;
+    core::GraphLatency latency;
+  };
+  std::vector<GraphBound> graphs;
+};
+
+using ResponsePayload = std::variant<std::monostate, SolvePayload,
+                                     SweepPayload, MinPeriodPayload,
+                                     TwoPhasePayload, LatencyPayload>;
+
+struct Response {
+  std::string id;  ///< echoed from the request
+  /// Kind tag of the request this responds to ("solve", "sweep", ...);
+  /// kept even for error responses, whose payload is empty.
+  std::string kind;
+  ResponseStatus status = ResponseStatus::kError;
+  std::string error;  ///< human-readable cause when status == kError
+  ResponsePayload payload;
+  Diagnostics diagnostics;
+
+  bool ok() const { return status == ResponseStatus::kOk; }
+};
+
+}  // namespace bbs::api

@@ -20,6 +20,7 @@ MappingResult mapping_from_solution(const model::Configuration& config,
   MappingResult result;
   result.status = sol.status;
   result.ipm_iterations = sol.iterations;
+  result.warm_started = sol.warm_started;
   if (sol.status != solver::SolveStatus::kOptimal) {
     return result;
   }

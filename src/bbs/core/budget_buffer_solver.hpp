@@ -43,6 +43,10 @@ struct MappingResult {
   /// Same weighted objective evaluated on the rounded allocation.
   double objective_rounded = 0.0;
   int ipm_iterations = 0;
+  /// True iff the IPM solve behind this result was seeded from a previous
+  /// solution (warm-started SolverSession solves only; always false for
+  /// one-shot solves). Carried for every result kind, also infeasible ones.
+  bool warm_started = false;
   /// True iff the SOCP was solved, rounding succeeded, every graph passes
   /// the MCR verification and the platform constraints hold.
   bool verified = false;

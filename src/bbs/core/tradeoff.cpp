@@ -46,7 +46,14 @@ TradeoffSweep sweep_max_capacity(model::Configuration& config,
   SessionOptions session_options;
   session_options.mapping = options;
   SolverSession session(config, session_options);
+  return sweep_max_capacity(session, graph_index, cap_lo, cap_hi, on_point);
+}
 
+TradeoffSweep sweep_max_capacity(SolverSession& session, Index graph_index,
+                                 Index cap_lo, Index cap_hi,
+                                 const TradeoffPointCallback& on_point) {
+  BBS_REQUIRE(cap_lo >= 1 && cap_hi >= cap_lo,
+              "sweep_max_capacity: need 1 <= cap_lo <= cap_hi");
   TradeoffSweep sweep;
   for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
     session.set_all_buffer_caps(graph_index, cap);
@@ -90,6 +97,17 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
   session_options.mapping = options;
   session_options.mapping.verify = false;
   SolverSession session(config, session_options);
+  return minimal_feasible_period(session, graph_index, period_hi, rel_tol,
+                                 options.verify);
+}
+
+std::optional<MinimalPeriodResult> minimal_feasible_period(
+    SolverSession& session, Index graph_index, double period_hi,
+    double rel_tol, bool verify_result) {
+  BBS_REQUIRE(period_hi > 0.0,
+              "minimal_feasible_period: period_hi must be positive");
+  BBS_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0,
+              "minimal_feasible_period: rel_tol must be in (0, 1)");
 
   const auto solve_at = [&](double period) {
     session.set_required_period(graph_index, period);
@@ -120,8 +138,10 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
       lo = mid;
     }
   }
-  if (options.verify) {
-    session.set_required_period(graph_index, best.period);
+  // Leave the session at the period of the returned mapping, so its
+  // configuration matches the result (pooled callers rely on this).
+  session.set_required_period(graph_index, best.period);
+  if (verify_result) {
     verify_mapping(session.config(), best.mapping);
   }
   return best;

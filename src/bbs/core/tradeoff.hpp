@@ -55,6 +55,15 @@ TradeoffSweep sweep_max_capacity(model::Configuration& config,
                                  const MappingOptions& options = {},
                                  const TradeoffPointCallback& on_point = {});
 
+/// Sweep core on a caller-provided session (api::Engine pools sessions
+/// across requests of one problem structure). Every buffer of the swept
+/// graph must have carried a finite max_capacity when the session was built
+/// (the cap rows must exist). The session's configuration is left at
+/// `cap_hi`; pooled callers re-apply their parameters per request.
+TradeoffSweep sweep_max_capacity(SolverSession& session, Index graph_index,
+                                 Index cap_lo, Index cap_hi,
+                                 const TradeoffPointCallback& on_point = {});
+
 struct MinimalPeriodResult {
   /// Smallest feasible required period of the swept graph, within the
   /// relative tolerance of the search.
@@ -72,5 +81,15 @@ struct MinimalPeriodResult {
 std::optional<MinimalPeriodResult> minimal_feasible_period(
     model::Configuration& config, Index graph_index, double period_hi,
     double rel_tol = 1e-4, const MappingOptions& options = {});
+
+/// Bisection core on a caller-provided session. Probes are pure feasibility
+/// queries, so the session should have been built with
+/// `mapping.verify == false`; when `verify_result` is set the returned
+/// mapping is verified against the session's configuration at the found
+/// period (which the session is left at). Returns nullopt when even
+/// `period_hi` is infeasible.
+std::optional<MinimalPeriodResult> minimal_feasible_period(
+    SolverSession& session, Index graph_index, double period_hi,
+    double rel_tol, bool verify_result);
 
 }  // namespace bbs::core

@@ -83,15 +83,20 @@ std::vector<MappingResult> sweep_buffer_first(
   session_options.mapping = options;
   session_options.build.fixed_deltas = buffer_first_deltas(config, cap_lo);
   SolverSession session(config, session_options);
+  return sweep_buffer_first(session, config, cap_lo, cap_hi);
+}
 
+std::vector<MappingResult> sweep_buffer_first(SolverSession& session,
+                                              const model::Configuration& config,
+                                              Index cap_lo, Index cap_hi) {
+  BBS_REQUIRE(cap_lo >= 1 && cap_hi >= cap_lo,
+              "sweep_buffer_first: need 1 <= cap_lo <= cap_hi");
   std::vector<MappingResult> results;
   results.reserve(static_cast<std::size_t>(cap_hi - cap_lo + 1));
   for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
-    if (cap != cap_lo) {
-      const std::vector<Vector> deltas = buffer_first_deltas(config, cap);
-      for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
-        session.set_fixed_deltas(gi, deltas[static_cast<std::size_t>(gi)]);
-      }
+    const std::vector<Vector> deltas = buffer_first_deltas(config, cap);
+    for (Index gi = 0; gi < config.num_task_graphs(); ++gi) {
+      session.set_fixed_deltas(gi, deltas[static_cast<std::size_t>(gi)]);
     }
     results.push_back(session.solve());
   }
@@ -122,12 +127,26 @@ std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
   session_options.build.fixed_budgets =
       budget_first_budgets(at_hi_config, options.rounding_eps);
   SolverSession session(at_hi_config, session_options);
+  return minimal_feasible_period_budget_first(session, graph_index, period_hi,
+                                              rel_tol, options.rounding_eps,
+                                              options.verify);
+}
+
+std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
+    SolverSession& session, Index graph_index, double period_hi,
+    double rel_tol, double rounding_eps, bool verify_result) {
+  BBS_REQUIRE(period_hi > 0.0,
+              "minimal_feasible_period_budget_first: period_hi must be "
+              "positive");
+  BBS_REQUIRE(rel_tol > 0.0 && rel_tol < 1.0,
+              "minimal_feasible_period_budget_first: rel_tol must be in "
+              "(0, 1)");
 
   const auto solve_at = [&](double period) {
     session.set_required_period(graph_index, period);
     session.set_fixed_budgets(
         graph_index,
-        budget_first_budgets(session.config(), options.rounding_eps)
+        budget_first_budgets(session.config(), rounding_eps)
             [static_cast<std::size_t>(graph_index)]);
     return session.solve();
   };
@@ -153,8 +172,13 @@ std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
       lo = mid;
     }
   }
-  if (options.verify) {
-    session.set_required_period(graph_index, best.period);
+  // Re-commit the returned period's budgets so the session configuration
+  // and program match the mapping handed back.
+  session.set_required_period(graph_index, best.period);
+  session.set_fixed_budgets(
+      graph_index, budget_first_budgets(session.config(), rounding_eps)
+                       [static_cast<std::size_t>(graph_index)]);
+  if (verify_result) {
     verify_mapping(session.config(), best.mapping);
   }
   return best;

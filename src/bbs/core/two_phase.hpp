@@ -58,6 +58,14 @@ std::vector<MappingResult> sweep_buffer_first(
     const model::Configuration& config, Index cap_lo, Index cap_hi,
     const MappingOptions& options = {});
 
+/// Sweep core on a caller-provided session built with fixed deltas
+/// (api::Engine pools such sessions across requests). `config` is the
+/// configuration the per-capacity token counts are derived from; it must
+/// structurally match the session's.
+std::vector<MappingResult> sweep_buffer_first(SolverSession& session,
+                                              const model::Configuration& config,
+                                              Index cap_lo, Index cap_hi);
+
 /// Smallest required period of graph `graph_index` for which the
 /// *budget-first two-phase* flow succeeds, by the same bisection as
 /// minimal_feasible_period but re-committing the phase-1 budgets at every
@@ -71,5 +79,14 @@ std::vector<MappingResult> sweep_buffer_first(
 std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
     const model::Configuration& config, Index graph_index, double period_hi,
     double rel_tol = 1e-4, const MappingOptions& options = {});
+
+/// Bisection core on a caller-provided session built with fixed budgets.
+/// Each probe re-commits the swept graph's phase-1 budgets for the candidate
+/// period in place. The session should probe unverified
+/// (`mapping.verify == false`); with `verify_result` the returned mapping is
+/// verified at the found period, which the session is left at.
+std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
+    SolverSession& session, Index graph_index, double period_hi,
+    double rel_tol, double rounding_eps, bool verify_result);
 
 }  // namespace bbs::core

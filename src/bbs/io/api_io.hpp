@@ -1,0 +1,60 @@
+// JSON round-trip of the service API's Request/Response surface.
+//
+// The envelope is schema-versioned and self-contained:
+//
+// request = {
+//   "schema_version": 1,
+//   "kind": "solve" | "sweep" | "min_period" | "two_phase" | "latency",
+//   "id": "...",                       // optional, echoed in the response
+//   "options": {                       // optional; every field optional
+//     "verify", "rounding_eps", "max_iterations", "feas_tol", "gap_tol",
+//     "warm_start"
+//   },
+//   "configuration": { ... },          // the config schema of config_io.hpp
+//   // kind-specific (graphs referenced by *name*, like the config schema):
+//   "graph", "cap_lo", "cap_hi",                     // sweep
+//   "graph", "period_hi", "rel_tol", "flow",         // min_period
+//   "mode", "cap_lo", "cap_hi",                      // two_phase
+//   "graph"                                          // latency (optional)
+// }
+//
+// response = {
+//   "schema_version": 1, "kind", "id", "status",     // "ok"/"infeasible"/"error"
+//   "error": "...",                                  // status == "error" only
+//   "result": { ... },                               // kind-specific payload
+//   "diagnostics": { "wall_ms", "ipm_iterations", "solves",
+//                    "warm_started_solves", "symbolic_factorisations",
+//                    "session_reused" }
+// }
+//
+// Response payload arrays are ordered like the request's configuration
+// (graph i / task t / buffer b correspond to the same indices); PAS start
+// times inside verification data are not serialised.
+#pragma once
+
+#include <string>
+
+#include "bbs/api/request.hpp"
+#include "bbs/api/response.hpp"
+#include "bbs/io/json.hpp"
+
+namespace bbs::io {
+
+/// Version stamped into (and required of) every request/response envelope.
+inline constexpr int kApiSchemaVersion = 1;
+
+JsonValue request_to_json_value(const api::Request& request);
+std::string request_to_json(const api::Request& request);
+
+/// Throws ModelError on malformed envelopes, unknown kinds, unsupported
+/// schema versions and dangling name references.
+api::Request request_from_json_value(const JsonValue& doc);
+api::Request request_from_json(const std::string& text);
+
+JsonValue response_to_json_value(const api::Response& response);
+std::string response_to_json(const api::Response& response);
+
+api::Response response_from_json_value(const JsonValue& doc);
+api::Response response_from_json(const std::string& text);
+
+}  // namespace bbs::io

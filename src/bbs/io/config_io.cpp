@@ -1,6 +1,7 @@
 #include "bbs/io/config_io.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "bbs/common/assert.hpp"
 #include "bbs/io/json.hpp"
@@ -13,10 +14,7 @@ namespace {
 using linalg::Index;
 
 Index to_index(double d, const std::string& what) {
-  if (d != std::floor(d)) {
-    throw ModelError("configuration json: " + what + " must be an integer");
-  }
-  return static_cast<Index>(d);
+  return index_from_json(d, "configuration json: " + what);
 }
 
 Index find_by_name(const JsonArray& arr, const std::string& name,
@@ -31,7 +29,18 @@ Index find_by_name(const JsonArray& arr, const std::string& name,
 
 }  // namespace
 
-std::string configuration_to_json(const model::Configuration& config) {
+Index index_from_json(double value, const std::string& what) {
+  if (value != std::floor(value)) {
+    throw ModelError(what + " must be an integer");
+  }
+  if (value < static_cast<double>(std::numeric_limits<Index>::min()) ||
+      value > static_cast<double>(std::numeric_limits<Index>::max())) {
+    throw ModelError(what + " is out of range");
+  }
+  return static_cast<Index>(value);
+}
+
+JsonValue configuration_to_json_value(const model::Configuration& config) {
   JsonObject root;
   root["granularity"] = JsonValue(static_cast<double>(config.granularity()));
 
@@ -93,11 +102,14 @@ std::string configuration_to_json(const model::Configuration& config) {
     graphs.push_back(JsonValue(std::move(g)));
   }
   root["task_graphs"] = JsonValue(std::move(graphs));
-  return write_json(JsonValue(std::move(root)));
+  return JsonValue(std::move(root));
 }
 
-model::Configuration configuration_from_json(const std::string& text) {
-  const JsonValue doc = parse_json(text);
+std::string configuration_to_json(const model::Configuration& config) {
+  return write_json(configuration_to_json_value(config));
+}
+
+model::Configuration configuration_from_json_value(const JsonValue& doc) {
   const JsonObject& root = doc.as_object();
 
   model::Configuration config(
@@ -161,6 +173,10 @@ model::Configuration configuration_from_json(const std::string& text) {
   return config;
 }
 
+model::Configuration configuration_from_json(const std::string& text) {
+  return configuration_from_json_value(parse_json(text));
+}
+
 std::string mapping_result_to_json(const model::Configuration& config,
                                    const core::MappingResult& result) {
   JsonObject root;
@@ -168,6 +184,7 @@ std::string mapping_result_to_json(const model::Configuration& config,
   root["objective_continuous"] = result.objective_continuous;
   root["objective_rounded"] = result.objective_rounded;
   root["ipm_iterations"] = JsonValue(static_cast<double>(result.ipm_iterations));
+  root["warm_started"] = result.warm_started;
   root["verified"] = result.verified;
 
   JsonArray graphs;

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bbs/core/budget_buffer_solver.hpp"
+#include "bbs/io/json.hpp"
 #include "bbs/model/configuration.hpp"
 
 namespace bbs::io {
@@ -32,6 +33,17 @@ std::string configuration_to_json(const model::Configuration& config);
 /// Parses a configuration from JSON text; throws ModelError on schema or
 /// reference errors.
 model::Configuration configuration_from_json(const std::string& text);
+
+/// Document-model variants, for schemas that embed configurations (the
+/// service API's request envelope, io/api_io.hpp).
+JsonValue configuration_to_json_value(const model::Configuration& config);
+model::Configuration configuration_from_json_value(const JsonValue& doc);
+
+/// Shared schema helper for untrusted JSON: converts a parsed number to an
+/// Index, throwing ModelError (prefixed with `what`) when it is not an
+/// integer or falls outside the Index range — an unchecked cast would be
+/// undefined behaviour for out-of-range doubles.
+linalg::Index index_from_json(double value, const std::string& what);
 
 /// Serialises a mapping result (budgets, capacities, verification data).
 std::string mapping_result_to_json(const model::Configuration& config,

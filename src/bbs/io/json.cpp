@@ -321,7 +321,10 @@ void write_indent(std::string& out, int indent) {
   out.append(static_cast<std::size_t>(indent) * 2, ' ');
 }
 
+// indent < 0 selects the compact form: no padding or newlines anywhere
+// (one document per line, as JSONL streams require).
 void write_value(const JsonValue& v, std::string& out, int indent) {
+  const bool compact = indent < 0;
   if (v.is_null()) {
     out += "null";
   } else if (v.is_bool()) {
@@ -336,14 +339,14 @@ void write_value(const JsonValue& v, std::string& out, int indent) {
       out += "[]";
       return;
     }
-    out += "[\n";
+    out += compact ? "[" : "[\n";
     for (std::size_t i = 0; i < arr.size(); ++i) {
-      write_indent(out, indent + 1);
-      write_value(arr[i], out, indent + 1);
+      if (!compact) write_indent(out, indent + 1);
+      write_value(arr[i], out, compact ? indent : indent + 1);
       if (i + 1 < arr.size()) out += ',';
-      out += '\n';
+      if (!compact) out += '\n';
     }
-    write_indent(out, indent);
+    if (!compact) write_indent(out, indent);
     out += ']';
   } else {
     const JsonObject& obj = v.as_object();
@@ -351,17 +354,17 @@ void write_value(const JsonValue& v, std::string& out, int indent) {
       out += "{}";
       return;
     }
-    out += "{\n";
+    out += compact ? "{" : "{\n";
     const auto& entries = obj.entries();
     for (std::size_t i = 0; i < entries.size(); ++i) {
-      write_indent(out, indent + 1);
+      if (!compact) write_indent(out, indent + 1);
       write_string(entries[i].first, out);
-      out += ": ";
-      write_value(entries[i].second, out, indent + 1);
+      out += compact ? ":" : ": ";
+      write_value(entries[i].second, out, compact ? indent : indent + 1);
       if (i + 1 < entries.size()) out += ',';
-      out += '\n';
+      if (!compact) out += '\n';
     }
-    write_indent(out, indent);
+    if (!compact) write_indent(out, indent);
     out += '}';
   }
 }
@@ -374,6 +377,12 @@ std::string write_json(const JsonValue& value) {
   std::string out;
   write_value(value, out, 0);
   out += '\n';
+  return out;
+}
+
+std::string write_json_compact(const JsonValue& value) {
+  std::string out;
+  write_value(value, out, /*indent=*/-1);
   return out;
 }
 

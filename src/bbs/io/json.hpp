@@ -76,4 +76,8 @@ JsonValue parse_json(const std::string& text);
 /// Serialises with two-space indentation and a trailing newline.
 std::string write_json(const JsonValue& value);
 
+/// Serialises without any whitespace or trailing newline: one document per
+/// line, as JSONL streams require.
+std::string write_json_compact(const JsonValue& value);
+
 }  // namespace bbs::io

@@ -13,6 +13,7 @@
 #include "bbs/gen/generators.hpp"
 #include "bbs/io/config_io.hpp"
 #include "bbs/sim/tdm_simulator.hpp"
+#include "testing/support.hpp"
 
 namespace bbs {
 namespace {
@@ -146,35 +147,16 @@ TEST(Integration, JsonRoundTripSolvesIdentically) {
 TEST(Integration, StartStopJobsByResolving) {
   // Users start and stop jobs (paper Section I): mapping the multi-job
   // system, then re-mapping with one job removed, must free budget — the
-  // remaining job's budgets can only shrink or stay equal.
-  const model::Configuration both = gen::car_entertainment_preset();
+  // remaining job's budgets can only shrink or stay equal. Both scenarios
+  // come from the shared multi-graph preset (include_audio toggles the
+  // stopped job on the identical platform).
+  const model::Configuration both = testing::multi_graph_sweep();
   const MappingResult r_both = core::compute_budgets_and_buffers(both);
   ASSERT_TRUE(r_both.feasible());
 
-  model::Configuration solo(both.granularity());
-  for (Index p = 0; p < both.num_processors(); ++p) {
-    solo.add_processor(both.processor(p).name,
-                       both.processor(p).replenishment_interval,
-                       both.processor(p).scheduling_overhead);
-  }
-  for (Index m = 0; m < both.num_memories(); ++m) {
-    solo.add_memory(both.memory(m).name, both.memory(m).capacity);
-  }
-  // Keep only the first job.
-  {
-    const model::TaskGraph& tg = both.task_graph(0);
-    model::TaskGraph copy(tg.name(), tg.required_period());
-    for (Index t = 0; t < tg.num_tasks(); ++t) {
-      const model::Task& task = tg.task(t);
-      copy.add_task(task.name, task.processor, task.wcet, task.budget_weight);
-    }
-    for (Index b = 0; b < tg.num_buffers(); ++b) {
-      const model::Buffer& buf = tg.buffer(b);
-      copy.add_buffer(buf.name, buf.producer, buf.consumer, buf.memory,
-                      buf.container_size, buf.initial_fill, buf.size_weight);
-    }
-    solo.add_task_graph(std::move(copy));
-  }
+  testing::MultiGraphSweepOptions solo_opts;
+  solo_opts.include_audio = false;
+  const model::Configuration solo = testing::multi_graph_sweep(solo_opts);
   const MappingResult r_solo = core::compute_budgets_and_buffers(solo);
   ASSERT_TRUE(r_solo.feasible());
   for (std::size_t t = 0; t < r_solo.graphs[0].tasks.size(); ++t) {

@@ -79,6 +79,17 @@ TEST(Json, WriteParseRoundTrip) {
   EXPECT_EQ(back.as_object().at("list").as_array().size(), 2u);
 }
 
+TEST(Json, CompactWriterRoundTripsWithoutWhitespace) {
+  const JsonValue doc = parse_json(
+      R"({"a": [1, 2.5, "x\n"], "b": {"c": true, "d": null}, "e": []})");
+  const std::string compact = write_json_compact(doc);
+  EXPECT_EQ(compact,
+            "{\"a\":[1,2.5,\"x\\n\"],\"b\":{\"c\":true,\"d\":null},"
+            "\"e\":[]}");
+  // Same document as the pretty writer, modulo whitespace.
+  EXPECT_EQ(write_json(parse_json(compact)), write_json(doc));
+}
+
 TEST(Json, ObjectPreservesInsertionOrder) {
   JsonObject o;
   o["z"] = 1;
@@ -156,6 +167,9 @@ TEST(ConfigIo, MappingResultSerialises) {
   const JsonObject& root = v.as_object();
   EXPECT_EQ(root.at("status").as_string(), "optimal");
   EXPECT_TRUE(root.at("verified").as_bool());
+  // The solver diagnostics reach the wire for every result kind.
+  EXPECT_GT(root.at("ipm_iterations").as_number(), 0.0);
+  EXPECT_FALSE(root.at("warm_started").as_bool());  // one-shot solve
   const JsonObject& g0 = root.at("task_graphs").as_array()[0].as_object();
   EXPECT_EQ(g0.at("tasks").as_array().size(), 2u);
   EXPECT_DOUBLE_EQ(g0.at("tasks").as_array()[0].as_object()

@@ -102,20 +102,14 @@ TEST(ProgramBuilder, FixedDeltasRemoveDeltaVars) {
 }
 
 TEST(ProgramBuilder, MultiGraphSharedProcessorRow) {
-  // Two graphs on one processor: constraint (9) must couple both.
-  model::Configuration config(1);
-  const auto p = config.add_processor("p", 40.0);
-  const auto mem = config.add_memory("m", -1.0);
-  for (int j = 0; j < 2; ++j) {
-    model::TaskGraph tg("g" + std::to_string(j), 20.0);
-    tg.add_task("t", p, 1.0);
-    config.add_task_graph(std::move(tg));
-    (void)mem;
-  }
+  // Two graphs contending for one processor: constraint (9) must couple
+  // both. The shared multi-graph preset puts video task "v_dec" and audio
+  // task "a_dec" on p0.
+  const model::Configuration config = testing::multi_graph_sweep();
   const BuiltProgram prog = build_algorithm1(config);
   // Find the processor row: it has both beta variables with coefficient 1.
-  const auto b0 = prog.layout.beta_var[0][0];
-  const auto b1 = prog.layout.beta_var[1][0];
+  const auto b0 = prog.layout.beta_var[0][0];  // video "v_dec" on p0
+  const auto b1 = prog.layout.beta_var[1][0];  // audio "a_dec" on p0
   const auto dense = prog.problem.g().to_dense();
   bool found = false;
   for (std::size_t r = 0; r < static_cast<std::size_t>(prog.problem.num_rows());

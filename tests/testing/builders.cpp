@@ -51,7 +51,7 @@ model::Configuration multi_graph_sweep(const MultiGraphSweepOptions& opts) {
     video.set_max_capacity(bc, opts.initial_cap);
     config.add_task_graph(std::move(video));
   }
-  {
+  if (opts.include_audio) {
     model::TaskGraph audio("audio", opts.period_audio);
     const Index a = audio.add_task("a_dec", p0, 1.0);
     const Index b = audio.add_task("a_out", p2, 1.0);

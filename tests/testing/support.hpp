@@ -117,6 +117,9 @@ struct MultiGraphSweepOptions {
   double period_video = 12.0;
   double period_audio = 16.0;
   Index granularity = 1;
+  /// false builds the video-only variant (the "audio job stopped" scenario
+  /// of start/stop-style tests) on the identical platform.
+  bool include_audio = true;
 };
 
 /// Builds the validated two-graph sweep preset described above.
