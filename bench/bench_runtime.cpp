@@ -7,7 +7,9 @@
 // chains / random DAGs to exhibit the polynomial growth.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
+#include <future>
 
 #include "bbs/api/engine.hpp"
 #include "bbs/common/rng.hpp"
@@ -18,6 +20,7 @@
 #include "bbs/dataflow/cycle_ratio.hpp"
 #include "bbs/dataflow/srdf_graph.hpp"
 #include "bbs/gen/generators.hpp"
+#include "bbs/service/dispatcher.hpp"
 #include "bbs/solver/kkt_system.hpp"
 #include "bbs/solver/nt_scaling.hpp"
 
@@ -240,6 +243,77 @@ void BM_EngineBatchCold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineBatchCold)->Unit(benchmark::kMillisecond);
+
+// --- Service daemon: sharded dispatcher throughput --------------------------
+
+/// The daemon's steady-state workload: a mixed stream over four problem
+/// structures (the car preset at several periods plus its latency analysis,
+/// a capped-buffer variant, the paper's T2 chain and T1), so structure
+/// affinity spreads the stream across up to four worker shards.
+std::vector<bbs::api::Request> mixed_service_stream() {
+  std::vector<bbs::api::Request> stream = mixed_engine_batch();
+  for (const bbs::linalg::Index cap : {6, 8}) {
+    bbs::model::Configuration config = bbs::gen::car_entertainment_preset();
+    bbs::model::TaskGraph& tg = config.mutable_task_graph(0);
+    for (bbs::linalg::Index b = 0; b < tg.num_buffers(); ++b) {
+      tg.set_max_capacity(b, cap);
+    }
+    bbs::api::Request request;
+    request.payload = bbs::api::SolveRequest{std::move(config)};
+    stream.push_back(std::move(request));
+  }
+  for (const double scale : {1.0, 1.2}) {
+    bbs::model::Configuration config = bbs::gen::three_stage_chain_t2();
+    bbs::model::TaskGraph& tg = config.mutable_task_graph(0);
+    tg.set_required_period(tg.required_period() * scale);
+    bbs::api::Request request;
+    request.payload = bbs::api::SolveRequest{std::move(config)};
+    stream.push_back(std::move(request));
+  }
+  {
+    bbs::api::Request request;
+    request.payload = bbs::api::SolveRequest{bbs::gen::producer_consumer_t1()};
+    stream.push_back(std::move(request));
+  }
+  return stream;
+}
+
+/// Requests/s through the sharded daemon dispatcher at N workers. The
+/// dispatcher (and its warm per-worker session pools) lives across
+/// iterations, like the long-lived daemon it models; the measured quantity
+/// is steady-state service throughput including routing, queueing and
+/// reassembly overhead.
+void BM_ServiceThroughput(benchmark::State& state) {
+  bbs::service::DispatcherOptions options;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  options.queue_capacity = 64;
+  bbs::service::Dispatcher dispatcher(options);
+  const std::vector<bbs::api::Request> stream = mixed_service_stream();
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::atomic<int> remaining{static_cast<int>(stream.size())};
+    std::promise<void> all_done;
+    for (const bbs::api::Request& request : stream) {
+      dispatcher.submit(request, [&](bbs::api::Response response) {
+        if (!response.ok()) failed.store(true);
+        if (remaining.fetch_sub(1) == 1) all_done.set_value();
+      });
+    }
+    all_done.get_future().wait();
+  }
+  dispatcher.stop();
+  if (failed.load()) state.SkipWithError("service request failed");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+// Real time, not main-thread CPU time: the solves run on the worker
+// threads, so items_per_second must be a wall-clock rate.
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // --- Hot-path micro-benchmarks: KKT factorisation and cycle ratio ----------
 

@@ -1,0 +1,258 @@
+// bbs_serve: long-lived solver service daemon over the JSONL contract.
+//
+// Speaks the schema-versioned request/response envelope of bbs/io/api_io.hpp
+// (the same one `solve_cli --batch` consumes) as a persistent service:
+// requests are routed by structure affinity across N worker threads, each
+// owning a warm api::Engine, so the program build and the symbolic KKT
+// factorisation of a problem structure are amortised across *all* clients
+// for the daemon's whole lifetime.
+//
+// stdio mode (default) serves one connection on stdin/stdout —
+// byte-for-byte the `solve_cli --batch` contract (modulo wall-clock
+// diagnostics), plus {"kind":"stats"} control lines:
+//
+//   $ ./bbs_serve --workers 4 < requests.jsonl > responses.jsonl
+//
+// socket mode serves concurrent connections on a Unix-domain socket:
+//
+//   $ ./bbs_serve --listen /tmp/bbs.sock --workers 4 &
+//   $ nc -U /tmp/bbs.sock < requests.jsonl
+//
+// SIGINT/SIGTERM shut down gracefully: the daemon stops reading, completes
+// every request it already consumed, writes their responses, and exits.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bbs/service/dispatcher.hpp"
+#include "bbs/service/jsonl_stream.hpp"
+#include "bbs/service/socket_server.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: %s [--workers N] [--queue-depth N] [--listen SOCKET_PATH]\n"
+    "          [--help]\n"
+    "\n"
+    "Long-lived budget/buffer solver service over the JSONL request\n"
+    "contract of solve_cli --batch (see bbs/io/api_io.hpp). Requests are\n"
+    "sharded by problem structure across worker threads with warm session\n"
+    "pools; a {\"kind\":\"stats\"} input line is answered with a ServiceStats\n"
+    "snapshot instead of a solve.\n"
+    "\n"
+    "options:\n"
+    "  --workers N      solver worker threads, each one engine (default:\n"
+    "                   hardware concurrency)\n"
+    "  --queue-depth N  bounded request queue per worker; a full queue\n"
+    "                   blocks the connection that feeds it (default: 64)\n"
+    "  --listen PATH    serve a Unix-domain socket at PATH instead of\n"
+    "                   stdin/stdout; concurrent connections share the\n"
+    "                   worker pool\n"
+    "  --help           print this message and exit\n"
+    "\n"
+    "exit codes (stdio mode):\n"
+    "  0  every request executed with status \"ok\" (also after a clean\n"
+    "     signal-triggered shutdown)\n"
+    "  1  usage or setup errors\n"
+    "  2  at least one response was \"infeasible\" or \"error\"\n";
+
+// Self-pipe signal wiring: handlers only flag-and-write, the main thread
+// polls the read end. No SA_RESTART, so a blocked stdin read returns EINTR.
+std::atomic<int> g_signal{0};
+int g_wake_fds[2] = {-1, -1};
+
+void on_signal(int sig) {
+  g_signal.store(sig);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_wake_fds[1], &byte, 1);
+}
+
+bool install_signal_handlers() {
+  if (::pipe(g_wake_fds) != 0) return false;
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  return ::sigaction(SIGINT, &sa, nullptr) == 0 &&
+         ::sigaction(SIGTERM, &sa, nullptr) == 0;
+}
+
+/// Reads stdin line by line through poll(), so a shutdown signal interrupts
+/// the wait even when no input is pending.
+class StdinLineSource {
+ public:
+  enum class Status { kLine, kEof, kInterrupted };
+
+  Status next(std::string& out) {
+    for (;;) {
+      if (take_line(out)) return Status::kLine;
+      if (eof_) {
+        if (!carry_.empty()) {  // unterminated last line
+          out = std::move(carry_);
+          carry_.clear();
+          return Status::kLine;
+        }
+        return Status::kEof;
+      }
+      pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_wake_fds[0], POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) {
+        if (errno == EINTR && g_signal.load() == 0) continue;
+        return Status::kInterrupted;
+      }
+      if (fds[1].revents != 0) return Status::kInterrupted;
+      char buf[4096];
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR && g_signal.load() == 0) continue;
+        return Status::kInterrupted;
+      }
+      if (n == 0) {
+        eof_ = true;
+        continue;
+      }
+      carry_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  bool take_line(std::string& out) {
+    const std::size_t nl = carry_.find('\n');
+    if (nl == std::string::npos) return false;
+    out.assign(carry_, 0, nl);
+    carry_.erase(0, nl + 1);
+    return true;
+  }
+
+  std::string carry_;
+  bool eof_ = false;
+};
+
+int serve_stdio(bbs::service::Dispatcher& dispatcher) {
+  bbs::service::JsonlSession session(
+      dispatcher, [](const std::string& line) {
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      });
+  StdinLineSource source;
+  std::string line;
+  for (;;) {
+    const StdinLineSource::Status status = source.next(line);
+    if (status == StdinLineSource::Status::kLine) {
+      session.submit_line(line);
+      continue;
+    }
+    if (status == StdinLineSource::Status::kInterrupted) {
+      std::fprintf(stderr, "bbs_serve: signal %d, draining in-flight work\n",
+                   g_signal.load());
+    }
+    break;
+  }
+  const bbs::service::StreamSummary summary = session.finish();
+  dispatcher.stop(/*drain=*/true);
+  return summary.all_ok() ? 0 : 2;
+}
+
+int serve_socket(bbs::service::Dispatcher& dispatcher,
+                 const std::string& socket_path) {
+  bbs::service::SocketServer server(dispatcher, socket_path);
+  std::fprintf(stderr, "bbs_serve: listening on %s\n", socket_path.c_str());
+  // Sleep until a shutdown signal lands on the self-pipe.
+  for (;;) {
+    pollfd fd = {g_wake_fds[0], POLLIN, 0};
+    if (::poll(&fd, 1, -1) < 0) {
+      if (errno == EINTR && g_signal.load() == 0) continue;
+    }
+    break;
+  }
+  std::fprintf(stderr, "bbs_serve: signal %d, draining in-flight work\n",
+               g_signal.load());
+  server.stop();
+  dispatcher.stop(/*drain=*/true);
+  return 0;
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  // Digits only: strtoull silently wraps negative input ("-1" ->
+  // SIZE_MAX), which would reach the dispatcher as an absurd worker or
+  // queue bound instead of a usage error.
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (value > 65536) return false;  // sanity bound for workers/queue depth
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bbs::service::DispatcherOptions options;
+  options.workers = 0;  // hardware concurrency
+  std::string socket_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option '%s' needs a value\n", arg);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(kUsage, argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, options.workers)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, options.queue_capacity) ||
+          options.queue_capacity == 0) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+      socket_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      std::fprintf(stderr, kUsage, argv[0]);
+      return 1;
+    }
+  }
+
+  if (!install_signal_handlers()) {
+    std::fprintf(stderr, "cannot install signal handlers: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+
+  try {
+    bbs::service::Dispatcher dispatcher(options);
+    if (!socket_path.empty()) {
+      return serve_socket(dispatcher, socket_path);
+    }
+    return serve_stdio(dispatcher);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbs_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -72,6 +72,10 @@ int run_batch(bbs::api::Engine& engine, std::istream& in) {
                    .c_str(),
                stdout);
     std::fputc('\n', stdout);
+    // Contract: every response line is flushed before the next request is
+    // read, so piped consumers see the JSONL stream incrementally (stdout
+    // is fully buffered when piped). The daemon smoke test diffs bbs_serve
+    // against this output and relies on the same per-line delivery.
     std::fflush(stdout);
   }
   return all_ok ? 0 : 2;

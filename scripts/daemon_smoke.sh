@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Daemon smoke: bbs_serve's stdio mode must produce the same responses as
+# solve_cli --batch on a JSONL fixture, byte for byte modulo the wall-clock
+# diagnostic (the only nondeterministic field). Run by the CI service job
+# and the smoke_bbs_serve_stdio ctest.
+#
+# usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers]
+set -euo pipefail
+
+BBS_SERVE=${1:?usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers]}
+SOLVE_CLI=${2:?missing solve_cli path}
+BATCH=${3:?missing batch fixture path}
+WORKERS=${4:-2}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$SOLVE_CLI" --batch "$BATCH" > "$workdir/cli.jsonl"
+"$BBS_SERVE" --workers "$WORKERS" < "$BATCH" > "$workdir/serve.jsonl"
+
+normalise() { sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":0/g' "$1"; }
+normalise "$workdir/cli.jsonl" > "$workdir/cli.norm"
+normalise "$workdir/serve.jsonl" > "$workdir/serve.norm"
+
+if ! diff -u "$workdir/cli.norm" "$workdir/serve.norm"; then
+  echo "daemon_smoke: bbs_serve stdio responses differ from solve_cli --batch" >&2
+  exit 1
+fi
+echo "daemon_smoke: OK ($(wc -l < "$workdir/cli.jsonl") responses identical modulo wall_ms, $WORKERS workers)"

@@ -57,8 +57,13 @@ enum class Mode : char {
   kBufferFirst = 'F',
 };
 
+/// `sweep_graph != -1` keys the configuration as the sweep driver mutates
+/// it before building: every buffer of that graph capped (at the swept
+/// bound, which is wildcarded like any rewritable cap). Lets
+/// request_structure_key match the engine's key without copying the
+/// configuration.
 std::string pool_key(const model::Configuration& config, Mode mode,
-                     const RequestOptions& options) {
+                     const RequestOptions& options, Index sweep_graph = -1) {
   // In fixed-delta programs the caps are not rewritable (no cap rows), so
   // their values stay part of the structure instead of being wildcarded.
   const bool caps_rewritable = mode != Mode::kBufferFirst;
@@ -103,7 +108,9 @@ std::string pool_key(const model::Configuration& config, Mode mode,
       append_index(key, buf.container_size);
       append_index(key, buf.initial_fill);
       append_num(key, buf.size_weight);
-      if (buf.max_capacity == -1) {
+      if (gi == sweep_graph) {
+        key += "c;";  // swept: capped at the (wildcarded) swept bound
+      } else if (buf.max_capacity == -1) {
         key += "u;";  // uncapped: no cap row exists
       } else if (caps_rewritable) {
         key += "c;";  // capped: cap row exists, value re-applied per request
@@ -166,6 +173,31 @@ WorkspaceSnapshot snapshot(const core::SolverSession& session) {
 
 }  // namespace
 
+std::string request_structure_key(const Request& request) {
+  const RequestOptions& opts = request.options;
+  if (const auto* r = std::get_if<SweepRequest>(&request.payload)) {
+    return pool_key(r->configuration, Mode::kJoint, opts, r->graph);
+  }
+  if (const auto* r = std::get_if<MinPeriodRequest>(&request.payload)) {
+    // Budget-first sessions are keyed at the probe ceiling's configuration,
+    // but periods are wildcards, so the original configuration keys
+    // identically.
+    return pool_key(r->configuration,
+                    r->flow == MinPeriodRequest::Flow::kBudgetFirst
+                        ? Mode::kBudgetFirst
+                        : Mode::kJoint,
+                    opts);
+  }
+  if (const auto* r = std::get_if<TwoPhaseRequest>(&request.payload)) {
+    return pool_key(r->configuration,
+                    r->mode == TwoPhaseRequest::Mode::kBudgetFirst
+                        ? Mode::kBudgetFirst
+                        : Mode::kBufferFirst,
+                    opts);
+  }
+  return pool_key(request.configuration(), Mode::kJoint, opts);
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -195,9 +227,11 @@ Engine::PooledSession& Engine::acquire(const std::string& key,
     if (pooled->key == key) {
       pooled->last_used = ++clock_;
       pooled->hit = true;
+      ++stats_.pool_hits;
       return *pooled;
     }
   }
+  ++stats_.pool_misses;
   // Miss: make room first so the pool never exceeds its bound. With
   // pooling disabled (max 0) the fresh session still lives in the pool for
   // the duration of this request; run() clears it afterwards.
@@ -219,6 +253,7 @@ void Engine::trim_pool() {
         return a->last_used < b->last_used;
       });
   pool_.erase(lru);
+  ++stats_.evictions;
 }
 
 Response Engine::run(const Request& request) {
@@ -238,6 +273,31 @@ Response Engine::run(const Request& request) {
           std::chrono::steady_clock::now() - start)
           .count();
   if (options_.max_pool_sessions == 0) pool_.clear();
+
+  ++stats_.requests;
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      ++stats_.ok;
+      break;
+    case ResponseStatus::kInfeasible:
+      ++stats_.infeasible;
+      break;
+    case ResponseStatus::kError:
+      ++stats_.errors;
+      break;
+  }
+  const Diagnostics& diag = response.diagnostics;
+  stats_.ipm_iterations += diag.ipm_iterations;
+  stats_.solves += static_cast<std::uint64_t>(diag.solves);
+  stats_.warm_started_solves +=
+      static_cast<std::uint64_t>(diag.warm_started_solves);
+  // Each fresh session runs exactly one symbolic analysis (its diagnostics
+  // report the session-lifetime count, which is 1 on the request that
+  // created it); pooled repeats add none.
+  if (!diag.session_reused) {
+    stats_.symbolic_factorisations +=
+        static_cast<std::uint64_t>(diag.symbolic_factorisations);
+  }
   return response;
 }
 

@@ -41,6 +41,30 @@ struct EngineOptions {
   std::size_t max_pool_sessions = 16;
 };
 
+/// Cumulative counters of one engine since construction (clear_pool() does
+/// not reset them). The service layer snapshots these per worker.
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t errors = 0;
+  /// Requests served by a session created for an earlier request of the
+  /// same structure (program build + symbolic analysis fully amortised).
+  std::uint64_t pool_hits = 0;
+  /// Requests that created a fresh session (cold solve).
+  std::uint64_t pool_misses = 0;
+  /// Warm sessions dropped by the LRU bound.
+  std::uint64_t evictions = 0;
+  /// One-time symbolic KKT factorisations performed across all sessions the
+  /// engine created: 1 per distinct problem structure while it stays
+  /// pooled — the amortisation invariant, observable end to end.
+  std::uint64_t symbolic_factorisations = 0;
+  /// Interior-point iterations and solves summed over every request.
+  long long ipm_iterations = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t warm_started_solves = 0;
+};
+
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -61,6 +85,9 @@ class Engine {
   /// Drops every pooled session (subsequent requests start cold).
   void clear_pool();
 
+  /// Cumulative execution counters (not reset by clear_pool()).
+  const EngineStats& stats() const { return stats_; }
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -76,6 +103,16 @@ class Engine {
   EngineOptions options_;
   std::vector<std::unique_ptr<PooledSession>> pool_;
   std::uint64_t clock_ = 0;  ///< LRU stamp source
+  EngineStats stats_;
 };
+
+/// The pool key the engine would file `request` under: a serialisation of
+/// the request's problem structure (build mode, platform, topology, weights,
+/// capped-buffer set, solver options) with the per-request parameters —
+/// required periods, rewritable capacity caps, phase-1 vectors — wildcarded.
+/// Two requests with equal keys share a warm session inside one engine; the
+/// service dispatcher hashes this key to route requests of one structure to
+/// the worker whose pool already holds it (structure affinity).
+std::string request_structure_key(const Request& request);
 
 }  // namespace bbs::api

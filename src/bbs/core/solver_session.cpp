@@ -37,8 +37,78 @@ void SolverSession::set_fixed_deltas(Index graph, const Vector& deltas) {
   program_.refresh_fixed_deltas(config_, graph, deltas);
 }
 
+double SolverSession::seed_merit(const Snapshot& snap) const {
+  // Distance of the stored point from a tau = 1 embedding solution of the
+  // *current* data: the primal and dual residuals the solver would start
+  // from. Two sparse mat-vecs — negligible next to one KKT factorisation.
+  return program_.problem.primal_residual(snap.x, snap.s) +
+         program_.problem.dual_residual(snap.z);
+}
+
+SeedSide SolverSession::select_seed() {
+  if (!options_.mapping.ipm.warm_start) return SeedSide::kCold;
+  if (!last_feasible_.valid && !last_infeasible_.valid) {
+    return SeedSide::kCold;
+  }
+  // One-sided default: the workspace already holds the last optimum; only
+  // the infeasible-side snapshot needs installing explicitly, and only when
+  // it is strictly the better start for the data now in the program. An
+  // infeasibility certificate lives at tau -> 0, so on nearby-feasible data
+  // the feasible optimum wins this comparison and nothing changes.
+  if (options_.two_sided_warm_seeds && last_infeasible_.valid) {
+    const double infeasible_merit = seed_merit(last_infeasible_);
+    if (!last_feasible_.valid || infeasible_merit < seed_merit(last_feasible_)) {
+      workspace_.seed_warm(last_infeasible_.x, last_infeasible_.s,
+                           last_infeasible_.z);
+      warm_slot_is_feasible_ = false;
+      return SeedSide::kInfeasible;
+    }
+  }
+  if (!last_feasible_.valid) return SeedSide::kCold;
+  // The workspace auto-stores every optimum, so the slot already holds the
+  // feasible snapshot unless an infeasible-side seed displaced it.
+  if (!warm_slot_is_feasible_) {
+    workspace_.seed_warm(last_feasible_.x, last_feasible_.s, last_feasible_.z);
+    warm_slot_is_feasible_ = true;
+  }
+  return SeedSide::kFeasible;
+}
+
 MappingResult SolverSession::solve() {
+  const SeedSide side = select_seed();
   const solver::SolveResult sol = ipm_.solve(program_.problem, workspace_);
+
+  // Stock the matching side for the next probe. Only optimal solves and
+  // clean infeasibility certificates are starting points; stalls and
+  // numerical failures refresh neither snapshot.
+  if (sol.status == solver::SolveStatus::kOptimal) {
+    last_feasible_.valid = true;
+    last_feasible_.x = sol.x;
+    last_feasible_.s = sol.s;
+    last_feasible_.z = sol.z;
+    warm_slot_is_feasible_ = true;  // the workspace auto-stored this optimum
+    ++seed_stats_.last_feasible_updates;
+  } else if (sol.status == solver::SolveStatus::kPrimalInfeasible ||
+             sol.status == solver::SolveStatus::kDualInfeasible) {
+    last_infeasible_.valid = true;
+    last_infeasible_.x = sol.x;
+    last_infeasible_.s = sol.s;
+    last_infeasible_.z = sol.z;
+    ++seed_stats_.last_infeasible_updates;
+  }
+
+  seed_stats_.last_iterations = sol.iterations;
+  if (!sol.warm_started) {
+    ++seed_stats_.cold;
+    seed_stats_.iterations_cold += sol.iterations;
+  } else if (side == SeedSide::kInfeasible) {
+    ++seed_stats_.seeded_infeasible;
+    seed_stats_.iterations_seeded_infeasible += sol.iterations;
+  } else {
+    ++seed_stats_.seeded_feasible;
+    seed_stats_.iterations_seeded_feasible += sol.iterations;
+  }
+
   return mapping_from_solution(config_, program_, sol, options_.mapping);
 }
 

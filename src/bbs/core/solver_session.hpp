@@ -36,6 +36,33 @@ struct SessionOptions {
   /// (two-phase buffer-first) to make the per-solve program an LP /
   /// reduced SOCP.
   BuildOptions build;
+  /// Two-sided warm seeding for bisection-style drivers: keep the final
+  /// iterate of the last *infeasible* solve next to the last feasible
+  /// optimum, and seed each solve from whichever snapshot has the lower
+  /// residual merit on the current problem data. The feasible optimum wins
+  /// unless the infeasible-side iterate is strictly closer to the embedding
+  /// slice the solver restarts in, so this never degrades the one-sided
+  /// behaviour. Requires mapping.ipm.warm_start.
+  bool two_sided_warm_seeds = true;
+};
+
+/// Which snapshot seeded a solve (see SolverSession::seed_stats()).
+enum class SeedSide { kCold, kFeasible, kInfeasible };
+
+/// Cumulative seed bookkeeping of one session: how often each side supplied
+/// the warm start, and the interior-point iterations spent downstream of
+/// each seed kind — the per-probe iteration deltas that the bisection
+/// drivers' warm-start experiments compare.
+struct SeedStats {
+  int seeded_feasible = 0;    ///< solves seeded from the last feasible optimum
+  int seeded_infeasible = 0;  ///< solves seeded from the last infeasible iterate
+  int cold = 0;               ///< solves with no usable seed
+  long iterations_seeded_feasible = 0;
+  long iterations_seeded_infeasible = 0;
+  long iterations_cold = 0;
+  int last_iterations = 0;  ///< iterations of the most recent solve
+  int last_feasible_updates = 0;    ///< feasible-side snapshot refreshes
+  int last_infeasible_updates = 0;  ///< infeasible-side snapshot refreshes
 };
 
 class SolverSession {
@@ -83,13 +110,36 @@ class SolverSession {
   const solver::IpmWorkspace& workspace() const { return workspace_; }
   int solves() const { return workspace_.solves(); }
   long total_ipm_iterations() const { return workspace_.total_iterations(); }
+  /// Two-sided seed counters (zeroed at construction).
+  const SeedStats& seed_stats() const { return seed_stats_; }
+  /// True once a feasible / infeasible solve has stocked the matching
+  /// snapshot.
+  bool has_feasible_seed() const { return last_feasible_.valid; }
+  bool has_infeasible_seed() const { return last_infeasible_.valid; }
 
  private:
+  struct Snapshot {
+    bool valid = false;
+    Vector x, s, z;
+  };
+
+  /// Residual merit of a snapshot on the *current* problem data: how far
+  /// the point is from the tau = 1 embedding slice the solver restarts in.
+  double seed_merit(const Snapshot& snap) const;
+  /// Picks and installs the seed for the next solve; returns the side used.
+  SeedSide select_seed();
+
   SessionOptions options_;
   model::Configuration config_;
   BuiltProgram program_;
   solver::IpmSolver ipm_;
   solver::IpmWorkspace workspace_;
+  Snapshot last_feasible_;
+  Snapshot last_infeasible_;
+  /// Whether the workspace's warm slot currently holds last_feasible_ (the
+  /// auto-stored optimum) as opposed to an installed infeasible-side seed.
+  bool warm_slot_is_feasible_ = true;
+  SeedStats seed_stats_;
 };
 
 }  // namespace bbs::core

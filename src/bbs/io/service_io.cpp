@@ -1,0 +1,58 @@
+#include "bbs/io/service_io.hpp"
+
+#include "bbs/common/assert.hpp"
+#include "bbs/io/api_io.hpp"
+
+namespace bbs::io {
+
+const char* to_string(ControlKind kind) {
+  switch (kind) {
+    case ControlKind::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+std::optional<ControlKind> control_kind(const JsonValue& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  const JsonObject& root = doc.as_object();
+  if (!root.contains("kind") || !root.at("kind").is_string()) {
+    return std::nullopt;
+  }
+  const std::string& kind = root.at("kind").as_string();
+  if (kind != "stats") return std::nullopt;
+
+  // It is a control message: validate the envelope fields it may carry.
+  // schema_version is optional — a bare {"kind":"stats"} is the documented
+  // minimal form — but when present it must be the supported version.
+  if (root.contains("schema_version")) {
+    const JsonValue& v = root.at("schema_version");
+    if (!v.is_number() ||
+        static_cast<int>(v.as_number()) != kApiSchemaVersion) {
+      throw ModelError("control message: unsupported schema_version");
+    }
+  }
+  if (root.contains("id") && !root.at("id").is_string()) {
+    throw ModelError("control message: id must be a string");
+  }
+  return ControlKind::kStats;
+}
+
+std::string control_id(const JsonValue& doc) {
+  const JsonObject& root = doc.as_object();
+  if (root.contains("id")) return root.at("id").as_string();
+  return {};
+}
+
+JsonValue control_response_envelope(ControlKind kind, const std::string& id,
+                                    JsonValue result) {
+  JsonObject root;
+  root["schema_version"] = JsonValue(kApiSchemaVersion);
+  root["kind"] = std::string(to_string(kind));
+  if (!id.empty()) root["id"] = id;
+  root["status"] = "ok";
+  root["result"] = std::move(result);
+  return JsonValue(std::move(root));
+}
+
+}  // namespace bbs::io

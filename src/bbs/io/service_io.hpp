@@ -1,0 +1,48 @@
+// Control-message framing of the JSONL service stream.
+//
+// A service-daemon connection carries two kinds of lines: ordinary
+// service-API requests (io/api_io.hpp) and *control messages* — documents
+// addressed to the daemon itself rather than the solver:
+//
+//   {"kind":"stats"}                  // ServiceStats snapshot
+//   {"kind":"stats","id":"probe-7"}   // with the usual id echo
+//
+// Control messages deliberately reuse the request envelope (the same "kind"
+// discriminator and optional "id"/"schema_version" fields), so one framing
+// pass classifies every line; their responses reuse the response envelope
+// with a control-specific "result" object. The stats *content* is owned by
+// the service layer (service/dispatcher.hpp) — this header only frames it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bbs/io/json.hpp"
+
+namespace bbs::io {
+
+/// Control messages the service daemon understands.
+enum class ControlKind {
+  kStats,  ///< snapshot of the daemon's per-worker ServiceStats
+};
+
+const char* to_string(ControlKind kind);
+
+/// Classifies one parsed JSONL line: the control kind when `doc` is a
+/// control message, nullopt when the line should go through
+/// request_from_json_value as an ordinary service request. Throws ModelError
+/// when the document *is* a control message but its envelope is malformed
+/// (unsupported schema_version, non-string id).
+std::optional<ControlKind> control_kind(const JsonValue& doc);
+
+/// Correlation id of a control message ("" when absent).
+std::string control_id(const JsonValue& doc);
+
+/// Wraps a control result into the service response envelope:
+/// {"schema_version":1,"kind":<kind>,"id":<id>,"status":"ok","result":...} —
+/// the same shape api_io gives solver responses, so stream consumers need a
+/// single response schema.
+JsonValue control_response_envelope(ControlKind kind, const std::string& id,
+                                    JsonValue result);
+
+}  // namespace bbs::io

@@ -1,0 +1,112 @@
+// Bounded blocking MPMC queue — the backpressure primitive of the service
+// daemon.
+//
+// Producers (connection reader threads) block in push() while the queue is
+// full, which propagates backpressure all the way to the client socket: a
+// client that outpaces the solver workers stops being read instead of
+// growing an unbounded backlog. Consumers (dispatcher workers) block in
+// pop() while the queue is empty.
+//
+// Shutdown is two-phase by design: close() stops producers immediately but
+// lets consumers drain the backlog (graceful shutdown completes every
+// accepted request), close(/*discard_pending=*/true) additionally drops the
+// backlog (fast abort — pending items are destroyed unprocessed).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    BBS_REQUIRE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (item dropped) once the
+  /// queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    // Notify before releasing the mutex: a producer may race queue
+    // destruction (close() + join happen on another thread), and touching
+    // the condition variable after the unlock would be use-after-free the
+    // moment the owner tears the queue down.
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. After close(), drains the remaining
+  /// backlog and then returns nullopt — the consumer's exit signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();  // under the mutex, same lifetime rationale
+    return item;
+  }
+
+  /// Closes the queue: every blocked and future push() fails, pop() drains
+  /// what is already queued and then signals exhaustion. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Fast-abort close: additionally removes the backlog and hands it to
+  /// the caller, who owes every item a completion — work accepted by a
+  /// push() must never just vanish (a waiter counting completions would
+  /// hang forever).
+  std::deque<T> close_and_take() {
+    std::deque<T> taken;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      taken.swap(items_);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return taken;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bbs::service

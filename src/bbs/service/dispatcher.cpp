@@ -1,0 +1,147 @@
+#include "bbs/service/dispatcher.hpp"
+
+#include <deque>
+#include <iterator>
+#include <mutex>
+#include <thread>
+
+#include "bbs/service/bounded_queue.hpp"
+
+namespace bbs::service {
+
+namespace {
+
+struct Task {
+  api::Request request;
+  Dispatcher::Completion done;
+};
+
+}  // namespace
+
+struct Dispatcher::Worker {
+  Worker(std::size_t index_, std::size_t queue_capacity,
+         api::EngineOptions engine_options)
+      : index(index_), queue(queue_capacity), engine(engine_options) {}
+
+  const std::size_t index;
+  BoundedQueue<Task> queue;
+  // Touched only by the worker thread after construction.
+  api::Engine engine;
+  // Mirror of the engine counters, refreshed by the worker after every
+  // request so stats() never reads the engine concurrently with a solve.
+  mutable std::mutex stats_mutex;
+  api::EngineStats stats;
+  std::size_t pooled_sessions = 0;
+  std::thread thread;
+};
+
+Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
+  if (options_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.workers = hw > 0 ? hw : 1;
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(i, options_.queue_capacity,
+                                                options_.engine));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+Dispatcher::~Dispatcher() { stop(/*drain=*/true); }
+
+void Dispatcher::worker_loop(Worker& worker) {
+  while (std::optional<Task> task = worker.queue.pop()) {
+    api::Response response = worker.engine.run(task->request);
+    {
+      std::lock_guard<std::mutex> lock(worker.stats_mutex);
+      worker.stats = worker.engine.stats();
+      worker.pooled_sessions = worker.engine.pooled_sessions();
+    }
+    if (task->done) {
+      try {
+        task->done(std::move(response));
+      } catch (...) {
+        // Completions are documented not to throw; swallowing here keeps a
+        // misbehaving connection from killing the worker (and with it every
+        // other client routed to this shard).
+      }
+    }
+  }
+}
+
+std::size_t Dispatcher::route(const api::Request& request) const {
+  return std::hash<std::string>{}(api::request_structure_key(request)) %
+         workers_.size();
+}
+
+bool Dispatcher::submit(api::Request request, Completion done) {
+  Worker& worker = *workers_[route(request)];
+  return worker.queue.push(Task{std::move(request), std::move(done)});
+}
+
+void Dispatcher::stop(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  std::deque<Task> dropped;
+  for (auto& worker : workers_) {
+    if (drain) {
+      worker->queue.close();
+    } else {
+      std::deque<Task> taken = worker->queue.close_and_take();
+      std::move(taken.begin(), taken.end(), std::back_inserter(dropped));
+    }
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Every accepted submit owes its caller a completion, even on fast
+  // abort: a JsonlSession counts completions against consumed lines, and
+  // silently dropping a task would hang its finish() forever. The dropped
+  // work is answered with a shutdown error instead of being executed.
+  for (Task& task : dropped) {
+    if (!task.done) continue;
+    api::Response response;
+    response.id = task.request.id;
+    response.kind = task.request.kind();
+    response.status = api::ResponseStatus::kError;
+    response.error = "service is shutting down";
+    try {
+      task.done(std::move(response));
+    } catch (...) {
+      // Completions are documented not to throw (see worker_loop).
+    }
+  }
+}
+
+ServiceStats Dispatcher::stats() const {
+  ServiceStats total;
+  total.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerStats ws;
+    ws.worker = worker->index;
+    {
+      std::lock_guard<std::mutex> lock(worker->stats_mutex);
+      ws.engine = worker->stats;
+      ws.pooled_sessions = worker->pooled_sessions;
+    }
+    ws.queue_depth = worker->queue.size();
+    total.requests += ws.engine.requests;
+    total.ok += ws.engine.ok;
+    total.infeasible += ws.engine.infeasible;
+    total.errors += ws.engine.errors;
+    total.warm_hits += ws.engine.pool_hits;
+    total.symbolic_factorisations += ws.engine.symbolic_factorisations;
+    total.queue_depth += ws.queue_depth;
+    total.workers.push_back(std::move(ws));
+  }
+  return total;
+}
+
+}  // namespace bbs::service

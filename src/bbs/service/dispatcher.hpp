@@ -1,0 +1,112 @@
+// Sharded execution core of the service daemon.
+//
+// An api::Engine is deliberately single-threaded (it matches the underlying
+// warm sessions), so the daemon scales by running N of them: the Dispatcher
+// owns N worker threads, each with a private Engine, and routes every
+// request by *structure affinity* — the request's pool key
+// (api::request_structure_key) hashes to a fixed worker, so all requests of
+// one problem structure land on the worker whose session pool already holds
+// that structure. The program build and the one-time symbolic KKT
+// factorisation of a structure are thereby amortised across the daemon's
+// whole lifetime and across every client, not just within one batch
+// (ServiceStats reports symbolic_factorisations == number of distinct live
+// structures, regardless of how many requests flowed through).
+//
+// Each worker pulls from its own bounded queue; submit() blocks while the
+// routed worker's queue is full, propagating backpressure to the
+// connection that produced the request. Completions run on the worker
+// thread that executed the request and must not throw.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bbs/api/engine.hpp"
+
+namespace bbs::service {
+
+struct DispatcherOptions {
+  /// Worker threads (one api::Engine each). 0 picks the hardware
+  /// concurrency.
+  std::size_t workers = 1;
+  /// Bounded request-queue capacity *per worker*; submit() blocks while the
+  /// routed worker's queue holds this many requests (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Per-worker engine options (session-pool bound etc.).
+  api::EngineOptions engine;
+};
+
+/// Snapshot of one worker: its engine's cumulative counters plus the live
+/// queue state. Taken after the worker's most recently *completed* request —
+/// a request still executing is not yet counted.
+struct WorkerStats {
+  std::size_t worker = 0;
+  api::EngineStats engine;
+  std::size_t queue_depth = 0;
+  std::size_t pooled_sessions = 0;
+};
+
+/// Daemon-wide snapshot: per-worker stats plus the aggregates the
+/// {"kind":"stats"} control request reports.
+struct ServiceStats {
+  std::vector<WorkerStats> workers;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t errors = 0;
+  /// Requests served from an already warm pooled session (pool hits).
+  std::uint64_t warm_hits = 0;
+  std::uint64_t symbolic_factorisations = 0;
+  std::size_t queue_depth = 0;
+};
+
+class Dispatcher {
+ public:
+  /// Runs on the worker thread that executed the request; must not throw
+  /// (exceptions are swallowed to keep the worker alive).
+  using Completion = std::function<void(api::Response)>;
+
+  explicit Dispatcher(DispatcherOptions options = {});
+  /// stop(/*drain=*/true): a destroyed dispatcher has completed every
+  /// request it accepted.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Routes the request to its structure-affine worker and enqueues it,
+  /// blocking while that worker's queue is full. Returns false — without
+  /// invoking `done` — once the dispatcher is stopping.
+  bool submit(api::Request request, Completion done);
+
+  /// The worker index `request` routes to (stable for the dispatcher's
+  /// lifetime: a pure hash of the request's structure key).
+  std::size_t route(const api::Request& request) const;
+
+  /// Stops accepting work and joins all workers. With `drain` every
+  /// already queued request still executes and completes; without it the
+  /// backlog is not executed — each dropped request's completion instead
+  /// receives a "service is shutting down" error response, so callers
+  /// counting completions (the JSONL reorder buffer) always hear back
+  /// about every accepted submit. Idempotent.
+  void stop(bool drain = true);
+
+  ServiceStats stats() const;
+  std::size_t num_workers() const { return workers_.size(); }
+  const DispatcherOptions& options() const { return options_; }
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+
+  DispatcherOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;  ///< guarded by stop_mutex_
+  std::mutex stop_mutex_;
+};
+
+}  // namespace bbs::service

@@ -1,0 +1,179 @@
+#include "bbs/service/jsonl_stream.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "bbs/io/api_io.hpp"
+#include "bbs/io/service_io.hpp"
+
+namespace bbs::service {
+
+using io::JsonArray;
+using io::JsonObject;
+using io::JsonValue;
+
+namespace {
+
+JsonValue engine_stats_to_json_value(const api::EngineStats& stats) {
+  JsonObject o;
+  o["requests"] = JsonValue(static_cast<double>(stats.requests));
+  o["ok"] = JsonValue(static_cast<double>(stats.ok));
+  o["infeasible"] = JsonValue(static_cast<double>(stats.infeasible));
+  o["errors"] = JsonValue(static_cast<double>(stats.errors));
+  o["pool_hits"] = JsonValue(static_cast<double>(stats.pool_hits));
+  o["pool_misses"] = JsonValue(static_cast<double>(stats.pool_misses));
+  o["evictions"] = JsonValue(static_cast<double>(stats.evictions));
+  o["symbolic_factorisations"] =
+      JsonValue(static_cast<double>(stats.symbolic_factorisations));
+  o["ipm_iterations"] = JsonValue(static_cast<double>(stats.ipm_iterations));
+  o["solves"] = JsonValue(static_cast<double>(stats.solves));
+  o["warm_started_solves"] =
+      JsonValue(static_cast<double>(stats.warm_started_solves));
+  return JsonValue(std::move(o));
+}
+
+}  // namespace
+
+JsonValue service_stats_to_json_value(const ServiceStats& stats) {
+  JsonObject root;
+  root["requests"] = JsonValue(static_cast<double>(stats.requests));
+  root["ok"] = JsonValue(static_cast<double>(stats.ok));
+  root["infeasible"] = JsonValue(static_cast<double>(stats.infeasible));
+  root["errors"] = JsonValue(static_cast<double>(stats.errors));
+  root["warm_hits"] = JsonValue(static_cast<double>(stats.warm_hits));
+  root["symbolic_factorisations"] =
+      JsonValue(static_cast<double>(stats.symbolic_factorisations));
+  root["queue_depth"] = JsonValue(static_cast<double>(stats.queue_depth));
+  JsonArray workers;
+  for (const WorkerStats& ws : stats.workers) {
+    JsonObject w;
+    w["worker"] = JsonValue(static_cast<double>(ws.worker));
+    w["queue_depth"] = JsonValue(static_cast<double>(ws.queue_depth));
+    w["pooled_sessions"] = JsonValue(static_cast<double>(ws.pooled_sessions));
+    w["engine"] = engine_stats_to_json_value(ws.engine);
+    workers.push_back(JsonValue(std::move(w)));
+  }
+  root["workers"] = JsonValue(std::move(workers));
+  return JsonValue(std::move(root));
+}
+
+JsonlSession::JsonlSession(Dispatcher& dispatcher, Sink sink)
+    : dispatcher_(dispatcher), sink_(std::move(sink)) {}
+
+JsonlSession::~JsonlSession() { finish(); }
+
+void JsonlSession::submit_line(const std::string& line) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+  const std::uint64_t index = submitted_++;
+
+  try {
+    const JsonValue doc = io::parse_json(line);
+    if (const auto control = io::control_kind(doc)) {
+      // Control messages resolve at the emission frontier (after every
+      // earlier line of this connection has been answered), so the snapshot
+      // they report is causally consistent with the stream before them.
+      Entry entry;
+      entry.is_stats = true;
+      entry.id = io::control_id(doc);
+      entry.status = api::ResponseStatus::kOk;
+      deliver(index, std::move(entry));
+      return;
+    }
+    api::Request request = io::request_from_json_value(doc);
+    // Captured for the shutting-down fallback below: submit() consumes the
+    // request without running it when the dispatcher is stopping.
+    std::string id = request.id;
+    std::string kind = request.kind();
+    const bool accepted =
+        dispatcher_.submit(std::move(request), [this, index](api::Response r) {
+          Entry entry;
+          entry.status = r.status;
+          entry.line = io::write_json_compact(io::response_to_json_value(r));
+          deliver(index, std::move(entry));
+        });
+    if (!accepted) {
+      api::Response r;
+      r.id = std::move(id);
+      r.kind = std::move(kind);
+      r.status = api::ResponseStatus::kError;
+      r.error = "service is shutting down";
+      Entry entry;
+      entry.status = r.status;
+      entry.line = io::write_json_compact(io::response_to_json_value(r));
+      deliver(index, std::move(entry));
+    }
+  } catch (const std::exception& e) {
+    // Identical to the solve_cli --batch contract: a line that does not
+    // parse as a request still yields a response line at its position.
+    api::Response r;
+    r.kind = "unknown";
+    r.status = api::ResponseStatus::kError;
+    r.error = e.what();
+    Entry entry;
+    entry.status = r.status;
+    entry.line = io::write_json_compact(io::response_to_json_value(r));
+    deliver(index, std::move(entry));
+  }
+}
+
+void JsonlSession::deliver(std::uint64_t index, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.emplace(index, std::move(entry));
+  advance_locked();
+  // Notify *while holding the mutex*: the moment finish() observes
+  // next_emit_ == submitted_ the caller may destroy this session, so the
+  // condition variable must not be touched after the lock is released.
+  emitted_cv_.notify_all();
+}
+
+void JsonlSession::advance_locked() {
+  // Emit the contiguous ready prefix. Holding the mutex across the sink
+  // keeps emission strictly serialised; workers completing other lines
+  // meanwhile simply queue behind it.
+  for (auto it = pending_.find(next_emit_); it != pending_.end();
+       it = pending_.find(next_emit_)) {
+    Entry entry = std::move(it->second);
+    pending_.erase(it);
+    ++next_emit_;
+    if (entry.is_stats) {
+      const JsonValue envelope = io::control_response_envelope(
+          io::ControlKind::kStats, entry.id,
+          service_stats_to_json_value(dispatcher_.stats()));
+      entry.line = io::write_json_compact(envelope);
+    }
+    ++summary_.lines;
+    switch (entry.status) {
+      case api::ResponseStatus::kOk:
+        ++summary_.ok;
+        break;
+      case api::ResponseStatus::kInfeasible:
+        ++summary_.infeasible;
+        break;
+      case api::ResponseStatus::kError:
+        ++summary_.errors;
+        break;
+    }
+    if (sink_) sink_(entry.line);
+  }
+}
+
+StreamSummary JsonlSession::finish() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  emitted_cv_.wait(lock, [&] { return next_emit_ == submitted_; });
+  return summary_;
+}
+
+StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
+                          std::ostream& out) {
+  JsonlSession session(dispatcher, [&out](const std::string& line) {
+    out << line << '\n';
+    out.flush();
+  });
+  std::string line;
+  while (std::getline(in, line)) {
+    session.submit_line(line);
+  }
+  return session.finish();
+}
+
+}  // namespace bbs::service

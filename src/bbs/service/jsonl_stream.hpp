@@ -1,0 +1,98 @@
+// One JSONL connection of the service daemon: framing, dispatch and
+// in-order response reassembly.
+//
+// A JsonlSession consumes request lines (from stdin or one socket
+// connection), dispatches them through the sharded Dispatcher, and emits
+// exactly one response line per input line **in input order** — workers
+// complete out of order, so every completion carries its request's line
+// index and a reorder buffer holds responses back until their turn. The
+// sink is invoked once per line, in order, and should flush: piped and
+// socket consumers see each response as soon as it is sequenced.
+//
+// The line protocol matches `solve_cli --batch` exactly (same parse errors,
+// same serialisation, blank lines skipped), extended with the control
+// messages of io/service_io.hpp: a {"kind":"stats"} line is answered with a
+// ServiceStats snapshot taken when the line reaches the emission frontier,
+// i.e. after every earlier line of this connection has been answered.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "bbs/io/json.hpp"
+#include "bbs/service/dispatcher.hpp"
+
+namespace bbs::service {
+
+struct StreamSummary {
+  std::uint64_t lines = 0;  ///< non-blank lines consumed (== lines emitted)
+  std::uint64_t ok = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t errors = 0;
+
+  bool all_ok() const { return infeasible == 0 && errors == 0; }
+};
+
+/// Serialises a ServiceStats snapshot into the "result" object of the stats
+/// control response.
+io::JsonValue service_stats_to_json_value(const ServiceStats& stats);
+
+class JsonlSession {
+ public:
+  /// Receives each response line (no trailing newline), in input order,
+  /// possibly from a worker thread; it must write-and-flush and not throw.
+  using Sink = std::function<void(const std::string& line)>;
+
+  JsonlSession(Dispatcher& dispatcher, Sink sink);
+  /// Implies finish() — a destroyed session has emitted every line it
+  /// consumed.
+  ~JsonlSession();
+
+  JsonlSession(const JsonlSession&) = delete;
+  JsonlSession& operator=(const JsonlSession&) = delete;
+
+  /// Consumes one input line: parses, dispatches, and arranges for the
+  /// response to be emitted at this line's position. Blank lines are
+  /// skipped (no response line). Blocks while the routed worker's queue is
+  /// full — the connection-level backpressure. Never throws on malformed
+  /// input: a line that does not parse as a request is answered with an
+  /// error response at its position, keeping the streams aligned.
+  void submit_line(const std::string& line);
+
+  /// Waits until every consumed line has been answered and emitted, then
+  /// returns the summary. Call after the input is exhausted.
+  StreamSummary finish();
+
+ private:
+  struct Entry {
+    bool is_stats = false;
+    std::string line;      ///< serialised response (requests)
+    std::string id;        ///< control-message id echo (stats)
+    api::ResponseStatus status = api::ResponseStatus::kError;
+  };
+
+  void deliver(std::uint64_t index, Entry entry);
+  void advance_locked();
+
+  Dispatcher& dispatcher_;
+  Sink sink_;
+  std::mutex mutex_;
+  std::condition_variable emitted_cv_;
+  std::map<std::uint64_t, Entry> pending_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t next_emit_ = 0;
+  StreamSummary summary_;
+};
+
+/// Pumps a whole stream through a session: one request per input line, one
+/// response per output line (flushed), in order. The stdio mode of
+/// bbs_serve and the batch smoke tests run on this.
+StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
+                          std::ostream& out);
+
+}  // namespace bbs::service

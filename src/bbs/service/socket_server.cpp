@@ -1,0 +1,204 @@
+#include "bbs/service/socket_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bbs/common/assert.hpp"
+#include "bbs/service/jsonl_stream.hpp"
+
+namespace bbs::service {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw ModelError("SocketServer: " + what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer; MSG_NOSIGNAL turns a disappeared client into
+/// EPIPE instead of killing the daemon. Returns false once the connection
+/// is unwritable (the caller stops emitting).
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Dispatcher& dispatcher, std::string socket_path)
+    : dispatcher_(dispatcher), socket_path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BBS_REQUIRE(socket_path_.size() < sizeof addr.sun_path,
+              "SocketServer: socket path too long for sockaddr_un");
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  // A throw below skips the destructor (the object was never constructed),
+  // so the fds opened so far must be released here — an embedder probing
+  // candidate socket paths would otherwise leak descriptors per attempt.
+  try {
+    if (::pipe(wake_fds_) != 0) socket_error("pipe");
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) socket_error("socket");
+    // The daemon owns its socket path: a stale file from a previous run
+    // (or a crashed daemon) would make bind fail with EADDRINUSE forever.
+    ::unlink(socket_path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      socket_error("bind '" + socket_path_ + "'");
+    }
+    if (::listen(listen_fd_, 16) != 0) socket_error("listen");
+  } catch (...) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fds_[0] >= 0) {
+      ::close(wake_fds_[0]);
+      ::close(wake_fds_[1]);
+    }
+    throw;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+std::uint64_t SocketServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion must not retire the accept loop —
+        // a daemon that silently stops accepting looks healthy while every
+        // new client hangs. Back off briefly and retry.
+        std::fprintf(stderr, "bbs SocketServer: accept: %s (retrying)\n",
+                     std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // listener closed (stop) or unrecoverable
+    }
+    // Bound how long a response write may block on a client that stops
+    // reading: without this a full client socket buffer parks a worker
+    // thread inside the connection's sink forever (stalling its whole
+    // shard) and stop() could never join the handler.
+    const timeval send_timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      ::close(fd);
+      break;
+    }
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    ++accepted_;
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void SocketServer::handle_connection(Connection* connection) {
+  const int fd = connection->fd;
+  // Once a write fails (client gone, or SO_SNDTIMEO expired on a client
+  // that stopped reading) the connection is unwritable for good: later
+  // lines are skipped instead of each eating another timeout.
+  std::atomic<bool> writable{true};
+  JsonlSession session(dispatcher_, [fd, &writable](const std::string& line) {
+    if (!writable.load(std::memory_order_relaxed)) return;
+    if (!write_all(fd, line + "\n")) {
+      writable.store(false, std::memory_order_relaxed);
+    }
+  });
+
+  // Read-and-split loop. stop() shuts down the read side, which surfaces
+  // here as EOF; whatever was already submitted still drains through
+  // finish() below, so a shutdown mid-stream answers every line it
+  // consumed.
+  std::string carry;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: client finished or stop() intervened
+    carry.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = carry.find('\n', start); nl != std::string::npos;
+         nl = carry.find('\n', start)) {
+      session.submit_line(carry.substr(start, nl - start));
+      start = nl + 1;
+    }
+    carry.erase(0, start);
+  }
+  if (!carry.empty()) session.submit_line(carry);  // unterminated last line
+  session.finish();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  connection->fd = -1;
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Wake and retire the accept loop first so no new connection threads
+  // appear while we iterate.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], "x", 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& connection : connections_) {
+      // EOF the reader; the handler drains and closes the fd itself (fd
+      // lifetime is owned by the handler thread — see handle_connection).
+      if (connection->fd != -1) ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+}  // namespace bbs::service

@@ -1,0 +1,71 @@
+// Unix-domain-socket front end of the service daemon.
+//
+// Listens on a filesystem socket path and serves each accepted connection
+// on its own thread as an independent JsonlSession: requests from all
+// connections funnel into one shared Dispatcher (whose warm session pools
+// they therefore share, per structure affinity), while response ordering is
+// per connection. Backpressure is end-to-end: a connection whose requests
+// target a saturated worker stops being read, which fills the client's
+// socket buffer and eventually blocks the client's writes.
+//
+// Shutdown (stop()) is graceful: the listener closes, every open
+// connection's read side is shut down (the client sees the daemon stop
+// consuming), in-flight and queued requests still complete, and their
+// responses are written before the connections close.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bbs/service/dispatcher.hpp"
+
+namespace bbs::service {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file at that
+  /// path is removed first — daemons own their socket path), then starts
+  /// the accept loop on a background thread. Throws ModelError when the
+  /// path is too long for sockaddr_un or any socket call fails.
+  SocketServer(Dispatcher& dispatcher, std::string socket_path);
+  /// Implies stop().
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Graceful shutdown: stop accepting, EOF every connection's read side,
+  /// drain what was already read, join all threads, unlink the socket
+  /// path. Idempotent. The shared Dispatcher is left running (the caller
+  /// owns its lifecycle).
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  std::uint64_t connections_accepted() const;
+
+ private:
+  struct Connection {
+    int fd = -1;  ///< -1 once the handler thread has closed it
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* connection);
+
+  Dispatcher& dispatcher_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe that interrupts the accept poll
+  std::thread accept_thread_;
+
+  mutable std::mutex mutex_;  ///< guards connections_ and accepted_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t accepted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace bbs::service

@@ -92,6 +92,21 @@ const char* to_string(SolveStatus status) {
 
 void IpmWorkspace::reset() { *this = IpmWorkspace(); }
 
+void IpmWorkspace::seed_warm(const Vector& x, const Vector& s,
+                             const Vector& z) {
+  warm_x_ = x;
+  warm_s_ = s;
+  warm_z_ = z;
+  have_warm_ = true;
+}
+
+void IpmWorkspace::clear_warm() {
+  have_warm_ = false;
+  warm_x_.clear();
+  warm_s_.clear();
+  warm_z_.clear();
+}
+
 SolveResult IpmSolver::solve(const ConicProblem& problem) const {
   IpmWorkspace workspace;
   return solve(problem, workspace);
@@ -173,7 +188,8 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   // Any anomaly (non-finite data, point irrecoverably outside the cone)
   // falls back to the cold start below.
   bool warm = false;
-  if (options_.warm_start && ws.have_warm_) {
+  if (options_.warm_start && ws.have_warm_ && ws.warm_x_.size() == n &&
+      ws.warm_s_.size() == m && ws.warm_z_.size() == m) {
     x.resize(n);
     s.resize(m);
     z.resize(m);

@@ -116,6 +116,17 @@ class IpmWorkspace {
   /// How many solves were actually seeded from a previous solution.
   int warm_started_solves() const { return warm_started_solves_; }
 
+  /// Installs an explicit warm-start seed (original, unscaled coordinates)
+  /// for the next solve, replacing the auto-stored previous optimum. The
+  /// dimensions must match the bound problem — mismatched seeds are ignored
+  /// at solve time (cold start), never an error. The solve treats the point
+  /// exactly like an auto-stored optimum: it is mapped into the equilibrated
+  /// coordinates and padded back into the cone interior.
+  void seed_warm(const Vector& x, const Vector& s, const Vector& z);
+  /// Drops any stored warm-start point (the next solve is cold).
+  void clear_warm();
+  bool has_warm() const { return have_warm_; }
+
  private:
   friend class IpmSolver;
 

@@ -1,0 +1,598 @@
+// Service daemon tests: the bounded backpressure queue, the sharded
+// dispatcher (structure-affinity routing, graceful shutdown semantics,
+// per-worker amortisation counters) and the JSONL session layer (in-order
+// response reassembly under multi-worker execution, control messages, the
+// Unix-socket front end).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bbs/io/api_io.hpp"
+#include "bbs/io/service_io.hpp"
+#include "bbs/service/bounded_queue.hpp"
+#include "bbs/service/dispatcher.hpp"
+#include "bbs/service/jsonl_stream.hpp"
+#include "bbs/service/socket_server.hpp"
+#include "testing/support.hpp"
+
+namespace bbs {
+namespace {
+
+using api::Request;
+using api::Response;
+using api::ResponseStatus;
+using service::BoundedQueue;
+using service::Dispatcher;
+using service::DispatcherOptions;
+using service::JsonlSession;
+using service::ServiceStats;
+
+Request solve_request(model::Configuration config, std::string id) {
+  Request request;
+  request.id = std::move(id);
+  request.payload = api::SolveRequest{std::move(config)};
+  return request;
+}
+
+/// The mixed-structure request stream the multi-worker tests pump: three
+/// distinct problem structures (two-graph preset, its video-only variant,
+/// the paper's T1), interleaved, with several same-structure repeats whose
+/// only differences are wildcarded parameters (required periods).
+std::vector<Request> mixed_structure_stream() {
+  std::vector<Request> requests;
+  int line = 0;
+  for (const double scale : {1.0, 1.1, 0.95, 1.2}) {
+    model::Configuration preset = testing::multi_graph_sweep();
+    preset.mutable_task_graph(0).set_required_period(
+        preset.task_graph(0).required_period() * scale);
+    requests.push_back(
+        solve_request(std::move(preset), "line-" + std::to_string(line++)));
+
+    testing::MultiGraphSweepOptions video_only;
+    video_only.include_audio = false;
+    model::Configuration video = testing::multi_graph_sweep(video_only);
+    video.mutable_task_graph(0).set_required_period(
+        video.task_graph(0).required_period() * scale);
+    requests.push_back(
+        solve_request(std::move(video), "line-" + std::to_string(line++)));
+
+    requests.push_back(solve_request(testing::paper_t1(),
+                                     "line-" + std::to_string(line++)));
+  }
+  return requests;
+}
+
+std::string to_jsonl(const std::vector<Request>& requests) {
+  std::string stream;
+  for (const Request& request : requests) {
+    stream += io::write_json_compact(io::request_to_json_value(request));
+    stream += '\n';
+  }
+  return stream;
+}
+
+/// Serialises a response with the wall-clock diagnostic zeroed — the only
+/// field that legitimately differs between two executions of one request.
+std::string normalised(Response response) {
+  response.diagnostics.wall_ms = 0.0;
+  return io::write_json_compact(io::response_to_json_value(response));
+}
+
+std::string normalised_line(const std::string& line) {
+  return normalised(io::response_from_json(line));
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(ServiceQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ServiceQueue, PushBlocksWhileFullAndResumesOnPop) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(3));  // must block until a slot frees up
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load()) << "push did not exert backpressure";
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ServiceQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(2);
+  std::promise<int> popped;
+  std::thread consumer([&] { popped.set_value(queue.pop().value()); });
+  std::future<int> value = popped.get_future();
+  EXPECT_EQ(value.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  ASSERT_TRUE(queue.push(7));
+  EXPECT_EQ(value.get(), 7);
+  consumer.join();
+}
+
+TEST(ServiceQueue, CloseDrainsBacklogThenSignalsExhaustion) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3)) << "push must fail after close";
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(ServiceQueue, CloseAndTakeHandsBacklogToCaller) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  const std::deque<int> taken = queue.close_and_take();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0], 1);
+  EXPECT_EQ(taken[1], 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.push(3));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+TEST(ServiceDispatcher, RoutingIsStructureAffine) {
+  DispatcherOptions options;
+  options.workers = 3;
+  Dispatcher dispatcher(options);
+
+  // Same structure, different wildcarded parameters: one worker.
+  model::Configuration a = testing::multi_graph_sweep();
+  model::Configuration b = testing::multi_graph_sweep();
+  b.mutable_task_graph(0).set_required_period(
+      b.task_graph(0).required_period() * 2.0);
+  const Request solve_a = solve_request(a, "a");
+  const Request solve_b = solve_request(b, "b");
+  EXPECT_EQ(dispatcher.route(solve_a), dispatcher.route(solve_b));
+  EXPECT_EQ(dispatcher.route(solve_a), dispatcher.route(solve_a));
+
+  // A sweep over a fully capped graph builds the same program structure as
+  // the joint solve, so it must land on the same worker (and session pool).
+  Request sweep;
+  sweep.payload = api::SweepRequest{a, 0, 1, 4};
+  EXPECT_EQ(dispatcher.route(sweep), dispatcher.route(solve_a));
+  dispatcher.stop();
+}
+
+TEST(ServiceDispatcher, ShutdownDrainsQueuedRequests) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+
+  std::atomic<int> completed{0};
+  const int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(dispatcher.submit(
+        solve_request(testing::paper_t1(), "r" + std::to_string(i)),
+        [&](Response response) {
+          EXPECT_EQ(response.status, ResponseStatus::kOk);
+          ++completed;
+        }));
+  }
+  // Stop immediately: everything accepted must still execute (drain).
+  dispatcher.stop(/*drain=*/true);
+  EXPECT_EQ(completed.load(), kRequests);
+  EXPECT_FALSE(dispatcher.submit(solve_request(testing::paper_t1(), "late"),
+                                 [](Response) { FAIL() << "ran after stop"; }));
+}
+
+TEST(ServiceDispatcher, FullQueueExertsBackpressureOnSubmit) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Dispatcher dispatcher(options);
+
+  // Park the worker inside the first request's completion so the queue
+  // stays occupied deterministically.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  std::atomic<int> completed{0};
+  ASSERT_TRUE(dispatcher.submit(
+      solve_request(testing::paper_t1(), "blocker"), [&](Response) {
+        entered.set_value();
+        release_future.wait();
+        ++completed;
+      }));
+  entered.get_future().wait();
+  // Fills the queue; returns without blocking.
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "fill"),
+                                [&](Response) { ++completed; }));
+
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "wait"),
+                                  [&](Response) { ++completed; }));
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_accepted.load())
+      << "submit did not block on a full worker queue";
+
+  release.set_value();
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  dispatcher.stop(/*drain=*/true);
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ServiceDispatcher, StopWithoutDrainErrorCompletesBacklog) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  std::atomic<int> executed{0};
+  std::atomic<int> shutdown_errors{0};
+  const auto count = [&](const Response& response) {
+    if (response.status == ResponseStatus::kError &&
+        response.error == "service is shutting down") {
+      ++shutdown_errors;
+    } else {
+      ++executed;
+    }
+  };
+  ASSERT_TRUE(dispatcher.submit(
+      solve_request(testing::paper_t1(), "blocker"), [&](Response response) {
+        entered.set_value();
+        release_future.wait();
+        count(response);
+      }));
+  entered.get_future().wait();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dispatcher.submit(
+        solve_request(testing::paper_t1(), "backlog" + std::to_string(i)),
+        count));
+  }
+
+  std::thread stopper([&] { dispatcher.stop(/*drain=*/false); });
+  // Give stop() time to close-and-take the backlog before the worker
+  // resumes; the dropped requests must then be error-completed, never
+  // executed — but every accepted submit still hears back.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  stopper.join();
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(shutdown_errors.load(), 5);
+}
+
+TEST(ServiceDispatcher, PerWorkerStatsReportStructureAmortisation) {
+  DispatcherOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  Dispatcher dispatcher(options);
+
+  const std::vector<Request> stream = mixed_structure_stream();
+  // Expected per-worker load, derived from the (stable) routing itself.
+  std::map<std::size_t, std::uint64_t> expected_requests;
+  std::map<std::size_t, std::set<std::string>> expected_structures;
+  for (const Request& request : stream) {
+    const std::size_t worker = dispatcher.route(request);
+    ++expected_requests[worker];
+    expected_structures[worker].insert(api::request_structure_key(request));
+  }
+
+  std::atomic<int> completed{0};
+  for (const Request& request : stream) {
+    ASSERT_TRUE(dispatcher.submit(request, [&](Response response) {
+      EXPECT_EQ(response.status, ResponseStatus::kOk);
+      ++completed;
+    }));
+  }
+  dispatcher.stop(/*drain=*/true);
+  ASSERT_EQ(completed.load(), static_cast<int>(stream.size()));
+
+  const ServiceStats stats = dispatcher.stats();
+  ASSERT_EQ(stats.workers.size(), 2u);
+  EXPECT_EQ(stats.requests, stream.size());
+  EXPECT_EQ(stats.queue_depth, 0u);
+  for (const service::WorkerStats& ws : stats.workers) {
+    EXPECT_EQ(ws.engine.requests, expected_requests[ws.worker]);
+    // The amortisation invariant end to end: one symbolic factorisation
+    // per distinct structure routed to this worker, no matter how many
+    // requests repeated it; every repeat is a warm pool hit.
+    const auto structures =
+        static_cast<std::uint64_t>(expected_structures[ws.worker].size());
+    EXPECT_EQ(ws.engine.symbolic_factorisations, structures);
+    EXPECT_EQ(ws.engine.pool_misses, structures);
+    EXPECT_EQ(ws.engine.pool_hits, ws.engine.requests - structures);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL session layer
+// ---------------------------------------------------------------------------
+
+TEST(ServiceJsonl, MultiWorkerStreamStaysAlignedAndDeterministic) {
+  const std::vector<Request> stream = mixed_structure_stream();
+  const std::string input = to_jsonl(stream);
+
+  // Reference: the same per-structure request order through one sequential
+  // engine (what solve_cli --batch runs). Responses of the sharded daemon
+  // must be identical modulo wall time.
+  api::Engine reference;
+  std::vector<std::string> expected;
+  for (const Request& request : stream) {
+    expected.push_back(normalised(reference.run(request)));
+  }
+
+  for (int run = 0; run < 2; ++run) {
+    DispatcherOptions options;
+    options.workers = 3;
+    options.queue_capacity = 4;
+    Dispatcher dispatcher(options);
+    std::istringstream in(input);
+    std::ostringstream out;
+    const service::StreamSummary summary =
+        service::serve_jsonl(dispatcher, in, out);
+    dispatcher.stop();
+
+    EXPECT_EQ(summary.lines, stream.size());
+    EXPECT_TRUE(summary.all_ok());
+    const std::vector<std::string> lines = split_lines(out.str());
+    ASSERT_EQ(lines.size(), stream.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      // Per-line alignment: response i answers request i (id echo).
+      const Response response = io::response_from_json(lines[i]);
+      EXPECT_EQ(response.id, stream[i].id) << "line " << i;
+      EXPECT_EQ(normalised_line(lines[i]), expected[i]) << "line " << i;
+    }
+  }
+}
+
+TEST(ServiceJsonl, MalformedAndBlankLinesKeepAlignment) {
+  DispatcherOptions options;
+  options.workers = 2;
+  Dispatcher dispatcher(options);
+
+  std::string input;
+  input += to_jsonl({solve_request(testing::paper_t1(), "first")});
+  input += "\n";            // blank: skipped, no response line
+  input += "{not json}\n";  // malformed: error response at this position
+  input += "   \t\n";       // whitespace only: skipped
+  input += to_jsonl({solve_request(testing::paper_t1(), "last")});
+
+  std::istringstream in(input);
+  std::ostringstream out;
+  const service::StreamSummary summary =
+      service::serve_jsonl(dispatcher, in, out);
+  dispatcher.stop();
+
+  EXPECT_EQ(summary.lines, 3u);
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_FALSE(summary.all_ok());
+  const std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(io::response_from_json(lines[0]).id, "first");
+  const Response error = io::response_from_json(lines[1]);
+  EXPECT_EQ(error.status, ResponseStatus::kError);
+  EXPECT_EQ(error.kind, "unknown");
+  EXPECT_FALSE(error.error.empty());
+  EXPECT_EQ(io::response_from_json(lines[2]).id, "last");
+}
+
+TEST(ServiceJsonl, StatsControlLineReportsAmortisation) {
+  DispatcherOptions options;
+  options.workers = 2;
+  Dispatcher dispatcher(options);
+
+  const std::vector<Request> stream = mixed_structure_stream();
+  std::map<std::size_t, std::set<std::string>> expected_structures;
+  for (const Request& request : stream) {
+    expected_structures[dispatcher.route(request)].insert(
+        api::request_structure_key(request));
+  }
+
+  std::string input = to_jsonl(stream);
+  input += "{\"kind\":\"stats\",\"id\":\"snap\"}\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  const service::StreamSummary summary =
+      service::serve_jsonl(dispatcher, in, out);
+  dispatcher.stop();
+
+  EXPECT_EQ(summary.lines, stream.size() + 1);
+  const std::vector<std::string> lines = split_lines(out.str());
+  ASSERT_EQ(lines.size(), stream.size() + 1);
+
+  // The stats line resolves at the emission frontier, so it has seen every
+  // request before it in the stream.
+  const io::JsonValue doc = io::parse_json(lines.back());
+  const io::JsonObject& root = doc.as_object();
+  EXPECT_EQ(root.at("kind").as_string(), "stats");
+  EXPECT_EQ(root.at("id").as_string(), "snap");
+  EXPECT_EQ(root.at("status").as_string(), "ok");
+  const io::JsonObject& result = root.at("result").as_object();
+  EXPECT_EQ(result.at("requests").as_number(),
+            static_cast<double>(stream.size()));
+  EXPECT_EQ(result.at("queue_depth").as_number(), 0.0);
+  const io::JsonArray& workers = result.at("workers").as_array();
+  ASSERT_EQ(workers.size(), 2u);
+  for (const io::JsonValue& worker : workers) {
+    const io::JsonObject& w = worker.as_object();
+    const auto index = static_cast<std::size_t>(w.at("worker").as_number());
+    const io::JsonObject& engine = w.at("engine").as_object();
+    // symbolic_factorisations == 1 per structure-affine repeat group on
+    // every worker: the acceptance invariant of the sharded daemon.
+    EXPECT_EQ(engine.at("symbolic_factorisations").as_number(),
+              static_cast<double>(expected_structures[index].size()));
+  }
+}
+
+TEST(ServiceJsonl, FastAbortStillAnswersEveryConsumedLine) {
+  // stop(drain=false) drops queued work, but a session counting
+  // completions must not deadlock in finish(): the dropped lines come
+  // back as shutdown errors.
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "blocker"),
+                                [&](Response) {
+                                  entered.set_value();
+                                  release_future.wait();
+                                }));
+  entered.get_future().wait();
+
+  std::vector<std::string> emitted;
+  JsonlSession session(dispatcher,
+                       [&](const std::string& line) { emitted.push_back(line); });
+  for (int i = 0; i < 3; ++i) {
+    session.submit_line(io::write_json_compact(io::request_to_json_value(
+        solve_request(testing::paper_t1(), "q" + std::to_string(i)))));
+  }
+  std::thread stopper([&] { dispatcher.stop(/*drain=*/false); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  stopper.join();
+
+  const service::StreamSummary summary = session.finish();
+  EXPECT_EQ(summary.lines, 3u);
+  EXPECT_EQ(summary.errors, 3u);
+  ASSERT_EQ(emitted.size(), 3u);
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    const Response response = io::response_from_json(emitted[i]);
+    EXPECT_EQ(response.id, "q" + std::to_string(i));
+    EXPECT_EQ(response.error, "service is shutting down");
+  }
+}
+
+TEST(ServiceJsonl, SubmitAfterStopAnswersShuttingDown) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  dispatcher.stop();
+
+  std::vector<std::string> emitted;
+  {
+    JsonlSession session(dispatcher,
+                         [&](const std::string& line) { emitted.push_back(line); });
+    session.submit_line(io::write_json_compact(io::request_to_json_value(
+        solve_request(testing::paper_t1(), "late"))));
+    const service::StreamSummary summary = session.finish();
+    EXPECT_EQ(summary.errors, 1u);
+  }
+  ASSERT_EQ(emitted.size(), 1u);
+  const Response response = io::response_from_json(emitted[0]);
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  EXPECT_EQ(response.id, "late");
+  EXPECT_EQ(response.kind, "solve");
+  EXPECT_EQ(response.error, "service is shutting down");
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket front end
+// ---------------------------------------------------------------------------
+
+std::string unique_socket_path() {
+  return ::testing::TempDir() + "bbs_service_test_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServiceSocket, RoundTripAndGracefulStop) {
+  DispatcherOptions options;
+  options.workers = 2;
+  Dispatcher dispatcher(options);
+  const std::string path = unique_socket_path();
+  service::SocketServer server(dispatcher, path);
+
+  const std::vector<Request> stream = mixed_structure_stream();
+  api::Engine reference;
+  std::vector<std::string> expected;
+  for (const Request& request : stream) {
+    expected.push_back(normalised(reference.run(request)));
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0)
+      << std::strerror(errno);
+
+  const std::string input = to_jsonl(stream);
+  ASSERT_EQ(::send(fd, input.data(), input.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(input.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  std::string output;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    output.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::vector<std::string> lines = split_lines(output);
+  ASSERT_EQ(lines.size(), stream.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(normalised_line(lines[i]), expected[i]) << "line " << i;
+  }
+
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  server.stop();
+  dispatcher.stop();
+  // stop() unlinks its socket path.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace bbs
