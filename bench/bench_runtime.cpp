@@ -6,10 +6,17 @@
 // from-scratch interior-point solver on the same instances and on growing
 // chains / random DAGs to exhibit the polynomial growth.
 #include <benchmark/benchmark.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <future>
+#include <string>
+#include <thread>
 
 #include "bbs/api/engine.hpp"
 #include "bbs/common/rng.hpp"
@@ -20,7 +27,10 @@
 #include "bbs/dataflow/cycle_ratio.hpp"
 #include "bbs/dataflow/srdf_graph.hpp"
 #include "bbs/gen/generators.hpp"
+#include "bbs/io/api_io.hpp"
 #include "bbs/service/dispatcher.hpp"
+#include "bbs/service/endpoint.hpp"
+#include "bbs/service/socket_server.hpp"
 #include "bbs/solver/kkt_system.hpp"
 #include "bbs/solver/nt_scaling.hpp"
 
@@ -312,6 +322,90 @@ BENCHMARK(BM_ServiceThroughput)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// BM_ServiceThroughput with a slow socket client attached to the same
+/// dispatcher: before measurement starts, the client floods requests at a
+/// connection with a tiny outbox and send buffer and never reads a byte, so
+/// the daemon parks its backlog, hits the write deadline and disconnects it.
+/// Steady-state items/s must match the plain variant — the regression this
+/// guards (a slow reader parking a dispatcher worker in a blocking send)
+/// shows up as a collapsed rate here while BM_ServiceThroughput stays flat.
+void BM_ServiceThroughputSlowReader(benchmark::State& state) {
+  bbs::service::DispatcherOptions options;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  options.queue_capacity = 64;
+  bbs::service::Dispatcher dispatcher(options);
+
+  bbs::service::SocketServerOptions server_options;
+  server_options.outbox_capacity = 4;
+  server_options.write_deadline = std::chrono::milliseconds(100);
+  server_options.sndbuf_bytes = 1;  // kernel clamps to its floor
+  const std::string path = "/tmp/bbs_bench_slow_" +
+                           std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  bbs::service::SocketServer server(
+      dispatcher, bbs::service::parse_endpoint("unix:" + path),
+      server_options);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int slow_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (slow_fd < 0 ||
+      ::connect(slow_fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    state.SkipWithError("slow-client connect failed");
+    return;
+  }
+  std::string flood;
+  {
+    bbs::api::Request request;
+    request.id = "slow";
+    request.payload = bbs::api::SolveRequest{bbs::gen::producer_consumer_t1()};
+    const std::string line =
+        bbs::io::write_json_compact(bbs::io::request_to_json_value(request)) +
+        "\n";
+    for (int i = 0; i < 64; ++i) flood += line;
+  }
+  if (::send(slow_fd, flood.data(), flood.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(flood.size())) {
+    state.SkipWithError("slow-client flood failed");
+    return;
+  }
+  // Wait for the disconnect policy to fire before the timed region so every
+  // iteration measures the steady state after a slow client came and went.
+  for (int i = 0; i < 200 && server.slow_client_disconnects() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (server.slow_client_disconnects() == 0) {
+    state.SkipWithError("slow client was never disconnected");
+    return;
+  }
+
+  const std::vector<bbs::api::Request> stream = mixed_service_stream();
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::atomic<int> remaining{static_cast<int>(stream.size())};
+    std::promise<void> all_done;
+    for (const bbs::api::Request& request : stream) {
+      dispatcher.submit(request, [&](bbs::api::Response response) {
+        if (!response.ok()) failed.store(true);
+        if (remaining.fetch_sub(1) == 1) all_done.set_value();
+      });
+    }
+    all_done.get_future().wait();
+  }
+  ::close(slow_fd);
+  server.stop();
+  dispatcher.stop();
+  if (failed.load()) state.SkipWithError("service request failed");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ServiceThroughputSlowReader)
+    ->Arg(2)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

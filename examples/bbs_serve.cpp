@@ -13,10 +13,13 @@
 //
 //   $ ./bbs_serve --workers 4 < requests.jsonl > responses.jsonl
 //
-// socket mode serves concurrent connections on a Unix-domain socket:
+// socket mode serves concurrent connections on a Unix-domain or TCP
+// socket:
 //
-//   $ ./bbs_serve --listen /tmp/bbs.sock --workers 4 &
+//   $ ./bbs_serve --listen unix:/tmp/bbs.sock --workers 4 &
 //   $ nc -U /tmp/bbs.sock < requests.jsonl
+//   $ ./bbs_serve --listen tcp://127.0.0.1:7421 --workers 4 &
+//   $ nc 127.0.0.1 7421 < requests.jsonl
 //
 // SIGINT/SIGTERM shut down gracefully: the daemon stops reading, completes
 // every request it already consumed, writes their responses, and exits.
@@ -26,20 +29,25 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bbs/service/dispatcher.hpp"
+#include "bbs/service/endpoint.hpp"
 #include "bbs/service/jsonl_stream.hpp"
 #include "bbs/service/socket_server.hpp"
 
 namespace {
 
 constexpr const char kUsage[] =
-    "usage: %s [--workers N] [--queue-depth N] [--listen SOCKET_PATH]\n"
-    "          [--help]\n"
+    "usage: %s [--workers N] [--queue-depth N] [--listen ENDPOINT]\n"
+    "          [--max-in-flight N] [--rps N] [--write-deadline-ms N]\n"
+    "          [--outbox-depth N] [--no-steal] [--help]\n"
     "\n"
     "Long-lived budget/buffer solver service over the JSONL request\n"
     "contract of solve_cli --batch (see bbs/io/api_io.hpp). Requests are\n"
@@ -52,9 +60,22 @@ constexpr const char kUsage[] =
     "                   hardware concurrency)\n"
     "  --queue-depth N  bounded request queue per worker; a full queue\n"
     "                   blocks the connection that feeds it (default: 64)\n"
-    "  --listen PATH    serve a Unix-domain socket at PATH instead of\n"
-    "                   stdin/stdout; concurrent connections share the\n"
-    "                   worker pool\n"
+    "  --listen EP      serve socket connections instead of stdin/stdout;\n"
+    "                   EP is unix:/path, a bare path, or tcp://host:port\n"
+    "                   (tcp://127.0.0.1:0 picks a free port and logs it);\n"
+    "                   concurrent connections share the worker pool\n"
+    "  --max-in-flight N  per-connection cap on dispatched-but-unanswered\n"
+    "                   requests; over-cap lines get an error response\n"
+    "                   (default: unlimited)\n"
+    "  --rps N          per-connection requests/sec token bucket; over-rate\n"
+    "                   lines get an error response (default: unlimited)\n"
+    "  --write-deadline-ms N  how long a full per-connection outbox may\n"
+    "                   block a completion before the slow client is\n"
+    "                   disconnected (default: 2000)\n"
+    "  --outbox-depth N per-connection response outbox capacity\n"
+    "                   (default: 256)\n"
+    "  --no-steal       disable idle-worker work stealing (strict\n"
+    "                   structure affinity)\n"
     "  --help           print this message and exit\n"
     "\n"
     "exit codes (stdio mode):\n"
@@ -134,13 +155,26 @@ class StdinLineSource {
   bool eof_ = false;
 };
 
-int serve_stdio(bbs::service::Dispatcher& dispatcher) {
+int serve_stdio(bbs::service::Dispatcher& dispatcher,
+                bbs::service::SessionOptions session_options) {
+  // stdio mode is its own (single-connection) transport: it aggregates the
+  // session's quota rejections into the stats response itself.
+  auto quota_rejections = std::make_shared<std::atomic<std::uint64_t>>(0);
+  session_options.on_quota_rejection = [quota_rejections] {
+    quota_rejections->fetch_add(1);
+  };
+  session_options.stats_hook =
+      [quota_rejections](bbs::service::ServiceStats& stats) {
+        stats.quota_rejections = quota_rejections->load();
+      };
   bbs::service::JsonlSession session(
-      dispatcher, [](const std::string& line) {
+      dispatcher,
+      [](const std::string& line) {
         std::fputs(line.c_str(), stdout);
         std::fputc('\n', stdout);
         std::fflush(stdout);
-      });
+      },
+      std::move(session_options));
   StdinLineSource source;
   std::string line;
   for (;;) {
@@ -161,9 +195,13 @@ int serve_stdio(bbs::service::Dispatcher& dispatcher) {
 }
 
 int serve_socket(bbs::service::Dispatcher& dispatcher,
-                 const std::string& socket_path) {
-  bbs::service::SocketServer server(dispatcher, socket_path);
-  std::fprintf(stderr, "bbs_serve: listening on %s\n", socket_path.c_str());
+                 const bbs::service::Endpoint& endpoint,
+                 const bbs::service::SocketServerOptions& server_options) {
+  bbs::service::SocketServer server(dispatcher, endpoint, server_options);
+  // The *bound* endpoint: tcp port 0 resolves to the kernel's pick, and
+  // scripts (daemon_smoke.sh) parse this line to find it.
+  std::fprintf(stderr, "bbs_serve: listening on %s\n",
+               server.endpoint().to_string().c_str());
   // Sleep until a shutdown signal lands on the self-pipe.
   for (;;) {
     pollfd fd = {g_wake_fds[0], POLLIN, 0};
@@ -193,12 +231,31 @@ bool parse_size(const char* text, std::size_t& out) {
   return true;
 }
 
+bool parse_rate(const char* text, double& out) {
+  // Non-negative decimal (fractional rates like 0.5/s are meaningful for
+  // a token bucket); rejects negatives, inf/nan spellings and trailing
+  // junk the same way parse_size does.
+  if ((text[0] < '0' || text[0] > '9') && text[0] != '.') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!(value >= 0.0) || value > 1e9) return false;
+  out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bbs::service::DispatcherOptions options;
   options.workers = 0;  // hardware concurrency
-  std::string socket_path;
+  bbs::service::SocketServerOptions server_options;
+  std::string listen_spec;
+  std::size_t write_deadline_ms = 2000;
+  std::size_t outbox_depth = 256;
+  std::size_t max_in_flight = 0;
+  double rps = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -231,13 +288,45 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, kUsage, argv[0]);
         return 1;
       }
-      socket_path = v;
+      listen_spec = v;
+    } else if (std::strcmp(arg, "--max-in-flight") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, max_in_flight)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--rps") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_rate(v, rps)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--write-deadline-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, write_deadline_ms) ||
+          write_deadline_ms == 0) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--outbox-depth") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, outbox_depth) || outbox_depth == 0) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--no-steal") == 0) {
+      options.work_stealing = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg);
       std::fprintf(stderr, kUsage, argv[0]);
       return 1;
     }
   }
+
+  server_options.write_deadline = std::chrono::milliseconds(write_deadline_ms);
+  server_options.outbox_capacity = outbox_depth;
+  server_options.max_in_flight = max_in_flight;
+  server_options.requests_per_second = rps;
 
   if (!install_signal_handlers()) {
     std::fprintf(stderr, "cannot install signal handlers: %s\n",
@@ -247,10 +336,14 @@ int main(int argc, char** argv) {
 
   try {
     bbs::service::Dispatcher dispatcher(options);
-    if (!socket_path.empty()) {
-      return serve_socket(dispatcher, socket_path);
+    if (!listen_spec.empty()) {
+      return serve_socket(dispatcher, bbs::service::parse_endpoint(listen_spec),
+                          server_options);
     }
-    return serve_stdio(dispatcher);
+    bbs::service::SessionOptions session_options;
+    session_options.max_in_flight = max_in_flight;
+    session_options.requests_per_second = rps;
+    return serve_stdio(dispatcher, std::move(session_options));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbs_serve: %s\n", e.what());
     return 1;

@@ -1,0 +1,149 @@
+// jsonl_client: minimal stream client for the bbs_serve socket modes.
+//
+// Connects to a service endpoint (unix:/path, bare path, or
+// tcp://host:port), streams stdin to the daemon, half-closes the write
+// side, and copies every response line to stdout until the daemon closes
+// the connection. scripts/daemon_smoke.sh uses it to diff the socket
+// transports against solve_cli --batch; it doubles as a portable `nc -U`
+// for environments without netcat.
+//
+//   $ ./jsonl_client unix:/tmp/bbs.sock < requests.jsonl > responses.jsonl
+//   $ ./jsonl_client tcp://127.0.0.1:7421 < requests.jsonl
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bbs/service/endpoint.hpp"
+
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "jsonl_client: %s: %s\n", what.c_str(),
+               std::strerror(errno));
+  return 1;
+}
+
+int connect_endpoint(const bbs::service::Endpoint& endpoint) {
+  if (endpoint.kind == bbs::service::Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof addr.sun_path) {
+      std::fprintf(stderr, "jsonl_client: socket path too long\n");
+      return -1;
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(endpoint.host.c_str(),
+                    std::to_string(endpoint.port).c_str(), &hints,
+                    &results) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <unix:/path | /path | tcp://host:port>\n"
+                 "streams stdin to a bbs_serve socket endpoint, half-closes,\n"
+                 "and prints the response stream to stdout\n",
+                 argv[0]);
+    return 1;
+  }
+  int fd = -1;
+  try {
+    fd = connect_endpoint(bbs::service::parse_endpoint(argv[1]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsonl_client: %s\n", e.what());
+    return 1;
+  }
+  if (fd < 0) return fail(std::string("connect '") + argv[1] + "'");
+
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("read stdin");
+    }
+    if (n == 0) break;
+    if (!send_all(fd, buf, static_cast<std::size_t>(n))) {
+      ::close(fd);
+      return fail("send");
+    }
+  }
+  // Half-close tells the daemon the request stream is complete; it drains
+  // in-flight work, writes the remaining responses, and EOFs back.
+  if (::shutdown(fd, SHUT_WR) != 0) {
+    ::close(fd);
+    return fail("shutdown");
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail("recv");
+    }
+    if (n == 0) break;
+    if (std::fwrite(buf, 1, static_cast<std::size_t>(n), stdout) !=
+        static_cast<std::size_t>(n)) {
+      ::close(fd);
+      return fail("write stdout");
+    }
+  }
+  std::fflush(stdout);
+  ::close(fd);
+  return 0;
+}

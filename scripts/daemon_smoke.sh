@@ -1,29 +1,85 @@
 #!/usr/bin/env bash
-# Daemon smoke: bbs_serve's stdio mode must produce the same responses as
-# solve_cli --batch on a JSONL fixture, byte for byte modulo the wall-clock
-# diagnostic (the only nondeterministic field). Run by the CI service job
-# and the smoke_bbs_serve_stdio ctest.
+# Daemon smoke: bbs_serve must produce the same responses as solve_cli
+# --batch on a JSONL fixture, byte for byte modulo the wall-clock
+# diagnostic (the only nondeterministic field) — over stdio and, when a
+# jsonl_client binary is supplied, over an AF_UNIX socket and a TCP socket
+# too. Run by the CI service jobs and the smoke_bbs_serve_* ctests.
 #
-# usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers]
+# usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers] [jsonl_client]
 set -euo pipefail
 
-BBS_SERVE=${1:?usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers]}
+BBS_SERVE=${1:?usage: daemon_smoke.sh <bbs_serve> <solve_cli> <batch.jsonl> [workers] [jsonl_client]}
 SOLVE_CLI=${2:?missing solve_cli path}
 BATCH=${3:?missing batch fixture path}
 WORKERS=${4:-2}
+JSONL_CLIENT=${5:-}
 
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
-
-"$SOLVE_CLI" --batch "$BATCH" > "$workdir/cli.jsonl"
-"$BBS_SERVE" --workers "$WORKERS" < "$BATCH" > "$workdir/serve.jsonl"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 normalise() { sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":0/g' "$1"; }
-normalise "$workdir/cli.jsonl" > "$workdir/cli.norm"
-normalise "$workdir/serve.jsonl" > "$workdir/serve.norm"
 
-if ! diff -u "$workdir/cli.norm" "$workdir/serve.norm"; then
-  echo "daemon_smoke: bbs_serve stdio responses differ from solve_cli --batch" >&2
-  exit 1
-fi
-echo "daemon_smoke: OK ($(wc -l < "$workdir/cli.jsonl") responses identical modulo wall_ms, $WORKERS workers)"
+"$SOLVE_CLI" --batch "$BATCH" > "$workdir/cli.jsonl"
+normalise "$workdir/cli.jsonl" > "$workdir/cli.norm"
+
+check() { # <label> <responses.jsonl>
+  normalise "$2" > "$2.norm"
+  if ! diff -u "$workdir/cli.norm" "$2.norm"; then
+    echo "daemon_smoke: bbs_serve $1 responses differ from solve_cli --batch" >&2
+    exit 1
+  fi
+  echo "daemon_smoke: $1 OK ($(wc -l < "$2") responses identical modulo wall_ms, $WORKERS workers)"
+}
+
+# All legs run --no-steal: the byte-identity contract relies on pure
+# affinity routing (a steal runs a request on a cold peer engine, which
+# legitimately changes warm-start diagnostics and continuous values).
+
+# --- stdio mode -----------------------------------------------------------
+"$BBS_SERVE" --workers "$WORKERS" --no-steal < "$BATCH" > "$workdir/stdio.jsonl"
+check stdio "$workdir/stdio.jsonl"
+
+[ -n "$JSONL_CLIENT" ] || exit 0
+
+# Waits until the daemon logs its bound endpoint, then prints it.
+wait_for_endpoint() { # <stderr-log>
+  for _ in $(seq 1 100); do
+    endpoint=$(sed -n 's/^bbs_serve: listening on //p' "$1" | head -n1)
+    if [ -n "$endpoint" ]; then
+      echo "$endpoint"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "daemon_smoke: daemon never reported its endpoint" >&2
+  cat "$1" >&2
+  return 1
+}
+
+run_socket_leg() { # <label> <listen-spec> <responses.jsonl>
+  "$BBS_SERVE" --workers "$WORKERS" --no-steal --listen "$2" 2> "$workdir/$1.log" &
+  daemon_pid=$!
+  endpoint=$(wait_for_endpoint "$workdir/$1.log")
+  "$JSONL_CLIENT" "$endpoint" < "$BATCH" > "$3"
+  # Graceful stop: SIGTERM drains in-flight work before the daemon exits.
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid"
+  daemon_pid=""
+  check "$1" "$3"
+}
+
+# --- AF_UNIX socket mode --------------------------------------------------
+run_socket_leg unix "unix:$workdir/bbs.sock" "$workdir/unix.jsonl"
+
+# --- TCP socket mode (port 0: kernel-assigned, parsed from the log) -------
+run_socket_leg tcp "tcp://127.0.0.1:0" "$workdir/tcp.jsonl"
+
+# The two socket transports must agree with each other too (and both with
+# the CLI, checked above).
+diff "$workdir/unix.jsonl.norm" "$workdir/tcp.jsonl.norm" > /dev/null
+echo "daemon_smoke: unix and tcp transports byte-identical modulo wall_ms"

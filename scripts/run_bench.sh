@@ -32,6 +32,17 @@ done
 
 mkdir -p "$out_dir"
 
+# Host metadata rides along with the numbers: the sharded-service
+# benchmarks (BM_ServiceThroughput*) only scale past one worker when the
+# host actually has the cores, so a flat curve is meaningless without this.
+echo "== host metadata -> $out_dir/host.json"
+{
+  printf '{\n'
+  printf '  "cpus_online": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
+  printf '  "uname": "%s"\n' "$(uname -srm)"
+  printf '}\n'
+} > "$out_dir/host.json"
+
 echo "== bench_runtime -> $out_dir/runtime.json"
 "$bench_dir/bench_runtime" \
   --benchmark_format=json \

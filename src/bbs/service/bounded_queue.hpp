@@ -13,6 +13,7 @@
 // backlog (fast abort — pending items are destroyed unprocessed).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,6 +23,15 @@
 #include "bbs/common/assert.hpp"
 
 namespace bbs::service {
+
+/// Outcome of a deadline-bounded push — the writer-outbox policy primitive:
+/// kTimeout means the consumer made no room within the deadline (a slow
+/// client), which the caller turns into a disconnect instead of blocking on.
+enum class PushResult {
+  kPushed,
+  kClosed,
+  kTimeout,
+};
 
 template <typename T>
 class BoundedQueue {
@@ -49,6 +59,23 @@ class BoundedQueue {
     return true;
   }
 
+  /// Deadline-bounded push: blocks at most `timeout` while the queue is
+  /// full. kTimeout is the slow-consumer signal — the queue is unchanged
+  /// and the caller decides the policy (the socket server disconnects the
+  /// client rather than wait longer on a solver worker's time).
+  PushResult push_wait_for(T item, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kTimeout;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();  // under the mutex, same lifetime rationale
+    return PushResult::kPushed;
+  }
+
   /// Blocks while the queue is empty. After close(), drains the remaining
   /// backlog and then returns nullopt — the consumer's exit signal.
   std::optional<T> pop() {
@@ -58,6 +85,34 @@ class BoundedQueue {
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
     not_full_.notify_one();  // under the mutex, same lifetime rationale
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is queued right now. This is
+  /// the steal primitive: an idle worker lifting one task off a peer's
+  /// queue competes with that peer's own pop() under the same mutex, so a
+  /// task is consumed exactly once.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed pop: like pop() but gives up after `timeout`. nullopt means
+  /// either "nothing arrived in time" or "closed and drained" — callers
+  /// that must tell them apart check closed() && size() == 0, which is
+  /// stable once true (a closed queue accepts no further items).
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
     return item;
   }
 

@@ -32,6 +32,7 @@ struct Dispatcher::Worker {
   mutable std::mutex stats_mutex;
   api::EngineStats stats;
   std::size_t pooled_sessions = 0;
+  std::uint64_t stolen = 0;  ///< guarded by stats_mutex
   std::thread thread;
 };
 
@@ -54,22 +55,72 @@ Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
 Dispatcher::~Dispatcher() { stop(/*drain=*/true); }
 
 void Dispatcher::worker_loop(Worker& worker) {
-  while (std::optional<Task> task = worker.queue.pop()) {
-    api::Response response = worker.engine.run(task->request);
+  // Steal target: the peer with the deepest backlog right now. Depths are
+  // sampled racily (each queue's size() takes its own mutex), which is
+  // fine — a stale choice only means a slightly less-deep victim, and the
+  // try_pop() itself is exactly-once.
+  const auto try_steal = [&]() -> std::optional<Task> {
+    Worker* victim = nullptr;
+    std::size_t deepest = 0;
+    for (const auto& peer : workers_) {
+      if (peer.get() == &worker) continue;
+      const std::size_t depth = peer->queue.size();
+      if (depth > deepest) {
+        deepest = depth;
+        victim = peer.get();
+      }
+    }
+    if (victim == nullptr) return std::nullopt;
+    return victim->queue.try_pop();
+  };
+
+  const auto run_task = [&](Task task, bool was_steal) {
+    api::Response response = worker.engine.run(task.request);
     {
       std::lock_guard<std::mutex> lock(worker.stats_mutex);
       worker.stats = worker.engine.stats();
       worker.pooled_sessions = worker.engine.pooled_sessions();
+      if (was_steal) ++worker.stolen;
     }
-    if (task->done) {
+    if (task.done) {
       try {
-        task->done(std::move(response));
+        task.done(std::move(response));
       } catch (...) {
         // Completions are documented not to throw; swallowing here keeps a
         // misbehaving connection from killing the worker (and with it every
         // other client routed to this shard).
       }
     }
+  };
+
+  if (!options_.work_stealing) {
+    while (std::optional<Task> task = worker.queue.pop()) {
+      run_task(std::move(*task), /*was_steal=*/false);
+    }
+    return;
+  }
+  for (;;) {
+    // Own queue first — affinity work never yields to a steal.
+    std::optional<Task> task = worker.queue.try_pop();
+    bool was_steal = false;
+    if (!task) {
+      task = try_steal();
+      was_steal = task.has_value();
+    }
+    if (!task) {
+      // Idle: block briefly on the own queue, then rescan the peers. The
+      // timeout is what turns a hot peer backlog into a steal at most one
+      // poll interval later.
+      task = worker.queue.pop_for(options_.steal_poll_interval);
+      if (!task) {
+        // closed-and-empty is stable (a closed queue accepts no pushes),
+        // so this is the drain-complete exit, not a race. Peers still
+        // draining their own backlogs do so on their own threads.
+        if (worker.queue.closed() && worker.queue.size() == 0) break;
+        continue;
+      }
+    }
+    run_task(std::move(*task), was_steal);
   }
 }
 
@@ -130,8 +181,10 @@ ServiceStats Dispatcher::stats() const {
       std::lock_guard<std::mutex> lock(worker->stats_mutex);
       ws.engine = worker->stats;
       ws.pooled_sessions = worker->pooled_sessions;
+      ws.stolen = worker->stolen;
     }
     ws.queue_depth = worker->queue.size();
+    total.stolen += ws.stolen;
     total.requests += ws.engine.requests;
     total.ok += ws.engine.ok;
     total.infeasible += ws.engine.infeasible;

@@ -14,10 +14,14 @@
 //
 // Each worker pulls from its own bounded queue; submit() blocks while the
 // routed worker's queue is full, propagating backpressure to the
-// connection that produced the request. Completions run on the worker
-// thread that executed the request and must not throw.
+// connection that produced the request. An idle worker steals one task at
+// a time from the deepest peer queue (unless work_stealing is off), so a
+// stream dominated by one structure key keeps every worker busy at the
+// price of a pool miss per steal. Completions run on the worker thread
+// that executed the request and must not throw.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +39,15 @@ struct DispatcherOptions {
   /// Bounded request-queue capacity *per worker*; submit() blocks while the
   /// routed worker's queue holds this many requests (backpressure).
   std::size_t queue_capacity = 64;
+  /// A worker whose own queue is empty lifts one task off the *deepest*
+  /// peer queue instead of idling, so a stream dominated by one structure
+  /// key no longer pins all work to one worker. Structure affinity stays
+  /// the routing default — a steal is just a session-pool miss on the
+  /// thief's engine. Disable to make per-worker counters exact functions
+  /// of route() (the affinity-invariant tests do).
+  bool work_stealing = true;
+  /// How long an idle worker waits on its own queue between steal scans.
+  std::chrono::milliseconds steal_poll_interval{20};
   /// Per-worker engine options (session-pool bound etc.).
   api::EngineOptions engine;
 };
@@ -47,10 +60,15 @@ struct WorkerStats {
   api::EngineStats engine;
   std::size_t queue_depth = 0;
   std::size_t pooled_sessions = 0;
+  /// Tasks this worker executed that were routed to a peer (steals).
+  std::uint64_t stolen = 0;
 };
 
 /// Daemon-wide snapshot: per-worker stats plus the aggregates the
-/// {"kind":"stats"} control request reports.
+/// {"kind":"stats"} control request reports. The transport fields below
+/// the marker are owned by the front end (SocketServer / the stdio driver)
+/// and filled through the JsonlSession stats hook — Dispatcher::stats()
+/// leaves them zero.
 struct ServiceStats {
   std::vector<WorkerStats> workers;
   std::uint64_t requests = 0;
@@ -61,6 +79,21 @@ struct ServiceStats {
   std::uint64_t warm_hits = 0;
   std::uint64_t symbolic_factorisations = 0;
   std::size_t queue_depth = 0;
+  /// Total cross-worker steals (sum of WorkerStats::stolen).
+  std::uint64_t stolen = 0;
+
+  // --- transport-owned (see JsonlSession stats hook) ---
+  std::uint64_t connections_accepted = 0;
+  /// Transient accept() failures (EMFILE/ENFILE/ENOBUFS/ENOMEM) — fd
+  /// exhaustion shows up here before clients notice hangs.
+  std::uint64_t accept_failures = 0;
+  /// Connections disconnected because their outbox stayed full past the
+  /// write deadline (clients that stopped reading).
+  std::uint64_t slow_client_disconnects = 0;
+  /// Request lines answered with an over-quota error instead of queued.
+  std::uint64_t quota_rejections = 0;
+  /// Outbox depth of each currently live connection.
+  std::vector<std::size_t> connection_outbox_depths;
 };
 
 class Dispatcher {

@@ -1,0 +1,72 @@
+#include "bbs/service/endpoint.hpp"
+
+#include <cstdlib>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::service {
+
+namespace {
+
+[[noreturn]] void bad_endpoint(const std::string& spec,
+                               const std::string& why) {
+  throw ModelError("invalid listen endpoint '" + spec + "': " + why);
+}
+
+/// Splits "host:port" / "[v6]:port" into its parts; the rest of the
+/// validation (emptiness, numeric range) stays in parse_endpoint.
+void split_host_port(const std::string& spec, const std::string& rest,
+                     std::string& host, std::string& port) {
+  if (!rest.empty() && rest.front() == '[') {
+    const std::size_t close = rest.find(']');
+    if (close == std::string::npos) bad_endpoint(spec, "unterminated '['");
+    host = rest.substr(1, close - 1);
+    if (close + 1 >= rest.size() || rest[close + 1] != ':') {
+      bad_endpoint(spec, "expected ':port' after ']'");
+    }
+    port = rest.substr(close + 2);
+    return;
+  }
+  // The *last* colon separates the port, so an unbracketed IPv6 literal is
+  // rejected as a non-numeric port rather than silently misparsed.
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) bad_endpoint(spec, "missing ':port'");
+  host = rest.substr(0, colon);
+  port = rest.substr(colon + 1);
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  const bool v6 = host.find(':') != std::string::npos;
+  return "tcp://" + (v6 ? "[" + host + "]" : host) + ":" +
+         std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.empty()) bad_endpoint(spec, "empty");
+  if (spec.rfind("tcp://", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kTcp;
+    std::string host;
+    std::string port;
+    split_host_port(spec, spec.substr(6), host, port);
+    if (host.empty()) bad_endpoint(spec, "empty host");
+    if (port.empty()) bad_endpoint(spec, "empty port");
+    for (const char c : port) {
+      if (c < '0' || c > '9') bad_endpoint(spec, "non-numeric port");
+    }
+    const unsigned long value = std::strtoul(port.c_str(), nullptr, 10);
+    if (value > 65535) bad_endpoint(spec, "port out of range");
+    endpoint.host = std::move(host);
+    endpoint.port = static_cast<std::uint16_t>(value);
+    return endpoint;
+  }
+  endpoint.kind = Endpoint::Kind::kUnix;
+  endpoint.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (endpoint.path.empty()) bad_endpoint(spec, "empty socket path");
+  return endpoint;
+}
+
+}  // namespace bbs::service

@@ -1,0 +1,39 @@
+// Listen-endpoint grammar of the service daemon.
+//
+// One `--listen` string names either transport the SocketServer speaks:
+//
+//   unix:/run/bbs.sock        AF_UNIX filesystem socket
+//   /run/bbs.sock             bare path — AF_UNIX (back compat with PR 5)
+//   tcp://127.0.0.1:7421      AF_INET
+//   tcp://[::1]:7421          AF_INET6 (host in brackets)
+//   tcp://0.0.0.0:0           port 0 — kernel picks; SocketServer::endpoint()
+//                             reports the bound port
+//
+// Parsing is strict (ModelError on malformed specs) so a typo'd endpoint is
+// a startup failure, not a silently-wrong bind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbs::service {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< AF_UNIX socket path (kUnix)
+  std::string host;  ///< numeric address or hostname, no brackets (kTcp)
+  std::uint16_t port = 0;  ///< kTcp; 0 lets the kernel choose
+
+  /// Round-trips to the canonical spec string ("unix:/p", "tcp://h:p",
+  /// IPv6 hosts re-bracketed) — what the daemon logs as "listening on …".
+  std::string to_string() const;
+};
+
+/// Parses a `--listen` spec per the grammar above. Throws ModelError on an
+/// empty spec, a missing/non-numeric/out-of-range port, an empty host, or
+/// an unterminated bracket.
+Endpoint parse_endpoint(const std::string& spec);
+
+}  // namespace bbs::service

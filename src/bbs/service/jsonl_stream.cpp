@@ -1,5 +1,7 @@
 #include "bbs/service/jsonl_stream.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <istream>
 #include <ostream>
 
@@ -44,12 +46,27 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
   root["symbolic_factorisations"] =
       JsonValue(static_cast<double>(stats.symbolic_factorisations));
   root["queue_depth"] = JsonValue(static_cast<double>(stats.queue_depth));
+  root["stolen"] = JsonValue(static_cast<double>(stats.stolen));
+  root["connections_accepted"] =
+      JsonValue(static_cast<double>(stats.connections_accepted));
+  root["accept_failures"] =
+      JsonValue(static_cast<double>(stats.accept_failures));
+  root["slow_client_disconnects"] =
+      JsonValue(static_cast<double>(stats.slow_client_disconnects));
+  root["quota_rejections"] =
+      JsonValue(static_cast<double>(stats.quota_rejections));
+  JsonArray outboxes;
+  for (const std::size_t depth : stats.connection_outbox_depths) {
+    outboxes.push_back(JsonValue(static_cast<double>(depth)));
+  }
+  root["connection_outbox_depths"] = JsonValue(std::move(outboxes));
   JsonArray workers;
   for (const WorkerStats& ws : stats.workers) {
     JsonObject w;
     w["worker"] = JsonValue(static_cast<double>(ws.worker));
     w["queue_depth"] = JsonValue(static_cast<double>(ws.queue_depth));
     w["pooled_sessions"] = JsonValue(static_cast<double>(ws.pooled_sessions));
+    w["stolen"] = JsonValue(static_cast<double>(ws.stolen));
     w["engine"] = engine_stats_to_json_value(ws.engine);
     workers.push_back(JsonValue(std::move(w)));
   }
@@ -57,8 +74,11 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
   return JsonValue(std::move(root));
 }
 
-JsonlSession::JsonlSession(Dispatcher& dispatcher, Sink sink)
-    : dispatcher_(dispatcher), sink_(std::move(sink)) {}
+JsonlSession::JsonlSession(Dispatcher& dispatcher, Sink sink,
+                           SessionOptions options)
+    : dispatcher_(dispatcher),
+      sink_(std::move(sink)),
+      options_(std::move(options)) {}
 
 JsonlSession::~JsonlSession() { finish(); }
 
@@ -84,14 +104,33 @@ void JsonlSession::submit_line(const std::string& line) {
     // request without running it when the dispatcher is stopping.
     std::string id = request.id;
     std::string kind = request.kind();
+    if (std::string denial = check_quota(); !denial.empty()) {
+      // Over quota: answered immediately with a structured error instead
+      // of being queued — the shared worker pool never sees the request.
+      if (options_.on_quota_rejection) options_.on_quota_rejection();
+      api::Response r;
+      r.id = std::move(id);
+      r.kind = std::move(kind);
+      r.status = api::ResponseStatus::kError;
+      r.error = std::move(denial);
+      Entry entry;
+      entry.is_quota_rejection = true;
+      entry.status = r.status;
+      entry.line = io::write_json_compact(io::response_to_json_value(r));
+      deliver(index, std::move(entry));
+      return;
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     const bool accepted =
         dispatcher_.submit(std::move(request), [this, index](api::Response r) {
+          in_flight_.fetch_sub(1, std::memory_order_relaxed);
           Entry entry;
           entry.status = r.status;
           entry.line = io::write_json_compact(io::response_to_json_value(r));
           deliver(index, std::move(entry));
         });
     if (!accepted) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
       api::Response r;
       r.id = std::move(id);
       r.kind = std::move(kind);
@@ -116,6 +155,38 @@ void JsonlSession::submit_line(const std::string& line) {
   }
 }
 
+std::string JsonlSession::check_quota() {
+  if (options_.max_in_flight > 0 &&
+      in_flight_.load(std::memory_order_relaxed) >= options_.max_in_flight) {
+    return "over quota: more than " + std::to_string(options_.max_in_flight) +
+           " requests in flight on this connection";
+  }
+  if (options_.requests_per_second > 0.0) {
+    const double burst = options_.burst > 0.0
+                             ? options_.burst
+                             : std::max(1.0, options_.requests_per_second);
+    const auto now = std::chrono::steady_clock::now();
+    if (!bucket_started_) {
+      // The bucket starts full: a fresh connection may burst before the
+      // steady-state rate applies.
+      bucket_started_ = true;
+      tokens_ = burst;
+      last_refill_ = now;
+    }
+    const std::chrono::duration<double> elapsed = now - last_refill_;
+    last_refill_ = now;
+    tokens_ = std::min(burst,
+                       tokens_ + elapsed.count() * options_.requests_per_second);
+    if (tokens_ < 1.0) {
+      return "over quota: rate limit of " +
+             std::to_string(options_.requests_per_second) +
+             " requests/s exceeded";
+    }
+    tokens_ -= 1.0;
+  }
+  return std::string();
+}
+
 void JsonlSession::deliver(std::uint64_t index, Entry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
   pending_.emplace(index, std::move(entry));
@@ -136,11 +207,16 @@ void JsonlSession::advance_locked() {
     pending_.erase(it);
     ++next_emit_;
     if (entry.is_stats) {
+      ServiceStats stats = dispatcher_.stats();
+      // The transport owns its counters (accepts, slow-client disconnects,
+      // outbox depths); the hook folds them into the dispatcher snapshot.
+      if (options_.stats_hook) options_.stats_hook(stats);
       const JsonValue envelope = io::control_response_envelope(
           io::ControlKind::kStats, entry.id,
-          service_stats_to_json_value(dispatcher_.stats()));
+          service_stats_to_json_value(stats));
       entry.line = io::write_json_compact(envelope);
     }
+    if (entry.is_quota_rejection) ++summary_.quota_rejections;
     ++summary_.lines;
     switch (entry.status) {
       case api::ResponseStatus::kOk:

@@ -16,6 +16,8 @@
 // i.e. after every earlier line of this connection has been answered.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -34,8 +36,35 @@ struct StreamSummary {
   std::uint64_t ok = 0;
   std::uint64_t infeasible = 0;
   std::uint64_t errors = 0;
+  /// Lines answered with an over-quota error (a subset of `errors`).
+  std::uint64_t quota_rejections = 0;
 
   bool all_ok() const { return infeasible == 0 && errors == 0; }
+};
+
+/// Per-connection policy and daemon hooks of one JsonlSession. The quota
+/// caps protect the shared worker pool from a single greedy connection:
+/// an over-quota request line is answered immediately with a structured
+/// error response instead of being queued (the connection keeps flowing —
+/// quota exhaustion is per line, not a disconnect).
+struct SessionOptions {
+  /// Max requests of this connection dispatched but not yet completed;
+  /// 0 = unlimited.
+  std::size_t max_in_flight = 0;
+  /// Token-bucket rate limit on request lines; 0 = unlimited. Control
+  /// lines ({"kind":"stats"}) are never charged.
+  double requests_per_second = 0.0;
+  /// Token-bucket burst size; 0 picks max(1, requests_per_second).
+  double burst = 0.0;
+  /// Invoked (from the submit thread) for every over-quota rejection, so
+  /// the daemon front end can aggregate across connections.
+  std::function<void()> on_quota_rejection;
+  /// Lets the transport layer fill the transport-owned ServiceStats fields
+  /// (accept failures, slow-client disconnects, outbox depths) into a
+  /// {"kind":"stats"} response. Invoked on the emitting thread with the
+  /// dispatcher snapshot already taken; must not call back into the
+  /// session and must not throw.
+  std::function<void(ServiceStats&)> stats_hook;
 };
 
 /// Serialises a ServiceStats snapshot into the "result" object of the stats
@@ -48,7 +77,7 @@ class JsonlSession {
   /// possibly from a worker thread; it must write-and-flush and not throw.
   using Sink = std::function<void(const std::string& line)>;
 
-  JsonlSession(Dispatcher& dispatcher, Sink sink);
+  JsonlSession(Dispatcher& dispatcher, Sink sink, SessionOptions options = {});
   /// Implies finish() — a destroyed session has emitted every line it
   /// consumed.
   ~JsonlSession();
@@ -71,6 +100,7 @@ class JsonlSession {
  private:
   struct Entry {
     bool is_stats = false;
+    bool is_quota_rejection = false;
     std::string line;      ///< serialised response (requests)
     std::string id;        ///< control-message id echo (stats)
     api::ResponseStatus status = api::ResponseStatus::kError;
@@ -78,15 +108,25 @@ class JsonlSession {
 
   void deliver(std::uint64_t index, Entry entry);
   void advance_locked();
+  /// Non-empty = rejection reason. Charged per request line; only called
+  /// from the (single) submit thread, so the bucket state is unguarded.
+  std::string check_quota();
 
   Dispatcher& dispatcher_;
   Sink sink_;
+  SessionOptions options_;
   std::mutex mutex_;
   std::condition_variable emitted_cv_;
   std::map<std::uint64_t, Entry> pending_;
   std::uint64_t submitted_ = 0;
   std::uint64_t next_emit_ = 0;
   StreamSummary summary_;
+  /// Dispatched to the Dispatcher, completion not yet delivered.
+  std::atomic<std::size_t> in_flight_{0};
+  // Token bucket (submit-thread only).
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_refill_{};
+  bool bucket_started_ = false;
 };
 
 /// Pumps a whole stream through a session: one request per input line, one

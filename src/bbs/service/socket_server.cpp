@@ -1,19 +1,21 @@
 #include "bbs/service/socket_server.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "bbs/common/assert.hpp"
-#include "bbs/service/jsonl_stream.hpp"
 
 namespace bbs::service {
 
@@ -25,7 +27,7 @@ namespace {
 
 /// Writes the whole buffer; MSG_NOSIGNAL turns a disappeared client into
 /// EPIPE instead of killing the daemon. Returns false once the connection
-/// is unwritable (the caller stops emitting).
+/// is unwritable (the caller stops emitting and EOFs the socket).
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -40,31 +42,32 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
-}  // namespace
-
-SocketServer::SocketServer(Dispatcher& dispatcher, std::string socket_path)
-    : dispatcher_(dispatcher), socket_path_(std::move(socket_path)) {
+sockaddr_un unix_sockaddr(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  BBS_REQUIRE(socket_path_.size() < sizeof addr.sun_path,
+  BBS_REQUIRE(path.size() < sizeof addr.sun_path,
               "SocketServer: socket path too long for sockaddr_un");
-  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
 
+}  // namespace
+
+SocketServer::SocketServer(Dispatcher& dispatcher, Endpoint endpoint,
+                           SocketServerOptions options)
+    : dispatcher_(dispatcher),
+      endpoint_(std::move(endpoint)),
+      options_(options) {
   // A throw below skips the destructor (the object was never constructed),
   // so the fds opened so far must be released here — an embedder probing
-  // candidate socket paths would otherwise leak descriptors per attempt.
+  // candidate endpoints would otherwise leak descriptors per attempt.
   try {
     if (::pipe(wake_fds_) != 0) socket_error("pipe");
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listen_fd_ < 0) socket_error("socket");
-    // The daemon owns its socket path: a stale file from a previous run
-    // (or a crashed daemon) would make bind fail with EADDRINUSE forever.
-    ::unlink(socket_path_.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) != 0) {
-      socket_error("bind '" + socket_path_ + "'");
+    if (endpoint_.kind == Endpoint::Kind::kUnix) {
+      listen_unix();
+    } else {
+      listen_tcp();
     }
-    if (::listen(listen_fd_, 16) != 0) socket_error("listen");
   } catch (...) {
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (wake_fds_[0] >= 0) {
@@ -76,11 +79,132 @@ SocketServer::SocketServer(Dispatcher& dispatcher, std::string socket_path)
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+SocketServer::SocketServer(Dispatcher& dispatcher, std::string socket_path)
+    : SocketServer(dispatcher,
+                   Endpoint{Endpoint::Kind::kUnix, std::move(socket_path),
+                            std::string(), 0}) {}
+
 SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::listen_unix() {
+  const sockaddr_un addr = unix_sockaddr(endpoint_.path);
+  // The daemon owns its socket path, but only when nothing lives there: a
+  // blind unlink would silently steal a *running* daemon's socket. Probe
+  // with connect() first — a live listener answers (refuse to start), a
+  // stale file from a crashed daemon refuses the connection (clean it up),
+  // and anything that is not a socket is never deleted.
+  struct stat st {};
+  if (::lstat(endpoint_.path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw ModelError("SocketServer: '" + endpoint_.path +
+                       "' exists and is not a socket; refusing to replace it");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe < 0) socket_error("socket");
+    const int rc =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    const int probe_errno = errno;  // close() below may clobber errno
+    ::close(probe);
+    if (rc == 0) {
+      throw ModelError("SocketServer: a live daemon is already listening on '" +
+                       endpoint_.path + "'");
+    }
+    if (probe_errno != ECONNREFUSED && probe_errno != ENOENT) {
+      errno = probe_errno;
+      socket_error("probe connect '" + endpoint_.path + "'");
+    }
+    // ECONNREFUSED: bound once, nobody listening — genuinely stale.
+    ::unlink(endpoint_.path.c_str());
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) socket_error("socket");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    socket_error("bind '" + endpoint_.path + "'");
+  }
+  if (::listen(listen_fd_, 16) != 0) socket_error("listen");
+}
+
+void SocketServer::listen_tcp() {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* results = nullptr;
+  const int gai = ::getaddrinfo(endpoint_.host.c_str(),
+                                std::to_string(endpoint_.port).c_str(), &hints,
+                                &results);
+  if (gai != 0) {
+    throw ModelError("SocketServer: cannot resolve '" + endpoint_.to_string() +
+                     "': " + ::gai_strerror(gai));
+  }
+  int bind_errno = 0;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      bind_errno = errno;
+      continue;
+    }
+    // A daemon restart must not wait out TIME_WAIT on its own port.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      listen_fd_ = fd;
+      break;
+    }
+    bind_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  if (listen_fd_ < 0) {
+    errno = bind_errno;
+    socket_error("bind '" + endpoint_.to_string() + "'");
+  }
+  if (::listen(listen_fd_, 64) != 0) socket_error("listen");
+  if (endpoint_.port == 0) {
+    // Port 0 asked the kernel to pick; report the real one so tests and
+    // the startup log name a connectable endpoint.
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      if (bound.ss_family == AF_INET) {
+        endpoint_.port =
+            ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        endpoint_.port =
+            ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+  }
+}
 
 std::uint64_t SocketServer::connections_accepted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return accepted_;
+}
+
+void SocketServer::reap_finished_connections() {
+  // A finished reader leaves fd == -1 as its very last locked action, so a
+  // connection observed with fd == -1 has nothing left to run; joining its
+  // reader is (nearly) instant and keeps connections_ bounded by the number
+  // of *live* clients instead of the daemon's lifetime total.
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->fd == -1) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
 }
 
 void SocketServer::accept_loop() {
@@ -99,7 +223,9 @@ void SocketServer::accept_loop() {
           errno == ENOMEM) {
         // Transient resource exhaustion must not retire the accept loop —
         // a daemon that silently stops accepting looks healthy while every
-        // new client hangs. Back off briefly and retry.
+        // new client hangs. Count it (the stats endpoint surfaces fd
+        // exhaustion before clients notice), back off briefly and retry.
+        accept_failures_.fetch_add(1, std::memory_order_relaxed);
         std::fprintf(stderr, "bbs SocketServer: accept: %s (retrying)\n",
                      std::strerror(errno));
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -107,44 +233,118 @@ void SocketServer::accept_loop() {
       }
       break;  // listener closed (stop) or unrecoverable
     }
-    // Bound how long a response write may block on a client that stops
-    // reading: without this a full client socket buffer parks a worker
-    // thread inside the connection's sink forever (stalling its whole
-    // shard) and stop() could never join the handler.
+    // SO_SNDTIMEO bounds each blocking send in the writer thread — solver
+    // workers never touch this socket, so the timeout is purely a
+    // writer-thread concern (the outbox write deadline is what protects
+    // the workers).
     const timeval send_timeout{10, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                  sizeof send_timeout);
+    if (endpoint_.kind == Endpoint::Kind::kTcp) {
+      // Response lines are small and latency-sensitive; never Nagle them.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof options_.sndbuf_bytes);
+    }
+    reap_finished_connections();
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_) {
       ::close(fd);
       break;
     }
-    auto connection = std::make_unique<Connection>();
+    auto connection = std::make_unique<Connection>(options_.outbox_capacity);
     Connection* raw = connection.get();
     raw->fd = fd;
     ++accepted_;
     connections_.push_back(std::move(connection));
-    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+    // Both threads start under the lock so stop() never observes a
+    // half-wired connection.
+    raw->writer = std::thread([this, raw] { writer_loop(raw); });
+    raw->reader = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void SocketServer::writer_loop(Connection* connection) {
+  // Exits when the reader closes the outbox after the session finished —
+  // by then every response line has been enqueued (or dropped).
+  while (std::optional<std::string> line = connection->outbox.pop()) {
+    if (!connection->writable.load(std::memory_order_acquire)) continue;
+    if (!write_all(connection->fd, *line)) {
+      // First failed write: the client is gone or stopped reading past
+      // SO_SNDTIMEO. Later lines would interleave with the torn one, so
+      // the connection goes dark now — shutdown both ways makes the
+      // client observe EOF promptly instead of indefinite silence.
+      connection->writable.exchange(false, std::memory_order_acq_rel);
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+}
+
+void SocketServer::disconnect_slow_client(Connection* connection) {
+  // Runs on the Dispatcher worker whose completion waited out the write
+  // deadline. Only the first caller disconnects and counts.
+  if (connection->writable.exchange(false, std::memory_order_acq_rel)) {
+    slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    // Wakes the writer blocked in send() and EOFs the client's read side;
+    // the reader sees EOF on its next read() and winds the session down.
+    // The fd stays open (the reader owns its lifetime), so this shutdown
+    // can never race a close.
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+}
+
+void SocketServer::augment_stats(ServiceStats& stats) const {
+  stats.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  stats.slow_client_disconnects =
+      slow_client_disconnects_.load(std::memory_order_relaxed);
+  stats.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.connections_accepted = accepted_;
+  for (const auto& connection : connections_) {
+    if (connection->fd != -1) {
+      stats.connection_outbox_depths.push_back(connection->outbox.size());
+    }
   }
 }
 
 void SocketServer::handle_connection(Connection* connection) {
   const int fd = connection->fd;
-  // Once a write fails (client gone, or SO_SNDTIMEO expired on a client
-  // that stopped reading) the connection is unwritable for good: later
-  // lines are skipped instead of each eating another timeout.
-  std::atomic<bool> writable{true};
-  JsonlSession session(dispatcher_, [fd, &writable](const std::string& line) {
-    if (!writable.load(std::memory_order_relaxed)) return;
-    if (!write_all(fd, line + "\n")) {
-      writable.store(false, std::memory_order_relaxed);
-    }
-  });
+  SessionOptions session_options;
+  session_options.max_in_flight = options_.max_in_flight;
+  session_options.requests_per_second = options_.requests_per_second;
+  session_options.on_quota_rejection = [this] {
+    quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+  };
+  session_options.stats_hook = [this](ServiceStats& stats) {
+    augment_stats(stats);
+  };
+  // Completions (on Dispatcher worker threads) enqueue into the bounded
+  // outbox; the writer thread performs the blocking send. A full outbox
+  // delays the worker at most write_deadline once — then the client is
+  // disconnected and every later line drops immediately.
+  JsonlSession session(
+      dispatcher_,
+      [this, connection](const std::string& line) {
+        if (!connection->writable.load(std::memory_order_acquire)) return;
+        switch (connection->outbox.push_wait_for(line + "\n",
+                                                 options_.write_deadline)) {
+          case PushResult::kPushed:
+          case PushResult::kClosed:
+            return;
+          case PushResult::kTimeout:
+            disconnect_slow_client(connection);
+            return;
+        }
+      },
+      std::move(session_options));
 
-  // Read-and-split loop. stop() shuts down the read side, which surfaces
-  // here as EOF; whatever was already submitted still drains through
-  // finish() below, so a shutdown mid-stream answers every line it
-  // consumed.
+  // Read-and-split loop. stop() (or a slow-client disconnect) shuts down
+  // the read side, which surfaces here as EOF; whatever was already
+  // submitted still drains through finish() below, so a shutdown
+  // mid-stream answers every line it consumed.
   std::string carry;
   char buf[4096];
   for (;;) {
@@ -165,6 +365,10 @@ void SocketServer::handle_connection(Connection* connection) {
   }
   if (!carry.empty()) session.submit_line(carry);  // unterminated last line
   session.finish();
+  // finish() returned: every completion has been delivered, so no thread
+  // will touch the outbox or fd again except the writer we now retire.
+  connection->outbox.close();
+  if (connection->writer.joinable()) connection->writer.join();
 
   std::lock_guard<std::mutex> lock(mutex_);
   ::shutdown(fd, SHUT_RDWR);
@@ -186,19 +390,22 @@ void SocketServer::stop() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& connection : connections_) {
       // EOF the reader; the handler drains and closes the fd itself (fd
-      // lifetime is owned by the handler thread — see handle_connection).
+      // lifetime is owned by the reader thread — see handle_connection).
       if (connection->fd != -1) ::shutdown(connection->fd, SHUT_RD);
     }
   }
   for (auto& connection : connections_) {
-    if (connection->thread.joinable()) connection->thread.join();
+    // The reader joins the writer before retiring, so one join suffices.
+    if (connection->reader.joinable()) connection->reader.join();
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::close(wake_fds_[0]);
   ::close(wake_fds_[1]);
   wake_fds_[0] = wake_fds_[1] = -1;
-  ::unlink(socket_path_.c_str());
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
 }
 
 }  // namespace bbs::service

@@ -1,12 +1,24 @@
-// Unix-domain-socket front end of the service daemon.
+// Socket front end of the service daemon — AF_UNIX or TCP.
 //
-// Listens on a filesystem socket path and serves each accepted connection
-// on its own thread as an independent JsonlSession: requests from all
-// connections funnel into one shared Dispatcher (whose warm session pools
-// they therefore share, per structure affinity), while response ordering is
-// per connection. Backpressure is end-to-end: a connection whose requests
-// target a saturated worker stops being read, which fills the client's
-// socket buffer and eventually blocks the client's writes.
+// Listens on a parsed Endpoint (unix:/path or tcp://host:port) and serves
+// each accepted connection as an independent JsonlSession: requests from
+// all connections funnel into one shared Dispatcher (whose warm session
+// pools they therefore share, per structure affinity), while response
+// ordering is per connection.
+//
+// Solve and I/O are decoupled per connection: completions enqueue finished
+// response lines into a bounded outbox and a dedicated *writer thread*
+// performs the blocking send, so a client that stops reading can never
+// park a Dispatcher worker. When the outbox stays full past the write
+// deadline the connection is disconnected (counted in
+// slow_client_disconnects) instead of stalling its shard; SO_SNDTIMEO is a
+// writer-thread concern only. On the first failed write the socket is shut
+// down both ways so the client observes EOF promptly rather than a torn
+// line followed by silence.
+//
+// Backpressure is still end-to-end on the read side: a connection whose
+// requests target a saturated worker stops being read, which fills the
+// client's socket buffer and eventually blocks the client's writes.
 //
 // Shutdown (stop()) is graceful: the listener closes, every open
 // connection's read side is shut down (the client sees the daemon stop
@@ -14,6 +26,8 @@
 // responses are written before the connections close.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,16 +35,41 @@
 #include <thread>
 #include <vector>
 
+#include "bbs/service/bounded_queue.hpp"
 #include "bbs/service/dispatcher.hpp"
+#include "bbs/service/endpoint.hpp"
+#include "bbs/service/jsonl_stream.hpp"
 
 namespace bbs::service {
 
+struct SocketServerOptions {
+  /// Bounded per-connection outbox (finished response lines awaiting the
+  /// writer thread).
+  std::size_t outbox_capacity = 256;
+  /// How long a completion may wait on a full outbox before the connection
+  /// is declared a slow client and disconnected. This bounds the time any
+  /// Dispatcher worker can spend blocked on one connection's I/O.
+  std::chrono::milliseconds write_deadline{2000};
+  /// Per-connection quota caps (see SessionOptions); 0 = unlimited.
+  std::size_t max_in_flight = 0;
+  double requests_per_second = 0.0;
+  /// When > 0, shrinks SO_SNDBUF on accepted sockets. Production leaves
+  /// the kernel default; tests use a tiny buffer to reproduce slow-client
+  /// backpressure without megabytes of traffic.
+  int sndbuf_bytes = 0;
+};
+
 class SocketServer {
  public:
-  /// Binds and listens on `socket_path` (an existing socket file at that
-  /// path is removed first — daemons own their socket path), then starts
-  /// the accept loop on a background thread. Throws ModelError when the
-  /// path is too long for sockaddr_un or any socket call fails.
+  /// Binds and listens on `endpoint`, then starts the accept loop on a
+  /// background thread. For unix endpoints a *live* listener at the path is
+  /// a startup error (ModelError) — only genuinely stale socket files are
+  /// cleaned up, and a non-socket file at the path is never deleted. For
+  /// tcp endpoints port 0 binds an ephemeral port; endpoint() reports the
+  /// actual one. Throws ModelError when any socket call fails.
+  SocketServer(Dispatcher& dispatcher, Endpoint endpoint,
+               SocketServerOptions options = {});
+  /// Back-compat convenience: an AF_UNIX server on `socket_path`.
   SocketServer(Dispatcher& dispatcher, std::string socket_path);
   /// Implies stop().
   ~SocketServer();
@@ -39,28 +78,61 @@ class SocketServer {
   SocketServer& operator=(const SocketServer&) = delete;
 
   /// Graceful shutdown: stop accepting, EOF every connection's read side,
-  /// drain what was already read, join all threads, unlink the socket
+  /// drain what was already read, join all threads, unlink a unix socket
   /// path. Idempotent. The shared Dispatcher is left running (the caller
   /// owns its lifecycle).
   void stop();
 
-  const std::string& socket_path() const { return socket_path_; }
+  /// The bound endpoint (tcp port resolved when 0 was requested).
+  const Endpoint& endpoint() const { return endpoint_; }
+  /// Unix socket path ("" for tcp endpoints).
+  const std::string& socket_path() const { return endpoint_.path; }
   std::uint64_t connections_accepted() const;
+  std::uint64_t accept_failures() const { return accept_failures_.load(); }
+  std::uint64_t slow_client_disconnects() const {
+    return slow_client_disconnects_.load();
+  }
+  std::uint64_t quota_rejections() const { return quota_rejections_.load(); }
 
  private:
   struct Connection {
-    int fd = -1;  ///< -1 once the handler thread has closed it
-    std::thread thread;
+    explicit Connection(std::size_t outbox_capacity)
+        : outbox(outbox_capacity) {}
+
+    int fd = -1;  ///< -1 once the reader thread has closed it
+    /// Cleared on the first write failure or slow-client disconnect;
+    /// later response lines are discarded instead of written.
+    std::atomic<bool> writable{true};
+    BoundedQueue<std::string> outbox;
+    std::thread reader;
+    std::thread writer;
   };
 
+  void listen_unix();
+  void listen_tcp();
   void accept_loop();
   void handle_connection(Connection* connection);
+  void writer_loop(Connection* connection);
+  /// Disconnects a client whose outbox stayed full past the write
+  /// deadline; runs on the worker thread that hit the deadline.
+  void disconnect_slow_client(Connection* connection);
+  /// Folds the transport-owned counters into a stats snapshot (the
+  /// JsonlSession stats hook).
+  void augment_stats(ServiceStats& stats) const;
+  /// Removes and joins connections whose reader has finished, so a
+  /// long-lived daemon does not accumulate one retired struct per client.
+  void reap_finished_connections();
 
   Dispatcher& dispatcher_;
-  std::string socket_path_;
+  Endpoint endpoint_;
+  SocketServerOptions options_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe that interrupts the accept poll
   std::thread accept_thread_;
+
+  std::atomic<std::uint64_t> accept_failures_{0};
+  std::atomic<std::uint64_t> slow_client_disconnects_{0};
+  std::atomic<std::uint64_t> quota_rejections_{0};
 
   mutable std::mutex mutex_;  ///< guards connections_ and accepted_
   std::vector<std::unique_ptr<Connection>> connections_;

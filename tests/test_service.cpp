@@ -1,17 +1,25 @@
 // Service daemon tests: the bounded backpressure queue, the sharded
-// dispatcher (structure-affinity routing, graceful shutdown semantics,
-// per-worker amortisation counters) and the JSONL session layer (in-order
-// response reassembly under multi-worker execution, control messages, the
-// Unix-socket front end).
+// dispatcher (structure-affinity routing, work stealing, graceful shutdown
+// semantics, per-worker amortisation counters), the JSONL session layer
+// (in-order response reassembly under multi-worker execution, control
+// messages, per-client quotas) and the socket front end (AF_UNIX + TCP,
+// slow-client disconnect policy, socket-path takeover rules).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <map>
 #include <set>
@@ -19,10 +27,12 @@
 #include <thread>
 #include <vector>
 
+#include "bbs/common/assert.hpp"
 #include "bbs/io/api_io.hpp"
 #include "bbs/io/service_io.hpp"
 #include "bbs/service/bounded_queue.hpp"
 #include "bbs/service/dispatcher.hpp"
+#include "bbs/service/endpoint.hpp"
 #include "bbs/service/jsonl_stream.hpp"
 #include "bbs/service/socket_server.hpp"
 #include "testing/support.hpp"
@@ -159,6 +169,37 @@ TEST(ServiceQueue, CloseDrainsBacklogThenSignalsExhaustion) {
   EXPECT_EQ(queue.pop(), std::nullopt);
 }
 
+TEST(ServiceQueue, TimedPushReportsTimeoutOnFullQueueAndClosedAfterClose) {
+  BoundedQueue<int> queue(1);
+  ASSERT_EQ(queue.push_wait_for(1, std::chrono::milliseconds(10)),
+            service::PushResult::kPushed);
+  // Full queue, nobody popping: the deadline expires and the queue is
+  // unchanged — the slow-client policy signal.
+  ASSERT_EQ(queue.push_wait_for(2, std::chrono::milliseconds(10)),
+            service::PushResult::kTimeout);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  queue.close();
+  EXPECT_EQ(queue.push_wait_for(3, std::chrono::milliseconds(10)),
+            service::PushResult::kClosed);
+}
+
+TEST(ServiceQueue, TryPopAndTimedPopDistinguishEmptyFromClosed) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), std::nullopt);
+  EXPECT_FALSE(queue.closed());
+  ASSERT_TRUE(queue.push(7));
+  EXPECT_EQ(queue.try_pop(), std::optional<int>(7));
+  ASSERT_TRUE(queue.push(8));
+  queue.close();
+  // pop_for still drains the backlog of a closed queue before the
+  // closed-and-empty exit condition becomes observable.
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), std::optional<int>(8));
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), std::nullopt);
+  EXPECT_TRUE(queue.closed() && queue.size() == 0);
+}
+
 TEST(ServiceQueue, CloseAndTakeHandsBacklogToCaller) {
   BoundedQueue<int> queue(4);
   ASSERT_TRUE(queue.push(1));
@@ -170,6 +211,48 @@ TEST(ServiceQueue, CloseAndTakeHandsBacklogToCaller) {
   EXPECT_EQ(queue.pop(), std::nullopt);
   EXPECT_EQ(queue.size(), 0u);
   EXPECT_FALSE(queue.push(3));
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint grammar
+// ---------------------------------------------------------------------------
+
+TEST(ServiceEndpoint, ParsesUnixBareAndTcpSpecs) {
+  const service::Endpoint u = service::parse_endpoint("unix:/tmp/bbs.sock");
+  EXPECT_EQ(u.kind, service::Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/bbs.sock");
+  EXPECT_EQ(u.to_string(), "unix:/tmp/bbs.sock");
+
+  // Bare path: PR 5 back compat.
+  const service::Endpoint bare = service::parse_endpoint("/run/bbs.sock");
+  EXPECT_EQ(bare.kind, service::Endpoint::Kind::kUnix);
+  EXPECT_EQ(bare.path, "/run/bbs.sock");
+
+  const service::Endpoint t = service::parse_endpoint("tcp://127.0.0.1:7421");
+  EXPECT_EQ(t.kind, service::Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 7421);
+  EXPECT_EQ(t.to_string(), "tcp://127.0.0.1:7421");
+
+  const service::Endpoint v6 = service::parse_endpoint("tcp://[::1]:80");
+  EXPECT_EQ(v6.kind, service::Endpoint::Kind::kTcp);
+  EXPECT_EQ(v6.host, "::1");
+  EXPECT_EQ(v6.port, 80);
+  EXPECT_EQ(v6.to_string(), "tcp://[::1]:80");
+
+  EXPECT_EQ(service::parse_endpoint("tcp://0.0.0.0:0").port, 0);
+}
+
+TEST(ServiceEndpoint, RejectsMalformedSpecs) {
+  EXPECT_THROW(service::parse_endpoint(""), ModelError);
+  EXPECT_THROW(service::parse_endpoint("unix:"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://:80"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://host"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://host:"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://host:abc"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://host:70000"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://[::1"), ModelError);
+  EXPECT_THROW(service::parse_endpoint("tcp://[::1]80"), ModelError);
 }
 
 // ---------------------------------------------------------------------------
@@ -309,6 +392,9 @@ TEST(ServiceDispatcher, PerWorkerStatsReportStructureAmortisation) {
   DispatcherOptions options;
   options.workers = 2;
   options.queue_capacity = 32;
+  // This test asserts per-worker counters as exact functions of route();
+  // an idle-worker steal would legitimately shift them.
+  options.work_stealing = false;
   Dispatcher dispatcher(options);
 
   const std::vector<Request> stream = mixed_structure_stream();
@@ -348,6 +434,61 @@ TEST(ServiceDispatcher, PerWorkerStatsReportStructureAmortisation) {
   }
 }
 
+TEST(ServiceDispatcher, IdleWorkerStealsFromDeepPeerQueue) {
+  DispatcherOptions options;
+  options.workers = 2;
+  options.queue_capacity = 16;
+  options.steal_poll_interval = std::chrono::milliseconds(200);
+  Dispatcher dispatcher(options);
+
+  // Let both workers park inside their idle pop_for wait before the blocker
+  // arrives. The push wakes only the affinity worker (its own queue), and
+  // the peer's next steal rescan is a full poll interval away — so the
+  // blocker itself deterministically cannot be stolen, only the backlog.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Park the structure's affinity worker inside the first request's
+  // completion so its queue backs up deterministically; the idle peer must
+  // steal and execute the backlog even though every request routes to the
+  // parked worker.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "blocker"),
+                                [&](Response) {
+                                  entered.set_value();
+                                  release_future.wait();
+                                }));
+  entered.get_future().wait();
+
+  const int kBacklog = 5;
+  std::atomic<int> completed{0};
+  std::promise<void> backlog_done;
+  for (int i = 0; i < kBacklog; ++i) {
+    ASSERT_TRUE(dispatcher.submit(
+        solve_request(testing::paper_t1(), "steal" + std::to_string(i)),
+        [&](Response response) {
+          EXPECT_EQ(response.status, ResponseStatus::kOk);
+          if (completed.fetch_add(1) + 1 == kBacklog) {
+            backlog_done.set_value();
+          }
+        }));
+  }
+  // The affinity worker is still parked, so only steals can complete these.
+  backlog_done.get_future().wait();
+  EXPECT_EQ(completed.load(), kBacklog);
+  release.set_value();
+  dispatcher.stop(/*drain=*/true);
+
+  const ServiceStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.stolen, static_cast<std::uint64_t>(kBacklog));
+  std::uint64_t per_worker_stolen = 0;
+  for (const service::WorkerStats& ws : stats.workers) {
+    per_worker_stolen += ws.stolen;
+  }
+  EXPECT_EQ(per_worker_stolen, stats.stolen);
+}
+
 // ---------------------------------------------------------------------------
 // JSONL session layer
 // ---------------------------------------------------------------------------
@@ -369,6 +510,10 @@ TEST(ServiceJsonl, MultiWorkerStreamStaysAlignedAndDeterministic) {
     DispatcherOptions options;
     options.workers = 3;
     options.queue_capacity = 4;
+    // Byte-identity with the sequential reference relies on pure affinity
+    // routing: a steal would run a request on a cold peer engine and change
+    // its warm-start diagnostics (the bbs_serve --no-steal mode).
+    options.work_stealing = false;
     Dispatcher dispatcher(options);
     std::istringstream in(input);
     std::ostringstream out;
@@ -423,6 +568,7 @@ TEST(ServiceJsonl, MalformedAndBlankLinesKeepAlignment) {
 TEST(ServiceJsonl, StatsControlLineReportsAmortisation) {
   DispatcherOptions options;
   options.workers = 2;
+  options.work_stealing = false;  // exact per-worker counters (see above)
   Dispatcher dispatcher(options);
 
   const std::vector<Request> stream = mixed_structure_stream();
@@ -455,6 +601,13 @@ TEST(ServiceJsonl, StatsControlLineReportsAmortisation) {
   EXPECT_EQ(result.at("requests").as_number(),
             static_cast<double>(stream.size()));
   EXPECT_EQ(result.at("queue_depth").as_number(), 0.0);
+  // Transport/steal counters are present (zero here: no socket front end,
+  // stealing disabled, no quotas configured).
+  EXPECT_EQ(result.at("stolen").as_number(), 0.0);
+  EXPECT_EQ(result.at("accept_failures").as_number(), 0.0);
+  EXPECT_EQ(result.at("slow_client_disconnects").as_number(), 0.0);
+  EXPECT_EQ(result.at("quota_rejections").as_number(), 0.0);
+  EXPECT_TRUE(result.at("connection_outbox_depths").as_array().empty());
   const io::JsonArray& workers = result.at("workers").as_array();
   ASSERT_EQ(workers.size(), 2u);
   for (const io::JsonValue& worker : workers) {
@@ -533,8 +686,106 @@ TEST(ServiceJsonl, SubmitAfterStopAnswersShuttingDown) {
   EXPECT_EQ(response.error, "service is shutting down");
 }
 
+TEST(ServiceJsonl, MaxInFlightQuotaRejectsWithStructuredError) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+
+  // Park the worker so the first session line stays in flight.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "blocker"),
+                                [&](Response) {
+                                  entered.set_value();
+                                  release_future.wait();
+                                }));
+  entered.get_future().wait();
+
+  std::atomic<int> rejections{0};
+  service::SessionOptions session_options;
+  session_options.max_in_flight = 1;
+  session_options.on_quota_rejection = [&] { ++rejections; };
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  for (int i = 0; i < 3; ++i) {
+    session.submit_line(io::write_json_compact(io::request_to_json_value(
+        solve_request(testing::paper_t1(), "q" + std::to_string(i)))));
+  }
+  release.set_value();
+  const service::StreamSummary summary = session.finish();
+  dispatcher.stop(/*drain=*/true);
+
+  // Line 0 was dispatched (1 in flight); lines 1 and 2 were over quota and
+  // answered immediately with structured errors — never queued.
+  EXPECT_EQ(summary.lines, 3u);
+  EXPECT_EQ(summary.ok, 1u);
+  EXPECT_EQ(summary.errors, 2u);
+  EXPECT_EQ(summary.quota_rejections, 2u);
+  EXPECT_EQ(rejections.load(), 2);
+  ASSERT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(io::response_from_json(emitted[0]).status, ResponseStatus::kOk);
+  for (std::size_t i = 1; i < 3; ++i) {
+    const Response response = io::response_from_json(emitted[i]);
+    EXPECT_EQ(response.status, ResponseStatus::kError);
+    EXPECT_EQ(response.id, "q" + std::to_string(i));
+    EXPECT_EQ(response.kind, "solve");
+    EXPECT_NE(response.error.find("over quota"), std::string::npos)
+        << response.error;
+  }
+}
+
+TEST(ServiceJsonl, RateLimitQuotaRejectsAndStatsHookReportsIt) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+
+  std::atomic<std::uint64_t> rejections{0};
+  service::SessionOptions session_options;
+  // A practically-zero refill rate: the bucket holds exactly one initial
+  // token (burst = max(1, rps)), so of three back-to-back lines only the
+  // first is admitted, deterministically.
+  session_options.requests_per_second = 1e-6;
+  session_options.on_quota_rejection = [&] { ++rejections; };
+  session_options.stats_hook = [&](ServiceStats& stats) {
+    stats.quota_rejections = rejections.load();
+  };
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  for (int i = 0; i < 3; ++i) {
+    session.submit_line(io::write_json_compact(io::request_to_json_value(
+        solve_request(testing::paper_t1(), "r" + std::to_string(i)))));
+  }
+  // Control lines are never charged against the bucket, and the stats hook
+  // folds the transport-owned rejection counter into the snapshot.
+  session.submit_line("{\"kind\":\"stats\",\"id\":\"after\"}");
+  const service::StreamSummary summary = session.finish();
+  dispatcher.stop(/*drain=*/true);
+
+  EXPECT_EQ(summary.lines, 4u);
+  EXPECT_EQ(summary.quota_rejections, 2u);
+  EXPECT_EQ(rejections.load(), 2u);
+  ASSERT_EQ(emitted.size(), 4u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    const Response response = io::response_from_json(emitted[i]);
+    EXPECT_EQ(response.status, ResponseStatus::kError);
+    EXPECT_NE(response.error.find("rate limit"), std::string::npos);
+  }
+  const io::JsonValue stats_doc = io::parse_json(emitted[3]);
+  const io::JsonObject& stats_root = stats_doc.as_object();
+  EXPECT_EQ(stats_root.at("status").as_string(), "ok");
+  EXPECT_EQ(
+      stats_root.at("result").as_object().at("quota_rejections").as_number(),
+      2.0);
+}
+
 // ---------------------------------------------------------------------------
-// Unix-socket front end
+// Socket front end (AF_UNIX + TCP)
 // ---------------------------------------------------------------------------
 
 std::string unique_socket_path() {
@@ -545,6 +796,8 @@ std::string unique_socket_path() {
 TEST(ServiceSocket, RoundTripAndGracefulStop) {
   DispatcherOptions options;
   options.workers = 2;
+  // Affinity-only: byte-identity with the sequential reference engine.
+  options.work_stealing = false;
   Dispatcher dispatcher(options);
   const std::string path = unique_socket_path();
   service::SocketServer server(dispatcher, path);
@@ -592,6 +845,256 @@ TEST(ServiceSocket, RoundTripAndGracefulStop) {
   dispatcher.stop();
   // stop() unlinks its socket path.
   EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads until EOF (or a read error, including SO_RCVTIMEO expiry).
+std::string read_to_eof(int fd) {
+  std::string output;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    output.append(buf, static_cast<std::size_t>(n));
+  }
+  return output;
+}
+
+std::string jsonl_line(const Request& request) {
+  return io::write_json_compact(io::request_to_json_value(request)) + "\n";
+}
+
+// The TCP twin of RoundTripAndGracefulStop: same stream, same in-order
+// byte-identical responses, over tcp://127.0.0.1 with a kernel-assigned
+// ephemeral port resolved back through server.endpoint().
+TEST(ServiceSocket, TcpRoundTripAndGracefulStop) {
+  DispatcherOptions options;
+  options.workers = 2;
+  // Affinity-only: byte-identity with the sequential reference engine.
+  options.work_stealing = false;
+  Dispatcher dispatcher(options);
+  service::SocketServer server(dispatcher,
+                               service::parse_endpoint("tcp://127.0.0.1:0"));
+  ASSERT_NE(server.endpoint().port, 0);
+
+  const std::vector<Request> stream = mixed_structure_stream();
+  api::Engine reference;
+  std::vector<std::string> expected;
+  for (const Request& request : stream) {
+    expected.push_back(normalised(reference.run(request)));
+  }
+
+  const int fd = connect_tcp_loopback(server.endpoint().port);
+  ASSERT_GE(fd, 0) << std::strerror(errno);
+  const std::string input = to_jsonl(stream);
+  ASSERT_EQ(::send(fd, input.data(), input.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(input.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const std::string output = read_to_eof(fd);
+  ::close(fd);
+
+  const std::vector<std::string> lines = split_lines(output);
+  ASSERT_EQ(lines.size(), stream.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(normalised_line(lines[i]), expected[i]) << "line " << i;
+  }
+
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  server.stop();
+  dispatcher.stop();
+}
+
+// The regression this PR exists for: a client that floods requests and
+// never reads its responses must not stall the shard. The daemon parks the
+// slow connection's backlog in its bounded outbox, disconnects it once the
+// write deadline passes, and keeps answering everyone else.
+TEST(ServiceSocket, SlowClientIsDisconnectedWithoutStallingOthers) {
+  DispatcherOptions options;
+  options.workers = 1;  // worst case: victim shares its shard with the flood
+  options.queue_capacity = 256;
+  Dispatcher dispatcher(options);
+  service::SocketServerOptions server_options;
+  server_options.outbox_capacity = 4;
+  server_options.write_deadline = std::chrono::milliseconds(200);
+  server_options.sndbuf_bytes = 1;  // kernel clamps to its floor (~4.6 KiB)
+  const std::string path = unique_socket_path();
+  service::SocketServer server(dispatcher,
+                               service::parse_endpoint("unix:" + path),
+                               server_options);
+
+  const int slow_fd = connect_unix(path);
+  ASSERT_GE(slow_fd, 0) << std::strerror(errno);
+  std::string flood;
+  for (int i = 0; i < 64; ++i) {
+    flood += jsonl_line(
+        solve_request(testing::paper_t1(), "slow-" + std::to_string(i)));
+  }
+  ASSERT_EQ(::send(slow_fd, flood.data(), flood.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(flood.size()));
+  // Let the flood queue ahead of the victim on the single shard.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const int fd = connect_unix(path);
+  ASSERT_GE(fd, 0) << std::strerror(errno);
+  const std::string line =
+      jsonl_line(solve_request(testing::paper_t1(), "victim"));
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const timeval victim_timeout{30, 0};
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &victim_timeout,
+                         sizeof victim_timeout),
+            0);
+  const auto start = std::chrono::steady_clock::now();
+  const std::string output = read_to_eof(fd);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(fd);
+
+  const std::vector<std::string> lines = split_lines(output);
+  ASSERT_EQ(lines.size(), 1u) << output;
+  EXPECT_EQ(io::response_from_json(lines[0]).status, ResponseStatus::kOk);
+  EXPECT_LT(elapsed, std::chrono::seconds(8));
+  EXPECT_EQ(server.slow_client_disconnects(), 1u);
+
+  // The slow client must observe a prompt EOF, not a torn silent stream
+  // (a half-open connection would park this recv until the timeout).
+  const timeval drain_timeout{2, 0};
+  ASSERT_EQ(::setsockopt(slow_fd, SOL_SOCKET, SO_RCVTIMEO, &drain_timeout,
+                         sizeof drain_timeout),
+            0);
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(slow_fd, buf, sizeof buf, 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0) << "expected EOF, got: " << std::strerror(errno);
+  ::close(slow_fd);
+
+  server.stop();
+  dispatcher.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Socket-path takeover policy
+// ---------------------------------------------------------------------------
+
+TEST(ServiceSocket, RefusesToStealPathWithLiveListener) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  const std::string path = unique_socket_path();
+  service::SocketServer server(dispatcher, path);
+  EXPECT_THROW(
+      {
+        service::SocketServer usurper(dispatcher, path);
+        (void)usurper;
+      },
+      ModelError);
+  // The incumbent keeps serving after the refused takeover.
+  const int fd = connect_unix(path);
+  ASSERT_GE(fd, 0) << std::strerror(errno);
+  const std::string line =
+      jsonl_line(solve_request(testing::paper_t1(), "still-up"));
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const std::vector<std::string> lines = split_lines(read_to_eof(fd));
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(io::response_from_json(lines[0]).status, ResponseStatus::kOk);
+  server.stop();
+  dispatcher.stop();
+}
+
+TEST(ServiceSocket, ReclaimsStaleSocketFileFromDeadDaemon) {
+  const std::string path = unique_socket_path();
+  ::unlink(path.c_str());
+  // Fake a crashed daemon: a bound socket file with nobody behind it.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0)
+      << std::strerror(errno);
+  ::close(stale);
+  ASSERT_EQ(::access(path.c_str(), F_OK), 0);
+
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  // The liveness probe gets ECONNREFUSED, classifies the file as stale,
+  // and reclaims the path.
+  service::SocketServer server(dispatcher, path);
+  const int fd = connect_unix(path);
+  ASSERT_GE(fd, 0) << std::strerror(errno);
+  const std::string line =
+      jsonl_line(solve_request(testing::paper_t1(), "reclaimed"));
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const std::vector<std::string> lines = split_lines(read_to_eof(fd));
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(io::response_from_json(lines[0]).status, ResponseStatus::kOk);
+  server.stop();
+  dispatcher.stop();
+}
+
+TEST(ServiceSocket, RefusesToReplaceNonSocketFile) {
+  const std::string path = unique_socket_path();
+  ::unlink(path.c_str());
+  {
+    std::ofstream out(path);
+    out << "precious data, definitely not a socket\n";
+  }
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  EXPECT_THROW(
+      {
+        service::SocketServer server(dispatcher, path);
+        (void)server;
+      },
+      ModelError);
+  // The bystander file is preserved, not clobbered.
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  ::unlink(path.c_str());
+  dispatcher.stop();
 }
 
 }  // namespace
