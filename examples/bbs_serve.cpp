@@ -39,7 +39,9 @@
 
 #include "bbs/service/dispatcher.hpp"
 #include "bbs/service/endpoint.hpp"
+#include "bbs/service/fault_injector.hpp"
 #include "bbs/service/jsonl_stream.hpp"
+#include "bbs/service/runtime_config.hpp"
 #include "bbs/service/socket_server.hpp"
 
 namespace {
@@ -47,6 +49,7 @@ namespace {
 constexpr const char kUsage[] =
     "usage: %s [--workers N] [--queue-depth N] [--listen ENDPOINT]\n"
     "          [--max-in-flight N] [--rps N] [--write-deadline-ms N]\n"
+    "          [--default-deadline-ms N] [--queue-high-water N]\n"
     "          [--outbox-depth N] [--no-steal] [--help]\n"
     "\n"
     "Long-lived budget/buffer solver service over the JSONL request\n"
@@ -72,11 +75,23 @@ constexpr const char kUsage[] =
     "  --write-deadline-ms N  how long a full per-connection outbox may\n"
     "                   block a completion before the slow client is\n"
     "                   disconnected (default: 2000)\n"
+    "  --default-deadline-ms N  end-to-end deadline stamped on requests\n"
+    "                   that carry no options.deadline_ms of their own; the\n"
+    "                   budget covers queue wait plus solve (default: none)\n"
+    "  --queue-high-water N  reject new request lines with a retryable\n"
+    "                   'overloaded' error while the routed worker's queue\n"
+    "                   holds at least N tasks (default: off)\n"
     "  --outbox-depth N per-connection response outbox capacity\n"
     "                   (default: 256)\n"
     "  --no-steal       disable idle-worker work stealing (strict\n"
     "                   structure affinity)\n"
     "  --help           print this message and exit\n"
+    "\n"
+    "All quota/deadline/overload limits are hot-reloadable at runtime via a\n"
+    "{\"kind\":\"set_config\",...} control line on any connection. The\n"
+    "BBS_FAILPOINTS environment variable arms deterministic fault\n"
+    "injection (see service/fault_injector.hpp), e.g.\n"
+    "BBS_FAILPOINTS=\"worker.delay_ms=200;ipm.fail_at=3\".\n"
     "\n"
     "exit codes (stdio mode):\n"
     "  0  every request executed with status \"ok\" (also after a clean\n"
@@ -158,14 +173,24 @@ class StdinLineSource {
 int serve_stdio(bbs::service::Dispatcher& dispatcher,
                 bbs::service::SessionOptions session_options) {
   // stdio mode is its own (single-connection) transport: it aggregates the
-  // session's quota rejections into the stats response itself.
+  // session's quota/overload rejections into the stats response itself.
   auto quota_rejections = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto overload_rejections = std::make_shared<std::atomic<std::uint64_t>>(0);
   session_options.on_quota_rejection = [quota_rejections] {
     quota_rejections->fetch_add(1);
   };
+  session_options.on_overload_rejection = [overload_rejections] {
+    overload_rejections->fetch_add(1);
+  };
+  session_options.on_config_change = [](const std::string& description) {
+    std::fprintf(stderr, "bbs_serve: set_config applied: %s\n",
+                 description.c_str());
+  };
   session_options.stats_hook =
-      [quota_rejections](bbs::service::ServiceStats& stats) {
+      [quota_rejections,
+       overload_rejections](bbs::service::ServiceStats& stats) {
         stats.quota_rejections = quota_rejections->load();
+        stats.overload_rejections = overload_rejections->load();
       };
   bbs::service::JsonlSession session(
       dispatcher,
@@ -255,6 +280,8 @@ int main(int argc, char** argv) {
   std::size_t write_deadline_ms = 2000;
   std::size_t outbox_depth = 256;
   std::size_t max_in_flight = 0;
+  std::size_t default_deadline_ms = 0;
+  std::size_t queue_high_water = 0;
   double rps = 0.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -301,6 +328,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, kUsage, argv[0]);
         return 1;
       }
+    } else if (std::strcmp(arg, "--default-deadline-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, default_deadline_ms)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--queue-high-water") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, queue_high_water)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
     } else if (std::strcmp(arg, "--write-deadline-ms") == 0) {
       const char* v = value();
       if (v == nullptr || !parse_size(v, write_deadline_ms) ||
@@ -323,10 +362,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // All runtime limits live in one shared, hot-reloadable config: the
+  // command-line flags seed it, and a {"kind":"set_config"} control line on
+  // any connection rewrites it for the whole daemon.
+  auto runtime_config = std::make_shared<bbs::service::RuntimeConfig>();
+  runtime_config->max_in_flight.store(max_in_flight);
+  runtime_config->set_requests_per_second(rps);
+  runtime_config->default_deadline_ms.store(default_deadline_ms);
+  runtime_config->queue_high_water.store(queue_high_water);
+  runtime_config->write_deadline_ms.store(
+      static_cast<std::int64_t>(write_deadline_ms));
+
   server_options.write_deadline = std::chrono::milliseconds(write_deadline_ms);
   server_options.outbox_capacity = outbox_depth;
   server_options.max_in_flight = max_in_flight;
   server_options.requests_per_second = rps;
+  server_options.runtime_config = runtime_config;
 
   if (!install_signal_handlers()) {
     std::fprintf(stderr, "cannot install signal handlers: %s\n",
@@ -335,6 +386,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Deterministic chaos: BBS_FAILPOINTS arms the failpoints before any
+    // worker starts; a typo'd spec is a startup error, not a silent no-op.
+    bbs::service::FaultInjector::instance().configure_from_env();
+    if (bbs::service::FaultInjector::instance().enabled()) {
+      std::fprintf(
+          stderr, "bbs_serve: fault injection armed: %s\n",
+          bbs::service::FaultInjector::instance().describe().c_str());
+    }
     bbs::service::Dispatcher dispatcher(options);
     if (!listen_spec.empty()) {
       return serve_socket(dispatcher, bbs::service::parse_endpoint(listen_spec),
@@ -343,6 +402,7 @@ int main(int argc, char** argv) {
     bbs::service::SessionOptions session_options;
     session_options.max_in_flight = max_in_flight;
     session_options.requests_per_second = rps;
+    session_options.runtime_config = runtime_config;
     return serve_stdio(dispatcher, std::move(session_options));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbs_serve: %s\n", e.what());

@@ -9,6 +9,11 @@
 //
 //   $ ./jsonl_client unix:/tmp/bbs.sock < requests.jsonl > responses.jsonl
 //   $ ./jsonl_client tcp://127.0.0.1:7421 < requests.jsonl
+//
+// --connect-retries N retries a refused/absent endpoint with exponential
+// backoff (50ms doubling, capped at 1s) — a script can launch the daemon
+// and the client concurrently without a race; --timeout S bounds the total
+// time spent retrying.
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -16,10 +21,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "bbs/service/endpoint.hpp"
 
@@ -76,6 +85,32 @@ int connect_endpoint(const bbs::service::Endpoint& endpoint) {
   return fd;
 }
 
+/// connect_endpoint() with retries on "daemon not up yet" errors
+/// (ECONNREFUSED, and ENOENT for a unix socket path that does not exist
+/// yet). Backs off exponentially from 50ms, doubling per attempt and
+/// capped at 1s; gives up after `retries` retries or once `timeout`
+/// elapses (0 = no overall bound). Errors other than refused/absent fail
+/// immediately — retrying a bad host or a permission error only hides it.
+int connect_with_retries(const bbs::service::Endpoint& endpoint, int retries,
+                         std::chrono::milliseconds timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::milliseconds backoff{50};
+  for (int attempt = 0;; ++attempt) {
+    errno = 0;
+    const int fd = connect_endpoint(endpoint);
+    if (fd >= 0) return fd;
+    const bool retryable = errno == ECONNREFUSED || errno == ENOENT;
+    if (!retryable || attempt >= retries) return -1;
+    if (timeout.count() > 0 &&
+        std::chrono::steady_clock::now() - start + backoff > timeout) {
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
+  }
+}
+
 bool send_all(int fd, const char* data, std::size_t size) {
   std::size_t off = 0;
   while (off < size) {
@@ -92,22 +127,62 @@ bool send_all(int fd, const char* data, std::size_t size) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <unix:/path | /path | tcp://host:port>\n"
-                 "streams stdin to a bbs_serve socket endpoint, half-closes,\n"
-                 "and prints the response stream to stdout\n",
-                 argv[0]);
+  const char* endpoint_spec = nullptr;
+  int connect_retries = 0;
+  std::chrono::milliseconds timeout{0};
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0 || v > 1000) {
+        usage_error = true;
+        break;
+      }
+      connect_retries = static_cast<int>(v);
+    } else if (std::strcmp(arg, "--timeout") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(v >= 0.0) || v > 3600.0) {
+        usage_error = true;
+        break;
+      }
+      timeout = std::chrono::milliseconds(static_cast<long>(v * 1000.0));
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      usage_error = true;
+      break;
+    } else if (endpoint_spec == nullptr) {
+      endpoint_spec = arg;
+    } else {
+      usage_error = true;
+      break;
+    }
+  }
+  if (usage_error || endpoint_spec == nullptr) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--connect-retries N] [--timeout SECONDS]\n"
+        "          <unix:/path | /path | tcp://host:port>\n"
+        "streams stdin to a bbs_serve socket endpoint, half-closes,\n"
+        "and prints the response stream to stdout\n"
+        "  --connect-retries N  retry a refused/absent endpoint up to N\n"
+        "                       times with exponential backoff (50ms\n"
+        "                       doubling, capped at 1s; default: 0)\n"
+        "  --timeout SECONDS    give up retrying after this long\n"
+        "                       (default: unbounded)\n",
+        argv[0]);
     return 1;
   }
   int fd = -1;
   try {
-    fd = connect_endpoint(bbs::service::parse_endpoint(argv[1]));
+    fd = connect_with_retries(bbs::service::parse_endpoint(endpoint_spec),
+                              connect_retries, timeout);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "jsonl_client: %s\n", e.what());
     return 1;
   }
-  if (fd < 0) return fail(std::string("connect '") + argv[1] + "'");
+  if (fd < 0) return fail(std::string("connect '") + endpoint_spec + "'");
 
   char buf[4096];
   for (;;) {

@@ -66,6 +66,7 @@ int run_batch(bbs::api::Engine& engine, std::istream& in) {
       response.kind = "unknown";
       response.status = api::ResponseStatus::kError;
       response.error = e.what();
+      response.error_code = api::ErrorCode::kParse;
     }
     all_ok = all_ok && response.ok();
     std::fputs(io::write_json_compact(io::response_to_json_value(response))

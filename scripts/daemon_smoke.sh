@@ -44,6 +44,32 @@ check() { # <label> <responses.jsonl>
 "$BBS_SERVE" --workers "$WORKERS" --no-steal < "$BATCH" > "$workdir/stdio.jsonl"
 check stdio "$workdir/stdio.jsonl"
 
+# --- chaos leg (stdio): injected worker delay + hot-reloaded deadline -----
+# A 200ms injected worker stall against a 50ms default deadline — installed
+# over the wire via set_config, not a flag — must shed the queued solve with
+# a structured deadline_exceeded error before any solver work runs, and the
+# stats snapshot must account for the shed and echo the reloaded config.
+{
+  printf '{"kind":"set_config","id":"cfg-1","default_deadline_ms":50}\n'
+  head -n 1 "$BATCH"
+  printf '{"kind":"stats","id":"stats-1"}\n'
+} > "$workdir/chaos_input.jsonl"
+# Exit 2 is the stdio contract for "served, but some responses were
+# errors" — exactly what the shed must produce. Anything else is a bug.
+chaos_rc=0
+BBS_FAILPOINTS='worker.delay_ms=200' \
+  "$BBS_SERVE" --workers 1 --no-steal \
+  < "$workdir/chaos_input.jsonl" > "$workdir/chaos.jsonl" || chaos_rc=$?
+if [ "$chaos_rc" -ne 2 ]; then
+  echo "daemon_smoke: chaos leg: expected exit 2 (error responses), got $chaos_rc" >&2
+  exit 1
+fi
+grep -q '"applied":{"default_deadline_ms":50}' "$workdir/chaos.jsonl"
+grep -q '"error_code":"deadline_exceeded"' "$workdir/chaos.jsonl"
+grep -q '"deadline_shed":1' "$workdir/chaos.jsonl"
+grep -q '"solves":0' "$workdir/chaos.jsonl"
+echo "daemon_smoke: chaos OK (set_config reload + deadline shed before any solve)"
+
 [ -n "$JSONL_CLIENT" ] || exit 0
 
 # Waits until the daemon logs its bound endpoint, then prints it.

@@ -246,6 +246,17 @@ Engine::PooledSession& Engine::acquire(const std::string& key,
   return *pool_.back();
 }
 
+Engine::PooledSession& Engine::acquire_controlled(
+    const std::string& key, const model::Configuration& config,
+    core::SessionOptions session_options) {
+  PooledSession& pooled =
+      acquire(key, config, std::move(session_options));
+  // Installed unconditionally — on hits it replaces whatever control the
+  // previous request left behind, on misses it arms the fresh session.
+  pooled.session.set_solve_control(control_);
+  return pooled;
+}
+
 void Engine::trim_pool() {
   if (pool_.empty()) return;
   const auto lru = std::min_element(
@@ -257,14 +268,50 @@ void Engine::trim_pool() {
 }
 
 Response Engine::run(const Request& request) {
+  Deadline deadline = Deadline::max();
+  if (request.options.deadline_ms > 0.0) {
+    deadline = solver::CancelToken::Clock::now() +
+               std::chrono::duration_cast<solver::CancelToken::Clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       request.options.deadline_ms));
+  }
+  return run(request, deadline, nullptr);
+}
+
+Response Engine::run(const Request& request, Deadline deadline,
+                     std::shared_ptr<solver::CancelToken> cancel) {
   const auto start = std::chrono::steady_clock::now();
+
+  // Per-execution interruption control, installed on every session this
+  // request acquires. The caller's deadline (which may predate this call by
+  // the request's queue wait) wins over options.deadline_ms-derived ones;
+  // per-solve limits and failpoints ride along from the request options.
+  control_ = core::SolveControl{};
+  control_.time_limit_ms = request.options.ipm.time_limit_ms;
+  control_.deadline = deadline;
+  control_.cancel =
+      cancel != nullptr ? std::move(cancel) : request.options.ipm.cancel;
+  control_.fail_at_iteration = request.options.ipm.fail_at_iteration;
+
   Response response;
-  try {
-    response = run_checked(request);
-  } catch (const std::exception& e) {
+  const auto fail = [&](ErrorCode code, const char* what) {
     response = Response{};
     response.status = ResponseStatus::kError;
-    response.error = e.what();
+    response.error = what;
+    response.error_code = code;
+  };
+  try {
+    response = run_checked(request);
+  } catch (const DeadlineExceeded& e) {
+    fail(ErrorCode::kDeadlineExceeded, e.what());
+  } catch (const Cancelled& e) {
+    fail(ErrorCode::kCancelled, e.what());
+  } catch (const ModelError& e) {
+    fail(ErrorCode::kParse, e.what());
+  } catch (const NumericalError& e) {
+    fail(ErrorCode::kNumericalFailure, e.what());
+  } catch (const std::exception& e) {
+    fail(ErrorCode::kInternal, e.what());
   }
   response.id = request.id;
   response.kind = request.kind();
@@ -321,6 +368,14 @@ Response Engine::run_checked(const Request& request) {
   base.mapping.ipm = opts.ipm;
   base.mapping.rounding_eps = opts.rounding_eps;
   base.mapping.verify = false;
+  // Per-execution state never bakes into a session: deadlines, tokens and
+  // failpoints are wildcards of the pool key (requests differing only in
+  // them share sessions) and are (re)installed on every acquire via
+  // SolveControl instead.
+  base.mapping.ipm.time_limit_ms = 0.0;
+  base.mapping.ipm.deadline = solver::CancelToken::Clock::time_point::max();
+  base.mapping.ipm.cancel = nullptr;
+  base.mapping.ipm.fail_at_iteration = -1;
 
   Response response;
   Diagnostics& diag = response.diagnostics;
@@ -338,7 +393,7 @@ Response Engine::run_checked(const Request& request) {
 
   if (const auto* r = std::get_if<SolveRequest>(&request.payload)) {
     PooledSession& pooled =
-        acquire(pool_key(r->configuration, Mode::kJoint, opts),
+        acquire_controlled(pool_key(r->configuration, Mode::kJoint, opts),
                 r->configuration, base);
     if (pooled.hit) {
       reapply_parameters(pooled.session, r->configuration,
@@ -346,6 +401,13 @@ Response Engine::run_checked(const Request& request) {
     }
     const WorkspaceSnapshot before = snapshot(pooled.session);
     core::MappingResult mapping = pooled.session.solve();
+    core::throw_if_interrupted(mapping);
+    if (mapping.status == solver::SolveStatus::kNumericalFailure) {
+      // A lone solve has no bracket to fall back on: a numerical breakdown
+      // is neither a solution nor an infeasibility certificate, so surface
+      // it as a structured hard error instead of claiming "infeasible".
+      throw NumericalError("interior-point solve failed to converge");
+    }
     if (opts.verify) core::verify_mapping(pooled.session.config(), mapping);
     response.status = mapping.feasible() ? ResponseStatus::kOk
                                          : ResponseStatus::kInfeasible;
@@ -366,7 +428,7 @@ Response Engine::run_checked(const Request& request) {
       tg.set_max_capacity(b, r->cap_lo);
     }
     PooledSession& pooled =
-        acquire(pool_key(session_config, Mode::kJoint, opts), session_config,
+        acquire_controlled(pool_key(session_config, Mode::kJoint, opts), session_config,
                 base);
     if (pooled.hit) {
       reapply_parameters(pooled.session, session_config,
@@ -391,7 +453,7 @@ Response Engine::run_checked(const Request& request) {
     std::optional<core::MinimalPeriodResult> found;
     if (r->flow == MinPeriodRequest::Flow::kJoint) {
       PooledSession& pooled =
-          acquire(pool_key(r->configuration, Mode::kJoint, opts),
+          acquire_controlled(pool_key(r->configuration, Mode::kJoint, opts),
                   r->configuration, base);
       if (pooled.hit) {
         reapply_parameters(pooled.session, r->configuration,
@@ -445,7 +507,7 @@ Response Engine::run_checked(const Request& request) {
       core::SessionOptions bf = base;
       bf.build.fixed_budgets = budgets;
       PooledSession& pooled =
-          acquire(pool_key(r->configuration, Mode::kBudgetFirst, opts),
+          acquire_controlled(pool_key(r->configuration, Mode::kBudgetFirst, opts),
                   r->configuration, std::move(bf));
       if (pooled.hit) {
         reapply_parameters(pooled.session, r->configuration,
@@ -457,6 +519,7 @@ Response Engine::run_checked(const Request& request) {
       }
       const WorkspaceSnapshot before = snapshot(pooled.session);
       payload.mappings.push_back(pooled.session.solve());
+      core::throw_if_interrupted(payload.mappings.back());
       if (opts.verify) {
         core::verify_mapping(pooled.session.config(), payload.mappings.back());
       }
@@ -469,7 +532,7 @@ Response Engine::run_checked(const Request& request) {
       bf.build.fixed_deltas =
           core::buffer_first_deltas(r->configuration, r->cap_lo);
       PooledSession& pooled =
-          acquire(pool_key(r->configuration, Mode::kBufferFirst, opts),
+          acquire_controlled(pool_key(r->configuration, Mode::kBufferFirst, opts),
                   r->configuration, std::move(bf));
       if (pooled.hit) {
         // Fixed-delta programs have no cap rows; the caps are part of the
@@ -502,7 +565,7 @@ Response Engine::run_checked(const Request& request) {
                      r->graph < r->configuration.num_task_graphs()),
                 "LatencyRequest: graph index out of range");
     PooledSession& pooled =
-        acquire(pool_key(r->configuration, Mode::kJoint, opts),
+        acquire_controlled(pool_key(r->configuration, Mode::kJoint, opts),
                 r->configuration, base);
     if (pooled.hit) {
       reapply_parameters(pooled.session, r->configuration,
@@ -511,6 +574,7 @@ Response Engine::run_checked(const Request& request) {
     const WorkspaceSnapshot before = snapshot(pooled.session);
     LatencyPayload payload;
     payload.mapping = pooled.session.solve();
+    core::throw_if_interrupted(payload.mapping);
     if (opts.verify) {
       core::verify_mapping(pooled.session.config(), payload.mapping);
     }

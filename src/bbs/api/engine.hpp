@@ -72,9 +72,24 @@ class Engine {
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
 
+  /// Absolute steady-clock deadline of one request execution.
+  using Deadline = solver::CancelToken::Clock::time_point;
+
   /// Executes one request. Model/usage/numerical errors never escape: they
-  /// come back as a Response with status kError and the cause in `error`.
+  /// come back as a Response with status kError and the cause in `error` /
+  /// `error_code`. A request with options.deadline_ms > 0 gets an absolute
+  /// deadline of now + deadline_ms.
   Response run(const Request& request);
+
+  /// Executes one request against a caller-supplied absolute deadline
+  /// (lets a service account for time already spent queueing) and an
+  /// optional shared cancellation token (e.g. flipped when the client
+  /// disconnects). Deadline::max() disables the deadline. Expiry terminates
+  /// within one IPM iteration and comes back as a structured
+  /// `deadline_exceeded` (resp. `cancelled`) error response; the pooled
+  /// session that served the request stays warm and reusable.
+  Response run(const Request& request, Deadline deadline,
+               std::shared_ptr<solver::CancelToken> cancel);
 
   /// Executes the requests in order through the session pool. Equivalent to
   /// calling run() per element; one vector entry per request, same order.
@@ -96,6 +111,11 @@ class Engine {
   PooledSession& acquire(const std::string& key,
                          const model::Configuration& session_config,
                          core::SessionOptions session_options);
+  /// acquire() plus installation of the current request's SolveControl on
+  /// the session (deadline / cancel token / injected fault).
+  PooledSession& acquire_controlled(const std::string& key,
+                                    const model::Configuration& session_config,
+                                    core::SessionOptions session_options);
   void trim_pool();
 
   Response run_checked(const Request& request);
@@ -104,6 +124,10 @@ class Engine {
   std::vector<std::unique_ptr<PooledSession>> pool_;
   std::uint64_t clock_ = 0;  ///< LRU stamp source
   EngineStats stats_;
+  /// Interruption control of the request currently executing; installed on
+  /// every session acquire() so pooled sessions never carry one request's
+  /// deadline or token into the next.
+  core::SolveControl control_;
 };
 
 /// The pool key the engine would file `request` under: a serialisation of

@@ -52,4 +52,52 @@ const char* to_string(ResponseStatus status) {
   return "error";
 }
 
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kOverQuota:
+      return "over_quota";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kNumericalFailure:
+      return "numerical_failure";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode error_code_from_string(const std::string& code) {
+  if (code.empty()) return ErrorCode::kNone;
+  if (code == "parse") return ErrorCode::kParse;
+  if (code == "over_quota") return ErrorCode::kOverQuota;
+  if (code == "deadline_exceeded") return ErrorCode::kDeadlineExceeded;
+  if (code == "cancelled") return ErrorCode::kCancelled;
+  if (code == "overloaded") return ErrorCode::kOverloaded;
+  if (code == "shutting_down") return ErrorCode::kShuttingDown;
+  if (code == "numerical_failure") return ErrorCode::kNumericalFailure;
+  return ErrorCode::kInternal;
+}
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverQuota:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace bbs::api

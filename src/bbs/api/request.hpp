@@ -32,6 +32,14 @@ struct RequestOptions {
   bool verify = true;
   /// Rounding tolerance (see bbs/core/rounding.hpp).
   double rounding_eps = 1e-7;
+  /// Wall-clock budget for this request in milliseconds; 0 = unlimited.
+  /// The budget covers the request's whole life — in a service deployment
+  /// it starts ticking at enqueue, so time spent waiting in a worker queue
+  /// counts. Expiry yields a structured `deadline_exceeded` error; each
+  /// request of a batch gets its own budget. Deadlines do NOT enter the
+  /// session pool key: requests that differ only in deadline_ms share a
+  /// pooled session.
+  double deadline_ms = 0.0;
 };
 
 /// compute_budgets_and_buffers: the paper's joint budget/buffer solve.

@@ -32,6 +32,30 @@ enum class ResponseStatus {
 
 const char* to_string(ResponseStatus status);
 
+/// Machine-readable error taxonomy, carried alongside the human-readable
+/// `error` string so clients can tell retryable failures (deadline,
+/// overload, quota, shutdown) from fatal ones (parse, internal) without
+/// string matching. Serialised as `error_code` in the JSON schema
+/// (additive to schema v1; absent on non-error responses).
+enum class ErrorCode {
+  kNone,              ///< not an error response
+  kParse,             ///< malformed request / invalid model (fatal)
+  kOverQuota,         ///< per-client quota exceeded (retryable, backoff)
+  kDeadlineExceeded,  ///< deadline expired in queue or mid-solve (retryable)
+  kCancelled,         ///< cancelled via token, e.g. client gone (not retried)
+  kOverloaded,        ///< shed at admission: queue over high water (retryable)
+  kShuttingDown,      ///< daemon stopping (retryable against a replacement)
+  kNumericalFailure,  ///< solver could not converge on this instance (fatal)
+  kInternal,          ///< contract violation / unexpected exception (fatal)
+};
+
+const char* to_string(ErrorCode code);
+/// Inverse of to_string; unknown strings map to kInternal, "" to kNone.
+ErrorCode error_code_from_string(const std::string& code);
+/// Whether a client should retry a request that failed with this code
+/// (possibly after backoff / against another instance).
+bool is_retryable(ErrorCode code);
+
 /// Execution diagnostics of one request: where the time and the IPM effort
 /// went, and whether the cross-solve reuse machinery was engaged.
 struct Diagnostics {
@@ -98,6 +122,8 @@ struct Response {
   std::string kind;
   ResponseStatus status = ResponseStatus::kError;
   std::string error;  ///< human-readable cause when status == kError
+  /// Machine-readable cause when status == kError (kNone otherwise).
+  ErrorCode error_code = ErrorCode::kNone;
   ResponsePayload payload;
   Diagnostics diagnostics;
 

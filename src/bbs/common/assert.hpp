@@ -34,6 +34,24 @@ class NumericalError : public std::runtime_error {
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a request's wall-clock budget expires mid-computation. The
+/// IPM itself reports expiry as a terminal status (SolveStatus::kTimedOut);
+/// multi-solve drivers (sweeps, bisections) convert that status into this
+/// exception to abort the remaining probes, and the API boundary maps it to
+/// the structured `deadline_exceeded` error code.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when a request is cancelled via its CancelToken (e.g. the client
+/// disconnected). Mapped to the `cancelled` error code at the API boundary.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);

@@ -75,6 +75,15 @@ MappingResult compute_budgets_and_buffers(const model::Configuration& config,
   return solve_built_program(config, program, options);
 }
 
+void throw_if_interrupted(const MappingResult& result) {
+  if (result.status == solver::SolveStatus::kTimedOut) {
+    throw DeadlineExceeded("solve exceeded its deadline");
+  }
+  if (result.status == solver::SolveStatus::kCancelled) {
+    throw Cancelled("solve was cancelled");
+  }
+}
+
 void verify_mapping(const model::Configuration& config,
                     MappingResult& result) {
   if (!result.feasible()) return;

@@ -52,6 +52,13 @@ struct MappingResult {
   bool verified = false;
 
   bool feasible() const { return status == solver::SolveStatus::kOptimal; }
+  /// True iff the solve exited early on a deadline or cancellation: the
+  /// result is neither a solution nor an infeasibility certificate, and
+  /// search drivers must abort rather than read it as an infeasible probe.
+  bool interrupted() const {
+    return status == solver::SolveStatus::kTimedOut ||
+           status == solver::SolveStatus::kCancelled;
+  }
 };
 
 struct MappingOptions {
@@ -82,6 +89,15 @@ MappingResult mapping_from_solution(const model::Configuration& config,
                                     const BuiltProgram& program,
                                     const solver::SolveResult& solution,
                                     const MappingOptions& options);
+
+/// Aborts a multi-solve driver when a probe was interrupted: kTimedOut
+/// throws DeadlineExceeded, kCancelled throws Cancelled; anything else is a
+/// no-op (kNumericalFailure is deliberately NOT an interruption — search
+/// drivers treat a numerically failed probe as infeasible and keep
+/// searching, which only single, final solves escalate to a hard error).
+/// Without this a bisection or sweep would silently misread the
+/// half-finished probe as an infeasible point.
+void throw_if_interrupted(const MappingResult& result);
 
 /// (Re)runs the MCR + platform verification pass on a feasible rounded
 /// mapping, filling per-graph verification data and `verified`. Lets search

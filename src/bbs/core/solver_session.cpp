@@ -37,6 +37,19 @@ void SolverSession::set_fixed_deltas(Index graph, const Vector& deltas) {
   program_.refresh_fixed_deltas(config_, graph, deltas);
 }
 
+void SolverSession::set_solve_control(const SolveControl& control) {
+  solver::SolverOptions opts = options_.mapping.ipm;
+  opts.time_limit_ms = control.time_limit_ms;
+  opts.deadline = control.deadline;
+  opts.cancel = control.cancel;
+  opts.fail_at_iteration = control.fail_at_iteration;
+  ipm_ = solver::IpmSolver(opts);
+}
+
+void SolverSession::clear_solve_control() {
+  ipm_ = solver::IpmSolver(options_.mapping.ipm);
+}
+
 double SolverSession::seed_merit(const Snapshot& snap) const {
   // Distance of the stored point from a tau = 1 embedding solution of the
   // *current* data: the primal and dual residuals the solver would start

@@ -46,6 +46,21 @@ struct SessionOptions {
   bool two_sided_warm_seeds = true;
 };
 
+/// Per-request interruption control for a (possibly pooled) session: a
+/// wall-clock budget, a shared cancellation token, and the chaos tests'
+/// injected-failure hook. Installed with SolverSession::set_solve_control
+/// before the request's solves and cleared afterwards, so sessions pooled
+/// across requests never leak one request's deadline into the next.
+struct SolveControl {
+  double time_limit_ms = 0.0;  ///< per-solve budget; 0 = unlimited
+  /// Absolute deadline shared by every solve of the request (sweeps and
+  /// bisections spend one budget across all probes); max() = none.
+  solver::CancelToken::Clock::time_point deadline =
+      solver::CancelToken::Clock::time_point::max();
+  std::shared_ptr<solver::CancelToken> cancel;
+  int fail_at_iteration = -1;  ///< fault injection; -1 = off
+};
+
 /// Which snapshot seeded a solve (see SolverSession::seed_stats()).
 enum class SeedSide { kCold, kFeasible, kInfeasible };
 
@@ -94,6 +109,15 @@ class SolverSession {
   /// Replaces a graph's fixed phase-1 space-token counts (sessions built
   /// with BuildOptions::fixed_deltas only).
   void set_fixed_deltas(Index graph, const Vector& deltas);
+
+  /// Installs per-request interruption control (deadline, cancel token,
+  /// injected failure) for subsequent solve() calls. An interrupted solve
+  /// reports kTimedOut/kCancelled through the MappingResult and refreshes
+  /// no warm snapshot — the program, workspace and symbolic factorisation
+  /// stay valid, so the session remains fully reusable afterwards.
+  void set_solve_control(const SolveControl& control);
+  /// Restores the session's base solver options (no deadline, no token).
+  void clear_solve_control();
 
   /// Solves the current program through the persistent workspace and runs
   /// the usual rounding + verification tail. Equivalent (up to solver

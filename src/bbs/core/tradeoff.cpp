@@ -58,6 +58,7 @@ TradeoffSweep sweep_max_capacity(SolverSession& session, Index graph_index,
   for (Index cap = cap_lo; cap <= cap_hi; ++cap) {
     session.set_all_buffer_caps(graph_index, cap);
     const MappingResult result = session.solve();
+    throw_if_interrupted(result);
 
     TradeoffPoint point;
     point.max_capacity = cap;
@@ -111,7 +112,11 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
 
   const auto solve_at = [&](double period) {
     session.set_required_period(graph_index, period);
-    return session.solve();
+    MappingResult result = session.solve();
+    // A deadline hit mid-bisection must abort the search, not masquerade
+    // as an infeasible probe and skew the bracket.
+    throw_if_interrupted(result);
+    return result;
   };
 
   MappingResult at_hi = solve_at(period_hi);

@@ -99,6 +99,7 @@ std::vector<MappingResult> sweep_buffer_first(SolverSession& session,
       session.set_fixed_deltas(gi, deltas[static_cast<std::size_t>(gi)]);
     }
     results.push_back(session.solve());
+    throw_if_interrupted(results.back());
   }
   return results;
 }
@@ -148,7 +149,11 @@ std::optional<MinimalPeriodResult> minimal_feasible_period_budget_first(
         graph_index,
         budget_first_budgets(session.config(), rounding_eps)
             [static_cast<std::size_t>(graph_index)]);
-    return session.solve();
+    MappingResult result = session.solve();
+    // Abort the bisection on a deadline/cancel; an interrupted probe is not
+    // an infeasible one.
+    throw_if_interrupted(result);
+    return result;
   };
 
   MappingResult at_hi = solve_at(period_hi);

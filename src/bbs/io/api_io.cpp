@@ -75,7 +75,8 @@ solver::SolveStatus solve_status_from_string(const std::string& s) {
   for (const SolveStatus status :
        {SolveStatus::kOptimal, SolveStatus::kPrimalInfeasible,
         SolveStatus::kDualInfeasible, SolveStatus::kMaxIterations,
-        SolveStatus::kNumericalFailure}) {
+        SolveStatus::kNumericalFailure, SolveStatus::kTimedOut,
+        SolveStatus::kCancelled}) {
     if (s == solver::to_string(status)) return status;
   }
   schema_error("unknown solve status '" + s + "'");
@@ -312,6 +313,7 @@ JsonValue options_to_json_value(const api::RequestOptions& options) {
   o["feas_tol"] = options.ipm.feas_tol;
   o["gap_tol"] = options.ipm.gap_tol;
   o["warm_start"] = options.ipm.warm_start;
+  if (options.deadline_ms > 0.0) o["deadline_ms"] = options.deadline_ms;
   return JsonValue(std::move(o));
 }
 
@@ -325,6 +327,7 @@ api::RequestOptions options_from_json_value(const JsonValue& doc) {
   options.ipm.feas_tol = get_number(o, "feas_tol", options.ipm.feas_tol);
   options.ipm.gap_tol = get_number(o, "gap_tol", options.ipm.gap_tol);
   options.ipm.warm_start = get_bool(o, "warm_start", options.ipm.warm_start);
+  options.deadline_ms = get_number(o, "deadline_ms", options.deadline_ms);
   return options;
 }
 
@@ -471,6 +474,11 @@ JsonValue response_to_json_value(const api::Response& response) {
   root["status"] = std::string(api::to_string(response.status));
   if (response.status == api::ResponseStatus::kError) {
     root["error"] = response.error;
+    // Additive to schema v1: absent on non-error responses and on streams
+    // written by pre-taxonomy builds.
+    if (response.error_code != api::ErrorCode::kNone) {
+      root["error_code"] = std::string(api::to_string(response.error_code));
+    }
   }
 
   if (const auto* p = std::get_if<api::SolvePayload>(&response.payload)) {
@@ -535,6 +543,10 @@ api::Response response_from_json_value(const JsonValue& doc) {
   response.status = response_status_from_string(
       require(root, "status", "response").as_string());
   if (root.contains("error")) response.error = root.at("error").as_string();
+  if (root.contains("error_code")) {
+    response.error_code =
+        api::error_code_from_string(root.at("error_code").as_string());
+  }
 
   if (response.status != api::ResponseStatus::kError) {
     const JsonValue& result = require(root, "result", "response");

@@ -9,6 +9,8 @@ const char* to_string(ControlKind kind) {
   switch (kind) {
     case ControlKind::kStats:
       return "stats";
+    case ControlKind::kSetConfig:
+      return "set_config";
   }
   return "?";
 }
@@ -20,7 +22,13 @@ std::optional<ControlKind> control_kind(const JsonValue& doc) {
     return std::nullopt;
   }
   const std::string& kind = root.at("kind").as_string();
-  if (kind != "stats") return std::nullopt;
+  std::optional<ControlKind> classified;
+  if (kind == "stats") {
+    classified = ControlKind::kStats;
+  } else if (kind == "set_config") {
+    classified = ControlKind::kSetConfig;
+  }
+  if (!classified) return std::nullopt;
 
   // It is a control message: validate the envelope fields it may carry.
   // schema_version is optional — a bare {"kind":"stats"} is the documented
@@ -35,7 +43,7 @@ std::optional<ControlKind> control_kind(const JsonValue& doc) {
   if (root.contains("id") && !root.at("id").is_string()) {
     throw ModelError("control message: id must be a string");
   }
-  return ControlKind::kStats;
+  return classified;
 }
 
 std::string control_id(const JsonValue& doc) {

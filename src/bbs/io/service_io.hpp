@@ -6,6 +6,8 @@
 //
 //   {"kind":"stats"}                  // ServiceStats snapshot
 //   {"kind":"stats","id":"probe-7"}   // with the usual id echo
+//   {"kind":"set_config","max_in_flight":8,"default_deadline_ms":500}
+//                                     // hot-reload runtime limits
 //
 // Control messages deliberately reuse the request envelope (the same "kind"
 // discriminator and optional "id"/"schema_version" fields), so one framing
@@ -23,7 +25,8 @@ namespace bbs::io {
 
 /// Control messages the service daemon understands.
 enum class ControlKind {
-  kStats,  ///< snapshot of the daemon's per-worker ServiceStats
+  kStats,      ///< snapshot of the daemon's per-worker ServiceStats
+  kSetConfig,  ///< hot-reload of runtime limits (quotas, deadlines, ...)
 };
 
 const char* to_string(ControlKind kind);

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "bbs/service/bounded_queue.hpp"
+#include "bbs/service/fault_injector.hpp"
 
 namespace bbs::service {
 
@@ -14,7 +15,25 @@ namespace {
 struct Task {
   api::Request request;
   Dispatcher::Completion done;
+  /// Absolute deadline stamped at enqueue (max() = none): the request's
+  /// budget starts ticking when it joins the queue, not when a worker
+  /// finally picks it up.
+  api::Engine::Deadline deadline = api::Engine::Deadline::max();
+  std::shared_ptr<solver::CancelToken> cancel;
 };
+
+/// The error response of a task that never reached an engine (shed while
+/// queued, or dropped by a non-draining stop).
+api::Response shed_response(const Task& task, api::ErrorCode code,
+                            std::string message) {
+  api::Response response;
+  response.id = task.request.id;
+  response.kind = task.request.kind();
+  response.status = api::ResponseStatus::kError;
+  response.error = std::move(message);
+  response.error_code = code;
+  return response;
+}
 
 }  // namespace
 
@@ -33,6 +52,10 @@ struct Dispatcher::Worker {
   api::EngineStats stats;
   std::size_t pooled_sessions = 0;
   std::uint64_t stolen = 0;  ///< guarded by stats_mutex
+  // Deadline/cancellation outcome counters, guarded by stats_mutex.
+  std::uint64_t deadline_shed = 0;
+  std::uint64_t timed_out_mid_solve = 0;
+  std::uint64_t cancelled = 0;
   std::thread thread;
 };
 
@@ -74,23 +97,75 @@ void Dispatcher::worker_loop(Worker& worker) {
     return victim->queue.try_pop();
   };
 
+  const auto complete = [](Task& task, api::Response response) {
+    if (!task.done) return;
+    try {
+      task.done(std::move(response));
+    } catch (...) {
+      // Completions are documented not to throw; swallowing here keeps a
+      // misbehaving connection from killing the worker (and with it every
+      // other client routed to this shard).
+    }
+  };
+
   const auto run_task = [&](Task task, bool was_steal) {
-    api::Response response = worker.engine.run(task.request);
+    FaultInjector& faults = FaultInjector::instance();
+    if (faults.enabled()) {
+      // worker.delay_ms inflates queue wait deterministically (the chaos
+      // tests drive the shedding paths with it); ipm.fail_at forces the
+      // solver into a numerical failure at a chosen iteration.
+      if (const int delay = faults.worker_delay_ms(); delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      if (const int fail_at = faults.ipm_fail_at(); fail_at >= 0) {
+        task.request.options.ipm.fail_at_iteration = fail_at;
+      }
+    }
+
+    // Shedding: a task whose budget is already spent (or whose client is
+    // gone) is answered without touching the engine — under overload the
+    // scarce resource is solver time, and burning it on answers nobody
+    // can use anymore only deepens the backlog.
+    const bool was_cancelled =
+        task.cancel != nullptr &&
+        task.cancel->cancelled();
+    const bool queue_expired =
+        !was_cancelled && task.deadline != api::Engine::Deadline::max() &&
+        solver::CancelToken::Clock::now() >= task.deadline;
+    if (was_cancelled || queue_expired) {
+      {
+        std::lock_guard<std::mutex> lock(worker.stats_mutex);
+        if (was_steal) ++worker.stolen;
+        if (was_cancelled) {
+          ++worker.cancelled;
+        } else {
+          ++worker.deadline_shed;
+        }
+      }
+      complete(task,
+               was_cancelled
+                   ? shed_response(task, api::ErrorCode::kCancelled,
+                                   "request was cancelled while queued")
+                   : shed_response(
+                         task, api::ErrorCode::kDeadlineExceeded,
+                         "deadline expired while the request was queued"));
+      return;
+    }
+
+    api::Response response =
+        worker.engine.run(task.request, task.deadline, task.cancel);
     {
       std::lock_guard<std::mutex> lock(worker.stats_mutex);
       worker.stats = worker.engine.stats();
       worker.pooled_sessions = worker.engine.pooled_sessions();
       if (was_steal) ++worker.stolen;
-    }
-    if (task.done) {
-      try {
-        task.done(std::move(response));
-      } catch (...) {
-        // Completions are documented not to throw; swallowing here keeps a
-        // misbehaving connection from killing the worker (and with it every
-        // other client routed to this shard).
+      if (response.error_code == api::ErrorCode::kDeadlineExceeded) {
+        ++worker.timed_out_mid_solve;
+      } else if (response.error_code == api::ErrorCode::kCancelled) {
+        ++worker.cancelled;
       }
     }
+    complete(task, std::move(response));
   };
 
   if (!options_.work_stealing) {
@@ -129,9 +204,25 @@ std::size_t Dispatcher::route(const api::Request& request) const {
          workers_.size();
 }
 
-bool Dispatcher::submit(api::Request request, Completion done) {
+std::size_t Dispatcher::queue_depth(std::size_t worker) const {
+  return workers_[worker]->queue.size();
+}
+
+bool Dispatcher::submit(api::Request request, Completion done,
+                        std::shared_ptr<solver::CancelToken> cancel) {
+  Task task;
+  if (request.options.deadline_ms > 0.0) {
+    task.deadline =
+        solver::CancelToken::Clock::now() +
+        std::chrono::duration_cast<solver::CancelToken::Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                request.options.deadline_ms));
+  }
+  task.cancel = std::move(cancel);
   Worker& worker = *workers_[route(request)];
-  return worker.queue.push(Task{std::move(request), std::move(done)});
+  task.request = std::move(request);
+  task.done = std::move(done);
+  return worker.queue.push(std::move(task));
 }
 
 void Dispatcher::stop(bool drain) {
@@ -158,13 +249,9 @@ void Dispatcher::stop(bool drain) {
   // work is answered with a shutdown error instead of being executed.
   for (Task& task : dropped) {
     if (!task.done) continue;
-    api::Response response;
-    response.id = task.request.id;
-    response.kind = task.request.kind();
-    response.status = api::ResponseStatus::kError;
-    response.error = "service is shutting down";
     try {
-      task.done(std::move(response));
+      task.done(shed_response(task, api::ErrorCode::kShuttingDown,
+                              "service is shutting down"));
     } catch (...) {
       // Completions are documented not to throw (see worker_loop).
     }
@@ -182,9 +269,15 @@ ServiceStats Dispatcher::stats() const {
       ws.engine = worker->stats;
       ws.pooled_sessions = worker->pooled_sessions;
       ws.stolen = worker->stolen;
+      ws.deadline_shed = worker->deadline_shed;
+      ws.timed_out_mid_solve = worker->timed_out_mid_solve;
+      ws.cancelled = worker->cancelled;
     }
     ws.queue_depth = worker->queue.size();
     total.stolen += ws.stolen;
+    total.deadline_shed += ws.deadline_shed;
+    total.timed_out_mid_solve += ws.timed_out_mid_solve;
+    total.cancelled += ws.cancelled;
     total.requests += ws.engine.requests;
     total.ok += ws.engine.ok;
     total.infeasible += ws.engine.infeasible;

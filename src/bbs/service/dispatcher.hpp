@@ -62,6 +62,16 @@ struct WorkerStats {
   std::size_t pooled_sessions = 0;
   /// Tasks this worker executed that were routed to a peer (steals).
   std::uint64_t stolen = 0;
+  /// Tasks whose deadline expired while still queued: answered with a
+  /// `deadline_exceeded` error *without* touching the engine (the
+  /// engine's `solves` counter does not move for a shed task).
+  std::uint64_t deadline_shed = 0;
+  /// Tasks that started solving but hit their deadline mid-solve (the
+  /// IPM terminated cooperatively within one iteration).
+  std::uint64_t timed_out_mid_solve = 0;
+  /// Tasks abandoned through their cancellation token — either shed
+  /// before solving or interrupted mid-solve.
+  std::uint64_t cancelled = 0;
 };
 
 /// Daemon-wide snapshot: per-worker stats plus the aggregates the
@@ -81,6 +91,13 @@ struct ServiceStats {
   std::size_t queue_depth = 0;
   /// Total cross-worker steals (sum of WorkerStats::stolen).
   std::uint64_t stolen = 0;
+  /// Sum of WorkerStats::deadline_shed — expired in the queue, never
+  /// reached an engine.
+  std::uint64_t deadline_shed = 0;
+  /// Sum of WorkerStats::timed_out_mid_solve.
+  std::uint64_t timed_out_mid_solve = 0;
+  /// Sum of WorkerStats::cancelled.
+  std::uint64_t cancelled = 0;
 
   // --- transport-owned (see JsonlSession stats hook) ---
   std::uint64_t connections_accepted = 0;
@@ -92,6 +109,9 @@ struct ServiceStats {
   std::uint64_t slow_client_disconnects = 0;
   /// Request lines answered with an over-quota error instead of queued.
   std::uint64_t quota_rejections = 0;
+  /// Request lines rejected with a retryable `overloaded` error because
+  /// the routed worker's queue was above the configured high-water mark.
+  std::uint64_t overload_rejections = 0;
   /// Outbox depth of each currently live connection.
   std::vector<std::size_t> connection_outbox_depths;
 };
@@ -113,11 +133,26 @@ class Dispatcher {
   /// Routes the request to its structure-affine worker and enqueues it,
   /// blocking while that worker's queue is full. Returns false — without
   /// invoking `done` — once the dispatcher is stopping.
-  bool submit(api::Request request, Completion done);
+  ///
+  /// A request with options.deadline_ms > 0 is stamped with an absolute
+  /// deadline *at enqueue time*: the budget covers queue wait plus solve.
+  /// A task whose deadline passes while still queued is shed — answered
+  /// with a `deadline_exceeded` error without invoking the engine
+  /// (ServiceStats::deadline_shed); one that expires mid-solve terminates
+  /// within one IPM iteration (ServiceStats::timed_out_mid_solve). The
+  /// optional `cancel` token (typically per-connection, flipped when the
+  /// client goes away) sheds or interrupts the task the same way.
+  bool submit(api::Request request, Completion done,
+              std::shared_ptr<solver::CancelToken> cancel = nullptr);
 
   /// The worker index `request` routes to (stable for the dispatcher's
   /// lifetime: a pure hash of the request's structure key).
   std::size_t route(const api::Request& request) const;
+
+  /// Live queue depth of one worker (for the overload high-water check:
+  /// depth(route(request)) tells a session how deep the backlog it is
+  /// about to join already is).
+  std::size_t queue_depth(std::size_t worker) const;
 
   /// Stops accepting work and joins all workers. With `drain` every
   /// already queued request still executes and completes; without it the

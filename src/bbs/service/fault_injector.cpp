@@ -1,0 +1,105 @@
+#include "bbs/service/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::service {
+
+namespace {
+
+std::string trimmed(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t");
+  if (first == std::string::npos) return {};
+  const std::size_t last = text.find_last_not_of(" \t");
+  return text.substr(first, last - first + 1);
+}
+
+int parse_int(const std::string& name, const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size()) {
+      throw ModelError("failpoint " + name + ": trailing characters in '" +
+                       text + "'");
+    }
+    return value;
+  } catch (const ModelError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ModelError("failpoint " + name + ": '" + text +
+                     "' is not an integer");
+  }
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  std::size_t pos = 0;
+  bool armed = false;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string pair = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.find_first_not_of(" \t") == std::string::npos) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw ModelError("failpoint spec '" + pair + "': expected name=value");
+    }
+    const std::string name = trimmed(pair.substr(0, eq));
+    const std::string value = trimmed(pair.substr(eq + 1));
+    if (name == "worker.delay_ms") {
+      worker_delay_ms_.store(parse_int(name, value),
+                             std::memory_order_relaxed);
+    } else if (name == "ipm.fail_at") {
+      ipm_fail_at_.store(parse_int(name, value), std::memory_order_relaxed);
+    } else if (name == "outbox.stall_ms") {
+      outbox_stall_ms_.store(parse_int(name, value),
+                             std::memory_order_relaxed);
+    } else {
+      throw ModelError("unknown failpoint '" + name + "'");
+    }
+    armed = true;
+  }
+  if (armed) enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_env() {
+  const char* spec = std::getenv("BBS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  configure(spec);
+}
+
+void FaultInjector::clear() {
+  enabled_.store(false, std::memory_order_relaxed);
+  worker_delay_ms_.store(0, std::memory_order_relaxed);
+  ipm_fail_at_.store(-1, std::memory_order_relaxed);
+  outbox_stall_ms_.store(0, std::memory_order_relaxed);
+}
+
+std::string FaultInjector::describe() const {
+  if (!enabled()) return {};
+  std::string out;
+  const auto append = [&out](const std::string& pair) {
+    if (!out.empty()) out += ';';
+    out += pair;
+  };
+  if (const int v = worker_delay_ms(); v > 0) {
+    append("worker.delay_ms=" + std::to_string(v));
+  }
+  if (const int v = ipm_fail_at(); v >= 0) {
+    append("ipm.fail_at=" + std::to_string(v));
+  }
+  if (const int v = outbox_stall_ms(); v > 0) {
+    append("outbox.stall_ms=" + std::to_string(v));
+  }
+  return out;
+}
+
+}  // namespace bbs::service

@@ -1,0 +1,79 @@
+// Deterministic fault injection for the service daemon.
+//
+// Chaos tests (and operators reproducing incidents) need the daemon to
+// misbehave *on demand*: a worker that dallies before each task, a solver
+// that fails numerically at a chosen IPM iteration, a writer thread that
+// stalls before each send. The FaultInjector is a process-wide registry of
+// such failpoints, armed either programmatically (tests call configure())
+// or through the BBS_FAILPOINTS environment variable:
+//
+//   BBS_FAILPOINTS="worker.delay_ms=200;ipm.fail_at=3" bbs_serve ...
+//
+// Syntax: semicolon-separated `name=value` pairs (integer values).
+// Supported failpoints:
+//
+//   worker.delay_ms   dispatcher workers sleep this long before every task
+//                     (inflates queue wait deterministically — drives the
+//                     queue-expiry shedding and overload paths)
+//   ipm.fail_at       every solve is forced into a numerical failure at
+//                     this IPM iteration (0-based; -1 disarms)
+//   outbox.stall_ms   the socket writer thread sleeps this long before
+//                     every send (drives the slow-client/write-deadline
+//                     paths without a real slow client)
+//
+// Cost when unset: one relaxed atomic load per probe site — the injector
+// is disabled unless configure()/configure_from_env() armed at least one
+// failpoint, and every probe checks enabled() first.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace bbs::service {
+
+class FaultInjector {
+ public:
+  /// The process-wide instance every probe site consults.
+  static FaultInjector& instance();
+
+  /// Parses a failpoint spec ("name=value;name=value"). Unknown names and
+  /// malformed pairs throw ModelError — a typo'd failpoint silently doing
+  /// nothing would defeat the point of deterministic chaos. An empty spec
+  /// is a no-op.
+  void configure(const std::string& spec);
+
+  /// Reads BBS_FAILPOINTS from the environment; no-op when unset/empty.
+  /// Called once by the daemon entry points.
+  void configure_from_env();
+
+  /// Disarms every failpoint (tests call this in teardown).
+  void clear();
+
+  /// False until a failpoint is armed — the fast path every probe checks.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Milliseconds a dispatcher worker sleeps before each task (0 = off).
+  int worker_delay_ms() const {
+    return worker_delay_ms_.load(std::memory_order_relaxed);
+  }
+  /// IPM iteration at which solves are forced to fail (-1 = off).
+  int ipm_fail_at() const {
+    return ipm_fail_at_.load(std::memory_order_relaxed);
+  }
+  /// Milliseconds the socket writer sleeps before each send (0 = off).
+  int outbox_stall_ms() const {
+    return outbox_stall_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable list of armed failpoints ("" when disabled) — the
+  /// daemon logs this at startup so chaos runs are self-describing.
+  std::string describe() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> worker_delay_ms_{0};
+  std::atomic<int> ipm_fail_at_{-1};
+  std::atomic<int> outbox_stall_ms_{0};
+};
+
+}  // namespace bbs::service

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "bbs/common/assert.hpp"
 #include "bbs/io/api_io.hpp"
 #include "bbs/io/service_io.hpp"
 
@@ -47,6 +48,10 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
       JsonValue(static_cast<double>(stats.symbolic_factorisations));
   root["queue_depth"] = JsonValue(static_cast<double>(stats.queue_depth));
   root["stolen"] = JsonValue(static_cast<double>(stats.stolen));
+  root["deadline_shed"] = JsonValue(static_cast<double>(stats.deadline_shed));
+  root["timed_out_mid_solve"] =
+      JsonValue(static_cast<double>(stats.timed_out_mid_solve));
+  root["cancelled"] = JsonValue(static_cast<double>(stats.cancelled));
   root["connections_accepted"] =
       JsonValue(static_cast<double>(stats.connections_accepted));
   root["accept_failures"] =
@@ -55,6 +60,8 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
       JsonValue(static_cast<double>(stats.slow_client_disconnects));
   root["quota_rejections"] =
       JsonValue(static_cast<double>(stats.quota_rejections));
+  root["overload_rejections"] =
+      JsonValue(static_cast<double>(stats.overload_rejections));
   JsonArray outboxes;
   for (const std::size_t depth : stats.connection_outbox_depths) {
     outboxes.push_back(JsonValue(static_cast<double>(depth)));
@@ -67,6 +74,10 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
     w["queue_depth"] = JsonValue(static_cast<double>(ws.queue_depth));
     w["pooled_sessions"] = JsonValue(static_cast<double>(ws.pooled_sessions));
     w["stolen"] = JsonValue(static_cast<double>(ws.stolen));
+    w["deadline_shed"] = JsonValue(static_cast<double>(ws.deadline_shed));
+    w["timed_out_mid_solve"] =
+        JsonValue(static_cast<double>(ws.timed_out_mid_solve));
+    w["cancelled"] = JsonValue(static_cast<double>(ws.cancelled));
     w["engine"] = engine_stats_to_json_value(ws.engine);
     workers.push_back(JsonValue(std::move(w)));
   }
@@ -74,24 +85,143 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
   return JsonValue(std::move(root));
 }
 
+JsonValue runtime_config_to_json_value(const RuntimeConfig& config) {
+  JsonObject o;
+  o["max_in_flight"] = JsonValue(static_cast<double>(
+      config.max_in_flight.load(std::memory_order_relaxed)));
+  o["requests_per_second"] = JsonValue(config.requests_per_second());
+  o["burst"] = JsonValue(config.burst());
+  o["default_deadline_ms"] = JsonValue(static_cast<double>(
+      config.default_deadline_ms.load(std::memory_order_relaxed)));
+  o["queue_high_water"] = JsonValue(static_cast<double>(
+      config.queue_high_water.load(std::memory_order_relaxed)));
+  o["write_deadline_ms"] = JsonValue(static_cast<double>(
+      config.write_deadline_ms.load(std::memory_order_relaxed)));
+  return JsonValue(std::move(o));
+}
+
+JsonValue apply_set_config(const JsonValue& doc, RuntimeConfig& config,
+                           std::string& description) {
+  const JsonObject& root = doc.as_object();
+  JsonObject applied;
+  const auto numeric = [&root](const std::string& key) {
+    const JsonValue& v = root.at(key);
+    if (!v.is_number() || v.as_number() < 0.0) {
+      throw ModelError("set_config: " + key +
+                       " must be a non-negative number");
+    }
+    return v.as_number();
+  };
+  const auto note = [&](const std::string& key, double value) {
+    applied[key] = JsonValue(value);
+    if (!description.empty()) description += ", ";
+    description += key + "=" + io::write_json_compact(JsonValue(value));
+  };
+  for (const auto& [key, value] : root.entries()) {
+    (void)value;
+    if (key == "kind" || key == "id" || key == "schema_version") continue;
+    if (key == "max_in_flight") {
+      const double v = numeric(key);
+      config.max_in_flight.store(static_cast<std::uint64_t>(v),
+                                 std::memory_order_relaxed);
+      note(key, v);
+    } else if (key == "requests_per_second") {
+      const double v = numeric(key);
+      config.set_requests_per_second(v);
+      note(key, v);
+    } else if (key == "burst") {
+      const double v = numeric(key);
+      config.set_burst(v);
+      note(key, v);
+    } else if (key == "default_deadline_ms") {
+      const double v = numeric(key);
+      config.default_deadline_ms.store(static_cast<std::uint64_t>(v),
+                                       std::memory_order_relaxed);
+      note(key, v);
+    } else if (key == "queue_high_water") {
+      const double v = numeric(key);
+      config.queue_high_water.store(static_cast<std::uint64_t>(v),
+                                    std::memory_order_relaxed);
+      note(key, v);
+    } else if (key == "write_deadline_ms") {
+      const double v = numeric(key);
+      config.write_deadline_ms.store(static_cast<std::int64_t>(v),
+                                     std::memory_order_relaxed);
+      note(key, v);
+    } else {
+      throw ModelError("set_config: unknown key '" + key + "'");
+    }
+  }
+  JsonObject result;
+  result["applied"] = JsonValue(std::move(applied));
+  result["config"] = runtime_config_to_json_value(config);
+  return JsonValue(std::move(result));
+}
+
 JsonlSession::JsonlSession(Dispatcher& dispatcher, Sink sink,
                            SessionOptions options)
     : dispatcher_(dispatcher),
       sink_(std::move(sink)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      cancel_token_(std::make_shared<solver::CancelToken>()) {}
 
 JsonlSession::~JsonlSession() { finish(); }
+
+void JsonlSession::cancel_pending() { cancel_token_->cancel(); }
 
 void JsonlSession::submit_line(const std::string& line) {
   if (line.find_first_not_of(" \t\r") == std::string::npos) return;
   const std::uint64_t index = submitted_++;
 
+  // One error-response path: every rejection of this line (parse, quota,
+  // overload, shutdown) still yields exactly one response line at its
+  // position, with a machine-readable error_code.
+  const auto reject = [this, index](std::string id, std::string kind,
+                                    api::ErrorCode code, std::string message,
+                                    bool quota, bool overload) {
+    api::Response r;
+    r.id = std::move(id);
+    r.kind = std::move(kind);
+    r.status = api::ResponseStatus::kError;
+    r.error = std::move(message);
+    r.error_code = code;
+    Entry entry;
+    entry.is_quota_rejection = quota;
+    entry.is_overload_rejection = overload;
+    entry.status = r.status;
+    entry.line = io::write_json_compact(io::response_to_json_value(r));
+    deliver(index, std::move(entry));
+  };
+
   try {
     const JsonValue doc = io::parse_json(line);
     if (const auto control = io::control_kind(doc)) {
-      // Control messages resolve at the emission frontier (after every
-      // earlier line of this connection has been answered), so the snapshot
-      // they report is causally consistent with the stream before them.
+      if (*control == io::ControlKind::kSetConfig) {
+        // Applied at *submit* time — the new limits govern every later
+        // line immediately — while the acknowledgement still emits at
+        // this line's position like any other response.
+        if (!options_.runtime_config) {
+          throw ModelError(
+              "set_config is not supported on this connection (no runtime "
+              "config attached)");
+        }
+        std::string description;
+        JsonValue result =
+            apply_set_config(doc, *options_.runtime_config, description);
+        if (options_.on_config_change && !description.empty()) {
+          options_.on_config_change(description);
+        }
+        Entry entry;
+        entry.status = api::ResponseStatus::kOk;
+        entry.line = io::write_json_compact(io::control_response_envelope(
+            io::ControlKind::kSetConfig, io::control_id(doc),
+            std::move(result)));
+        deliver(index, std::move(entry));
+        return;
+      }
+      // Stats resolve at the emission frontier (after every earlier line
+      // of this connection has been answered), so the snapshot they
+      // report is causally consistent with the stream before them.
       Entry entry;
       entry.is_stats = true;
       entry.id = io::control_id(doc);
@@ -100,7 +230,7 @@ void JsonlSession::submit_line(const std::string& line) {
       return;
     }
     api::Request request = io::request_from_json_value(doc);
-    // Captured for the shutting-down fallback below: submit() consumes the
+    // Captured for the rejection paths below: submit() consumes the
     // request without running it when the dispatcher is stopping.
     std::string id = request.id;
     std::string kind = request.kind();
@@ -108,63 +238,84 @@ void JsonlSession::submit_line(const std::string& line) {
       // Over quota: answered immediately with a structured error instead
       // of being queued — the shared worker pool never sees the request.
       if (options_.on_quota_rejection) options_.on_quota_rejection();
-      api::Response r;
-      r.id = std::move(id);
-      r.kind = std::move(kind);
-      r.status = api::ResponseStatus::kError;
-      r.error = std::move(denial);
-      Entry entry;
-      entry.is_quota_rejection = true;
-      entry.status = r.status;
-      entry.line = io::write_json_compact(io::response_to_json_value(r));
-      deliver(index, std::move(entry));
+      reject(std::move(id), std::move(kind), api::ErrorCode::kOverQuota,
+             std::move(denial), /*quota=*/true, /*overload=*/false);
       return;
     }
+    if (options_.runtime_config) {
+      // Overload shedding: when the routed worker's backlog is already at
+      // the high-water mark, queueing this request would only add latency
+      // to an answer that will likely miss its deadline anyway. Reject it
+      // immediately with a *retryable* error — the client backs off and
+      // retries once the backlog drains.
+      const std::uint64_t high_water =
+          options_.runtime_config->queue_high_water.load(
+              std::memory_order_relaxed);
+      if (high_water > 0 &&
+          dispatcher_.queue_depth(dispatcher_.route(request)) >= high_water) {
+        if (options_.on_overload_rejection) options_.on_overload_rejection();
+        reject(std::move(id), std::move(kind), api::ErrorCode::kOverloaded,
+               "service overloaded: worker queue at high-water mark; retry "
+               "after backoff",
+               /*quota=*/false, /*overload=*/true);
+        return;
+      }
+      // Requests that carry no deadline of their own inherit the daemon
+      // default (0 = none). The budget starts at enqueue, inside
+      // Dispatcher::submit.
+      const std::uint64_t default_deadline =
+          options_.runtime_config->default_deadline_ms.load(
+              std::memory_order_relaxed);
+      if (request.options.deadline_ms <= 0.0 && default_deadline > 0) {
+        request.options.deadline_ms = static_cast<double>(default_deadline);
+      }
+    }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
-    const bool accepted =
-        dispatcher_.submit(std::move(request), [this, index](api::Response r) {
+    const bool accepted = dispatcher_.submit(
+        std::move(request),
+        [this, index](api::Response r) {
           in_flight_.fetch_sub(1, std::memory_order_relaxed);
           Entry entry;
           entry.status = r.status;
           entry.line = io::write_json_compact(io::response_to_json_value(r));
           deliver(index, std::move(entry));
-        });
+        },
+        cancel_token_);
     if (!accepted) {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      api::Response r;
-      r.id = std::move(id);
-      r.kind = std::move(kind);
-      r.status = api::ResponseStatus::kError;
-      r.error = "service is shutting down";
-      Entry entry;
-      entry.status = r.status;
-      entry.line = io::write_json_compact(io::response_to_json_value(r));
-      deliver(index, std::move(entry));
+      reject(std::move(id), std::move(kind), api::ErrorCode::kShuttingDown,
+             "service is shutting down", /*quota=*/false, /*overload=*/false);
     }
   } catch (const std::exception& e) {
     // Identical to the solve_cli --batch contract: a line that does not
     // parse as a request still yields a response line at its position.
-    api::Response r;
-    r.kind = "unknown";
-    r.status = api::ResponseStatus::kError;
-    r.error = e.what();
-    Entry entry;
-    entry.status = r.status;
-    entry.line = io::write_json_compact(io::response_to_json_value(r));
-    deliver(index, std::move(entry));
+    reject(std::string(), "unknown", api::ErrorCode::kParse, e.what(),
+           /*quota=*/false, /*overload=*/false);
   }
 }
 
 std::string JsonlSession::check_quota() {
-  if (options_.max_in_flight > 0 &&
-      in_flight_.load(std::memory_order_relaxed) >= options_.max_in_flight) {
-    return "over quota: more than " + std::to_string(options_.max_in_flight) +
+  // With a RuntimeConfig attached, its (hot-reloadable) values override the
+  // static per-session options — re-read per line so a set_config on any
+  // connection governs the next line of every connection.
+  std::size_t max_in_flight = options_.max_in_flight;
+  double requests_per_second = options_.requests_per_second;
+  double burst_option = options_.burst;
+  if (options_.runtime_config) {
+    max_in_flight = static_cast<std::size_t>(
+        options_.runtime_config->max_in_flight.load(std::memory_order_relaxed));
+    requests_per_second = options_.runtime_config->requests_per_second();
+    burst_option = options_.runtime_config->burst();
+  }
+  if (max_in_flight > 0 &&
+      in_flight_.load(std::memory_order_relaxed) >= max_in_flight) {
+    return "over quota: more than " + std::to_string(max_in_flight) +
            " requests in flight on this connection";
   }
-  if (options_.requests_per_second > 0.0) {
-    const double burst = options_.burst > 0.0
-                             ? options_.burst
-                             : std::max(1.0, options_.requests_per_second);
+  if (requests_per_second > 0.0) {
+    const double burst = burst_option > 0.0
+                             ? burst_option
+                             : std::max(1.0, requests_per_second);
     const auto now = std::chrono::steady_clock::now();
     if (!bucket_started_) {
       // The bucket starts full: a fresh connection may burst before the
@@ -176,11 +327,10 @@ std::string JsonlSession::check_quota() {
     const std::chrono::duration<double> elapsed = now - last_refill_;
     last_refill_ = now;
     tokens_ = std::min(burst,
-                       tokens_ + elapsed.count() * options_.requests_per_second);
+                       tokens_ + elapsed.count() * requests_per_second);
     if (tokens_ < 1.0) {
       return "over quota: rate limit of " +
-             std::to_string(options_.requests_per_second) +
-             " requests/s exceeded";
+             std::to_string(requests_per_second) + " requests/s exceeded";
     }
     tokens_ -= 1.0;
   }
@@ -211,12 +361,19 @@ void JsonlSession::advance_locked() {
       // The transport owns its counters (accepts, slow-client disconnects,
       // outbox depths); the hook folds them into the dispatcher snapshot.
       if (options_.stats_hook) options_.stats_hook(stats);
+      JsonValue result = service_stats_to_json_value(stats);
+      if (options_.runtime_config) {
+        // The live limits ride along, so a set_config reload is observable
+        // in the very next stats snapshot.
+        result.as_object()["config"] =
+            runtime_config_to_json_value(*options_.runtime_config);
+      }
       const JsonValue envelope = io::control_response_envelope(
-          io::ControlKind::kStats, entry.id,
-          service_stats_to_json_value(stats));
+          io::ControlKind::kStats, entry.id, std::move(result));
       entry.line = io::write_json_compact(envelope);
     }
     if (entry.is_quota_rejection) ++summary_.quota_rejections;
+    if (entry.is_overload_rejection) ++summary_.overload_rejections;
     ++summary_.lines;
     switch (entry.status) {
       case api::ResponseStatus::kOk:
@@ -241,10 +398,18 @@ StreamSummary JsonlSession::finish() {
 
 StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
                           std::ostream& out) {
-  JsonlSession session(dispatcher, [&out](const std::string& line) {
-    out << line << '\n';
-    out.flush();
-  });
+  return serve_jsonl(dispatcher, in, out, SessionOptions{});
+}
+
+StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
+                          std::ostream& out, SessionOptions options) {
+  JsonlSession session(
+      dispatcher,
+      [&out](const std::string& line) {
+        out << line << '\n';
+        out.flush();
+      },
+      std::move(options));
   std::string line;
   while (std::getline(in, line)) {
     session.submit_line(line);

@@ -23,11 +23,13 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "bbs/io/json.hpp"
 #include "bbs/service/dispatcher.hpp"
+#include "bbs/service/runtime_config.hpp"
 
 namespace bbs::service {
 
@@ -38,6 +40,9 @@ struct StreamSummary {
   std::uint64_t errors = 0;
   /// Lines answered with an over-quota error (a subset of `errors`).
   std::uint64_t quota_rejections = 0;
+  /// Lines rejected with a retryable `overloaded` error because the routed
+  /// worker's queue was above the high-water mark (a subset of `errors`).
+  std::uint64_t overload_rejections = 0;
 
   bool all_ok() const { return infeasible == 0 && errors == 0; }
 };
@@ -65,11 +70,37 @@ struct SessionOptions {
   /// dispatcher snapshot already taken; must not call back into the
   /// session and must not throw.
   std::function<void(ServiceStats&)> stats_hook;
+  /// Hot-reloadable daemon-wide limits. When set it *overrides* the static
+  /// max_in_flight / requests_per_second / burst above (values are read
+  /// per request line, so a {"kind":"set_config"} reload on any connection
+  /// takes effect on the next line of every connection), supplies the
+  /// default deadline stamped on requests without their own deadline_ms,
+  /// and arms the overload high-water check. Without it set_config lines
+  /// are answered with an error and overload shedding is off.
+  std::shared_ptr<RuntimeConfig> runtime_config;
+  /// Invoked (from the submit thread) for every overload rejection.
+  std::function<void()> on_overload_rejection;
+  /// Invoked (from the submit thread) after a successful set_config with a
+  /// human-readable description of the applied changes — the daemon logs
+  /// it to stderr.
+  std::function<void(const std::string&)> on_config_change;
 };
 
 /// Serialises a ServiceStats snapshot into the "result" object of the stats
 /// control response.
 io::JsonValue service_stats_to_json_value(const ServiceStats& stats);
+
+/// Serialises the current runtime limits (embedded as "config" in stats
+/// responses, so a set_config reload is observable in the next snapshot).
+io::JsonValue runtime_config_to_json_value(const RuntimeConfig& config);
+
+/// Applies one {"kind":"set_config"} document to `config`. Only the keys
+/// present are touched (0 turns a limit off); unknown keys and non-numeric
+/// values throw ModelError. Returns the applied changes as a JSON object
+/// (the control response's "result") and appends a human-readable
+/// description of them to `description`.
+io::JsonValue apply_set_config(const io::JsonValue& doc, RuntimeConfig& config,
+                               std::string& description);
 
 class JsonlSession {
  public:
@@ -97,10 +128,18 @@ class JsonlSession {
   /// returns the summary. Call after the input is exhausted.
   StreamSummary finish();
 
+  /// Flips this connection's cancellation token: requests still queued are
+  /// shed without solving, a request mid-solve terminates within one IPM
+  /// iteration. Called by the transport when the client is gone (slow
+  /// client disconnect) — every pending line still gets its (cancelled)
+  /// response, so finish() never hangs. Safe from any thread.
+  void cancel_pending();
+
  private:
   struct Entry {
     bool is_stats = false;
     bool is_quota_rejection = false;
+    bool is_overload_rejection = false;
     std::string line;      ///< serialised response (requests)
     std::string id;        ///< control-message id echo (stats)
     api::ResponseStatus status = api::ResponseStatus::kError;
@@ -115,6 +154,8 @@ class JsonlSession {
   Dispatcher& dispatcher_;
   Sink sink_;
   SessionOptions options_;
+  /// Shared with every submit of this connection (see cancel_pending()).
+  std::shared_ptr<solver::CancelToken> cancel_token_;
   std::mutex mutex_;
   std::condition_variable emitted_cv_;
   std::map<std::uint64_t, Entry> pending_;
@@ -134,5 +175,7 @@ class JsonlSession {
 /// bbs_serve and the batch smoke tests run on this.
 StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
                           std::ostream& out);
+StreamSummary serve_jsonl(Dispatcher& dispatcher, std::istream& in,
+                          std::ostream& out, SessionOptions options);
 
 }  // namespace bbs::service

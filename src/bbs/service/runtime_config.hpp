@@ -1,0 +1,56 @@
+// Hot-reloadable runtime limits of the service daemon.
+//
+// A long-lived daemon cannot restart to pick up new quota limits or
+// deadlines, so the mutable knobs live in one shared RuntimeConfig of
+// plain atomics: every JsonlSession and the socket writer read the
+// current values per decision (per request line, per write), and a
+// {"kind":"set_config",...} control line rewrites them in place. Readers
+// never lock; a reload is visible to the very next request line on every
+// connection.
+//
+// 0 consistently means "unlimited / disabled" (matching SessionOptions),
+// so a set_config that writes 0 turns the corresponding limit off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bbs::service {
+
+struct RuntimeConfig {
+  /// Per-connection cap on dispatched-but-uncompleted requests (0 = off).
+  std::atomic<std::uint64_t> max_in_flight{0};
+  /// Per-connection token-bucket rate (requests/s, 0 = off). A double
+  /// atomic: quantising (e.g. to millirequests/s) would round a tiny but
+  /// positive limit like 1e-6 down to 0 — silently *unlimited*, the
+  /// dangerous direction. std::atomic<double> is lock-free on the
+  /// platforms the daemon targets.
+  std::atomic<double> requests_per_second_raw{0.0};
+  /// Token-bucket burst (requests, 0 = derived from the rate).
+  std::atomic<double> burst_raw{0.0};
+  /// Deadline stamped on requests that do not carry their own
+  /// options.deadline_ms (milliseconds, 0 = none).
+  std::atomic<std::uint64_t> default_deadline_ms{0};
+  /// Overload high-water mark: when the routed worker's queue already
+  /// holds at least this many tasks, new request lines are rejected
+  /// immediately with a retryable `overloaded` error instead of queueing
+  /// behind a backlog they would only deepen (0 = disabled).
+  std::atomic<std::uint64_t> queue_high_water{0};
+  /// Socket write deadline (ms a full outbox may stall before the
+  /// connection is dropped as a slow client).
+  std::atomic<std::int64_t> write_deadline_ms{2000};
+
+  double requests_per_second() const {
+    return requests_per_second_raw.load(std::memory_order_relaxed);
+  }
+  void set_requests_per_second(double value) {
+    requests_per_second_raw.store(value > 0.0 ? value : 0.0,
+                                  std::memory_order_relaxed);
+  }
+  double burst() const { return burst_raw.load(std::memory_order_relaxed); }
+  void set_burst(double value) {
+    burst_raw.store(value > 0.0 ? value : 0.0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace bbs::service

@@ -16,6 +16,7 @@
 #include <cstring>
 
 #include "bbs/common/assert.hpp"
+#include "bbs/service/fault_injector.hpp"
 
 namespace bbs::service {
 
@@ -272,6 +273,17 @@ void SocketServer::writer_loop(Connection* connection) {
   // by then every response line has been enqueued (or dropped).
   while (std::optional<std::string> line = connection->outbox.pop()) {
     if (!connection->writable.load(std::memory_order_acquire)) continue;
+    {
+      // outbox.stall_ms failpoint: a deliberately slow writer lets chaos
+      // tests fill the outbox and exercise the write-deadline path
+      // without a real client that stops reading.
+      FaultInjector& faults = FaultInjector::instance();
+      if (faults.enabled()) {
+        if (const int stall = faults.outbox_stall_ms(); stall > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+        }
+      }
+    }
     if (!write_all(connection->fd, *line)) {
       // First failed write: the client is gone or stopped reading past
       // SO_SNDTIMEO. Later lines would interleave with the torn one, so
@@ -288,6 +300,17 @@ void SocketServer::disconnect_slow_client(Connection* connection) {
   // deadline. Only the first caller disconnects and counts.
   if (connection->writable.exchange(false, std::memory_order_acq_rel)) {
     slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    // Nobody is reading this connection's responses anymore, so its
+    // queued requests are pure waste: cancel them. Queued tasks are shed
+    // without solving, a solve in flight stops within one IPM iteration,
+    // and every completion still fires — the session's finish() below
+    // terminates normally. (The pointer is published before the first
+    // line is read and cleared after finish(), and this path only runs
+    // from a completion of a line the session consumed in between.)
+    if (JsonlSession* session =
+            connection->session.load(std::memory_order_acquire)) {
+      session->cancel_pending();
+    }
     // Wakes the writer blocked in send() and EOFs the client's read side;
     // the reader sees EOF on its next read() and winds the session down.
     // The fd stays open (the reader owns its lifetime), so this shutdown
@@ -301,6 +324,8 @@ void SocketServer::augment_stats(ServiceStats& stats) const {
   stats.slow_client_disconnects =
       slow_client_disconnects_.load(std::memory_order_relaxed);
   stats.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
+  stats.overload_rejections =
+      overload_rejections_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   stats.connections_accepted = accepted_;
   for (const auto& connection : connections_) {
@@ -315,8 +340,16 @@ void SocketServer::handle_connection(Connection* connection) {
   SessionOptions session_options;
   session_options.max_in_flight = options_.max_in_flight;
   session_options.requests_per_second = options_.requests_per_second;
+  session_options.runtime_config = options_.runtime_config;
   session_options.on_quota_rejection = [this] {
     quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+  };
+  session_options.on_overload_rejection = [this] {
+    overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+  };
+  session_options.on_config_change = [](const std::string& description) {
+    std::fprintf(stderr, "bbs SocketServer: set_config applied: %s\n",
+                 description.c_str());
   };
   session_options.stats_hook = [this](ServiceStats& stats) {
     augment_stats(stats);
@@ -329,8 +362,13 @@ void SocketServer::handle_connection(Connection* connection) {
       dispatcher_,
       [this, connection](const std::string& line) {
         if (!connection->writable.load(std::memory_order_acquire)) return;
-        switch (connection->outbox.push_wait_for(line + "\n",
-                                                 options_.write_deadline)) {
+        std::chrono::milliseconds deadline = options_.write_deadline;
+        if (options_.runtime_config) {
+          deadline = std::chrono::milliseconds(
+              options_.runtime_config->write_deadline_ms.load(
+                  std::memory_order_relaxed));
+        }
+        switch (connection->outbox.push_wait_for(line + "\n", deadline)) {
           case PushResult::kPushed:
           case PushResult::kClosed:
             return;
@@ -340,6 +378,7 @@ void SocketServer::handle_connection(Connection* connection) {
         }
       },
       std::move(session_options));
+  connection->session.store(&session, std::memory_order_release);
 
   // Read-and-split loop. stop() (or a slow-client disconnect) shuts down
   // the read side, which surfaces here as EOF; whatever was already
@@ -365,6 +404,7 @@ void SocketServer::handle_connection(Connection* connection) {
   }
   if (!carry.empty()) session.submit_line(carry);  // unterminated last line
   session.finish();
+  connection->session.store(nullptr, std::memory_order_release);
   // finish() returned: every completion has been delivered, so no thread
   // will touch the outbox or fd again except the writer we now retire.
   connection->outbox.close();

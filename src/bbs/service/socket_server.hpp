@@ -57,6 +57,13 @@ struct SocketServerOptions {
   /// the kernel default; tests use a tiny buffer to reproduce slow-client
   /// backpressure without megabytes of traffic.
   int sndbuf_bytes = 0;
+  /// Hot-reloadable limits shared across every connection (see
+  /// SessionOptions::runtime_config). When set it overrides the static
+  /// quota fields above, arms overload shedding and the default request
+  /// deadline, and makes the write deadline hot-reloadable; a
+  /// {"kind":"set_config"} line on any connection reconfigures the whole
+  /// daemon. Config changes are logged to stderr.
+  std::shared_ptr<RuntimeConfig> runtime_config;
 };
 
 class SocketServer {
@@ -93,6 +100,9 @@ class SocketServer {
     return slow_client_disconnects_.load();
   }
   std::uint64_t quota_rejections() const { return quota_rejections_.load(); }
+  std::uint64_t overload_rejections() const {
+    return overload_rejections_.load();
+  }
 
  private:
   struct Connection {
@@ -103,6 +113,10 @@ class SocketServer {
     /// Cleared on the first write failure or slow-client disconnect;
     /// later response lines are discarded instead of written.
     std::atomic<bool> writable{true};
+    /// The live session of this connection (null outside handle_connection's
+    /// serving window); disconnect_slow_client cancels its pending work
+    /// through it, so a dead client's backlog is shed instead of solved.
+    std::atomic<JsonlSession*> session{nullptr};
     BoundedQueue<std::string> outbox;
     std::thread reader;
     std::thread writer;
@@ -133,6 +147,7 @@ class SocketServer {
   std::atomic<std::uint64_t> accept_failures_{0};
   std::atomic<std::uint64_t> slow_client_disconnects_{0};
   std::atomic<std::uint64_t> quota_rejections_{0};
+  std::atomic<std::uint64_t> overload_rejections_{0};
 
   mutable std::mutex mutex_;  ///< guards connections_ and accepted_
   std::vector<std::unique_ptr<Connection>> connections_;

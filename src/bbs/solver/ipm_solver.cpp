@@ -1,6 +1,7 @@
 #include "bbs/solver/ipm_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -86,6 +87,10 @@ const char* to_string(SolveStatus status) {
       return "max-iterations";
     case SolveStatus::kNumericalFailure:
       return "numerical-failure";
+    case SolveStatus::kTimedOut:
+      return "timed-out";
+    case SolveStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -339,7 +344,54 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
     return best_merit <= 1.0;  // merit is pre-normalised by the tolerances
   };
 
+  // Deadline/cancel bookkeeping: both limits resolve to one absolute time
+  // point up front, so the per-iteration cost is a single clock read — and
+  // zero when nothing is armed.
+  using SolveClock = CancelToken::Clock;
+  const CancelToken* cancel = options_.cancel.get();
+  SolveClock::time_point deadline = SolveClock::time_point::max();
+  bool have_deadline = false;
+  if (options_.time_limit_ms > 0.0) {
+    deadline = SolveClock::now() +
+               std::chrono::duration_cast<SolveClock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       options_.time_limit_ms));
+    have_deadline = true;
+  }
+  if (options_.deadline != SolveClock::time_point::max()) {
+    deadline = std::min(deadline, options_.deadline);
+    have_deadline = true;
+  }
+  if (cancel != nullptr && cancel->has_deadline()) {
+    deadline = std::min(deadline, cancel->deadline());
+    have_deadline = true;
+  }
+
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- Cooperative interruption ------------------------------------------
+    // Checked at iteration granularity: an expiry mid-iteration finishes
+    // that iteration, so termination is bounded by one KKT solve. The best
+    // iterate seen is still reported, as optimal when it already meets the
+    // tolerances, and finalise() keeps warm snapshots for optimal exits
+    // only — the enclosing session stays reusable either way.
+    if (cancel != nullptr && cancel->cancelled()) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kCancelled,
+                      iter);
+    }
+    if (have_deadline && SolveClock::now() >= deadline) {
+      restore_best();
+      return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
+                                              : SolveStatus::kTimedOut,
+                      iter);
+    }
+    if (iter == options_.fail_at_iteration) {
+      // Injected fault (chaos tests): a hard numerical failure, never
+      // rescued by the best iterate.
+      restore_best();
+      return finalise(SolveStatus::kNumericalFailure, iter);
+    }
     // --- Residuals of the embedding ---------------------------------------
     // r_dual = G'z + c*tau ; r_pri = Gx - h*tau + s ; r_gap = c'x + h'z + kappa
     for (std::size_t j = 0; j < n; ++j) r_dual[j] = c[j] * tau;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "bbs/solver/cancel.hpp"
 #include "bbs/solver/conic_problem.hpp"
 #include "bbs/solver/kkt_system.hpp"
 
@@ -32,6 +33,8 @@ enum class SolveStatus {
   kDualInfeasible,    ///< certificate: x with Gx + s = 0, s in K, c'x < 0
   kMaxIterations,
   kNumericalFailure,
+  kTimedOut,   ///< wall-clock budget (time_limit_ms / token deadline) expired
+  kCancelled,  ///< the solve's CancelToken was flipped mid-run
 };
 
 const char* to_string(SolveStatus status);
@@ -66,6 +69,25 @@ struct SolverOptions {
   double warm_start_margin = 0.1;
   /// 0 = silent, 1 = per-solve summary, 2 = per-iteration trace to stderr.
   int verbosity = 0;
+  /// Wall-clock budget for one solve() call, in milliseconds; 0 disables.
+  /// Checked once per iteration: expiry returns the best iterate seen with
+  /// status kTimedOut (or kOptimal when it already meets the tolerances)
+  /// instead of throwing, leaving any enclosing workspace/session reusable.
+  double time_limit_ms = 0.0;
+  /// Absolute steady-clock deadline shared by *all* solves run under these
+  /// options — how a multi-solve request (sweep, bisection) spends one
+  /// budget across its probes; time_point::max() disables. Combines with
+  /// time_limit_ms and any armed token deadline (earliest wins). Excluded
+  /// from pool keys and JSON (it is per-execution state, not structure).
+  CancelToken::Clock::time_point deadline =
+      CancelToken::Clock::time_point::max();
+  /// Optional shared cancellation token, polled once per iteration (one
+  /// relaxed atomic load). A flipped flag exits with kCancelled; an armed
+  /// token deadline combines with time_limit_ms (earliest wins).
+  std::shared_ptr<CancelToken> cancel;
+  /// Fault injection: force a numerical-failure exit at this iteration
+  /// (-1 = off). Exists for the chaos tests; never set in production.
+  int fail_at_iteration = -1;
 };
 
 struct SolveResult {
