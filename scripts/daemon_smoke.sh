@@ -70,6 +70,40 @@ grep -q '"deadline_shed":1' "$workdir/chaos.jsonl"
 grep -q '"solves":0' "$workdir/chaos.jsonl"
 echo "daemon_smoke: chaos OK (set_config reload + deadline shed before any solve)"
 
+# --- garbage leg (stdio): malformed lines must not derail the stream ------
+# A truncated JSON object, a 256 KiB overlong non-JSON line and a line of
+# binary noise must each be answered in place with a structured
+# error_code=parse response — one response per input line, in input order,
+# with the well-formed request sandwiched between them still solved — and
+# the daemon must exit with the documented "served with errors" code 2.
+{
+  printf '{"kind":"solve","id":"trunc","configuration":{\n'
+  head -n 1 "$BATCH"
+  printf 'x%.0s' $(seq 1 262144); printf '\n'
+  printf '\x01\x02\xfe\x80\x7f{]garbage\xff\n'
+} > "$workdir/garbage_input.jsonl"
+garbage_rc=0
+"$BBS_SERVE" --workers "$WORKERS" --no-steal \
+  < "$workdir/garbage_input.jsonl" > "$workdir/garbage.jsonl" || garbage_rc=$?
+if [ "$garbage_rc" -ne 2 ]; then
+  echo "daemon_smoke: garbage leg: expected exit 2 (error responses), got $garbage_rc" >&2
+  exit 1
+fi
+in_lines=$(wc -l < "$workdir/garbage_input.jsonl")
+out_lines=$(wc -l < "$workdir/garbage.jsonl")
+if [ "$in_lines" -ne "$out_lines" ]; then
+  echo "daemon_smoke: garbage leg: $in_lines request lines but $out_lines responses" >&2
+  exit 1
+fi
+parse_errors=$(grep -c '"error_code":"parse"' "$workdir/garbage.jsonl")
+if [ "$parse_errors" -ne 3 ]; then
+  echo "daemon_smoke: garbage leg: expected 3 parse errors, saw $parse_errors" >&2
+  cat "$workdir/garbage.jsonl" >&2
+  exit 1
+fi
+sed -n '2p' "$workdir/garbage.jsonl" | grep -q '"status":"ok"'
+echo "daemon_smoke: garbage OK (3 parse errors in place, stream aligned, exit 2)"
+
 [ -n "$JSONL_CLIENT" ] || exit 0
 
 # Waits until the daemon logs its bound endpoint, then prints it.

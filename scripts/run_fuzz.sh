@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Rolling differential-fuzz driver: runs bbs_fuzz in fixed-size chunks with
+# consecutive seeds until a wall-clock budget expires or a chunk fails.
+# Each chunk is fully deterministic in its seed, so a nightly failure is
+# reproducible locally with the seed printed below (and the shrunk JSON
+# reproducer written to the corpus directory).
+#
+# usage: run_fuzz.sh <bbs_fuzz> [budget_seconds] [cases_per_chunk] [corpus_dir]
+#
+# The starting seed defaults to the current epoch second so repeated runs
+# cover fresh ground; set RUN_FUZZ_SEED for a fixed stream.
+set -euo pipefail
+
+BBS_FUZZ=${1:?usage: run_fuzz.sh <bbs_fuzz> [budget_seconds] [cases_per_chunk] [corpus_dir]}
+BUDGET=${2:-60}
+CHUNK=${3:-200}
+CORPUS=${4:-}
+SEED=${RUN_FUZZ_SEED:-$(date +%s)}
+
+start=$(date +%s)
+total=0
+chunks=0
+while [ $(( $(date +%s) - start )) -lt "$BUDGET" ]; do
+  args=(--seed "$SEED" --cases "$CHUNK")
+  [ -n "$CORPUS" ] && args+=(--corpus "$CORPUS")
+  echo "run_fuzz: chunk $chunks: seed $SEED, $CHUNK cases"
+  if ! "$BBS_FUZZ" "${args[@]}"; then
+    echo "run_fuzz: FAILURE at seed $SEED" \
+         "(reproducers: ${CORPUS:-none requested})" >&2
+    exit 1
+  fi
+  total=$(( total + CHUNK ))
+  chunks=$(( chunks + 1 ))
+  SEED=$(( SEED + 1 ))
+done
+echo "run_fuzz: $total cases across $chunks seeds" \
+     "in $(( $(date +%s) - start ))s, all clean"

@@ -136,6 +136,8 @@ std::string pool_key(const model::Configuration& config, Mode mode,
   append_index(key, ipm.equilibrate_rounds);
   key += ipm.warm_start ? '1' : '0';
   append_num(key, ipm.warm_start_margin);
+  append_index(key, ipm.recovery_attempts);
+  append_num(key, ipm.recovery_regularisation_growth);
   append_num(key, options.rounding_eps);
   return key;
 }
@@ -164,11 +166,13 @@ struct WorkspaceSnapshot {
   int solves = 0;
   long iterations = 0;
   int warm_started = 0;
+  int recovered = 0;
 };
 
 WorkspaceSnapshot snapshot(const core::SolverSession& session) {
   const solver::IpmWorkspace& ws = session.workspace();
-  return {ws.solves(), ws.total_iterations(), ws.warm_started_solves()};
+  return {ws.solves(), ws.total_iterations(), ws.warm_started_solves(),
+          ws.recovered_solves()};
 }
 
 }  // namespace
@@ -292,6 +296,8 @@ Response Engine::run(const Request& request, Deadline deadline,
   control_.cancel =
       cancel != nullptr ? std::move(cancel) : request.options.ipm.cancel;
   control_.fail_at_iteration = request.options.ipm.fail_at_iteration;
+  control_.fail_only_first_attempt =
+      request.options.ipm.fail_only_first_attempt;
 
   Response response;
   const auto fail = [&](ErrorCode code, const char* what) {
@@ -338,6 +344,7 @@ Response Engine::run(const Request& request, Deadline deadline,
   stats_.solves += static_cast<std::uint64_t>(diag.solves);
   stats_.warm_started_solves +=
       static_cast<std::uint64_t>(diag.warm_started_solves);
+  stats_.recovered_solves += static_cast<std::uint64_t>(diag.recovered_solves);
   // Each fresh session runs exactly one symbolic analysis (its diagnostics
   // report the session-lifetime count, which is 1 on the request that
   // created it); pooled repeats add none.
@@ -376,6 +383,7 @@ Response Engine::run_checked(const Request& request) {
   base.mapping.ipm.deadline = solver::CancelToken::Clock::time_point::max();
   base.mapping.ipm.cancel = nullptr;
   base.mapping.ipm.fail_at_iteration = -1;
+  base.mapping.ipm.fail_only_first_attempt = false;
 
   Response response;
   Diagnostics& diag = response.diagnostics;
@@ -386,6 +394,7 @@ Response Engine::run_checked(const Request& request) {
     diag.solves = ws.solves() - before.solves;
     diag.ipm_iterations = ws.total_iterations() - before.iterations;
     diag.warm_started_solves = ws.warm_started_solves() - before.warm_started;
+    diag.recovered_solves = ws.recovered_solves() - before.recovered;
     diag.symbolic_factorisations =
         ws.kkt() != nullptr ? ws.kkt()->stats().symbolic_factorisations : 0;
     diag.session_reused = pooled.hit;

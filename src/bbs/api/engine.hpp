@@ -63,6 +63,9 @@ struct EngineStats {
   long long ipm_iterations = 0;
   std::uint64_t solves = 0;
   std::uint64_t warm_started_solves = 0;
+  /// Solves whose initial IPM attempt failed numerically but whose recovery
+  /// ladder produced a usable answer — the production recovery rate.
+  std::uint64_t recovered_solves = 0;
 };
 
 class Engine {

@@ -67,6 +67,10 @@ struct Diagnostics {
   int solves = 0;
   /// How many of those solves were seeded from a previous optimum.
   int warm_started_solves = 0;
+  /// How many solves failed numerically on their first attempt and were
+  /// rescued by the solver's recovery ladder (see
+  /// solver::SolverOptions::recovery_attempts).
+  int recovered_solves = 0;
   /// Symbolic KKT factorisations of the session that served the request
   /// since it was created. Stays 1 for every request of a pooled batch that
   /// shares one problem structure — the reuse invariant.

@@ -21,6 +21,8 @@ MappingResult mapping_from_solution(const model::Configuration& config,
   result.status = sol.status;
   result.ipm_iterations = sol.iterations;
   result.warm_started = sol.warm_started;
+  result.recovery_attempts = sol.recovery_attempts;
+  result.recovered = sol.recovered;
   if (sol.status != solver::SolveStatus::kOptimal) {
     return result;
   }

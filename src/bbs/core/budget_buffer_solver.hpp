@@ -47,6 +47,11 @@ struct MappingResult {
   /// solution (warm-started SolverSession solves only; always false for
   /// one-shot solves). Carried for every result kind, also infeasible ones.
   bool warm_started = false;
+  /// Recovery-ladder attempts the solve consumed after an initial numerical
+  /// failure (see SolverOptions::recovery_attempts), and whether one of
+  /// them produced this result.
+  int recovery_attempts = 0;
+  bool recovered = false;
   /// True iff the SOCP was solved, rounding succeeded, every graph passes
   /// the MCR verification and the platform constraints hold.
   bool verified = false;

@@ -1,6 +1,7 @@
 #include "bbs/core/exact_reference.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "bbs/common/assert.hpp"
@@ -13,6 +14,7 @@ namespace {
 struct FlatTask {
   Index graph;
   Index task;
+  Index processor;
   double weight;
   Index min_budget;  ///< granularity-rounded self-loop bound
   Index max_budget;  ///< replenishment-interval bound
@@ -25,6 +27,11 @@ struct FlatBuffer {
   Index cap_lo;
   Index cap_hi;
 };
+
+/// The default tolerance of verify_graph/verify_platform, which define
+/// feasibility for this search; the pruning bounds below must accept
+/// everything these predicates accept.
+constexpr double kFeasibilityTolerance = 1e-6;
 
 /// Full feasibility check of a concrete integer allocation.
 bool feasible(const model::Configuration& config,
@@ -42,10 +49,23 @@ bool feasible(const model::Configuration& config,
 
 }  // namespace
 
-std::optional<ExactSolution> exact_reference(
-    const model::Configuration& config, const ExactSearchLimits& limits) {
+const char* to_string(ExactStatus status) {
+  switch (status) {
+    case ExactStatus::kOptimal:
+      return "optimal";
+    case ExactStatus::kInfeasible:
+      return "infeasible";
+    case ExactStatus::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+ExactOutcome exact_reference_outcome(const model::Configuration& config,
+                                     const ExactSearchLimits& limits) {
   config.validate();
   const Index g = config.granularity();
+  ExactOutcome outcome;
 
   std::vector<FlatTask> tasks;
   std::vector<FlatBuffer> buffers;
@@ -58,11 +78,29 @@ std::optional<ExactSolution> exact_reference(
       FlatTask ft;
       ft.graph = gi;
       ft.task = t;
+      ft.processor = task.processor;
       ft.weight = task.budget_weight;
-      ft.min_budget = round_budget(rho * task.wcet / tg.required_period(), g);
+      // Self-loop pruning bound, kept consistent with feasible()'s
+      // acceptance threshold: verify_graph passes an allocation when
+      // MCR <= mu*(1+tol)+tol, so the floor must be computed against that
+      // relaxed period. A hard ceil against exact mu would exclude
+      // boundary budgets the predicate accepts (e.g. mappings returned at
+      // a bisection-minimal period) and, once the raised floor
+      // oversubscribes a processor, turn a boundary case into a false
+      // infeasibility proof.
+      const double mu = tg.required_period();
+      const double mu_relaxed = mu * (1.0 + kFeasibilityTolerance) +
+                                kFeasibilityTolerance;
+      ft.min_budget = round_budget(rho * task.wcet / mu_relaxed, g);
       ft.max_budget =
           (static_cast<Index>(rho - proc.scheduling_overhead) / g) * g;
-      if (ft.max_budget < ft.min_budget) return std::nullopt;
+      if (ft.max_budget < ft.min_budget) {
+        // The task's self-loop bound exceeds what one replenishment interval
+        // can ever grant — a property of the configuration alone, so this is
+        // a complete infeasibility proof, not a truncation.
+        outcome.status = ExactStatus::kInfeasible;
+        return outcome;
+      }
       tasks.push_back(ft);
     }
     for (Index b = 0; b < tg.num_buffers(); ++b) {
@@ -76,7 +114,22 @@ std::optional<ExactSolution> exact_reference(
       fb.cap_hi = limits.max_capacity;
       if (buf.max_capacity != -1) fb.cap_hi = std::min(fb.cap_hi,
                                                        buf.max_capacity);
-      if (fb.cap_hi < fb.cap_lo) return std::nullopt;
+      if (buf.max_capacity == -1 || buf.max_capacity > limits.max_capacity) {
+        // The search ceiling, not the model, bounds this buffer.
+        outcome.capacity_limited = true;
+      }
+      if (fb.cap_hi < fb.cap_lo) {
+        if (buf.max_capacity != -1 && buf.max_capacity < fb.cap_lo) {
+          // The model's own capacity bound is below the initial fill — no
+          // allocation can exist regardless of the search limits.
+          outcome.status = ExactStatus::kInfeasible;
+        } else {
+          // Only limits.max_capacity clipped below cap_lo: unanswerable
+          // within the given ceiling.
+          outcome.status = ExactStatus::kTruncated;
+        }
+        return outcome;
+      }
       buffers.push_back(fb);
     }
   }
@@ -92,9 +145,11 @@ std::optional<ExactSolution> exact_reference(
     combos *= static_cast<double>(
         (tasks[i].max_budget - tasks[i].min_budget) / g + 1);
   }
+  outcome.estimated_combinations = combos;
   if (combos > static_cast<double>(limits.max_combinations)) {
-    throw ModelError("exact_reference: search space exceeds the configured "
-                     "limit; reduce max_capacity or the instance size");
+    outcome.search_space_exceeded = true;
+    outcome.status = ExactStatus::kTruncated;
+    return outcome;
   }
 
   // Working allocation.
@@ -137,9 +192,44 @@ std::optional<ExactSolution> exact_reference(
     bool budgets_done = false;
     while (!budgets_done) {
       // Binary search the minimal feasible budget of the last task on the
-      // granularity grid (feasibility is monotone in each budget).
+      // granularity grid. Graph feasibility (MCR) is monotone in the
+      // budget, but the per-processor budget-sum constraint is
+      // anti-monotone — probing the interval bound itself would wrongly
+      // discard combinations whose remaining headroom is smaller. Clamp
+      // the upper probe to the headroom the already-fixed budgets leave on
+      // the last task's processor (with verify_platform's tolerance), so
+      // the platform constraint holds across the whole searched range.
+      const model::Processor& lproc =
+          config.processor(tasks[last].processor);
+      double others = lproc.scheduling_overhead;
+      for (std::size_t i = 0; i < last; ++i) {
+        if (tasks[i].processor == tasks[last].processor) {
+          others += static_cast<double>(bud_state[i]);
+        }
+      }
+      const double headroom = lproc.replenishment_interval +
+                              kFeasibilityTolerance - others;
+      const Index hi_budget = std::min(
+          tasks[last].max_budget,
+          static_cast<Index>(std::floor(
+              headroom / static_cast<double>(g))) * g);
+      if (hi_budget < tasks[last].min_budget) {
+        // No budget of the last task can both clear its self-loop bound
+        // and fit the processor — this combination is infeasible.
+        budgets_done = true;
+        for (std::size_t i = 0; i < last; ++i) {
+          if (bud_state[i] + g <= tasks[i].max_budget) {
+            set_budget(i, bud_state[i] + g);
+            for (std::size_t j = 0; j < i; ++j)
+              set_budget(j, tasks[j].min_budget);
+            budgets_done = false;
+            break;
+          }
+        }
+        continue;
+      }
       Index lo = tasks[last].min_budget / g;
-      Index hi = tasks[last].max_budget / g;
+      Index hi = hi_budget / g;
       set_budget(last, hi * g);
       if (feasible(config, budgets, caps)) {
         while (lo < hi) {
@@ -192,7 +282,28 @@ std::optional<ExactSolution> exact_reference(
       }
     }
   }
-  return best;
+
+  if (best.has_value()) {
+    outcome.status = ExactStatus::kOptimal;
+    outcome.solution = std::move(best);
+  } else if (outcome.capacity_limited) {
+    // The exhausted search ran under a ceiling tighter than the model's
+    // own bounds — a feasible allocation may live just beyond it.
+    outcome.status = ExactStatus::kTruncated;
+  } else {
+    outcome.status = ExactStatus::kInfeasible;
+  }
+  return outcome;
+}
+
+std::optional<ExactSolution> exact_reference(
+    const model::Configuration& config, const ExactSearchLimits& limits) {
+  ExactOutcome outcome = exact_reference_outcome(config, limits);
+  if (outcome.search_space_exceeded) {
+    throw ModelError("exact_reference: search space exceeds the configured "
+                     "limit; reduce max_capacity or the instance size");
+  }
+  return std::move(outcome.solution);
 }
 
 }  // namespace bbs::core

@@ -31,11 +31,58 @@ struct ExactSearchLimits {
   std::size_t max_combinations = 200000;  ///< abort guard
 };
 
+/// Verdict of the exhaustive search. The distinction matters for anything
+/// using the search as an oracle: only kInfeasible is a *proof* that no
+/// integer allocation exists — kTruncated means the limits clipped the
+/// search space and the question is unanswered, which a differential fuzzer
+/// must never misread as an infeasibility verdict.
+enum class ExactStatus {
+  /// A feasible allocation was found; `solution` holds the cheapest one
+  /// within the searched capacity ceilings. Globally optimal unless
+  /// `capacity_limited` is set (a larger ceiling could only add candidates).
+  kOptimal,
+  /// The search was exhaustive over ceilings implied by the configuration
+  /// itself (per-buffer max_capacity, replenishment-interval budget bounds)
+  /// and found nothing: a complete infeasibility proof.
+  kInfeasible,
+  /// No verdict: the search space exceeded max_combinations before any
+  /// enumeration (`search_space_exceeded`), or nothing feasible was found
+  /// but `limits.max_capacity` clipped at least one buffer's ceiling below
+  /// what the configuration allows (`capacity_limited`) — a feasible
+  /// allocation might exist just beyond the ceiling.
+  kTruncated,
+};
+
+const char* to_string(ExactStatus status);
+
+struct ExactOutcome {
+  ExactStatus status = ExactStatus::kTruncated;
+  /// Engaged iff status == kOptimal.
+  std::optional<ExactSolution> solution;
+  /// The estimated odometer size exceeded limits.max_combinations; nothing
+  /// was enumerated.
+  bool search_space_exceeded = false;
+  /// limits.max_capacity clipped at least one buffer below the ceiling the
+  /// configuration itself would allow (kOptimal is then "optimal within the
+  /// ceiling"; an empty search is kTruncated, not kInfeasible).
+  bool capacity_limited = false;
+  /// Estimated search-space size (capacity odometer × budget odometer).
+  double estimated_combinations = 0.0;
+};
+
 /// Exhaustive search over all capacity combinations (1..max_capacity per
 /// buffer, respecting per-buffer caps and memory constraints); budgets are
 /// minimised per capacity vector by a coordinate-descent of per-task binary
-/// searches over the granularity grid. Returns nullopt if no feasible
-/// allocation exists within the limits.
+/// searches over the granularity grid. Never throws on large instances:
+/// truncation is reported in the outcome.
+ExactOutcome exact_reference_outcome(const model::Configuration& config,
+                                     const ExactSearchLimits& limits = {});
+
+/// Back-compatible wrapper: returns the solution iff the outcome is
+/// kOptimal, nullopt for kInfeasible (and for capacity-limited empty
+/// searches, as before), and throws ModelError when the search space
+/// exceeds max_combinations. New code that uses the search as an oracle
+/// should call exact_reference_outcome and branch on the status instead.
 std::optional<ExactSolution> exact_reference(
     const model::Configuration& config, const ExactSearchLimits& limits = {});
 

@@ -43,6 +43,7 @@ void SolverSession::set_solve_control(const SolveControl& control) {
   opts.deadline = control.deadline;
   opts.cancel = control.cancel;
   opts.fail_at_iteration = control.fail_at_iteration;
+  opts.fail_only_first_attempt = control.fail_only_first_attempt;
   ipm_ = solver::IpmSolver(opts);
 }
 
@@ -108,6 +109,13 @@ MappingResult SolverSession::solve() {
     last_infeasible_.s = sol.s;
     last_infeasible_.z = sol.z;
     ++seed_stats_.last_infeasible_updates;
+  }
+  if (sol.recovery_attempts > 0 &&
+      sol.status != solver::SolveStatus::kOptimal) {
+    // The recovery ladder dropped the workspace's warm slot and nothing
+    // refilled it; force select_seed() to reinstall a snapshot next time
+    // instead of trusting the (now empty) slot.
+    warm_slot_is_feasible_ = false;
   }
 
   seed_stats_.last_iterations = sol.iterations;

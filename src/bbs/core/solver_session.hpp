@@ -59,6 +59,10 @@ struct SolveControl {
       solver::CancelToken::Clock::time_point::max();
   std::shared_ptr<solver::CancelToken> cancel;
   int fail_at_iteration = -1;  ///< fault injection; -1 = off
+  /// Scope the injected failure to the first solve attempt only, so the
+  /// recovery ladder can be observed recovering (ipm.fail_once); false
+  /// keeps the classic re-firing fault (ipm.fail_at) that exhausts it.
+  bool fail_only_first_attempt = false;
 };
 
 /// Which snapshot seeded a solve (see SolverSession::seed_stats()).

@@ -1,5 +1,8 @@
 #include "bbs/core/tradeoff.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "bbs/common/assert.hpp"
 #include "bbs/common/scope_guard.hpp"
 
@@ -148,6 +151,24 @@ std::optional<MinimalPeriodResult> minimal_feasible_period(
   session.set_required_period(graph_index, best.period);
   if (verify_result) {
     verify_mapping(session.config(), best.mapping);
+    if (!best.mapping.verified) {
+      // At ill-conditioned scales (replenishment intervals orders of
+      // magnitude above the period) the solver's feasibility tolerance can
+      // admit a probe period slightly below what the rounded allocation
+      // actually sustains. The allocation's own MCR is the smallest period
+      // it verifies at — re-anchor there when it still lies within the
+      // bracket, instead of returning a mapping that fails its own
+      // verification.
+      const double mcr =
+          best.mapping.graphs[static_cast<std::size_t>(graph_index)]
+              .verification.mcr;
+      const double candidate = std::min(period_hi, mcr * (1.0 + 1e-9));
+      if (std::isfinite(mcr) && candidate > best.period) {
+        best.period = candidate;
+        session.set_required_period(graph_index, best.period);
+        verify_mapping(session.config(), best.mapping);
+      }
+    }
   }
   return best;
 }

@@ -1,0 +1,175 @@
+// Differential fuzzing of the end-to-end solve pipeline.
+//
+// Each case is derived deterministically from (seed, index): a randomized
+// configuration drawn from the gen/ families (chains, rings, split-joins,
+// random DAGs, multi-job mixes) with optional adversarial mutations
+// (extreme WCET ratios, tiny/huge replenishment intervals, granularity
+// stress, near-infeasible throughput margins), wrapped into one service
+// request and executed through a pooled api::Engine. Every answer is then
+// cross-checked against independent oracles:
+//
+//   * the exhaustive integer reference (core/exact_reference.hpp) on small
+//     instances — the exact optimum can never cost more than any verified
+//     rounded allocation, and a *complete* exact infeasibility proof can
+//     never coexist with a verified feasible mapping;
+//   * the TDM discrete-event simulator plus the PAS conservativeness bound
+//     (sim/tdm_simulator.hpp, core/verification.hpp) — a verified
+//     allocation must sustain its required period in actual execution;
+//   * self-consistency across request kinds — a sweep point and a plain
+//     solve of the same capacity bound answer the same SOCP.
+//
+// Failing cases are shrunk by re-generation with reduced parameters and
+// written as standalone JSON reproducers (spec + request + failure
+// messages) that replay through the stored request, so a checked-in corpus
+// stays meaningful even if the generators evolve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbs/api/engine.hpp"
+#include "bbs/gen/generators.hpp"
+#include "bbs/io/json.hpp"
+
+namespace bbs::fuzz {
+
+using linalg::Index;
+
+enum class Family { kChain, kRing, kSplitJoin, kRandomDag, kMultiJob };
+enum class RequestKind { kSolve, kSweep, kMinPeriod, kTwoPhase, kLatency };
+
+const char* to_string(Family family);
+const char* to_string(RequestKind kind);
+
+/// Everything that defines one fuzz case. Regenerating a spec is
+/// deterministic, and every field is individually reducible — the shrinker
+/// works by clearing mutation flags and lowering sizes, re-running after
+/// each step.
+struct CaseSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t index = 0;
+  Family family = Family::kChain;
+  /// Family-specific sizes: tasks (chain/ring/dag), fanout (split-join),
+  /// jobs (multi-job).
+  Index size_a = 2;
+  /// Branch depth (split-join) / tasks per job (multi-job); unused
+  /// otherwise.
+  Index size_b = 1;
+  double extra_edge_fraction = 0.5;  ///< random DAGs only
+  /// Base generator parameters, *before* the mutation flags below are
+  /// applied (so the shrinker can clear a flag and regenerate coherently).
+  gen::GenParams params;
+  /// Uniform finite max_capacity applied to every buffer. Finite caps make
+  /// the SOCP's capacity ceiling equal to the exact search's ceiling, which
+  /// is what makes the exact-oracle inequality sound.
+  Index max_capacity = 4;
+  RequestKind kind = RequestKind::kSolve;
+  /// Kind-specific variant (min_period flow / two_phase mode / sim slice
+  /// placement).
+  Index variant = 0;
+  // Adversarial mutations.
+  bool extreme_wcet = false;       ///< WCET ratio ~ 1:1500
+  bool tiny_interval = false;      ///< replenishment interval at the floor
+  bool huge_interval = false;      ///< replenishment interval 2e4 cycles
+  bool granularity_stress = false; ///< coarse allocation granularity
+  bool near_infeasible = false;    ///< throughput margin within ~1-5%
+};
+
+/// Derives the deterministic case at `index` of stream `seed`.
+CaseSpec make_case(std::uint64_t seed, std::uint64_t index);
+
+/// The mutated generator parameters the spec's configuration is built with
+/// (mutation flags applied, over-subscription floor enforced).
+gen::GenParams effective_params(const CaseSpec& spec);
+
+model::Configuration build_configuration(const CaseSpec& spec);
+api::Request build_request(const CaseSpec& spec);
+
+/// Compact human-readable tag: "seed=3 index=41 ring/5 kind=sweep [tiny-rho]".
+std::string case_label(const CaseSpec& spec);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 100;
+  /// Directory reproducers of failing (shrunk) cases are written to;
+  /// empty = don't write.
+  std::string corpus_dir;
+  bool shrink = true;
+  /// Upper bound on shrinker re-runs per failing case.
+  int max_shrink_runs = 64;
+  bool run_exact_oracle = true;
+  bool run_sim_oracle = true;
+  /// 0 silent, 1 log failures, 2 log every case (stderr).
+  int verbosity = 0;
+  /// Test hook: deliberately corrupt the reported rounded objective of
+  /// every feasible solve before the oracles run, proving the harness
+  /// detects a disagreement end to end. Never set outside the self-tests.
+  bool inject_known_bad = false;
+  /// Chaos hook: force the first IPM attempt of every solve to fail
+  /// (ipm.fail_once), so every case also exercises the numerical recovery
+  /// ladder; rescues surface in FuzzSummary::recovered_solves.
+  bool inject_fail_first = false;
+};
+
+struct CaseResult {
+  CaseSpec spec;
+  bool passed = true;
+  bool engine_error = false;       ///< parse/internal error response
+  bool numerical_failure = false;  ///< structured kNumericalFailure response
+  bool infeasible = false;
+  bool exact_checked = false;      ///< exact oracle reached a verdict
+  bool sim_checked = false;
+  int recovered_solves = 0;        ///< ladder rescues behind this request
+  std::vector<std::string> failures;
+};
+
+/// Builds and runs one case through `engine` and applies every oracle.
+CaseResult run_case(api::Engine& engine, const CaseSpec& spec,
+                    const FuzzOptions& options);
+
+/// Core of run_case on a caller-supplied request (the replay path runs the
+/// *stored* request of a reproducer instead of regenerating it).
+CaseResult run_request_checks(api::Engine& engine, const CaseSpec& spec,
+                              const api::Request& request,
+                              const FuzzOptions& options);
+
+/// Shrinks a failing case by re-generation with reduced parameters until no
+/// single reduction keeps it failing (or the run budget is exhausted).
+/// Returns the smallest still-failing spec found.
+CaseSpec shrink_case(api::Engine& engine, const CaseSpec& failing,
+                     const FuzzOptions& options);
+
+struct FuzzSummary {
+  std::uint64_t cases = 0;
+  std::uint64_t passed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t numerical_failures = 0;
+  std::uint64_t exact_checked = 0;
+  std::uint64_t sim_checked = 0;
+  /// Engine-wide ladder rescues across the whole run.
+  std::uint64_t recovered_solves = 0;
+  std::vector<std::string> reproducers;    ///< reproducer files written
+  std::vector<std::string> failure_lines;  ///< one line per failing case
+  bool ok() const { return failed == 0; }
+};
+
+/// Runs `options.cases` deterministic cases (one shared engine, so session
+/// pooling is exercised across cases), shrinking and recording failures.
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+io::JsonValue case_spec_to_json_value(const CaseSpec& spec);
+CaseSpec case_spec_from_json_value(const io::JsonValue& doc);
+
+/// Writes a standalone JSON reproducer (spec + request + failures) into
+/// `corpus_dir` (created if missing) and returns its path.
+std::string write_reproducer(const CaseSpec& spec, const CaseResult& result,
+                             const std::string& corpus_dir);
+
+/// Replays one reproducer file through a fresh engine, using the *stored*
+/// request (not a regeneration). Returns the case outcome; `passed` means
+/// the recorded bug no longer reproduces.
+CaseResult replay_file(const std::string& path, const FuzzOptions& options);
+
+}  // namespace bbs::fuzz

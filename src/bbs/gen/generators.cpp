@@ -250,6 +250,59 @@ model::Configuration make_random_dag(Index num_tasks,
   return config;
 }
 
+model::Configuration make_multi_job(Index num_jobs, Index tasks_per_job,
+                                    const GenParams& params) {
+  BBS_REQUIRE(num_jobs >= 1, "make_multi_job: need at least one job");
+  BBS_REQUIRE(tasks_per_job >= 1,
+              "make_multi_job: need at least one task per job");
+  model::Configuration config = platform(params);
+  bbs::Rng rng(params.seed);
+
+  // Draft every job before sizing any of them: a job's fair-split period
+  // depends on the *total* per-processor load across all jobs sharing the
+  // platform, which the single-graph feasible_period helper cannot see.
+  std::vector<model::TaskGraph> drafts;
+  std::vector<Index> load(static_cast<std::size_t>(params.num_processors), 0);
+  Index next_proc = 0;
+  for (Index j = 0; j < num_jobs; ++j) {
+    model::TaskGraph tg("job" + std::to_string(j), 1.0);
+    for (Index t = 0; t < tasks_per_job; ++t) {
+      const Index proc = next_proc++ % params.num_processors;
+      ++load[static_cast<std::size_t>(proc)];
+      tg.add_task("j" + std::to_string(j) + "t" + std::to_string(t), proc,
+                  rng.next_real(params.wcet_lo, params.wcet_hi));
+    }
+    drafts.push_back(std::move(tg));
+  }
+  for (Index j = 0; j < num_jobs; ++j) {
+    const model::TaskGraph& tg = drafts[static_cast<std::size_t>(j)];
+    double mu = 0.0;
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      const model::Processor& proc = config.processor(task.processor);
+      const double n = static_cast<double>(
+          load[static_cast<std::size_t>(task.processor)]);
+      const double beta_fair =
+          (proc.replenishment_interval - proc.scheduling_overhead -
+           static_cast<double>(params.granularity) * n) /
+          n;
+      BBS_ASSERT_MSG(beta_fair > 0.0, "generated platform is over-subscribed");
+      mu = std::max(mu, proc.replenishment_interval * task.wcet / beta_fair);
+    }
+    model::TaskGraph sized(tg.name(), params.feasible_margin * mu);
+    for (Index t = 0; t < tg.num_tasks(); ++t) {
+      const model::Task& task = tg.task(t);
+      sized.add_task(task.name, task.processor, task.wcet, task.budget_weight);
+    }
+    for (Index t = 0; t + 1 < tasks_per_job; ++t) {
+      sized.add_buffer("j" + std::to_string(j) + "b" + std::to_string(t), t,
+                       t + 1, 0, 1, 0, params.buffer_weight);
+    }
+    config.add_task_graph(std::move(sized));
+  }
+  return config;
+}
+
 model::Configuration car_entertainment_preset() {
   model::Configuration config(1);
   const Index dsp = config.add_processor("dsp", 50.0, 1.0);

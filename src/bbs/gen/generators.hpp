@@ -64,6 +64,15 @@ model::Configuration make_random_dag(Index num_tasks,
                                      double extra_edge_fraction,
                                      const GenParams& params = {});
 
+/// `num_jobs` independent chain jobs of `tasks_per_job` tasks each, sharing
+/// one platform: tasks are placed round-robin over the processors *across*
+/// jobs, so each processor's TDM wheel is contended by several jobs. Each
+/// job gets its own throughput requirement, derived from a fair budget
+/// split of the platform's *total* load (all jobs combined) — generated
+/// systems are feasible by construction when `feasible_margin` > 1.
+model::Configuration make_multi_job(Index num_jobs, Index tasks_per_job,
+                                    const GenParams& params = {});
+
 /// A small multi-job system in the spirit of the paper's introduction
 /// (car entertainment): a navigation-audio chain and an mp3-playback chain
 /// sharing two of three processors, each with its own throughput requirement.

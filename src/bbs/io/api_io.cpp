@@ -313,6 +313,8 @@ JsonValue options_to_json_value(const api::RequestOptions& options) {
   o["feas_tol"] = options.ipm.feas_tol;
   o["gap_tol"] = options.ipm.gap_tol;
   o["warm_start"] = options.ipm.warm_start;
+  o["recovery_attempts"] =
+      JsonValue(static_cast<double>(options.ipm.recovery_attempts));
   if (options.deadline_ms > 0.0) o["deadline_ms"] = options.deadline_ms;
   return JsonValue(std::move(o));
 }
@@ -327,6 +329,8 @@ api::RequestOptions options_from_json_value(const JsonValue& doc) {
   options.ipm.feas_tol = get_number(o, "feas_tol", options.ipm.feas_tol);
   options.ipm.gap_tol = get_number(o, "gap_tol", options.ipm.gap_tol);
   options.ipm.warm_start = get_bool(o, "warm_start", options.ipm.warm_start);
+  options.ipm.recovery_attempts = static_cast<int>(get_index(
+      o, "recovery_attempts", "options", options.ipm.recovery_attempts));
   options.deadline_ms = get_number(o, "deadline_ms", options.deadline_ms);
   return options;
 }
@@ -516,6 +520,8 @@ JsonValue response_to_json_value(const api::Response& response) {
   d["solves"] = JsonValue(static_cast<double>(diag.solves));
   d["warm_started_solves"] =
       JsonValue(static_cast<double>(diag.warm_started_solves));
+  d["recovered_solves"] =
+      JsonValue(static_cast<double>(diag.recovered_solves));
   d["symbolic_factorisations"] =
       JsonValue(static_cast<double>(diag.symbolic_factorisations));
   d["session_reused"] = diag.session_reused;
@@ -589,6 +595,8 @@ api::Response response_from_json_value(const JsonValue& doc) {
       static_cast<int>(get_index(d, "solves", "diagnostics", 0));
   response.diagnostics.warm_started_solves = static_cast<int>(
       get_index(d, "warm_started_solves", "diagnostics", 0));
+  response.diagnostics.recovered_solves = static_cast<int>(
+      get_index(d, "recovered_solves", "diagnostics", 0));
   response.diagnostics.symbolic_factorisations =
       static_cast<long>(get_number(d, "symbolic_factorisations", 0.0));
   response.diagnostics.session_reused =

@@ -1,4 +1,5 @@
 // Structural validation of configurations (Configuration::validate).
+#include <cmath>
 #include <sstream>
 
 #include "bbs/common/assert.hpp"
@@ -12,6 +13,12 @@ namespace {
   throw ModelError("invalid configuration: " + context + ": " + what);
 }
 
+// NaN compares false against every threshold, so the sign/range checks
+// below would silently wave through a NaN field and let it poison the SOCP
+// far from the source. Every real-valued field therefore gets an explicit
+// finiteness gate first.
+bool bad(double value) { return !std::isfinite(value); }
+
 }  // namespace
 
 void Configuration::validate() const {
@@ -22,11 +29,12 @@ void Configuration::validate() const {
     const Processor& proc = processor(p);
     std::ostringstream ctx;
     ctx << "processor '" << proc.name << "'";
-    if (proc.replenishment_interval <= 0.0) {
-      fail(ctx.str(), "replenishment interval must be positive");
+    if (bad(proc.replenishment_interval) ||
+        proc.replenishment_interval <= 0.0) {
+      fail(ctx.str(), "replenishment interval must be positive and finite");
     }
-    if (proc.scheduling_overhead < 0.0) {
-      fail(ctx.str(), "scheduling overhead must be nonnegative");
+    if (bad(proc.scheduling_overhead) || proc.scheduling_overhead < 0.0) {
+      fail(ctx.str(), "scheduling overhead must be nonnegative and finite");
     }
     if (proc.scheduling_overhead >= proc.replenishment_interval) {
       fail(ctx.str(),
@@ -35,15 +43,16 @@ void Configuration::validate() const {
   }
   for (Index m = 0; m < num_memories(); ++m) {
     const Memory& mem = memory(m);
-    if (mem.capacity != -1.0 && mem.capacity < 0.0) {
-      fail("memory '" + mem.name + "'", "capacity must be >= 0 or -1");
+    if (mem.capacity != -1.0 && (bad(mem.capacity) || mem.capacity < 0.0)) {
+      fail("memory '" + mem.name + "'",
+           "capacity must be finite and >= 0, or -1");
     }
   }
   for (Index gi = 0; gi < num_task_graphs(); ++gi) {
     const TaskGraph& g = task_graph(gi);
     const std::string gctx = "task graph '" + g.name() + "'";
-    if (g.required_period() <= 0.0) {
-      fail(gctx, "required period must be positive");
+    if (bad(g.required_period()) || g.required_period() <= 0.0) {
+      fail(gctx, "required period must be positive and finite");
     }
     if (g.num_tasks() == 0) {
       fail(gctx, "graph has no tasks");
@@ -54,8 +63,11 @@ void Configuration::validate() const {
       if (task.processor < 0 || task.processor >= num_processors()) {
         fail(tctx, "processor reference out of range");
       }
-      if (task.wcet <= 0.0) {
-        fail(tctx, "worst-case execution time must be positive");
+      if (bad(task.wcet) || task.wcet <= 0.0) {
+        fail(tctx, "worst-case execution time must be positive and finite");
+      }
+      if (bad(task.budget_weight) || task.budget_weight < 0.0) {
+        fail(tctx, "budget weight must be nonnegative and finite");
       }
       const Processor& proc = processor(task.processor);
       if (task.wcet > proc.replenishment_interval) {
@@ -81,6 +93,9 @@ void Configuration::validate() const {
       }
       if (buf.container_size < 1) {
         fail(bctx, "container size zeta(b) must be a positive integer");
+      }
+      if (bad(buf.size_weight) || buf.size_weight < 0.0) {
+        fail(bctx, "size weight must be nonnegative and finite");
       }
       if (buf.initial_fill < 0) {
         fail(bctx, "initial fill iota(b) must be nonnegative");

@@ -120,6 +120,12 @@ void Dispatcher::worker_loop(Worker& worker) {
       if (const int fail_at = faults.ipm_fail_at(); fail_at >= 0) {
         task.request.options.ipm.fail_at_iteration = fail_at;
       }
+      if (const int fail_once = faults.ipm_fail_once(); fail_once >= 0) {
+        // Scoped to the first attempt only: the recovery ladder rescues the
+        // solve, observable through the recovered_solves stats.
+        task.request.options.ipm.fail_at_iteration = fail_once;
+        task.request.options.ipm.fail_only_first_attempt = true;
+      }
     }
 
     // Shedding: a task whose budget is already spent (or whose client is
@@ -284,6 +290,7 @@ ServiceStats Dispatcher::stats() const {
     total.errors += ws.engine.errors;
     total.warm_hits += ws.engine.pool_hits;
     total.symbolic_factorisations += ws.engine.symbolic_factorisations;
+    total.recovered_solves += ws.engine.recovered_solves;
     total.queue_depth += ws.queue_depth;
     total.workers.push_back(std::move(ws));
   }

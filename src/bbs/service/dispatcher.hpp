@@ -88,6 +88,9 @@ struct ServiceStats {
   /// Requests served from an already warm pooled session (pool hits).
   std::uint64_t warm_hits = 0;
   std::uint64_t symbolic_factorisations = 0;
+  /// Sum of the per-worker engines' recovered_solves — solves rescued by
+  /// the IPM recovery ladder fleet-wide (the production recovery rate).
+  std::uint64_t recovered_solves = 0;
   std::size_t queue_depth = 0;
   /// Total cross-worker steals (sum of WorkerStats::stolen).
   std::uint64_t stolen = 0;

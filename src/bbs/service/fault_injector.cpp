@@ -59,6 +59,8 @@ void FaultInjector::configure(const std::string& spec) {
                              std::memory_order_relaxed);
     } else if (name == "ipm.fail_at") {
       ipm_fail_at_.store(parse_int(name, value), std::memory_order_relaxed);
+    } else if (name == "ipm.fail_once") {
+      ipm_fail_once_.store(parse_int(name, value), std::memory_order_relaxed);
     } else if (name == "outbox.stall_ms") {
       outbox_stall_ms_.store(parse_int(name, value),
                              std::memory_order_relaxed);
@@ -80,6 +82,7 @@ void FaultInjector::clear() {
   enabled_.store(false, std::memory_order_relaxed);
   worker_delay_ms_.store(0, std::memory_order_relaxed);
   ipm_fail_at_.store(-1, std::memory_order_relaxed);
+  ipm_fail_once_.store(-1, std::memory_order_relaxed);
   outbox_stall_ms_.store(0, std::memory_order_relaxed);
 }
 
@@ -95,6 +98,9 @@ std::string FaultInjector::describe() const {
   }
   if (const int v = ipm_fail_at(); v >= 0) {
     append("ipm.fail_at=" + std::to_string(v));
+  }
+  if (const int v = ipm_fail_once(); v >= 0) {
+    append("ipm.fail_once=" + std::to_string(v));
   }
   if (const int v = outbox_stall_ms(); v > 0) {
     append("outbox.stall_ms=" + std::to_string(v));

@@ -16,7 +16,13 @@
 //                     (inflates queue wait deterministically — drives the
 //                     queue-expiry shedding and overload paths)
 //   ipm.fail_at       every solve is forced into a numerical failure at
-//                     this IPM iteration (0-based; -1 disarms)
+//                     this IPM iteration (0-based; -1 disarms). The fault
+//                     re-fires on every recovery-ladder retry, so it ends
+//                     in a hard structured numerical_failure.
+//   ipm.fail_once     like ipm.fail_at, but only the *first* attempt of
+//                     each solve fails — the recovery ladder then rescues
+//                     it, which shows up in the recovered_solves stats
+//                     (drives the ladder's end-to-end chaos coverage)
 //   outbox.stall_ms   the socket writer thread sleeps this long before
 //                     every send (drives the slow-client/write-deadline
 //                     paths without a real slow client)
@@ -60,6 +66,11 @@ class FaultInjector {
   int ipm_fail_at() const {
     return ipm_fail_at_.load(std::memory_order_relaxed);
   }
+  /// IPM iteration at which only the first attempt of each solve fails,
+  /// leaving the recovery ladder to rescue it (-1 = off).
+  int ipm_fail_once() const {
+    return ipm_fail_once_.load(std::memory_order_relaxed);
+  }
   /// Milliseconds the socket writer sleeps before each send (0 = off).
   int outbox_stall_ms() const {
     return outbox_stall_ms_.load(std::memory_order_relaxed);
@@ -73,6 +84,7 @@ class FaultInjector {
   std::atomic<bool> enabled_{false};
   std::atomic<int> worker_delay_ms_{0};
   std::atomic<int> ipm_fail_at_{-1};
+  std::atomic<int> ipm_fail_once_{-1};
   std::atomic<int> outbox_stall_ms_{0};
 };
 

@@ -32,6 +32,8 @@ JsonValue engine_stats_to_json_value(const api::EngineStats& stats) {
   o["solves"] = JsonValue(static_cast<double>(stats.solves));
   o["warm_started_solves"] =
       JsonValue(static_cast<double>(stats.warm_started_solves));
+  o["recovered_solves"] =
+      JsonValue(static_cast<double>(stats.recovered_solves));
   return JsonValue(std::move(o));
 }
 
@@ -46,6 +48,8 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
   root["warm_hits"] = JsonValue(static_cast<double>(stats.warm_hits));
   root["symbolic_factorisations"] =
       JsonValue(static_cast<double>(stats.symbolic_factorisations));
+  root["recovered_solves"] =
+      JsonValue(static_cast<double>(stats.recovered_solves));
   root["queue_depth"] = JsonValue(static_cast<double>(stats.queue_depth));
   root["stolen"] = JsonValue(static_cast<double>(stats.stolen));
   root["deadline_shed"] = JsonValue(static_cast<double>(stats.deadline_shed));

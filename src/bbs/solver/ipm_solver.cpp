@@ -119,6 +119,84 @@ SolveResult IpmSolver::solve(const ConicProblem& problem) const {
 
 SolveResult IpmSolver::solve(const ConicProblem& problem,
                              IpmWorkspace& ws) const {
+  SolveResult result = solve_attempt(problem, ws, options_);
+  if (result.status != SolveStatus::kNumericalFailure ||
+      options_.recovery_attempts <= 0) {
+    return result;
+  }
+
+  // --- Recovery ladder -------------------------------------------------------
+  // Each rung retries the whole solve with progressively heavier-handed
+  // numerics. The symbolic KKT analysis is shared by every attempt (the
+  // regularisation bump is numeric-only), so a recovered solve still
+  // reports symbolic_factorisations == 1.
+  SolverOptions opts = options_;
+  // An injected fault scoped to the first attempt (ipm.fail_once) is
+  // disarmed here so the ladder can demonstrate an actual recovery; the
+  // unscoped ipm.fail_at keeps firing and exhausts the ladder instead.
+  if (opts.fail_only_first_attempt) opts.fail_at_iteration = -1;
+  int total_iterations = result.iterations;
+  int attempts = 0;
+  for (; attempts < options_.recovery_attempts &&
+         result.status == SolveStatus::kNumericalFailure;) {
+    ++attempts;
+    // Rung 1: drop the warm-start seed — a stale or near-boundary seed is
+    // the most common cause of a breakdown — and restart cold.
+    ws.clear_warm();
+    if (attempts >= 2) {
+      // Rungs 2+: bump the static regularisation (cumulatively) and re-run
+      // the Ruiz equilibration with extra rounds before the cold restart.
+      opts.static_regularisation *= options_.recovery_regularisation_growth;
+      opts.equilibrate_rounds = std::max(options_.equilibrate_rounds, 2) * 2;
+      if (ws.kkt_ != nullptr) {
+        ws.kkt_->set_static_regularisation(opts.static_regularisation);
+      }
+      ws.refresh_numerics_ = true;
+    }
+    if (options_.verbosity >= 1) {
+      std::fprintf(stderr,
+                   "[ipm] recovery attempt %d/%d (cold restart%s)\n", attempts,
+                   options_.recovery_attempts,
+                   attempts >= 2 ? ", bumped regularisation + re-equilibrate"
+                                 : "");
+    }
+    result = solve_attempt(problem, ws, opts);
+    total_iterations += result.iterations;
+  }
+
+  // One ladder run is ONE logical solve: collapse the per-attempt counter
+  // increments (each attempt bumped solves_ by one) and report the total
+  // interior-point effort, so sessions and engines see consistent
+  // solve/iteration accounting whether or not the ladder fired.
+  ws.solves_ -= attempts;
+  result.iterations = total_iterations;
+
+  // Restore the base numerics so later solves through this workspace are
+  // unaffected by the ladder (if the instance genuinely needs the bump, the
+  // ladder will earn it again — and the recovery will be visible again).
+  if (attempts >= 2) {
+    if (ws.kkt_ != nullptr) {
+      ws.kkt_->set_static_regularisation(options_.static_regularisation);
+    }
+    ws.refresh_numerics_ = true;
+  }
+
+  result.recovery_attempts = attempts;
+  // "Recovered" means the retry produced a usable answer — an optimum or an
+  // infeasibility certificate. A retry that merely turned the breakdown into
+  // a stall or timeout is reported as that status but not counted.
+  if (result.status == SolveStatus::kOptimal ||
+      result.status == SolveStatus::kPrimalInfeasible ||
+      result.status == SolveStatus::kDualInfeasible) {
+    result.recovered = true;
+    ++ws.recovered_solves_;
+  }
+  return result;
+}
+
+SolveResult IpmSolver::solve_attempt(const ConicProblem& problem,
+                                     IpmWorkspace& ws,
+                                     const SolverOptions& options) const {
   const auto n = static_cast<std::size_t>(problem.num_vars());
   const auto m = static_cast<std::size_t>(problem.num_rows());
   BBS_REQUIRE(m > 0, "IpmSolver: problem has no constraints");
@@ -141,13 +219,15 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
                     ws.cone_->soc_dims() == problem.cone().soc_dims(),
                 "IpmSolver: workspace is bound to a different problem "
                 "structure (use IpmWorkspace::reset)");
-    g_changed = problem.g().values() != ws.raw_g_values_;
+    g_changed =
+        ws.refresh_numerics_ || problem.g().values() != ws.raw_g_values_;
     if (g_changed) {
       ws.raw_g_values_ = problem.g().values();
       std::copy(problem.g().values().begin(), problem.g().values().end(),
                 ws.g_.values().begin());
     }
   }
+  ws.refresh_numerics_ = false;
   // The workspace's copy: every reference the persistent state holds points
   // here, never into `problem`.
   const ConeSpec& cone = *ws.cone_;
@@ -158,8 +238,8 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   // untouched. -------------------------------------------------------------
   SparseMatrix& g = ws.g_;
   if (g_changed) {
-    if (options_.equilibrate_rounds > 0) {
-      ruiz_equilibrate(g, cone, options_.equilibrate_rounds, ws.row_scale_,
+    if (options.equilibrate_rounds > 0) {
+      ruiz_equilibrate(g, cone, options.equilibrate_rounds, ws.row_scale_,
                        ws.col_scale_, ws.ruiz_row_max_, ws.ruiz_col_max_);
     } else {
       ws.row_scale_.assign(m, 1.0);
@@ -193,7 +273,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   // Any anomaly (non-finite data, point irrecoverably outside the cone)
   // falls back to the cold start below.
   bool warm = false;
-  if (options_.warm_start && ws.have_warm_ && ws.warm_x_.size() == n &&
+  if (options.warm_start && ws.have_warm_ && ws.warm_x_.size() == n &&
       ws.warm_s_.size() == m && ws.warm_z_.size() == m) {
     x.resize(n);
     s.resize(m);
@@ -213,7 +293,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
       // along the identity. (A Skajaa-style convex blend with the identity
       // was measured too: identical iteration counts on the paper's sweeps,
       // so the simpler shift stays.)
-      const double pad = std::max(options_.warm_start_margin, 1e-10);
+      const double pad = std::max(options.warm_start_margin, 1e-10);
       const double margin_s = cone.interior_margin(s);
       const double margin_z = cone.interior_margin(z);
       if (margin_s < pad) linalg::axpy(pad - margin_s, e, s);
@@ -240,9 +320,9 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   NtScaling& scaling = *ws.scaling_;
   if (ws.kkt_ == nullptr) {
     KktSystem::Options kkt_opts;
-    kkt_opts.ordering = options_.ordering;
-    kkt_opts.static_regularisation = options_.static_regularisation;
-    kkt_opts.refine_steps = options_.refine_steps;
+    kkt_opts.ordering = options.ordering;
+    kkt_opts.static_regularisation = options.static_regularisation;
+    kkt_opts.refine_steps = options.refine_steps;
     ws.kkt_ = std::make_unique<KktSystem>(g, kkt_opts);
   } else if (g_changed) {
     ws.kkt_->update_matrix_values(g);
@@ -277,7 +357,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
         std::abs(result.primal_objective - result.dual_objective);
     result.primal_residual = problem.primal_residual(result.x, result.s);
     result.dual_residual = problem.dual_residual(result.z);
-    if (options_.verbosity >= 1) {
+    if (options.verbosity >= 1) {
       std::fprintf(stderr,
                    "[ipm] %s after %d iterations%s: pobj=%.9g dobj=%.9g "
                    "pres=%.3g dres=%.3g\n",
@@ -348,18 +428,18 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   // point up front, so the per-iteration cost is a single clock read — and
   // zero when nothing is armed.
   using SolveClock = CancelToken::Clock;
-  const CancelToken* cancel = options_.cancel.get();
+  const CancelToken* cancel = options.cancel.get();
   SolveClock::time_point deadline = SolveClock::time_point::max();
   bool have_deadline = false;
-  if (options_.time_limit_ms > 0.0) {
+  if (options.time_limit_ms > 0.0) {
     deadline = SolveClock::now() +
                std::chrono::duration_cast<SolveClock::duration>(
                    std::chrono::duration<double, std::milli>(
-                       options_.time_limit_ms));
+                       options.time_limit_ms));
     have_deadline = true;
   }
-  if (options_.deadline != SolveClock::time_point::max()) {
-    deadline = std::min(deadline, options_.deadline);
+  if (options.deadline != SolveClock::time_point::max()) {
+    deadline = std::min(deadline, options.deadline);
     have_deadline = true;
   }
   if (cancel != nullptr && cancel->has_deadline()) {
@@ -367,7 +447,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
     have_deadline = true;
   }
 
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
     // --- Cooperative interruption ------------------------------------------
     // Checked at iteration granularity: an expiry mid-iteration finishes
     // that iteration, so termination is bounded by one KKT solve. The best
@@ -386,7 +466,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
                                               : SolveStatus::kTimedOut,
                       iter);
     }
-    if (iter == options_.fail_at_iteration) {
+    if (iter == options.fail_at_iteration) {
       // Injected fault (chaos tests): a hard numerical failure, never
       // rescued by the best iterate.
       restore_best();
@@ -413,21 +493,21 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
       const double gap = linalg::dot(s, z) / (tau * tau);
       const double rel_gap =
           gap / std::max(1.0, std::min(std::abs(pobj), std::abs(dobj)));
-      if (options_.verbosity >= 2) {
+      if (options.verbosity >= 2) {
         std::fprintf(stderr,
                      "[ipm] it=%2d mu=%.3e tau=%.3e kappa=%.3e pres=%.3e "
                      "dres=%.3e gap=%.3e\n",
                      iter, mu, tau, kappa, pres, dres, gap);
       }
-      if (pres <= options_.feas_tol && dres <= options_.feas_tol &&
-          (rel_gap <= options_.gap_tol || gap <= options_.gap_tol)) {
+      if (pres <= options.feas_tol && dres <= options.feas_tol &&
+          (rel_gap <= options.gap_tol || gap <= options.gap_tol)) {
         return finalise(SolveStatus::kOptimal, iter);
       }
       // Merit: worst tolerance-normalised criterion (<= 1 means acceptable).
-      const double merit = std::max({pres / options_.feas_tol,
-                                     dres / options_.feas_tol,
+      const double merit = std::max({pres / options.feas_tol,
+                                     dres / options.feas_tol,
                                      std::min(rel_gap, gap) /
-                                         options_.gap_tol});
+                                         options.gap_tol});
       if (merit < best_merit) {
         best_merit = merit;
         best_iteration = iter;
@@ -436,7 +516,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
         best_z = z;
         best_tau = tau;
         best_kappa = kappa;
-      } else if (iter - best_iteration >= options_.stall_iterations) {
+      } else if (iter - best_iteration >= options.stall_iterations) {
         restore_best();
         return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
                                                 : SolveStatus::kMaxIterations,
@@ -446,14 +526,14 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
       if (hz < 0.0) {
         Vector gtz(n, 0.0);
         g.gaxpy_transpose(1.0, z, gtz);
-        if (linalg::norm2(gtz) * norm_h <= options_.feas_tol * (-hz)) {
+        if (linalg::norm2(gtz) * norm_h <= options.feas_tol * (-hz)) {
           return finalise(SolveStatus::kPrimalInfeasible, iter);
         }
       }
       if (cx < 0.0) {
         Vector gx_s = s;
         g.gaxpy(1.0, x, gx_s);
-        if (linalg::norm2(gx_s) * norm_c <= options_.feas_tol * (-cx)) {
+        if (linalg::norm2(gx_s) * norm_c <= options.feas_tol * (-cx)) {
           return finalise(SolveStatus::kDualInfeasible, iter);
         }
       }
@@ -578,7 +658,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
                       iter);
     }
 
-    if (options_.verbosity >= 3) {
+    if (options.verbosity >= 3) {
       // Debug: residuals of the Newton system for the combined direction.
       const double eta = 1.0 - sigma;
       Vector e1(n, 0.0);
@@ -598,7 +678,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
     }
 
     double alpha =
-        options_.step_fraction * step_limit(ds, dz, dtau, dkappa);
+        options.step_fraction * step_limit(ds, dz, dtau, dkappa);
     alpha = std::min(alpha, 1.0);
     if (!(alpha > 0.0) || !std::isfinite(alpha)) {
       restore_best();
@@ -625,7 +705,7 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
   restore_best();
   return finalise(best_meets_tolerances() ? SolveStatus::kOptimal
                                           : SolveStatus::kMaxIterations,
-                  options_.max_iterations);
+                  options.max_iterations);
 }
 
 }  // namespace bbs::solver

@@ -88,6 +88,25 @@ struct SolverOptions {
   /// Fault injection: force a numerical-failure exit at this iteration
   /// (-1 = off). Exists for the chaos tests; never set in production.
   int fail_at_iteration = -1;
+  /// Scope of the injected failure: when true, fail_at_iteration only fires
+  /// on the *first* attempt of a solve, so the recovery ladder below can be
+  /// observed actually recovering (the `ipm.fail_once` failpoint); when
+  /// false (default) the fault re-fires on every retry and the ladder
+  /// exhausts into a hard kNumericalFailure (the `ipm.fail_at` failpoint).
+  bool fail_only_first_attempt = false;
+  /// Numerical recovery ladder: on a kNumericalFailure exit, retry the
+  /// solve up to this many times with progressively heavier-handed
+  /// settings — attempt 1 drops the warm-start seed and restarts cold;
+  /// attempts 2+ additionally multiply the static regularisation by
+  /// recovery_regularisation_growth (cumulative) and re-run the Ruiz
+  /// equilibration with extra rounds. The base options are restored
+  /// afterwards, so a recovered workspace behaves identically on the next
+  /// solve. 0 disables the ladder — set that in tests that pin exact
+  /// iteration or solve counts.
+  int recovery_attempts = 2;
+  /// Per-rung multiplier applied to static_regularisation from the second
+  /// recovery attempt on.
+  double recovery_regularisation_growth = 1e4;
 };
 
 struct SolveResult {
@@ -106,6 +125,13 @@ struct SolveResult {
   /// True iff this solve was seeded from a previous solution (workspace
   /// entry point with a stored optimal point).
   bool warm_started = false;
+  /// Recovery-ladder attempts consumed after the initial solve failed
+  /// numerically (0 = the first attempt's result stands).
+  int recovery_attempts = 0;
+  /// True iff the initial attempt failed numerically and a ladder retry
+  /// then produced a usable answer (an optimum or an infeasibility
+  /// certificate).
+  bool recovered = false;
 
   bool is_optimal() const { return status == SolveStatus::kOptimal; }
 };
@@ -137,6 +163,9 @@ class IpmWorkspace {
   long total_iterations() const { return total_iterations_; }
   /// How many solves were actually seeded from a previous solution.
   int warm_started_solves() const { return warm_started_solves_; }
+  /// Solves whose initial attempt failed numerically but whose recovery
+  /// ladder then produced a usable result (SolveResult::recovered).
+  int recovered_solves() const { return recovered_solves_; }
 
   /// Installs an explicit warm-start seed (original, unscaled coordinates)
   /// for the next solve, replacing the auto-stored previous optimum. The
@@ -178,10 +207,15 @@ class IpmWorkspace {
   // Previous optimal solution in original (unscaled) coordinates.
   bool have_warm_ = false;
   Vector warm_x_, warm_s_, warm_z_;
+  // Set by the recovery ladder (and its cleanup) to force the next attempt
+  // through the full numeric refresh — re-copy G, re-equilibrate, update
+  // the KKT values — even when the raw coefficients are unchanged.
+  bool refresh_numerics_ = false;
   // Cumulative counters.
   int solves_ = 0;
   long total_iterations_ = 0;
   int warm_started_solves_ = 0;
+  int recovered_solves_ = 0;
 };
 
 /// Solves a conic problem. Stateless; thread-compatible (distinct instances
@@ -196,13 +230,21 @@ class IpmSolver {
   /// to the problem's structure; later calls require the same G pattern,
   /// cone and dimensions (ContractViolation otherwise) and reuse the
   /// symbolic KKT analysis, the scaling buffers and — when enabled and the
-  /// previous solve was optimal — its solution as a warm start.
+  /// previous solve was optimal — its solution as a warm start. A
+  /// kNumericalFailure exit escalates through the recovery ladder (see
+  /// SolverOptions::recovery_attempts) before it is reported.
   SolveResult solve(const ConicProblem& problem,
                     IpmWorkspace& workspace) const;
 
   const SolverOptions& options() const { return options_; }
 
  private:
+  /// One interior-point run under `options` (no ladder). The symbolic KKT
+  /// analysis stays shared across attempts: regularisation changes go
+  /// through KktSystem::set_static_regularisation, never a rebuild.
+  SolveResult solve_attempt(const ConicProblem& problem, IpmWorkspace& ws,
+                            const SolverOptions& options) const;
+
   SolverOptions options_;
 };
 

@@ -85,6 +85,17 @@ class KktSystem {
   /// Fill-in statistics of the last factorisation (for the ordering bench).
   Index factor_nnz() const;
 
+  /// Adjusts the Tikhonov term used by subsequent factorise() calls. Purely
+  /// numeric: the diagonal is part of the fixed normal-equation pattern, so
+  /// no symbolic state is touched — the recovery ladder bumps and restores
+  /// this without ever re-running the analysis.
+  void set_static_regularisation(double value) {
+    options_.static_regularisation = value;
+  }
+  double static_regularisation() const {
+    return options_.static_regularisation;
+  }
+
   const Stats& stats() const { return stats_; }
 
  private:
