@@ -13,7 +13,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -33,6 +35,7 @@
 #include "bbs/service/socket_server.hpp"
 #include "bbs/solver/kkt_system.hpp"
 #include "bbs/solver/nt_scaling.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
 
 namespace {
 
@@ -253,6 +256,56 @@ void BM_EngineBatchCold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineBatchCold)->Unit(benchmark::kMillisecond);
+
+/// Daemon (re)start to first answer on a known structure. Arg 0: a cold
+/// start — fresh engine, no cache, the first request pays the program build,
+/// symbolic KKT factorisation and cold IPM start. Arg 1: a warm restart —
+/// the engine pre-warms its pool from a persistent structure cache (written
+/// by an earlier run, loaded once outside the timed region, exactly like
+/// bbs_serve --cache-dir at startup), so the first request is a pool hit
+/// with zero symbolic factorisations. The gap is what the cache buys every
+/// daemon restart, per structure.
+void BM_DaemonColdVsWarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) == 1;
+  char pattern[] = "/tmp/bbs_bench_cache_XXXXXX";
+  const char* dir = ::mkdtemp(pattern);
+  if (dir == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  bbs::api::Request request;
+  request.payload = bbs::api::SolveRequest{bbs::gen::car_entertainment_preset()};
+  {
+    // Seed the on-disk cache the way a previous daemon run would have.
+    bbs::telemetry::StructureCache writer(dir);
+    bbs::api::EngineOptions options;
+    options.structure_cache = &writer;
+    bbs::api::Engine engine(options);
+    if (!engine.run(request).ok()) state.SkipWithError("seed solve failed");
+    writer.flush();
+  }
+  bbs::telemetry::StructureCache cache(dir);
+  if (cache.load() == 0) state.SkipWithError("cache seed was not written");
+  for (auto _ : state) {
+    bbs::api::EngineOptions options;
+    if (warm) options.structure_cache = &cache;
+    bbs::api::Engine engine(options);
+    if (warm) {
+      for (const bbs::telemetry::CacheEntry& entry : cache.entries()) {
+        engine.prewarm_entry(entry);
+      }
+    }
+    const bbs::api::Response response = engine.run(request);
+    if (!response.ok()) state.SkipWithError("solve failed");
+    benchmark::DoNotOptimize(response.diagnostics.symbolic_factorisations);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_DaemonColdVsWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // --- Service daemon: sharded dispatcher throughput --------------------------
 

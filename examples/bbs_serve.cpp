@@ -43,6 +43,8 @@
 #include "bbs/service/jsonl_stream.hpp"
 #include "bbs/service/runtime_config.hpp"
 #include "bbs/service/socket_server.hpp"
+#include "bbs/telemetry/service_telemetry.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
 
 namespace {
 
@@ -50,13 +52,15 @@ constexpr const char kUsage[] =
     "usage: %s [--workers N] [--queue-depth N] [--listen ENDPOINT]\n"
     "          [--max-in-flight N] [--rps N] [--write-deadline-ms N]\n"
     "          [--default-deadline-ms N] [--queue-high-water N]\n"
-    "          [--outbox-depth N] [--no-steal] [--help]\n"
+    "          [--outbox-depth N] [--cache-dir PATH] [--no-steal] [--help]\n"
     "\n"
     "Long-lived budget/buffer solver service over the JSONL request\n"
     "contract of solve_cli --batch (see bbs/io/api_io.hpp). Requests are\n"
     "sharded by problem structure across worker threads with warm session\n"
     "pools; a {\"kind\":\"stats\"} input line is answered with a ServiceStats\n"
-    "snapshot instead of a solve.\n"
+    "snapshot instead of a solve, and {\"kind\":\"metrics\"} with a\n"
+    "Prometheus-style text exposition (latency percentiles per request kind\n"
+    "and stage, structure-cache counters).\n"
     "\n"
     "options:\n"
     "  --workers N      solver worker threads, each one engine (default:\n"
@@ -83,6 +87,12 @@ constexpr const char kUsage[] =
     "                   holds at least N tasks (default: off)\n"
     "  --outbox-depth N per-connection response outbox capacity\n"
     "                   (default: 256)\n"
+    "  --cache-dir PATH persistent structure cache: symbolic KKT analyses\n"
+    "                   and session payloads are written here as they are\n"
+    "                   derived and loaded at startup to pre-warm the worker\n"
+    "                   pools, so a restarted daemon serves known structures\n"
+    "                   with zero symbolic factorisations; corrupt or stale\n"
+    "                   entries are skipped and counted, never fatal\n"
     "  --no-steal       disable idle-worker work stealing (strict\n"
     "                   structure affinity)\n"
     "  --help           print this message and exit\n"
@@ -277,6 +287,7 @@ int main(int argc, char** argv) {
   options.workers = 0;  // hardware concurrency
   bbs::service::SocketServerOptions server_options;
   std::string listen_spec;
+  std::string cache_dir;
   std::size_t write_deadline_ms = 2000;
   std::size_t outbox_depth = 256;
   std::size_t max_in_flight = 0;
@@ -316,6 +327,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       listen_spec = v;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      const char* v = value();
+      if (v == nullptr || v[0] == '\0') {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+      cache_dir = v;
     } else if (std::strcmp(arg, "--max-in-flight") == 0) {
       const char* v = value();
       if (v == nullptr || !parse_size(v, max_in_flight)) {
@@ -394,7 +412,36 @@ int main(int argc, char** argv) {
           stderr, "bbs_serve: fault injection armed: %s\n",
           bbs::service::FaultInjector::instance().describe().c_str());
     }
+    // Telemetry and the optional persistent structure cache outlive the
+    // dispatcher (declared first, destroyed last): worker engines record
+    // into them while running, and the cache destructor drains pending
+    // write-behind saves after the workers have stopped.
+    bbs::telemetry::ServiceTelemetry telemetry;
+    std::unique_ptr<bbs::telemetry::StructureCache> cache;
+    if (!cache_dir.empty()) {
+      cache = std::make_unique<bbs::telemetry::StructureCache>(cache_dir);
+      const std::size_t loaded = cache->load();
+      const bbs::telemetry::StructureCacheStats cache_stats = cache->stats();
+      std::fprintf(stderr,
+                   "bbs_serve: structure cache '%s': %zu entries loaded, "
+                   "%llu invalid entries skipped\n",
+                   cache_dir.c_str(), loaded,
+                   static_cast<unsigned long long>(cache_stats.load_errors));
+    }
+    options.telemetry = &telemetry;
+    options.engine.structure_cache = cache.get();
+    server_options.telemetry = &telemetry;
+    server_options.structure_cache = cache.get();
+
     bbs::service::Dispatcher dispatcher(options);
+    if (cache != nullptr) {
+      const bbs::service::ServiceStats startup = dispatcher.stats();
+      if (startup.prewarmed_sessions > 0) {
+        std::fprintf(
+            stderr, "bbs_serve: pre-warmed %llu sessions from the cache\n",
+            static_cast<unsigned long long>(startup.prewarmed_sessions));
+      }
+    }
     if (!listen_spec.empty()) {
       return serve_socket(dispatcher, bbs::service::parse_endpoint(listen_spec),
                           server_options);
@@ -403,6 +450,8 @@ int main(int argc, char** argv) {
     session_options.max_in_flight = max_in_flight;
     session_options.requests_per_second = rps;
     session_options.runtime_config = runtime_config;
+    session_options.telemetry = &telemetry;
+    session_options.structure_cache = cache.get();
     return serve_stdio(dispatcher, std::move(session_options));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbs_serve: %s\n", e.what());

@@ -30,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "bbs/io/json.hpp"
 #include "bbs/service/endpoint.hpp"
 
 namespace {
@@ -124,16 +125,44 @@ bool send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+/// Pretty-prints the single control-response line a --stats/--metrics probe
+/// gets back: stats responses re-serialise with indentation, metrics
+/// responses unwrap result.text (raw Prometheus exposition). Anything that
+/// does not parse as the expected envelope is printed verbatim — the raw
+/// line is always more useful than a formatting error.
+void print_control_reply(const std::string& reply, bool metrics) {
+  try {
+    const bbs::io::JsonValue doc = bbs::io::parse_json(reply);
+    if (metrics) {
+      const std::string& text =
+          doc.as_object().at("result").as_object().at("text").as_string();
+      std::fputs(text.c_str(), stdout);
+      if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+      return;
+    }
+    std::fputs(bbs::io::write_json(doc).c_str(), stdout);
+  } catch (const std::exception&) {
+    std::fputs(reply.c_str(), stdout);
+    if (!reply.empty() && reply.back() != '\n') std::fputc('\n', stdout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* endpoint_spec = nullptr;
   int connect_retries = 0;
   std::chrono::milliseconds timeout{0};
+  bool stats_probe = false;
+  bool metrics_probe = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
+    if (std::strcmp(arg, "--stats") == 0) {
+      stats_probe = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_probe = true;
+    } else if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long v = std::strtol(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || v < 0 || v > 1000) {
@@ -159,10 +188,12 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (usage_error || endpoint_spec == nullptr) {
+  if (usage_error || endpoint_spec == nullptr ||
+      (stats_probe && metrics_probe)) {
     std::fprintf(
         stderr,
         "usage: %s [--connect-retries N] [--timeout SECONDS]\n"
+        "          [--stats | --metrics]\n"
         "          <unix:/path | /path | tcp://host:port>\n"
         "streams stdin to a bbs_serve socket endpoint, half-closes,\n"
         "and prints the response stream to stdout\n"
@@ -170,7 +201,12 @@ int main(int argc, char** argv) {
         "                       times with exponential backoff (50ms\n"
         "                       doubling, capped at 1s; default: 0)\n"
         "  --timeout SECONDS    give up retrying after this long\n"
-        "                       (default: unbounded)\n",
+        "                       (default: unbounded)\n"
+        "  --stats              send a single {\"kind\":\"stats\"} control\n"
+        "                       line (stdin is ignored) and pretty-print\n"
+        "                       the JSON snapshot\n"
+        "  --metrics            send {\"kind\":\"metrics\"} and print the\n"
+        "                       raw Prometheus text exposition\n",
         argv[0]);
     return 1;
   }
@@ -185,6 +221,35 @@ int main(int argc, char** argv) {
   if (fd < 0) return fail(std::string("connect '") + endpoint_spec + "'");
 
   char buf[4096];
+  if (stats_probe || metrics_probe) {
+    // Probe mode: one control line instead of the stdin stream, then the
+    // usual half-close / drain dance on the single-line reply.
+    const std::string line =
+        stats_probe ? "{\"kind\":\"stats\"}\n" : "{\"kind\":\"metrics\"}\n";
+    if (!send_all(fd, line.data(), line.size())) {
+      ::close(fd);
+      return fail("send");
+    }
+    if (::shutdown(fd, SHUT_WR) != 0) {
+      ::close(fd);
+      return fail("shutdown");
+    }
+    std::string reply;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return fail("recv");
+      }
+      if (n == 0) break;
+      reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    print_control_reply(reply, metrics_probe);
+    std::fflush(stdout);
+    return 0;
+  }
   for (;;) {
     const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
     if (n < 0) {

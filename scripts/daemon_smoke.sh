@@ -22,7 +22,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-normalise() { sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":0/g' "$1"; }
+normalise() { sed -E 's/"(wall_ms|queue_ms|solve_ms)":[0-9.eE+-]+/"\1":0/g' "$1"; }
 
 "$SOLVE_CLI" --batch "$BATCH" > "$workdir/cli.jsonl"
 normalise "$workdir/cli.jsonl" > "$workdir/cli.norm"
@@ -103,6 +103,56 @@ if [ "$parse_errors" -ne 3 ]; then
 fi
 sed -n '2p' "$workdir/garbage.jsonl" | grep -q '"status":"ok"'
 echo "daemon_smoke: garbage OK (3 parse errors in place, stream aligned, exit 2)"
+
+# --- restart leg (stdio): persistent structure cache warm start -----------
+# First run with --cache-dir derives every structure from scratch and
+# writes the symbolic analyses behind; a restart against the same
+# directory must pre-warm its pools from disk and serve the whole batch
+# with zero symbolic factorisations, and its metrics exposition must carry
+# latency percentiles.
+{
+  cat "$BATCH"
+  printf '{"kind":"stats","id":"cold-stats"}\n'
+} > "$workdir/restart_input.jsonl"
+"$BBS_SERVE" --workers "$WORKERS" --no-steal --cache-dir "$workdir/cache" \
+  < "$workdir/restart_input.jsonl" > "$workdir/cold.jsonl"
+ls "$workdir/cache"/*.bbsc > /dev/null || {
+  echo "daemon_smoke: restart leg: no cache files written" >&2
+  exit 1
+}
+grep -q '"entries_loaded":0' "$workdir/cold.jsonl"
+{
+  cat "$BATCH"
+  printf '{"kind":"stats","id":"warm-stats"}\n'
+  printf '{"kind":"metrics","id":"warm-metrics"}\n'
+} > "$workdir/restart_warm_input.jsonl"
+"$BBS_SERVE" --workers "$WORKERS" --no-steal --cache-dir "$workdir/cache" \
+  < "$workdir/restart_warm_input.jsonl" > "$workdir/warm.jsonl"
+grep -q '"entries_loaded":[1-9]' "$workdir/warm.jsonl"
+grep -q '"prewarmed_sessions":[1-9]' "$workdir/warm.jsonl"
+if grep -q '"symbolic_factorisations":[1-9]' "$workdir/warm.jsonl"; then
+  echo "daemon_smoke: restart leg: warm restart still ran symbolic factorisations" >&2
+  grep -o '"symbolic_factorisations":[0-9]*' "$workdir/warm.jsonl" | sort | uniq -c >&2
+  exit 1
+fi
+grep -q 'bbs_request_latency_ms' "$workdir/warm.jsonl"
+grep -q 'quantile=' "$workdir/warm.jsonl"
+# The warm batch answers must still agree with the CLI (timing and
+# session-provenance diagnostics aside: a pre-warmed session legitimately
+# reports session_reused=true and zero symbolic work).
+head -n "$(wc -l < "$BATCH")" "$workdir/warm.jsonl" > "$workdir/warm_batch.jsonl"
+normalise_warm() {
+  sed -E -e 's/"(wall_ms|queue_ms|solve_ms)":[0-9.eE+-]+/"\1":0/g' \
+         -e 's/"session_reused":(true|false)/"session_reused":x/g' \
+         -e 's/"symbolic_factorisations":[0-9]+/"symbolic_factorisations":x/g' "$1"
+}
+normalise_warm "$workdir/cli.jsonl" > "$workdir/cli.warmnorm"
+normalise_warm "$workdir/warm_batch.jsonl" > "$workdir/warm_batch.norm"
+if ! diff -u "$workdir/cli.warmnorm" "$workdir/warm_batch.norm"; then
+  echo "daemon_smoke: restart leg: warm responses differ from solve_cli --batch" >&2
+  exit 1
+fi
+echo "daemon_smoke: restart OK (cache written, pools pre-warmed, 0 symbolic factorisations, metrics exposition served)"
 
 [ -n "$JSONL_CLIENT" ] || exit 0
 

@@ -8,6 +8,9 @@
 #include "bbs/core/latency.hpp"
 #include "bbs/core/tradeoff.hpp"
 #include "bbs/core/two_phase.hpp"
+#include "bbs/io/config_io.hpp"
+#include "bbs/io/json.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
 
 namespace bbs::api {
 
@@ -175,6 +178,129 @@ WorkspaceSnapshot snapshot(const core::SolverSession& session) {
           ws.recovered_solves()};
 }
 
+// ---------------------------------------------------------------------------
+// Persistent-cache session payloads
+// ---------------------------------------------------------------------------
+//
+// The structure cache stores, next to the symbolic analysis, everything
+// needed to reconstruct an equivalent pooled session at startup: the
+// session's configuration (post any driver mutations — sweep caps, probe
+// ceilings) and the session options that shape the built program. The
+// payload is opaque to the telemetry layer; this is its one producer and
+// consumer. Doubles round-trip exactly (%.17g both ways).
+
+io::JsonValue vectors_to_json(const std::vector<Vector>& vectors) {
+  io::JsonArray outer;
+  outer.reserve(vectors.size());
+  for (const Vector& vec : vectors) {
+    io::JsonArray inner;
+    inner.reserve(vec.size());
+    for (const double v : vec) inner.emplace_back(v);
+    outer.emplace_back(std::move(inner));
+  }
+  return io::JsonValue(std::move(outer));
+}
+
+std::vector<Vector> vectors_from_json(const io::JsonValue& value) {
+  std::vector<Vector> vectors;
+  for (const io::JsonValue& inner : value.as_array()) {
+    Vector vec;
+    vec.reserve(inner.as_array().size());
+    for (const io::JsonValue& v : inner.as_array()) {
+      vec.push_back(v.as_number());
+    }
+    vectors.push_back(std::move(vec));
+  }
+  return vectors;
+}
+
+io::JsonValue session_payload_to_json(const core::SolverSession& session) {
+  const core::SessionOptions& options = session.options();
+  const solver::SolverOptions& ipm = options.mapping.ipm;
+
+  io::JsonObject ipm_json;
+  ipm_json["max_iterations"] = static_cast<long long>(ipm.max_iterations);
+  ipm_json["feas_tol"] = ipm.feas_tol;
+  ipm_json["gap_tol"] = ipm.gap_tol;
+  ipm_json["stall_iterations"] =
+      static_cast<long long>(ipm.stall_iterations);
+  ipm_json["step_fraction"] = ipm.step_fraction;
+  ipm_json["refine_steps"] = static_cast<long long>(ipm.refine_steps);
+  ipm_json["static_regularisation"] = ipm.static_regularisation;
+  ipm_json["ordering"] = static_cast<long long>(ipm.ordering);
+  ipm_json["equilibrate_rounds"] =
+      static_cast<long long>(ipm.equilibrate_rounds);
+  ipm_json["warm_start"] = ipm.warm_start;
+  ipm_json["warm_start_margin"] = ipm.warm_start_margin;
+  ipm_json["recovery_attempts"] =
+      static_cast<long long>(ipm.recovery_attempts);
+  ipm_json["recovery_regularisation_growth"] =
+      ipm.recovery_regularisation_growth;
+
+  io::JsonObject payload;
+  payload["configuration"] =
+      io::configuration_to_json_value(session.config());
+  payload["ipm"] = io::JsonValue(std::move(ipm_json));
+  payload["rounding_eps"] = options.mapping.rounding_eps;
+  if (options.build.fixed_budgets) {
+    payload["fixed_budgets"] = vectors_to_json(*options.build.fixed_budgets);
+  }
+  if (options.build.fixed_deltas) {
+    payload["fixed_deltas"] = vectors_to_json(*options.build.fixed_deltas);
+  }
+  return io::JsonValue(std::move(payload));
+}
+
+/// Inverse of session_payload_to_json. Throws on malformed payloads (the
+/// caller converts that into a counted prewarm error).
+void session_payload_from_json(const io::JsonValue& payload,
+                               model::Configuration* config,
+                               core::SessionOptions* options) {
+  const io::JsonObject& object = payload.as_object();
+  *config = io::configuration_from_json_value(object.at("configuration"));
+
+  // Mirrors the base options run_checked() bakes into every session:
+  // verification off, per-execution wildcards cleared.
+  core::SessionOptions base;
+  base.mapping.verify = false;
+  solver::SolverOptions& ipm = base.mapping.ipm;
+  const io::JsonObject& ipm_json = object.at("ipm").as_object();
+  ipm.max_iterations =
+      static_cast<int>(ipm_json.at("max_iterations").as_number());
+  ipm.feas_tol = ipm_json.at("feas_tol").as_number();
+  ipm.gap_tol = ipm_json.at("gap_tol").as_number();
+  ipm.stall_iterations =
+      static_cast<int>(ipm_json.at("stall_iterations").as_number());
+  ipm.step_fraction = ipm_json.at("step_fraction").as_number();
+  ipm.refine_steps = static_cast<int>(ipm_json.at("refine_steps").as_number());
+  ipm.static_regularisation =
+      ipm_json.at("static_regularisation").as_number();
+  ipm.ordering = static_cast<linalg::OrderingMethod>(
+      static_cast<int>(ipm_json.at("ordering").as_number()));
+  ipm.equilibrate_rounds =
+      static_cast<int>(ipm_json.at("equilibrate_rounds").as_number());
+  ipm.warm_start = ipm_json.at("warm_start").as_bool();
+  ipm.warm_start_margin = ipm_json.at("warm_start_margin").as_number();
+  ipm.recovery_attempts =
+      static_cast<int>(ipm_json.at("recovery_attempts").as_number());
+  ipm.recovery_regularisation_growth =
+      ipm_json.at("recovery_regularisation_growth").as_number();
+  ipm.time_limit_ms = 0.0;
+  ipm.deadline = solver::CancelToken::Clock::time_point::max();
+  ipm.cancel = nullptr;
+  ipm.fail_at_iteration = -1;
+  ipm.fail_only_first_attempt = false;
+
+  base.mapping.rounding_eps = object.at("rounding_eps").as_number();
+  if (object.contains("fixed_budgets")) {
+    base.build.fixed_budgets = vectors_from_json(object.at("fixed_budgets"));
+  }
+  if (object.contains("fixed_deltas")) {
+    base.build.fixed_deltas = vectors_from_json(object.at("fixed_deltas"));
+  }
+  *options = std::move(base);
+}
+
 }  // namespace
 
 std::string request_structure_key(const Request& request) {
@@ -222,7 +348,10 @@ Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
 
-void Engine::clear_pool() { pool_.clear(); }
+void Engine::clear_pool() {
+  pool_.clear();
+  last_session_ = nullptr;
+}
 
 Engine::PooledSession& Engine::acquire(const std::string& key,
                                        const model::Configuration& config,
@@ -232,6 +361,7 @@ Engine::PooledSession& Engine::acquire(const std::string& key,
       pooled->last_used = ++clock_;
       pooled->hit = true;
       ++stats_.pool_hits;
+      last_session_ = pooled.get();
       return *pooled;
     }
   }
@@ -246,7 +376,18 @@ Engine::PooledSession& Engine::acquire(const std::string& key,
                                                std::move(session_options));
   pooled->last_used = ++clock_;
   pooled->hit = false;
+  // A cache entry for this structure (written by a previous process or a
+  // sibling engine) seeds the fresh session's symbolic analysis: the first
+  // solve skips the fill-reducing ordering. Validated downstream; a stale
+  // entry degrades to a full derivation, never an error.
+  if (options_.structure_cache != nullptr) {
+    if (std::optional<telemetry::CacheEntry> entry =
+            options_.structure_cache->lookup(key)) {
+      pooled->session.seed_symbolic(std::move(entry->symbolic));
+    }
+  }
   pool_.push_back(std::move(pooled));
+  last_session_ = pool_.back().get();
   return *pool_.back();
 }
 
@@ -267,6 +408,7 @@ void Engine::trim_pool() {
       pool_.begin(), pool_.end(), [](const auto& a, const auto& b) {
         return a->last_used < b->last_used;
       });
+  if (lru->get() == last_session_) last_session_ = nullptr;
   pool_.erase(lru);
   ++stats_.evictions;
 }
@@ -285,6 +427,7 @@ Response Engine::run(const Request& request) {
 Response Engine::run(const Request& request, Deadline deadline,
                      std::shared_ptr<solver::CancelToken> cancel) {
   const auto start = std::chrono::steady_clock::now();
+  last_session_ = nullptr;
 
   // Per-execution interruption control, installed on every session this
   // request acquires. The caller's deadline (which may predate this call by
@@ -325,7 +468,11 @@ Response Engine::run(const Request& request, Deadline deadline,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
-  if (options_.max_pool_sessions == 0) pool_.clear();
+  // Engine wall time is the solve stage; the dispatcher adds the queue
+  // stage on top so daemon responses split the two on one clock.
+  response.diagnostics.solve_ms = response.diagnostics.wall_ms;
+  maybe_save_to_cache(response);
+  if (options_.max_pool_sessions == 0) clear_pool();
 
   ++stats_.requests;
   switch (response.status) {
@@ -353,6 +500,57 @@ Response Engine::run(const Request& request, Deadline deadline,
         static_cast<std::uint64_t>(diag.symbolic_factorisations);
   }
   return response;
+}
+
+void Engine::maybe_save_to_cache(const Response& response) {
+  if (options_.structure_cache == nullptr || last_session_ == nullptr) return;
+  // Only the request that derived a structure (pool miss, request served to
+  // completion) writes it; errors may leave the session without a bound
+  // workspace or with a half-configured program.
+  if (last_session_->hit || response.status == ResponseStatus::kError) return;
+  if (options_.structure_cache->contains(last_session_->key)) return;
+  std::optional<solver::SymbolicAnalysis> symbolic =
+      last_session_->session.export_symbolic();
+  if (!symbolic) return;
+  try {
+    telemetry::CacheEntry entry;
+    entry.key = last_session_->key;
+    entry.symbolic = std::move(*symbolic);
+    entry.session = session_payload_to_json(last_session_->session);
+    options_.structure_cache->store(std::move(entry));
+  } catch (const std::exception&) {
+    // Cache writes are best-effort; a serialisation failure must never
+    // affect the response.
+  }
+}
+
+bool Engine::prewarm_entry(const telemetry::CacheEntry& entry) {
+  try {
+    model::Configuration config;
+    core::SessionOptions session_options;
+    session_payload_from_json(entry.session, &config, &session_options);
+    config.validate();
+    // Make room exactly like a miss would, then install the session under
+    // the entry's stored key with hit=false: the first real request finds
+    // it (pool hit, session_reused=true) and its first solve loads the
+    // seeded symbolic analysis instead of deriving one.
+    if (options_.max_pool_sessions > 0) {
+      while (pool_.size() >= options_.max_pool_sessions) trim_pool();
+    }
+    auto pooled = std::make_unique<PooledSession>(
+        entry.key, config, std::move(session_options));
+    pooled->last_used = ++clock_;
+    pooled->hit = false;
+    pooled->session.seed_symbolic(entry.symbolic);
+    pool_.push_back(std::move(pooled));
+    ++stats_.prewarmed_sessions;
+    return true;
+  } catch (const std::exception&) {
+    if (options_.structure_cache != nullptr) {
+      options_.structure_cache->note_prewarm_error();
+    }
+    return false;
+  }
 }
 
 std::vector<Response> Engine::run_batch(const std::vector<Request>& requests) {

@@ -31,6 +31,11 @@
 #include "bbs/api/response.hpp"
 #include "bbs/core/solver_session.hpp"
 
+namespace bbs::telemetry {
+class StructureCache;
+struct CacheEntry;
+}  // namespace bbs::telemetry
+
 namespace bbs::api {
 
 struct EngineOptions {
@@ -39,6 +44,12 @@ struct EngineOptions {
   /// fresh, cold solve — the explicit fallback behaviour, useful for
   /// apples-to-apples benchmarking).
   std::size_t max_pool_sessions = 16;
+  /// Optional persistent structure cache (not owned; must outlive the
+  /// engine; safe to share between engines). When set, a pool miss seeds
+  /// the fresh session's symbolic analysis from a matching cache entry, and
+  /// every structure solved for the first time is written behind to the
+  /// cache. nullptr disables persistence entirely.
+  telemetry::StructureCache* structure_cache = nullptr;
 };
 
 /// Cumulative counters of one engine since construction (clear_pool() does
@@ -66,6 +77,11 @@ struct EngineStats {
   /// Solves whose initial IPM attempt failed numerically but whose recovery
   /// ladder produced a usable answer — the production recovery rate.
   std::uint64_t recovered_solves = 0;
+  /// Sessions reconstructed at startup from the persistent structure cache
+  /// (prewarm_entry). Their first real request is a pool hit and their
+  /// symbolic analysis is loaded, not derived — so they contribute nothing
+  /// to symbolic_factorisations.
+  std::uint64_t prewarmed_sessions = 0;
 };
 
 class Engine {
@@ -108,6 +124,14 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// Reconstructs a pooled session from a persistent-cache entry and seeds
+  /// its symbolic analysis, so the first request of that structure is a
+  /// pool hit with zero symbolic derivations. Intended for startup (before
+  /// the engine serves traffic). Returns false — after counting the failure
+  /// on the cache — when the entry's session payload does not reconstruct;
+  /// never throws.
+  bool prewarm_entry(const telemetry::CacheEntry& entry);
+
  private:
   struct PooledSession;
 
@@ -123,9 +147,16 @@ class Engine {
 
   Response run_checked(const Request& request);
 
+  /// Writes the session that served the last request behind to the
+  /// structure cache (first derivation of its structure only).
+  void maybe_save_to_cache(const Response& response);
+
   EngineOptions options_;
   std::vector<std::unique_ptr<PooledSession>> pool_;
   std::uint64_t clock_ = 0;  ///< LRU stamp source
+  /// The pooled session the current/last request ran on (owned by pool_;
+  /// cleared when the pool is). Used for the post-request cache save.
+  PooledSession* last_session_ = nullptr;
   EngineStats stats_;
   /// Interruption control of the request currently executing; installed on
   /// every session acquire() so pooled sessions never carry one request's

@@ -60,6 +60,15 @@ bool is_retryable(ErrorCode code);
 /// went, and whether the cross-solve reuse machinery was engaged.
 struct Diagnostics {
   double wall_ms = 0.0;
+  /// Time the request waited in the dispatcher queue before the engine
+  /// started on it (0 outside the daemon — the CLI has no queue). Stamped
+  /// by the dispatcher on the same clock as solve_ms so the two stages and
+  /// the service latency histograms agree.
+  double queue_ms = 0.0;
+  /// Engine execution wall time (equals wall_ms as stamped by Engine::run;
+  /// kept as a separate field so daemon responses carry queue_ms and
+  /// solve_ms side by side).
+  double solve_ms = 0.0;
   /// Interior-point iterations summed over every solve of this request.
   long ipm_iterations = 0;
   /// Number of IPM solves the request performed (sweep points, bisection

@@ -1,0 +1,46 @@
+// FNV-1a 64-bit hashing, shared by the structure cache (stable file names
+// and payload checksums) and the KKT symbolic-analysis pattern hash. The
+// constants are the standard FNV-1a parameters; the hash is stable across
+// processes and platforms, unlike std::hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bbs::common {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a_64(const void* data, std::size_t size,
+                              std::uint64_t seed = kFnv1a64Offset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a_64(std::string_view text,
+                              std::uint64_t seed = kFnv1a64Offset) {
+  return fnv1a_64(text.data(), text.size(), seed);
+}
+
+/// Hashes a vector of trivially-copyable integers by value (not by
+/// representation padding — the element type is hashed element-wise).
+template <typename T>
+std::uint64_t fnv1a_64_values(const std::vector<T>& values,
+                              std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t hash = seed;
+  for (const T& value : values) {
+    const auto v = static_cast<std::uint64_t>(value);
+    hash = fnv1a_64(&v, sizeof(v), hash);
+  }
+  return hash;
+}
+
+}  // namespace bbs::common

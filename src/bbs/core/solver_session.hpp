@@ -138,6 +138,21 @@ class SolverSession {
   const solver::IpmWorkspace& workspace() const { return workspace_; }
   int solves() const { return workspace_.solves(); }
   long total_ipm_iterations() const { return workspace_.total_iterations(); }
+
+  /// The options this session was constructed with (structure cache: the
+  /// build/mapping options are part of the persisted session payload).
+  const SessionOptions& options() const { return options_; }
+
+  /// Offers a cached KKT symbolic analysis for the first solve (persistent
+  /// structure cache pre-warm). Validated inside the solver; a mismatched
+  /// hint falls back to a full derivation, never an error.
+  void seed_symbolic(solver::SymbolicAnalysis analysis) {
+    workspace_.seed_symbolic(std::move(analysis));
+  }
+  /// Exports the KKT symbolic analysis after the first solve.
+  std::optional<solver::SymbolicAnalysis> export_symbolic() const {
+    return workspace_.export_symbolic();
+  }
   /// Two-sided seed counters (zeroed at construction).
   const SeedStats& seed_stats() const { return seed_stats_; }
   /// True once a feasible / infeasible solve has stocked the matching

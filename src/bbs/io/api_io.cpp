@@ -516,6 +516,8 @@ JsonValue response_to_json_value(const api::Response& response) {
   const api::Diagnostics& diag = response.diagnostics;
   JsonObject d;
   d["wall_ms"] = diag.wall_ms;
+  d["queue_ms"] = diag.queue_ms;
+  d["solve_ms"] = diag.solve_ms;
   d["ipm_iterations"] = JsonValue(static_cast<double>(diag.ipm_iterations));
   d["solves"] = JsonValue(static_cast<double>(diag.solves));
   d["warm_started_solves"] =
@@ -589,6 +591,8 @@ api::Response response_from_json_value(const JsonValue& doc) {
   const JsonObject& d =
       require(root, "diagnostics", "response").as_object();
   response.diagnostics.wall_ms = get_number(d, "wall_ms", 0.0);
+  response.diagnostics.queue_ms = get_number(d, "queue_ms", 0.0);
+  response.diagnostics.solve_ms = get_number(d, "solve_ms", 0.0);
   response.diagnostics.ipm_iterations =
       static_cast<long>(get_number(d, "ipm_iterations", 0.0));
   response.diagnostics.solves =

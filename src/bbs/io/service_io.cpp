@@ -9,6 +9,8 @@ const char* to_string(ControlKind kind) {
   switch (kind) {
     case ControlKind::kStats:
       return "stats";
+    case ControlKind::kMetrics:
+      return "metrics";
     case ControlKind::kSetConfig:
       return "set_config";
   }
@@ -25,6 +27,8 @@ std::optional<ControlKind> control_kind(const JsonValue& doc) {
   std::optional<ControlKind> classified;
   if (kind == "stats") {
     classified = ControlKind::kStats;
+  } else if (kind == "metrics") {
+    classified = ControlKind::kMetrics;
   } else if (kind == "set_config") {
     classified = ControlKind::kSetConfig;
   }

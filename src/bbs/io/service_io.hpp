@@ -6,6 +6,7 @@
 //
 //   {"kind":"stats"}                  // ServiceStats snapshot
 //   {"kind":"stats","id":"probe-7"}   // with the usual id echo
+//   {"kind":"metrics"}                // Prometheus-style text exposition
 //   {"kind":"set_config","max_in_flight":8,"default_deadline_ms":500}
 //                                     // hot-reload runtime limits
 //
@@ -26,6 +27,7 @@ namespace bbs::io {
 /// Control messages the service daemon understands.
 enum class ControlKind {
   kStats,      ///< snapshot of the daemon's per-worker ServiceStats
+  kMetrics,    ///< Prometheus-style text exposition (wrapped in JSON)
   kSetConfig,  ///< hot-reload of runtime limits (quotas, deadlines, ...)
 };
 

@@ -78,6 +78,11 @@ class SparseLdlt {
 
   const std::vector<Index>& permutation() const { return perm_; }
 
+  /// Elimination tree over the permuted matrix (parent of each column, -1 at
+  /// roots). Exposed so the persistent structure cache can serialise and
+  /// verify the symbolic analysis.
+  const std::vector<Index>& etree_parent() const { return parent_; }
+
   /// Factor access (tests and diagnostics): L is unit lower triangular,
   /// stored by columns with an implicit diagonal; D is the pivot vector.
   const std::vector<Index>& factor_col_ptr() const { return lp_; }

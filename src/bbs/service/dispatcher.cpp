@@ -5,8 +5,11 @@
 #include <mutex>
 #include <thread>
 
+#include "bbs/common/hash.hpp"
 #include "bbs/service/bounded_queue.hpp"
 #include "bbs/service/fault_injector.hpp"
+#include "bbs/telemetry/service_telemetry.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
 
 namespace bbs::service {
 
@@ -20,6 +23,14 @@ struct Task {
   /// finally picks it up.
   api::Engine::Deadline deadline = api::Engine::Deadline::max();
   std::shared_ptr<solver::CancelToken> cancel;
+  /// Enqueue timestamp: queue_ms — histogram and response diagnostic alike —
+  /// is measured from here to engine start on one clock.
+  solver::CancelToken::Clock::time_point enqueued =
+      solver::CancelToken::Clock::now();
+  /// Telemetry keys, stamped at submit so run_task never recomputes the
+  /// structure key.
+  telemetry::RequestKind kind = telemetry::RequestKind::kOther;
+  std::uint64_t key_hash = 0;
 };
 
 /// The error response of a task that never reached an engine (shed while
@@ -68,6 +79,25 @@ Dispatcher::Dispatcher(DispatcherOptions options) : options_(options) {
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(i, options_.queue_capacity,
                                                 options_.engine));
+  }
+  // Pre-warm from the persistent structure cache before any worker thread
+  // exists: each entry is reconstructed into the pool of the worker its key
+  // routes to, so the first real request of a cached structure is a pool
+  // hit with a loaded (not derived) symbolic analysis. Failures are counted
+  // on the cache, never fatal.
+  if (options_.engine.structure_cache != nullptr) {
+    for (const telemetry::CacheEntry& entry :
+         options_.engine.structure_cache->entries()) {
+      Worker& worker =
+          *workers_[std::hash<std::string>{}(entry.key) % workers_.size()];
+      worker.engine.prewarm_entry(entry);
+    }
+    for (auto& worker : workers_) {
+      // Seed the stats mirrors so a stats request before the first task
+      // already reports the pre-warmed pools.
+      worker->stats = worker->engine.stats();
+      worker->pooled_sessions = worker->engine.pooled_sessions();
+    }
   }
   for (auto& worker : workers_) {
     Worker* w = worker.get();
@@ -138,6 +168,17 @@ void Dispatcher::worker_loop(Worker& worker) {
     const bool queue_expired =
         !was_cancelled && task.deadline != api::Engine::Deadline::max() &&
         solver::CancelToken::Clock::now() >= task.deadline;
+    // Queue wait ends here, whether the task runs or is shed (the injected
+    // worker delay above deliberately counts as queue wait).
+    const double queue_ms =
+        std::chrono::duration<double, std::milli>(
+            solver::CancelToken::Clock::now() - task.enqueued)
+            .count();
+    telemetry::ServiceTelemetry* telemetry = options_.telemetry;
+    if (telemetry != nullptr) {
+      telemetry->histogram(task.kind, telemetry::Stage::kQueue)
+          .record(queue_ms);
+    }
     if (was_cancelled || queue_expired) {
       {
         std::lock_guard<std::mutex> lock(worker.stats_mutex);
@@ -148,18 +189,36 @@ void Dispatcher::worker_loop(Worker& worker) {
           ++worker.deadline_shed;
         }
       }
-      complete(task,
-               was_cancelled
-                   ? shed_response(task, api::ErrorCode::kCancelled,
-                                   "request was cancelled while queued")
-                   : shed_response(
-                         task, api::ErrorCode::kDeadlineExceeded,
-                         "deadline expired while the request was queued"));
+      api::Response response =
+          was_cancelled
+              ? shed_response(task, api::ErrorCode::kCancelled,
+                              "request was cancelled while queued")
+              : shed_response(
+                    task, api::ErrorCode::kDeadlineExceeded,
+                    "deadline expired while the request was queued");
+      response.diagnostics.queue_ms = queue_ms;
+      complete(task, std::move(response));
       return;
     }
 
     api::Response response =
         worker.engine.run(task.request, task.deadline, task.cancel);
+    response.diagnostics.queue_ms = queue_ms;
+    if (telemetry != nullptr) {
+      telemetry->histogram(task.kind, telemetry::Stage::kSolve)
+          .record(response.diagnostics.solve_ms);
+      telemetry::StructureObservation observation;
+      observation.pool_hit = response.diagnostics.session_reused;
+      observation.solves =
+          static_cast<std::uint64_t>(response.diagnostics.solves);
+      observation.ipm_iterations =
+          static_cast<std::uint64_t>(response.diagnostics.ipm_iterations);
+      observation.warm_started_solves = static_cast<std::uint64_t>(
+          response.diagnostics.warm_started_solves);
+      observation.recovered_solves =
+          static_cast<std::uint64_t>(response.diagnostics.recovered_solves);
+      telemetry->record_structure(task.key_hash, observation);
+    }
     {
       std::lock_guard<std::mutex> lock(worker.stats_mutex);
       worker.stats = worker.engine.stats();
@@ -225,7 +284,10 @@ bool Dispatcher::submit(api::Request request, Completion done,
                 request.options.deadline_ms));
   }
   task.cancel = std::move(cancel);
-  Worker& worker = *workers_[route(request)];
+  const std::string key = api::request_structure_key(request);
+  Worker& worker = *workers_[std::hash<std::string>{}(key) % workers_.size()];
+  task.key_hash = common::fnv1a_64(key);
+  task.kind = telemetry::request_kind_from_string(request.kind());
   task.request = std::move(request);
   task.done = std::move(done);
   return worker.queue.push(std::move(task));
@@ -291,6 +353,7 @@ ServiceStats Dispatcher::stats() const {
     total.warm_hits += ws.engine.pool_hits;
     total.symbolic_factorisations += ws.engine.symbolic_factorisations;
     total.recovered_solves += ws.engine.recovered_solves;
+    total.prewarmed_sessions += ws.engine.prewarmed_sessions;
     total.queue_depth += ws.queue_depth;
     total.workers.push_back(std::move(ws));
   }

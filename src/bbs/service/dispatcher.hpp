@@ -30,6 +30,10 @@
 
 #include "bbs/api/engine.hpp"
 
+namespace bbs::telemetry {
+class ServiceTelemetry;
+}  // namespace bbs::telemetry
+
 namespace bbs::service {
 
 struct DispatcherOptions {
@@ -48,8 +52,15 @@ struct DispatcherOptions {
   bool work_stealing = true;
   /// How long an idle worker waits on its own queue between steal scans.
   std::chrono::milliseconds steal_poll_interval{20};
-  /// Per-worker engine options (session-pool bound etc.).
+  /// Per-worker engine options (session-pool bound etc.). When
+  /// engine.structure_cache is set, the constructor pre-warms each worker's
+  /// pool from the cache (each entry goes to its structure-affine worker)
+  /// before any worker thread starts.
   api::EngineOptions engine;
+  /// Optional service telemetry (not owned; must outlive the dispatcher).
+  /// Workers record queue/solve latency histograms and per-structure
+  /// statistics into it after every completed task.
+  telemetry::ServiceTelemetry* telemetry = nullptr;
 };
 
 /// Snapshot of one worker: its engine's cumulative counters plus the live
@@ -91,6 +102,10 @@ struct ServiceStats {
   /// Sum of the per-worker engines' recovered_solves — solves rescued by
   /// the IPM recovery ladder fleet-wide (the production recovery rate).
   std::uint64_t recovered_solves = 0;
+  /// Sessions reconstructed at startup from the persistent structure cache
+  /// (sum of the per-worker engines' prewarmed_sessions). A warm restart
+  /// serves these structures with symbolic_factorisations == 0.
+  std::uint64_t prewarmed_sessions = 0;
   std::size_t queue_depth = 0;
   /// Total cross-worker steals (sum of WorkerStats::stolen).
   std::uint64_t stolen = 0;

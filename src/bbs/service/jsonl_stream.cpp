@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
 #include "bbs/common/assert.hpp"
 #include "bbs/io/api_io.hpp"
 #include "bbs/io/service_io.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
 
 namespace bbs::service {
 
@@ -34,6 +37,84 @@ JsonValue engine_stats_to_json_value(const api::EngineStats& stats) {
       JsonValue(static_cast<double>(stats.warm_started_solves));
   o["recovered_solves"] =
       JsonValue(static_cast<double>(stats.recovered_solves));
+  o["prewarmed_sessions"] =
+      JsonValue(static_cast<double>(stats.prewarmed_sessions));
+  return JsonValue(std::move(o));
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return std::string(buf);
+}
+
+/// Per-(kind, stage) latency snapshots, kinds with traffic only:
+/// {"solve":{"queue":{"count":..,"p50_ms":..,...},"solve":{...},...},...}
+JsonValue latency_to_json_value(const telemetry::ServiceTelemetry& telemetry) {
+  JsonObject kinds;
+  for (int k = 0; k < telemetry::kNumRequestKinds; ++k) {
+    const auto kind = static_cast<telemetry::RequestKind>(k);
+    JsonObject stages;
+    for (int s = 0; s < telemetry::kNumStages; ++s) {
+      const auto stage = static_cast<telemetry::Stage>(s);
+      const telemetry::LatencyHistogram::Snapshot snap =
+          telemetry.histogram(kind, stage).snapshot();
+      if (snap.count == 0) continue;
+      JsonObject o;
+      o["count"] = JsonValue(static_cast<double>(snap.count));
+      o["p50_ms"] = JsonValue(snap.percentile(0.50));
+      o["p90_ms"] = JsonValue(snap.percentile(0.90));
+      o["p99_ms"] = JsonValue(snap.percentile(0.99));
+      o["max_ms"] = JsonValue(snap.max_ms);
+      o["sum_ms"] = JsonValue(snap.sum_ms);
+      stages[telemetry::to_string(stage)] = JsonValue(std::move(o));
+    }
+    if (!stages.entries().empty()) {
+      kinds[telemetry::to_string(kind)] = JsonValue(std::move(stages));
+    }
+  }
+  return JsonValue(std::move(kinds));
+}
+
+JsonValue structures_to_json_value(
+    const telemetry::ServiceTelemetry& telemetry) {
+  JsonArray rows;
+  for (const telemetry::StructureRow& row : telemetry.structure_rows()) {
+    JsonObject o;
+    o["structure"] = JsonValue(hex64(row.key_hash));
+    o["requests"] = JsonValue(static_cast<double>(row.requests));
+    o["pool_hits"] = JsonValue(static_cast<double>(row.pool_hits));
+    o["pool_misses"] = JsonValue(static_cast<double>(row.pool_misses));
+    o["solves"] = JsonValue(static_cast<double>(row.solves));
+    o["ipm_iterations"] =
+        JsonValue(static_cast<double>(row.ipm_iterations));
+    o["warm_started_solves"] =
+        JsonValue(static_cast<double>(row.warm_started_solves));
+    o["recovered_solves"] =
+        JsonValue(static_cast<double>(row.recovered_solves));
+    rows.push_back(JsonValue(std::move(o)));
+  }
+  JsonObject root;
+  root["rows"] = JsonValue(std::move(rows));
+  root["evictions"] =
+      JsonValue(static_cast<double>(telemetry.structure_evictions()));
+  root["max_structures"] =
+      JsonValue(static_cast<double>(telemetry.max_structures()));
+  return JsonValue(std::move(root));
+}
+
+JsonValue cache_stats_to_json_value(const telemetry::StructureCache& cache) {
+  const telemetry::StructureCacheStats stats = cache.stats();
+  JsonObject o;
+  o["directory"] = JsonValue(cache.directory());
+  o["entries"] = JsonValue(static_cast<double>(cache.size()));
+  o["entries_loaded"] = JsonValue(static_cast<double>(stats.entries_loaded));
+  o["load_errors"] = JsonValue(static_cast<double>(stats.load_errors));
+  o["saves"] = JsonValue(static_cast<double>(stats.saves));
+  o["save_errors"] = JsonValue(static_cast<double>(stats.save_errors));
+  o["prewarm_errors"] = JsonValue(static_cast<double>(stats.prewarm_errors));
+  o["lookup_hits"] = JsonValue(static_cast<double>(stats.lookup_hits));
+  o["lookup_misses"] = JsonValue(static_cast<double>(stats.lookup_misses));
   return JsonValue(std::move(o));
 }
 
@@ -50,6 +131,8 @@ JsonValue service_stats_to_json_value(const ServiceStats& stats) {
       JsonValue(static_cast<double>(stats.symbolic_factorisations));
   root["recovered_solves"] =
       JsonValue(static_cast<double>(stats.recovered_solves));
+  root["prewarmed_sessions"] =
+      JsonValue(static_cast<double>(stats.prewarmed_sessions));
   root["queue_depth"] = JsonValue(static_cast<double>(stats.queue_depth));
   root["stolen"] = JsonValue(static_cast<double>(stats.stolen));
   root["deadline_shed"] = JsonValue(static_cast<double>(stats.deadline_shed));
@@ -162,6 +245,182 @@ JsonValue apply_set_config(const JsonValue& doc, RuntimeConfig& config,
   return JsonValue(std::move(result));
 }
 
+namespace {
+
+void metric_header(std::string& out, const char* name, const char* type,
+                   const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// One sample line. Locale-proof float formatting: %.17g round-trips and
+/// never emits a locale decimal comma via the "C"-locale snprintf.
+void metric_line(std::string& out, const char* name, const std::string& labels,
+                 double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+void counter(std::string& out, const char* name, const char* help,
+             double value) {
+  metric_header(out, name, "counter", help);
+  metric_line(out, name, std::string(), value);
+}
+
+void gauge(std::string& out, const char* name, const char* help,
+           double value) {
+  metric_header(out, name, "gauge", help);
+  metric_line(out, name, std::string(), value);
+}
+
+}  // namespace
+
+std::string metrics_exposition(const ServiceStats& stats,
+                               const telemetry::ServiceTelemetry* telemetry,
+                               const telemetry::StructureCache* cache) {
+  std::string out;
+  out.reserve(4096);
+  counter(out, "bbs_requests_total",
+          "Requests executed by the daemon engines.",
+          static_cast<double>(stats.requests));
+  counter(out, "bbs_requests_ok_total", "Requests answered status=ok.",
+          static_cast<double>(stats.ok));
+  counter(out, "bbs_requests_infeasible_total",
+          "Requests answered status=infeasible.",
+          static_cast<double>(stats.infeasible));
+  counter(out, "bbs_requests_errors_total",
+          "Requests answered status=error.",
+          static_cast<double>(stats.errors));
+  counter(out, "bbs_warm_hits_total",
+          "Requests served from an already warm pooled session.",
+          static_cast<double>(stats.warm_hits));
+  counter(out, "bbs_symbolic_factorisations_total",
+          "Symbolic KKT factorisations computed from scratch.",
+          static_cast<double>(stats.symbolic_factorisations));
+  counter(out, "bbs_recovered_solves_total",
+          "Solves rescued by the IPM recovery ladder.",
+          static_cast<double>(stats.recovered_solves));
+  counter(out, "bbs_prewarmed_sessions_total",
+          "Sessions reconstructed at startup from the structure cache.",
+          static_cast<double>(stats.prewarmed_sessions));
+  counter(out, "bbs_stolen_total", "Tasks executed by a non-affine worker.",
+          static_cast<double>(stats.stolen));
+  counter(out, "bbs_deadline_shed_total",
+          "Tasks shed in the queue after their deadline expired.",
+          static_cast<double>(stats.deadline_shed));
+  counter(out, "bbs_timed_out_mid_solve_total",
+          "Tasks whose deadline expired mid-solve.",
+          static_cast<double>(stats.timed_out_mid_solve));
+  counter(out, "bbs_cancelled_total", "Tasks abandoned by cancellation.",
+          static_cast<double>(stats.cancelled));
+  counter(out, "bbs_quota_rejections_total",
+          "Request lines rejected over per-connection quota.",
+          static_cast<double>(stats.quota_rejections));
+  counter(out, "bbs_overload_rejections_total",
+          "Request lines rejected at the queue high-water mark.",
+          static_cast<double>(stats.overload_rejections));
+  gauge(out, "bbs_queue_depth", "Queued tasks across all workers.",
+        static_cast<double>(stats.queue_depth));
+  gauge(out, "bbs_workers", "Worker threads (engines).",
+        static_cast<double>(stats.workers.size()));
+
+  if (cache != nullptr) {
+    const telemetry::StructureCacheStats cs = cache->stats();
+    gauge(out, "bbs_cache_entries", "Structure-cache entries in memory.",
+          static_cast<double>(cache->size()));
+    counter(out, "bbs_cache_entries_loaded_total",
+            "Cache entries loaded from disk at startup.",
+            static_cast<double>(cs.entries_loaded));
+    counter(out, "bbs_cache_load_errors_total",
+            "Corrupt or stale cache files skipped at load.",
+            static_cast<double>(cs.load_errors));
+    counter(out, "bbs_cache_saves_total", "Cache entries written to disk.",
+            static_cast<double>(cs.saves));
+    counter(out, "bbs_cache_save_errors_total",
+            "Cache writes dropped or failed.",
+            static_cast<double>(cs.save_errors));
+    counter(out, "bbs_cache_prewarm_errors_total",
+            "Loaded entries that failed session reconstruction.",
+            static_cast<double>(cs.prewarm_errors));
+    counter(out, "bbs_cache_lookup_hits_total", "Cache lookup hits.",
+            static_cast<double>(cs.lookup_hits));
+    counter(out, "bbs_cache_lookup_misses_total", "Cache lookup misses.",
+            static_cast<double>(cs.lookup_misses));
+  }
+
+  if (telemetry != nullptr) {
+    metric_header(out, "bbs_request_latency_ms",
+                  "summary",
+                  "Request latency by kind and stage (milliseconds).");
+    static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+    for (int k = 0; k < telemetry::kNumRequestKinds; ++k) {
+      const auto kind = static_cast<telemetry::RequestKind>(k);
+      for (int s = 0; s < telemetry::kNumStages; ++s) {
+        const auto stage = static_cast<telemetry::Stage>(s);
+        const telemetry::LatencyHistogram::Snapshot snap =
+            telemetry->histogram(kind, stage).snapshot();
+        if (snap.count == 0) continue;
+        const std::string base = std::string("kind=\"") +
+                                 telemetry::to_string(kind) + "\",stage=\"" +
+                                 telemetry::to_string(stage) + "\"";
+        for (const double q : kQuantiles) {
+          char qbuf[16];
+          std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+          metric_line(out, "bbs_request_latency_ms",
+                      base + ",quantile=\"" + qbuf + "\"",
+                      snap.percentile(q));
+        }
+        metric_line(out, "bbs_request_latency_ms_sum", base, snap.sum_ms);
+        metric_line(out, "bbs_request_latency_ms_count", base,
+                    static_cast<double>(snap.count));
+        metric_line(out, "bbs_request_latency_ms_max", base, snap.max_ms);
+      }
+    }
+
+    metric_header(out, "bbs_structure_requests_total", "counter",
+                  "Requests per structure hash (hottest rows).");
+    metric_header(out, "bbs_structure_solves_total", "counter",
+                  "Solves per structure hash (hottest rows).");
+    metric_header(out, "bbs_structure_ipm_iterations_total", "counter",
+                  "IPM iterations per structure hash (hottest rows).");
+    // The table is already bounded (max_structures); cap the exposition at
+    // the hottest rows so one scrape stays small even at the bound.
+    constexpr std::size_t kMaxRows = 32;
+    std::size_t emitted = 0;
+    for (const telemetry::StructureRow& row : telemetry->structure_rows()) {
+      if (emitted++ == kMaxRows) break;
+      const std::string labels =
+          "structure=\"" + hex64(row.key_hash) + "\"";
+      metric_line(out, "bbs_structure_requests_total", labels,
+                  static_cast<double>(row.requests));
+      metric_line(out, "bbs_structure_solves_total", labels,
+                  static_cast<double>(row.solves));
+      metric_line(out, "bbs_structure_ipm_iterations_total", labels,
+                  static_cast<double>(row.ipm_iterations));
+    }
+    counter(out, "bbs_structure_table_evictions_total",
+            "Structure rows evicted from the bounded telemetry table.",
+            static_cast<double>(telemetry->structure_evictions()));
+  }
+  return out;
+}
+
 JsonlSession::JsonlSession(Dispatcher& dispatcher, Sink sink,
                            SessionOptions options)
     : dispatcher_(dispatcher),
@@ -223,11 +482,13 @@ void JsonlSession::submit_line(const std::string& line) {
         deliver(index, std::move(entry));
         return;
       }
-      // Stats resolve at the emission frontier (after every earlier line
-      // of this connection has been answered), so the snapshot they
-      // report is causally consistent with the stream before them.
+      // Stats and metrics resolve at the emission frontier (after every
+      // earlier line of this connection has been answered), so the
+      // snapshot they report is causally consistent with the stream
+      // before them.
       Entry entry;
-      entry.is_stats = true;
+      entry.is_stats = *control == io::ControlKind::kStats;
+      entry.is_metrics = *control == io::ControlKind::kMetrics;
       entry.id = io::control_id(doc);
       entry.status = api::ResponseStatus::kOk;
       deliver(index, std::move(entry));
@@ -275,11 +536,14 @@ void JsonlSession::submit_line(const std::string& line) {
       }
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    const telemetry::RequestKind telemetry_kind =
+        telemetry::request_kind_from_string(kind);
     const bool accepted = dispatcher_.submit(
         std::move(request),
-        [this, index](api::Response r) {
+        [this, index, telemetry_kind](api::Response r) {
           in_flight_.fetch_sub(1, std::memory_order_relaxed);
           Entry entry;
+          entry.kind = telemetry_kind;
           entry.status = r.status;
           entry.line = io::write_json_compact(io::response_to_json_value(r));
           deliver(index, std::move(entry));
@@ -360,21 +624,43 @@ void JsonlSession::advance_locked() {
     Entry entry = std::move(it->second);
     pending_.erase(it);
     ++next_emit_;
-    if (entry.is_stats) {
+    if (entry.is_stats || entry.is_metrics) {
       ServiceStats stats = dispatcher_.stats();
       // The transport owns its counters (accepts, slow-client disconnects,
       // outbox depths); the hook folds them into the dispatcher snapshot.
       if (options_.stats_hook) options_.stats_hook(stats);
-      JsonValue result = service_stats_to_json_value(stats);
-      if (options_.runtime_config) {
-        // The live limits ride along, so a set_config reload is observable
-        // in the very next stats snapshot.
-        result.as_object()["config"] =
-            runtime_config_to_json_value(*options_.runtime_config);
+      if (entry.is_metrics) {
+        // Prometheus text exposition, JSON-string-wrapped to preserve the
+        // one-line-per-response JSONL framing.
+        JsonObject result;
+        result["content_type"] = JsonValue("text/plain; version=0.0.4");
+        result["text"] = JsonValue(metrics_exposition(
+            stats, options_.telemetry, options_.structure_cache));
+        const JsonValue envelope = io::control_response_envelope(
+            io::ControlKind::kMetrics, entry.id, JsonValue(std::move(result)));
+        entry.line = io::write_json_compact(envelope);
+      } else {
+        JsonValue result = service_stats_to_json_value(stats);
+        if (options_.telemetry != nullptr) {
+          result.as_object()["latency"] =
+              latency_to_json_value(*options_.telemetry);
+          result.as_object()["structures"] =
+              structures_to_json_value(*options_.telemetry);
+        }
+        if (options_.structure_cache != nullptr) {
+          result.as_object()["cache"] =
+              cache_stats_to_json_value(*options_.structure_cache);
+        }
+        if (options_.runtime_config) {
+          // The live limits ride along, so a set_config reload is
+          // observable in the very next stats snapshot.
+          result.as_object()["config"] =
+              runtime_config_to_json_value(*options_.runtime_config);
+        }
+        const JsonValue envelope = io::control_response_envelope(
+            io::ControlKind::kStats, entry.id, std::move(result));
+        entry.line = io::write_json_compact(envelope);
       }
-      const JsonValue envelope = io::control_response_envelope(
-          io::ControlKind::kStats, entry.id, std::move(result));
-      entry.line = io::write_json_compact(envelope);
     }
     if (entry.is_quota_rejection) ++summary_.quota_rejections;
     if (entry.is_overload_rejection) ++summary_.overload_rejections;
@@ -390,7 +676,23 @@ void JsonlSession::advance_locked() {
         ++summary_.errors;
         break;
     }
-    if (sink_) sink_(entry.line);
+    if (sink_) {
+      // The write stage covers the sink call: a real write-and-flush on
+      // stdio connections, the outbox handoff (including any backpressure
+      // wait on a full outbox) on socket connections.
+      if (options_.telemetry != nullptr) {
+        const auto start = std::chrono::steady_clock::now();
+        sink_(entry.line);
+        const double write_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        options_.telemetry->histogram(entry.kind, telemetry::Stage::kWrite)
+            .record(write_ms);
+      } else {
+        sink_(entry.line);
+      }
+    }
   }
 }
 

@@ -30,6 +30,11 @@
 #include "bbs/io/json.hpp"
 #include "bbs/service/dispatcher.hpp"
 #include "bbs/service/runtime_config.hpp"
+#include "bbs/telemetry/service_telemetry.hpp"
+
+namespace bbs::telemetry {
+class StructureCache;
+}  // namespace bbs::telemetry
 
 namespace bbs::service {
 
@@ -84,6 +89,14 @@ struct SessionOptions {
   /// human-readable description of the applied changes — the daemon logs
   /// it to stderr.
   std::function<void(const std::string&)> on_config_change;
+  /// Optional service telemetry (not owned; shared with the Dispatcher).
+  /// When set, stats responses carry "latency"/"structures" sections, the
+  /// write stage of every emitted line is recorded, and {"kind":"metrics"}
+  /// exposes the full histogram matrix.
+  telemetry::ServiceTelemetry* telemetry = nullptr;
+  /// Optional persistent structure cache (not owned) — its counters ride
+  /// along in stats responses and the metrics exposition.
+  telemetry::StructureCache* structure_cache = nullptr;
 };
 
 /// Serialises a ServiceStats snapshot into the "result" object of the stats
@@ -101,6 +114,15 @@ io::JsonValue runtime_config_to_json_value(const RuntimeConfig& config);
 /// description of them to `description`.
 io::JsonValue apply_set_config(const io::JsonValue& doc, RuntimeConfig& config,
                                std::string& description);
+
+/// Renders a ServiceStats snapshot (plus optional telemetry/cache state)
+/// as Prometheus text exposition format 0.0.4 — counters, gauges and
+/// per-(kind, stage) latency summaries with p50/p90/p99 quantiles. The
+/// {"kind":"metrics"} control response wraps this text in JSON to keep the
+/// JSONL framing. Null telemetry/cache simply omit their sections.
+std::string metrics_exposition(const ServiceStats& stats,
+                               const telemetry::ServiceTelemetry* telemetry,
+                               const telemetry::StructureCache* cache);
 
 class JsonlSession {
  public:
@@ -138,10 +160,14 @@ class JsonlSession {
  private:
   struct Entry {
     bool is_stats = false;
+    bool is_metrics = false;
     bool is_quota_rejection = false;
     bool is_overload_rejection = false;
+    /// Request kind for the write-stage latency histogram (control lines
+    /// and rejections record under kOther).
+    telemetry::RequestKind kind = telemetry::RequestKind::kOther;
     std::string line;      ///< serialised response (requests)
-    std::string id;        ///< control-message id echo (stats)
+    std::string id;        ///< control-message id echo (stats/metrics)
     api::ResponseStatus status = api::ResponseStatus::kError;
   };
 

@@ -341,6 +341,8 @@ void SocketServer::handle_connection(Connection* connection) {
   session_options.max_in_flight = options_.max_in_flight;
   session_options.requests_per_second = options_.requests_per_second;
   session_options.runtime_config = options_.runtime_config;
+  session_options.telemetry = options_.telemetry;
+  session_options.structure_cache = options_.structure_cache;
   session_options.on_quota_rejection = [this] {
     quota_rejections_.fetch_add(1, std::memory_order_relaxed);
   };

@@ -64,6 +64,11 @@ struct SocketServerOptions {
   /// {"kind":"set_config"} line on any connection reconfigures the whole
   /// daemon. Config changes are logged to stderr.
   std::shared_ptr<RuntimeConfig> runtime_config;
+  /// Optional service telemetry and structure cache (not owned; must
+  /// outlive the server) — handed to every connection's JsonlSession so
+  /// stats/metrics lines report them and write-stage latency is recorded.
+  telemetry::ServiceTelemetry* telemetry = nullptr;
+  telemetry::StructureCache* structure_cache = nullptr;
 };
 
 class SocketServer {

@@ -97,6 +97,16 @@ const char* to_string(SolveStatus status) {
 
 void IpmWorkspace::reset() { *this = IpmWorkspace(); }
 
+void IpmWorkspace::seed_symbolic(SymbolicAnalysis analysis) {
+  if (kkt_ != nullptr) return;  // symbolic phase already happened
+  pending_symbolic_ =
+      std::make_unique<SymbolicAnalysis>(std::move(analysis));
+}
+
+std::optional<SymbolicAnalysis> IpmWorkspace::export_symbolic() const {
+  return kkt_ != nullptr ? kkt_->export_symbolic() : std::nullopt;
+}
+
 void IpmWorkspace::seed_warm(const Vector& x, const Vector& s,
                              const Vector& z) {
   warm_x_ = x;
@@ -324,6 +334,10 @@ SolveResult IpmSolver::solve_attempt(const ConicProblem& problem,
     kkt_opts.static_regularisation = options.static_regularisation;
     kkt_opts.refine_steps = options.refine_steps;
     ws.kkt_ = std::make_unique<KktSystem>(g, kkt_opts);
+    if (ws.pending_symbolic_ != nullptr) {
+      ws.kkt_->seed_symbolic(std::move(*ws.pending_symbolic_));
+      ws.pending_symbolic_.reset();
+    }
   } else if (g_changed) {
     ws.kkt_->update_matrix_values(g);
   }

@@ -178,6 +178,16 @@ class IpmWorkspace {
   void clear_warm();
   bool has_warm() const { return have_warm_; }
 
+  /// Offers a cached symbolic analysis (from the persistent structure
+  /// cache) for the KKT system this workspace will create on its first
+  /// solve. Ignored if the KKT system already exists; validated — and
+  /// rejected without error — inside KktSystem if it does not match the
+  /// actual normal-equation pattern.
+  void seed_symbolic(SymbolicAnalysis analysis);
+  /// Exports the KKT symbolic analysis after the first solve (nullopt
+  /// before the workspace is bound).
+  std::optional<SymbolicAnalysis> export_symbolic() const;
+
  private:
   friend class IpmSolver;
 
@@ -197,6 +207,9 @@ class IpmWorkspace {
   Vector row_scale_, col_scale_;      // accumulated Ruiz scalings
   Vector ruiz_row_max_, ruiz_col_max_;  // per-round work buffers
   std::unique_ptr<KktSystem> kkt_;
+  // Cached symbolic analysis offered via seed_symbolic(), handed to the
+  // KKT system when the first solve creates it.
+  std::unique_ptr<SymbolicAnalysis> pending_symbolic_;
   std::unique_ptr<NtScaling> scaling_;
   // Iterates and solve-loop work vectors.
   Vector x_, s_, z_, e_;

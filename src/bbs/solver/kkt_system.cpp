@@ -5,8 +5,35 @@
 #include <limits>
 
 #include "bbs/common/assert.hpp"
+#include "bbs/common/hash.hpp"
 
 namespace bbs::solver {
+namespace {
+
+/// Fingerprint of a sparsity pattern (dimension + column pointers + row
+/// indices; values excluded). Stable across processes — used to match a
+/// cached SymbolicAnalysis against the live normal-equation pattern.
+std::uint64_t pattern_hash_of(const linalg::SparseMatrix& a) {
+  std::uint64_t hash = common::kFnv1a64Offset;
+  const auto n = static_cast<std::uint64_t>(a.cols());
+  hash = common::fnv1a_64(&n, sizeof(n), hash);
+  hash = common::fnv1a_64_values(a.col_ptr(), hash);
+  hash = common::fnv1a_64_values(a.row_ind(), hash);
+  return hash;
+}
+
+bool is_valid_permutation(const std::vector<linalg::Index>& perm,
+                          linalg::Index n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const linalg::Index p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+}  // namespace
 
 KktSystem::KktSystem(const linalg::SparseMatrix& g)
     : KktSystem(g, Options{}) {}
@@ -87,17 +114,63 @@ void KktSystem::factorise(const NtScaling& scaling) {
     linalg::SparseLdlt::Options fopts;
     fopts.ordering = options_.ordering;
     fopts.allow_indefinite = false;  // normal equations must be SPD
+    // A cached analysis, if one was seeded and matches the live pattern,
+    // replaces the fill-reducing ordering computation — the dominant
+    // symbolic cost. Any valid permutation yields a correct factor, so a
+    // stale hint can at worst degrade fill, never correctness; the pattern
+    // hash rejects that case up front.
+    std::unique_ptr<SymbolicAnalysis> seed = std::move(pending_symbolic_);
+    bool seeded = false;
+    if (seed != nullptr && cached_permutation_.empty()) {
+      if (seed->dim == regularised_.cols() &&
+          seed->pattern_hash == pattern_hash_of(regularised_) &&
+          is_valid_permutation(seed->permutation, regularised_.cols())) {
+        cached_permutation_ = seed->permutation;
+        seeded = true;
+      } else {
+        ++stats_.symbolic_seed_rejects;
+      }
+    }
     if (cached_permutation_.empty()) {
       cached_permutation_ = linalg::compute_ordering(regularised_,
                                                      options_.ordering);
     }
     fopts.fixed_permutation = &cached_permutation_;
     factor_ = std::make_unique<linalg::SparseLdlt>(regularised_, fopts);
-    ++stats_.symbolic_factorisations;
+    if (seeded) {
+      // The constructor re-derived the elimination tree and factor column
+      // pointers from the seeded permutation (cheap, O(nnz)); disagreement
+      // with the cached copies means the entry was stale after all.
+      if (factor_->etree_parent() == seed->etree_parent &&
+          factor_->factor_col_ptr() == seed->factor_col_ptr) {
+        ++stats_.symbolic_loads;
+      } else {
+        ++stats_.symbolic_seed_rejects;
+        ++stats_.symbolic_factorisations;
+      }
+    } else {
+      ++stats_.symbolic_factorisations;
+    }
   } else {
     factor_->refactor(regularised_);
   }
   ++stats_.factorise_calls;
+}
+
+void KktSystem::seed_symbolic(SymbolicAnalysis analysis) {
+  if (factor_ != nullptr) return;  // symbolic phase already done
+  pending_symbolic_ = std::make_unique<SymbolicAnalysis>(std::move(analysis));
+}
+
+std::optional<SymbolicAnalysis> KktSystem::export_symbolic() const {
+  if (factor_ == nullptr) return std::nullopt;
+  SymbolicAnalysis analysis;
+  analysis.dim = regularised_.cols();
+  analysis.pattern_hash = pattern_hash_of(regularised_);
+  analysis.permutation = cached_permutation_;
+  analysis.etree_parent = factor_->etree_parent();
+  analysis.factor_col_ptr = factor_->factor_col_ptr();
+  return analysis;
 }
 
 void KktSystem::solve_once(const NtScaling& scaling, const Vector& p,

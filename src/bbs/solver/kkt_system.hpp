@@ -25,7 +25,9 @@
 // concurrently (distinct instances are independent).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "bbs/linalg/ordering.hpp"
 #include "bbs/linalg/sparse_ldlt.hpp"
@@ -33,6 +35,20 @@
 #include "bbs/solver/nt_scaling.hpp"
 
 namespace bbs::solver {
+
+/// The pure-in-the-structure result of the one-time symbolic analysis: the
+/// fill-reducing permutation of the normal-equation matrix plus the derived
+/// elimination tree and factor column pointers. `pattern_hash` fingerprints
+/// the normal-equation sparsity pattern the analysis was computed for, so a
+/// seeded KktSystem can reject a stale hint cheaply. Serialisable — this is
+/// the payload of the persistent structure cache.
+struct SymbolicAnalysis {
+  linalg::Index dim = 0;
+  std::uint64_t pattern_hash = 0;
+  std::vector<linalg::Index> permutation;
+  std::vector<linalg::Index> etree_parent;
+  std::vector<linalg::Index> factor_col_ptr;
+};
 
 class KktSystem {
  public:
@@ -53,8 +69,18 @@ class KktSystem {
   struct Stats {
     int factorise_calls = 0;
     /// Symbolic analyses performed (ordering + elimination tree + pattern
-    /// caches). Stays at 1 across all interior-point iterations.
+    /// caches). Stays at 1 across all interior-point iterations — and at 0
+    /// when the analysis was seeded from a cached SymbolicAnalysis.
     int symbolic_factorisations = 0;
+    /// Symbolic analyses loaded from a seeded SymbolicAnalysis instead of
+    /// being derived (the fill-reducing ordering — the dominant symbolic
+    /// cost — is skipped; the cheap elimination-tree rebuild doubles as
+    /// verification of the cached entry).
+    int symbolic_loads = 0;
+    /// Seeds offered via seed_symbolic() that failed validation (dimension
+    /// or pattern-hash mismatch, invalid permutation, or an etree/col-ptr
+    /// disagreement) and fell back to a full derivation.
+    int symbolic_seed_rejects = 0;
   };
 
   explicit KktSystem(const linalg::SparseMatrix& g);
@@ -96,6 +122,20 @@ class KktSystem {
     return options_.static_regularisation;
   }
 
+  /// Offers a cached symbolic analysis for the first factorise() call. Must
+  /// be called before the first factorise(); the hint is validated there
+  /// (dimension, pattern hash, permutation) and silently discarded — with a
+  /// symbolic_seed_rejects count — if it does not match the actual
+  /// normal-equation pattern. A valid seed replaces the fill-reducing
+  /// ordering computation; correctness never depends on the hint because any
+  /// valid permutation yields a correct LDL^T (only fill quality varies).
+  void seed_symbolic(SymbolicAnalysis analysis);
+
+  /// Exports the symbolic analysis after the first factorise() (nullopt
+  /// before it). The result is pure in the problem structure and safe to
+  /// persist and re-seed into a future KktSystem for the same structure.
+  std::optional<SymbolicAnalysis> export_symbolic() const;
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -117,6 +157,9 @@ class KktSystem {
   /// Fill-reducing permutation, computed on the first factorisation and
   /// reused afterwards (the normal-equation pattern is iteration-invariant).
   std::vector<linalg::Index> cached_permutation_;
+  /// Cached analysis offered via seed_symbolic(), consumed (validated or
+  /// rejected) by the first factorise().
+  std::unique_ptr<SymbolicAnalysis> pending_symbolic_;
   Stats stats_;
   // Solve workspaces, hoisted out of the refinement loops (mutable: solve()
   // is logically const and runs several times per interior-point iteration).

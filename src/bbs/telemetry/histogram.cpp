@@ -1,0 +1,92 @@
+#include "bbs/telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bbs::telemetry {
+
+int LatencyHistogram::bucket_index(double ms) {
+  if (!(ms > 0.0)) return 0;  // non-finite and negative values underflow
+  const double us = ms * 1000.0;
+  if (us < 1.0) return 0;
+  int exp = 0;
+  const double mantissa = std::frexp(us, &exp);  // us = mantissa * 2^exp
+  (void)mantissa;
+  const int octave = exp - 1;  // us in [2^octave, 2^(octave+1))
+  if (octave >= kOctaves) return kBuckets - 1;
+  const double base = std::ldexp(1.0, octave);
+  int sub = static_cast<int>((us / base - 1.0) * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_upper_ms(int bucket) {
+  if (bucket <= 0) return 1e-3;  // underflow: everything at or below 1 µs
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const int octave = (bucket - 1) / kSubBuckets;
+  const int sub = (bucket - 1) % kSubBuckets;
+  const double upper_us =
+      std::ldexp(1.0, octave) *
+      (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+  return upper_us * 1e-3;
+}
+
+void LatencyHistogram::record(double ms) {
+  const double clamped = std::isfinite(ms) && ms > 0.0 ? ms : 0.0;
+  const auto ns = static_cast<std::uint64_t>(clamped * 1e6);
+  counts_[static_cast<std::size_t>(bucket_index(clamped))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ms =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  snap.max_ms =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  for (int b = 0; b < kBuckets; ++b) {
+    snap.buckets[static_cast<std::size_t>(b)] =
+        counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void LatencyHistogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum_ms += other.sum_ms;
+  max_ms = std::max(max_ms, other.max_ms);
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+  }
+}
+
+double LatencyHistogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[static_cast<std::size_t>(b)];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite upper edge; the recorded maximum
+      // is the tightest honest bound there.
+      if (b == kBuckets - 1) return max_ms;
+      return std::min(bucket_upper_ms(b), max_ms);
+    }
+  }
+  return max_ms;
+}
+
+}  // namespace bbs::telemetry

@@ -1,0 +1,64 @@
+// Lock-cheap log-bucketed latency histogram.
+//
+// The bucket layout is fixed at compile time: 4 linear sub-buckets per
+// power-of-two octave over microseconds, spanning 1 µs to ~64 s, plus an
+// underflow and an overflow bucket. A recorded value lands in the bucket
+// whose range contains it with relative width at most 25% of the bucket's
+// lower edge, so percentile estimates (reported as the bucket's upper edge)
+// over-estimate by at most 25% and never under-estimate.
+//
+// record() is wait-free: one relaxed fetch_add per counter plus a CAS loop
+// for the running maximum. snapshot() reads the counters relaxed — snapshots
+// are not a linearisation point, they are monotone approximations, which is
+// exactly what a metrics endpoint needs. Snapshots from histograms with the
+// same layout merge by bucket-wise addition (per-worker histograms roll up
+// to a service-wide view).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace bbs::telemetry {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;   // linear sub-buckets per octave
+  static constexpr int kOctaves = 26;     // 2^0 .. 2^26 microseconds (~67 s)
+  static constexpr int kBuckets = 2 + kOctaves * kSubBuckets;
+
+  /// A mergeable, immutable copy of the counters.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_ms = 0.0;
+    double max_ms = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void merge(const Snapshot& other);
+
+    /// Estimated value at quantile `p` in [0, 1]: the upper edge of the
+    /// bucket containing the ceil(p * count)-th sample (never an
+    /// under-estimate). Returns 0 on an empty snapshot and the exact
+    /// recorded maximum when the quantile lands in the overflow bucket.
+    double percentile(double p) const;
+
+    double mean_ms() const { return count == 0 ? 0.0 : sum_ms / count; }
+  };
+
+  void record(double ms);
+  Snapshot snapshot() const;
+
+  /// Bucket index a value lands in (exposed for tests).
+  static int bucket_index(double ms);
+  /// Upper edge of a bucket in milliseconds (infinity for the overflow
+  /// bucket; exposed for tests).
+  static double bucket_upper_ms(int bucket);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace bbs::telemetry

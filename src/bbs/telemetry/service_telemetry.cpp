@@ -1,0 +1,107 @@
+#include "bbs/telemetry/service_telemetry.hpp"
+
+#include <algorithm>
+
+#include "bbs/common/assert.hpp"
+
+namespace bbs::telemetry {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSolve: return "solve";
+    case RequestKind::kSweep: return "sweep";
+    case RequestKind::kMinPeriod: return "min_period";
+    case RequestKind::kTwoPhase: return "two_phase";
+    case RequestKind::kLatency: return "latency";
+    case RequestKind::kOther: return "other";
+  }
+  return "other";
+}
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kQueue: return "queue";
+    case Stage::kSolve: return "solve";
+    case Stage::kWrite: return "write";
+  }
+  return "queue";
+}
+
+RequestKind request_kind_from_string(const std::string& kind) {
+  if (kind == "solve") return RequestKind::kSolve;
+  if (kind == "sweep") return RequestKind::kSweep;
+  if (kind == "min_period") return RequestKind::kMinPeriod;
+  if (kind == "two_phase") return RequestKind::kTwoPhase;
+  if (kind == "latency") return RequestKind::kLatency;
+  return RequestKind::kOther;
+}
+
+ServiceTelemetry::ServiceTelemetry(std::size_t max_structures)
+    : max_structures_(std::max<std::size_t>(1, max_structures)),
+      histograms_(static_cast<std::size_t>(kNumRequestKinds * kNumStages)) {}
+
+LatencyHistogram& ServiceTelemetry::histogram(RequestKind kind, Stage stage) {
+  const auto index = static_cast<std::size_t>(
+      static_cast<int>(kind) * kNumStages + static_cast<int>(stage));
+  BBS_ASSERT_MSG(index < histograms_.size(), "histogram index out of range");
+  return histograms_[index];
+}
+
+const LatencyHistogram& ServiceTelemetry::histogram(RequestKind kind,
+                                                    Stage stage) const {
+  return const_cast<ServiceTelemetry*>(this)->histogram(kind, stage);
+}
+
+void ServiceTelemetry::record_structure(
+    std::uint64_t key_hash, const StructureObservation& observation) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(key_hash);
+  if (it == table_.end()) {
+    if (table_.size() >= max_structures_) {
+      // Evict the least-recently-seen row to stay bounded.
+      auto victim = table_.begin();
+      for (auto cand = table_.begin(); cand != table_.end(); ++cand) {
+        if (cand->second.last_seen_seq < victim->second.last_seen_seq) {
+          victim = cand;
+        }
+      }
+      table_.erase(victim);
+      ++evictions_;
+    }
+    StructureRow row;
+    row.key_hash = key_hash;
+    it = table_.emplace(key_hash, row).first;
+  }
+  StructureRow& row = it->second;
+  ++row.requests;
+  if (observation.pool_hit) {
+    ++row.pool_hits;
+  } else {
+    ++row.pool_misses;
+  }
+  row.solves += observation.solves;
+  row.ipm_iterations += observation.ipm_iterations;
+  row.warm_started_solves += observation.warm_started_solves;
+  row.recovered_solves += observation.recovered_solves;
+  row.last_seen_seq = ++sequence_;
+}
+
+std::vector<StructureRow> ServiceTelemetry::structure_rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StructureRow> rows;
+  rows.reserve(table_.size());
+  for (const auto& [hash, row] : table_) rows.push_back(row);
+  std::sort(rows.begin(), rows.end(),
+            [](const StructureRow& a, const StructureRow& b) {
+              if (a.solves != b.solves) return a.solves > b.solves;
+              return a.key_hash < b.key_hash;
+            });
+  return rows;
+}
+
+std::uint64_t ServiceTelemetry::structure_evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace bbs::telemetry

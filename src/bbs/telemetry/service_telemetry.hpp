@@ -1,0 +1,99 @@
+// Service-wide telemetry: a fixed matrix of latency histograms indexed by
+// (request kind, pipeline stage) and a bounded per-structure statistics
+// table keyed by structure hash.
+//
+// The histogram matrix is allocated up front and recording into it is
+// wait-free (see histogram.hpp). The structure table takes a short mutex on
+// its record path — it is touched once per request, after the solve, where
+// a mutex is noise.
+//
+// Layering: telemetry sits above io/ and solver/ only; the api and service
+// layers depend on it, never the reverse.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bbs/telemetry/histogram.hpp"
+
+namespace bbs::telemetry {
+
+/// Request kinds tracked separately. Mirrors the api request payloads plus
+/// a catch-all for control lines and future kinds.
+enum class RequestKind {
+  kSolve = 0,
+  kSweep,
+  kMinPeriod,
+  kTwoPhase,
+  kLatency,
+  kOther,
+};
+inline constexpr int kNumRequestKinds = 6;
+
+/// Pipeline stages a daemon request passes through.
+enum class Stage {
+  kQueue = 0,  // submit to engine start (includes injected worker delay)
+  kSolve,      // Engine::run wall time
+  kWrite,      // response handoff to the transport sink
+};
+inline constexpr int kNumStages = 3;
+
+const char* to_string(RequestKind kind);
+const char* to_string(Stage stage);
+RequestKind request_kind_from_string(const std::string& kind);
+
+/// One request's worth of per-structure observations.
+struct StructureObservation {
+  bool pool_hit = false;
+  std::uint64_t solves = 0;
+  std::uint64_t ipm_iterations = 0;
+  std::uint64_t warm_started_solves = 0;
+  std::uint64_t recovered_solves = 0;
+};
+
+/// Accumulated statistics for one structure hash.
+struct StructureRow {
+  std::uint64_t key_hash = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t ipm_iterations = 0;
+  std::uint64_t warm_started_solves = 0;
+  std::uint64_t recovered_solves = 0;
+  /// Monotone recency stamp (a global sequence number, not wall clock —
+  /// deterministic and comparison-only). Higher is more recent.
+  std::uint64_t last_seen_seq = 0;
+};
+
+class ServiceTelemetry {
+ public:
+  explicit ServiceTelemetry(std::size_t max_structures = 256);
+
+  LatencyHistogram& histogram(RequestKind kind, Stage stage);
+  const LatencyHistogram& histogram(RequestKind kind, Stage stage) const;
+
+  /// Records one request's outcome against its structure hash. Bounded:
+  /// inserting beyond max_structures evicts the least-recently-seen row.
+  void record_structure(std::uint64_t key_hash,
+                        const StructureObservation& observation);
+
+  /// Snapshot of the structure table, hottest (most solves) first.
+  std::vector<StructureRow> structure_rows() const;
+
+  std::size_t max_structures() const { return max_structures_; }
+  std::uint64_t structure_evictions() const;
+
+ private:
+  std::size_t max_structures_;
+  std::vector<LatencyHistogram> histograms_;  // kind-major, stage-minor
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, StructureRow> table_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bbs::telemetry

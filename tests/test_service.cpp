@@ -93,10 +93,12 @@ std::string to_jsonl(const std::vector<Request>& requests) {
   return stream;
 }
 
-/// Serialises a response with the wall-clock diagnostic zeroed — the only
-/// field that legitimately differs between two executions of one request.
+/// Serialises a response with the wall-clock diagnostics zeroed — the only
+/// fields that legitimately differ between two executions of one request.
 std::string normalised(Response response) {
   response.diagnostics.wall_ms = 0.0;
+  response.diagnostics.queue_ms = 0.0;
+  response.diagnostics.solve_ms = 0.0;
   return io::write_json_compact(io::response_to_json_value(response));
 }
 

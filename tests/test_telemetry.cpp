@@ -1,0 +1,508 @@
+// Telemetry tests: the log-bucketed latency histogram (bucket layout,
+// merge, percentile error bound, concurrent recording), the bounded
+// per-structure statistics table, and the persistent structure cache —
+// including the warm-restart invariant (a fresh engine pre-warmed from
+// disk serves a known structure with zero symbolic factorisations) and the
+// fail-soft negative paths (truncated/corrupt/stale/misnamed files are
+// skipped and counted, never fatal).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bbs/api/engine.hpp"
+#include "bbs/common/hash.hpp"
+#include "bbs/service/dispatcher.hpp"
+#include "bbs/telemetry/histogram.hpp"
+#include "bbs/telemetry/service_telemetry.hpp"
+#include "bbs/telemetry/structure_cache.hpp"
+#include "testing/support.hpp"
+
+namespace bbs {
+namespace {
+
+using api::Engine;
+using api::EngineOptions;
+using api::Request;
+using api::Response;
+using api::ResponseStatus;
+using telemetry::CacheEntry;
+using telemetry::LatencyHistogram;
+using telemetry::RequestKind;
+using telemetry::ServiceTelemetry;
+using telemetry::Stage;
+using telemetry::StructureCache;
+using telemetry::StructureObservation;
+using telemetry::StructureRow;
+
+/// A unique scratch directory removed on scope exit.
+struct ScopedTempDir {
+  ScopedTempDir() {
+    char pattern[] = "/tmp/bbs_telemetry_XXXXXX";
+    const char* made = ::mkdtemp(pattern);
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : "";
+  }
+  ~ScopedTempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+  std::string path;
+};
+
+Request solve_request(model::Configuration config, std::string id = "") {
+  Request request;
+  request.id = std::move(id);
+  request.payload = api::SolveRequest{std::move(config)};
+  return request;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryHistogram
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogram, EmptySnapshotIsAllZero) {
+  LatencyHistogram histogram;
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_ms, 0.0);
+  EXPECT_EQ(snap.max_ms, 0.0);
+  EXPECT_EQ(snap.percentile(0.5), 0.0);
+  EXPECT_EQ(snap.percentile(0.99), 0.0);
+  EXPECT_EQ(snap.mean_ms(), 0.0);
+}
+
+TEST(TelemetryHistogram, SingleSampleReportsItselfExactly) {
+  // With one sample every quantile lands in its bucket, and the estimate
+  // min(bucket upper edge, recorded max) collapses to the exact value.
+  LatencyHistogram histogram;
+  histogram.record(5.0);
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_NEAR(snap.max_ms, 5.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(0.0), 5.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(0.5), 5.0, 1e-9);
+  EXPECT_NEAR(snap.percentile(1.0), 5.0, 1e-9);
+  EXPECT_NEAR(snap.mean_ms(), 5.0, 1e-9);
+}
+
+TEST(TelemetryHistogram, BucketLayoutIsMonotoneAndContainsItsValues) {
+  // Sweep seven orders of magnitude: indices must be non-decreasing and
+  // every value must lie within (upper(idx - 1), upper(idx)].
+  int previous = -1;
+  for (double ms = 2e-3; ms < 2e4; ms *= 1.07) {
+    const int idx = LatencyHistogram::bucket_index(ms);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_GE(idx, previous) << "ms=" << ms;
+    EXPECT_LE(ms, LatencyHistogram::bucket_upper_ms(idx) * (1 + 1e-12))
+        << "ms=" << ms;
+    if (idx > 0) {
+      EXPECT_GE(ms, LatencyHistogram::bucket_upper_ms(idx - 1) * (1 - 1e-12))
+          << "ms=" << ms;
+    }
+    previous = idx;
+  }
+  // Sub-microsecond values land in the underflow bucket, absurdly large
+  // ones in the overflow bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e-6), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e9),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      LatencyHistogram::bucket_upper_ms(LatencyHistogram::kBuckets - 1)));
+}
+
+TEST(TelemetryHistogram, PercentileOverestimatesByAtMostTwentyFivePercent) {
+  // 1000 known samples: the documented contract is that a percentile
+  // estimate never under-reports and overshoots by at most the relative
+  // bucket width (25%).
+  LatencyHistogram histogram;
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    const double ms = 0.01 * i;  // 0.01 .. 10 ms
+    values.push_back(ms);
+    histogram.record(ms);
+  }
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.count, 1000u);
+  for (const double p : {0.50, 0.90, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(std::ceil(p * 1000.0)) - 1];
+    const double estimate = snap.percentile(p);
+    EXPECT_GE(estimate, exact * (1 - 1e-12)) << "p=" << p;
+    EXPECT_LE(estimate, exact * 1.25 + 1e-9) << "p=" << p;
+  }
+  EXPECT_NEAR(snap.max_ms, 10.0, 1e-9);
+  // The sum accumulates in integer nanoseconds: up to 1 ns truncation per
+  // sample.
+  EXPECT_NEAR(snap.sum_ms, 0.01 * 1000.0 * 1001.0 / 2.0, 1e-2);
+}
+
+TEST(TelemetryHistogram, QuantileInOverflowBucketReturnsRecordedMax) {
+  LatencyHistogram histogram;
+  histogram.record(1.0);
+  histogram.record(1e9);  // beyond the top octave -> overflow bucket
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_NEAR(snap.percentile(1.0), 1e9, 1.0);
+  EXPECT_NEAR(snap.max_ms, 1e9, 1.0);
+}
+
+TEST(TelemetryHistogram, NegativeAndNonFiniteRecordAsZero) {
+  LatencyHistogram histogram;
+  histogram.record(-3.0);
+  histogram.record(std::numeric_limits<double>::quiet_NaN());
+  histogram.record(std::numeric_limits<double>::infinity());
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max_ms, 0.0);
+  EXPECT_EQ(snap.percentile(0.99), 0.0);
+}
+
+TEST(TelemetryHistogram, SnapshotsMergeBucketwise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(0.5);
+  for (int i = 0; i < 100; ++i) b.record(50.0);
+  LatencyHistogram::Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_NEAR(merged.sum_ms, 100 * 0.5 + 100 * 50.0, 1e-2);
+  EXPECT_NEAR(merged.max_ms, 50.0, 1e-9);
+  // The median sits in the low half, p99 in the high half.
+  EXPECT_LE(merged.percentile(0.5), 0.5 * 1.25 + 1e-9);
+  EXPECT_GE(merged.percentile(0.99), 50.0 * (1 - 1e-12));
+}
+
+TEST(TelemetryHistogram, ConcurrentRecordingLosesNothing) {
+  // Exercised under TSan in CI: recording is relaxed-atomic and wait-free,
+  // and no sample may be lost or torn.
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.record(0.1 * (1 + (t + i) % 7));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const LatencyHistogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t c : snap.buckets) bucketed += c;
+  EXPECT_EQ(bucketed, snap.count);
+  EXPECT_NEAR(snap.max_ms, 0.7, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryStructureTable
+// ---------------------------------------------------------------------------
+
+StructureObservation observation(bool hit, std::uint64_t solves,
+                                 std::uint64_t iterations) {
+  StructureObservation o;
+  o.pool_hit = hit;
+  o.solves = solves;
+  o.ipm_iterations = iterations;
+  o.warm_started_solves = solves > 0 ? solves - 1 : 0;
+  o.recovered_solves = 0;
+  return o;
+}
+
+TEST(TelemetryStructureTable, AggregatesPerStructureHash) {
+  ServiceTelemetry telemetry;
+  telemetry.record_structure(0xaaa, observation(false, 3, 30));
+  telemetry.record_structure(0xaaa, observation(true, 2, 15));
+  telemetry.record_structure(0xbbb, observation(false, 1, 9));
+  const std::vector<StructureRow> rows = telemetry.structure_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  // Hottest (most solves) first.
+  EXPECT_EQ(rows[0].key_hash, 0xaaau);
+  EXPECT_EQ(rows[0].requests, 2u);
+  EXPECT_EQ(rows[0].pool_hits, 1u);
+  EXPECT_EQ(rows[0].pool_misses, 1u);
+  EXPECT_EQ(rows[0].solves, 5u);
+  EXPECT_EQ(rows[0].ipm_iterations, 45u);
+  EXPECT_EQ(rows[0].warm_started_solves, 3u);
+  EXPECT_EQ(rows[1].key_hash, 0xbbbu);
+  EXPECT_EQ(rows[1].requests, 1u);
+  EXPECT_EQ(telemetry.structure_evictions(), 0u);
+}
+
+TEST(TelemetryStructureTable, EvictsLeastRecentlySeenAtTheBound) {
+  ServiceTelemetry telemetry(/*max_structures=*/4);
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    telemetry.record_structure(h, observation(false, 1, 1));
+  }
+  std::vector<StructureRow> rows = telemetry.structure_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(telemetry.structure_evictions(), 6u);
+  // The four most recently seen hashes survive.
+  std::vector<std::uint64_t> hashes;
+  for (const StructureRow& row : rows) hashes.push_back(row.key_hash);
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(hashes, (std::vector<std::uint64_t>{7, 8, 9, 10}));
+  // Touching a resident hash refreshes its recency: it must survive the
+  // next insertion; the stalest resident (8) goes instead.
+  telemetry.record_structure(7, observation(true, 1, 1));
+  telemetry.record_structure(11, observation(false, 1, 1));
+  hashes.clear();
+  for (const StructureRow& row : telemetry.structure_rows()) {
+    hashes.push_back(row.key_hash);
+  }
+  EXPECT_NE(std::find(hashes.begin(), hashes.end(), 7), hashes.end());
+  EXPECT_EQ(std::find(hashes.begin(), hashes.end(), 8), hashes.end());
+}
+
+TEST(TelemetryStructureTable, KindAndStageNamesRoundTrip) {
+  EXPECT_EQ(telemetry::request_kind_from_string("solve"), RequestKind::kSolve);
+  EXPECT_EQ(telemetry::request_kind_from_string("sweep"), RequestKind::kSweep);
+  EXPECT_EQ(telemetry::request_kind_from_string("min_period"),
+            RequestKind::kMinPeriod);
+  EXPECT_EQ(telemetry::request_kind_from_string("two_phase"),
+            RequestKind::kTwoPhase);
+  EXPECT_EQ(telemetry::request_kind_from_string("latency"),
+            RequestKind::kLatency);
+  EXPECT_EQ(telemetry::request_kind_from_string("no_such_kind"),
+            RequestKind::kOther);
+  for (int k = 0; k < telemetry::kNumRequestKinds; ++k) {
+    const auto kind = static_cast<RequestKind>(k);
+    EXPECT_EQ(telemetry::request_kind_from_string(telemetry::to_string(kind)),
+              kind);
+  }
+  EXPECT_STREQ(telemetry::to_string(Stage::kQueue), "queue");
+  EXPECT_STREQ(telemetry::to_string(Stage::kSolve), "solve");
+  EXPECT_STREQ(telemetry::to_string(Stage::kWrite), "write");
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryCache
+// ---------------------------------------------------------------------------
+
+CacheEntry minimal_entry(std::string key) {
+  CacheEntry entry;
+  entry.key = std::move(key);
+  entry.symbolic.dim = 2;
+  entry.symbolic.pattern_hash = 7;
+  entry.symbolic.permutation = {0, 1};
+  entry.symbolic.etree_parent = {1, -1};
+  entry.symbolic.factor_col_ptr = {0, 1, 3};
+  return entry;
+}
+
+TEST(TelemetryCache, FileNamesAreStableHashesOfTheKey) {
+  const std::string name = StructureCache::file_name_for_key("some key");
+  ASSERT_EQ(name.size(), 16u + 5u);  // 16 hex digits + ".bbsc"
+  EXPECT_EQ(name.substr(16), ".bbsc");
+  EXPECT_EQ(name, StructureCache::file_name_for_key("some key"));
+  EXPECT_NE(name, StructureCache::file_name_for_key("another key"));
+}
+
+TEST(TelemetryCache, AtCapacityNewKeysAreDroppedButRefreshesPass) {
+  ScopedTempDir dir;
+  StructureCache cache(dir.path, /*max_entries=*/1);
+  cache.store(minimal_entry("k1"));
+  cache.store(minimal_entry("k2"));  // over capacity: dropped, counted
+  cache.store(minimal_entry("k1"));  // refresh of a resident key: accepted
+  cache.flush();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("k1"));
+  EXPECT_FALSE(cache.contains("k2"));
+  const telemetry::StructureCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.saves, 2u);
+  EXPECT_EQ(stats.save_errors, 1u);
+}
+
+TEST(TelemetryCache, EngineRoundTripWarmRestartSkipsSymbolicWork) {
+  ScopedTempDir dir;
+  const Request request = solve_request(testing::paper_t1(), "rt");
+
+  double cold_objective = 0.0;
+  {
+    StructureCache cache(dir.path);
+    EXPECT_EQ(cache.load(), 0u);
+    EngineOptions options;
+    options.structure_cache = &cache;
+    Engine engine(options);
+    const Response cold = engine.run(request);
+    ASSERT_EQ(cold.status, ResponseStatus::kOk) << cold.error;
+    EXPECT_FALSE(cold.diagnostics.session_reused);
+    EXPECT_EQ(cold.diagnostics.symbolic_factorisations, 1);
+    cold_objective =
+        std::get<api::SolvePayload>(cold.payload).mapping.objective_rounded;
+    cache.flush();
+    EXPECT_EQ(cache.stats().saves, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+  }
+
+  // "Restart": a fresh cache over the same directory, a fresh engine
+  // pre-warmed from it. The request must be a pool hit served with zero
+  // symbolic factorisations — the warm-restart invariant.
+  StructureCache cache(dir.path);
+  EXPECT_EQ(cache.load(), 1u);
+  EXPECT_EQ(cache.stats().load_errors, 0u);
+  EngineOptions options;
+  options.structure_cache = &cache;
+  Engine engine(options);
+  for (const CacheEntry& entry : cache.entries()) {
+    EXPECT_TRUE(engine.prewarm_entry(entry));
+  }
+  EXPECT_EQ(engine.stats().prewarmed_sessions, 1u);
+  EXPECT_EQ(engine.pooled_sessions(), 1u);
+
+  const Response warm = engine.run(request);
+  ASSERT_EQ(warm.status, ResponseStatus::kOk) << warm.error;
+  EXPECT_TRUE(warm.diagnostics.session_reused);
+  EXPECT_EQ(warm.diagnostics.symbolic_factorisations, 0);
+  EXPECT_EQ(engine.stats().symbolic_factorisations, 0u);
+  EXPECT_EQ(engine.stats().pool_hits, 1u);
+  // Same optimisation problem, same answer.
+  EXPECT_NEAR(
+      std::get<api::SolvePayload>(warm.payload).mapping.objective_rounded,
+      cold_objective, 1e-9);
+}
+
+TEST(TelemetryCache, ColdMissWithCacheSeedsTheSymbolicAnalysis) {
+  // Even without start-up pre-warming, a pool miss on a cached structure
+  // seeds the fresh session's symbolic analysis from the cache: the
+  // request still reports zero symbolic factorisations (a symbolic *load*
+  // happened instead).
+  ScopedTempDir dir;
+  const Request request = solve_request(testing::two_task_chain(), "seed");
+  {
+    StructureCache cache(dir.path);
+    EngineOptions options;
+    options.structure_cache = &cache;
+    Engine engine(options);
+    const Response cold = engine.run(request);
+    ASSERT_EQ(cold.status, ResponseStatus::kOk) << cold.error;
+    EXPECT_EQ(cold.diagnostics.symbolic_factorisations, 1);
+    cache.flush();
+  }
+  StructureCache cache(dir.path);
+  ASSERT_EQ(cache.load(), 1u);
+  EngineOptions options;
+  options.structure_cache = &cache;
+  Engine engine(options);  // nothing pre-warmed: first request is a miss
+  const Response seeded = engine.run(request);
+  ASSERT_EQ(seeded.status, ResponseStatus::kOk) << seeded.error;
+  EXPECT_FALSE(seeded.diagnostics.session_reused);
+  EXPECT_EQ(seeded.diagnostics.symbolic_factorisations, 0);
+  EXPECT_EQ(engine.stats().symbolic_factorisations, 0u);
+  EXPECT_GE(cache.stats().lookup_hits, 1u);
+}
+
+TEST(TelemetryCache, DispatcherPrewarmsWorkerPoolsFromTheCache) {
+  ScopedTempDir dir;
+  {
+    StructureCache cache(dir.path);
+    EngineOptions options;
+    options.structure_cache = &cache;
+    Engine engine(options);
+    const Response r = engine.run(solve_request(testing::paper_t1()));
+    ASSERT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    cache.flush();
+  }
+  StructureCache cache(dir.path);
+  ASSERT_EQ(cache.load(), 1u);
+  service::DispatcherOptions options;
+  options.workers = 2;
+  options.engine.structure_cache = &cache;
+  service::Dispatcher dispatcher(options);
+  // The constructor routed the entry to its structure-affine worker before
+  // any worker thread started; the first snapshot already sees it.
+  const service::ServiceStats startup = dispatcher.stats();
+  EXPECT_EQ(startup.prewarmed_sessions, 1u);
+  EXPECT_EQ(startup.symbolic_factorisations, 0u);
+  dispatcher.stop();
+}
+
+TEST(TelemetryCache, CorruptStaleAndMisnamedEntriesAreSkippedAndCounted) {
+  ScopedTempDir source;
+  std::string valid_name;
+  std::string valid_bytes;
+  {
+    StructureCache cache(source.path);
+    EngineOptions options;
+    options.structure_cache = &cache;
+    Engine engine(options);
+    const Response r = engine.run(solve_request(testing::paper_t1()));
+    ASSERT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    cache.flush();
+    const std::vector<CacheEntry> entries = cache.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    valid_name = StructureCache::file_name_for_key(entries[0].key);
+    valid_bytes = read_file(source.path + "/" + valid_name);
+    ASSERT_FALSE(valid_bytes.empty());
+  }
+
+  ScopedTempDir broken;
+  // (1) Truncated mid-payload.
+  write_file(broken.path + "/" + valid_name,
+             valid_bytes.substr(0, valid_bytes.size() / 2));
+  // (2) Checksum mismatch: flip the last payload byte.
+  std::string flipped = valid_bytes;
+  flipped.back() = flipped.back() == '}' ? ']' : '}';
+  write_file(broken.path + "/00000000000000aa.bbsc", flipped);
+  // (3) Stale format version (the header's "v1" bumped to "v9").
+  std::string stale = valid_bytes;
+  const std::size_t v = stale.find("v1");
+  ASSERT_NE(v, std::string::npos);
+  stale.replace(v, 2, "v9");
+  write_file(broken.path + "/00000000000000bb.bbsc", stale);
+  // (4) Valid bytes under a name the entry's key does not hash to.
+  write_file(broken.path + "/00000000000000cc.bbsc", valid_bytes);
+  // A non-.bbsc file is not a cache entry at all: ignored, not an error.
+  write_file(broken.path + "/README.txt", "not a cache entry");
+
+  StructureCache cache(broken.path);
+  EXPECT_EQ(cache.load(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  const telemetry::StructureCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries_loaded, 0u);
+  EXPECT_EQ(stats.load_errors, 4u);
+}
+
+TEST(TelemetryCache, MissingDirectoryIsCreatedAndLoadsEmpty) {
+  ScopedTempDir dir;
+  const std::string nested = dir.path + "/nested/cache";
+  {
+    StructureCache cache(nested);
+    EXPECT_EQ(cache.load(), 0u);
+    EXPECT_EQ(cache.stats().load_errors, 0u);
+    // And it is usable: a store round-trips through the new directory.
+    cache.store(minimal_entry("k"));
+    cache.flush();
+  }
+  StructureCache reread(nested);
+  EXPECT_EQ(reread.load(), 1u);
+  EXPECT_TRUE(reread.contains("k"));
+}
+
+}  // namespace
+}  // namespace bbs
