@@ -17,6 +17,7 @@
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -36,6 +37,7 @@
 #include "bbs/solver/kkt_system.hpp"
 #include "bbs/solver/nt_scaling.hpp"
 #include "bbs/telemetry/structure_cache.hpp"
+#include "bbs/telemetry/trace.hpp"
 
 namespace {
 
@@ -374,6 +376,51 @@ void BM_ServiceThroughput(benchmark::State& state) {
 BENCHMARK(BM_ServiceThroughput)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// BM_ServiceThroughput with every request traced (spans only, no per-IPM
+/// introspection), exercising the full per-request tracing cost: one Trace
+/// allocation, an event per pipeline hop, close, and the ring push. Compare
+/// items/s against BM_ServiceThroughput at the same worker count — the
+/// acceptance bound for span-level tracing is a <5% throughput drop.
+void BM_ServiceThroughputTraced(benchmark::State& state) {
+  bbs::service::DispatcherOptions options;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  options.queue_capacity = 64;
+  bbs::service::Dispatcher dispatcher(options);
+  bbs::telemetry::TraceRing ring(256);
+  const std::vector<bbs::api::Request> stream = mixed_service_stream();
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::atomic<int> remaining{static_cast<int>(stream.size())};
+    std::promise<void> all_done;
+    for (const bbs::api::Request& request : stream) {
+      // The same hops the JSONL session stamps for a traced request.
+      auto trace = std::make_shared<bbs::telemetry::Trace>(
+          bbs::telemetry::Trace::next_id(), request.kind());
+      trace->add_event("accept");
+      trace->add_event("quota", "ok");
+      dispatcher.submit(
+          request,
+          [&, trace](bbs::api::Response response) {
+            if (!response.ok()) failed.store(true);
+            trace->close(response.ok() ? "ok" : "error");
+            ring.push(trace);
+            if (remaining.fetch_sub(1) == 1) all_done.set_value();
+          },
+          nullptr, trace);
+    }
+    all_done.get_future().wait();
+  }
+  dispatcher.stop();
+  if (failed.load()) state.SkipWithError("service request failed");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ServiceThroughputTraced)
+    ->Arg(1)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -45,6 +45,7 @@
 #include "bbs/service/socket_server.hpp"
 #include "bbs/telemetry/service_telemetry.hpp"
 #include "bbs/telemetry/structure_cache.hpp"
+#include "bbs/telemetry/trace.hpp"
 
 namespace {
 
@@ -52,15 +53,19 @@ constexpr const char kUsage[] =
     "usage: %s [--workers N] [--queue-depth N] [--listen ENDPOINT]\n"
     "          [--max-in-flight N] [--rps N] [--write-deadline-ms N]\n"
     "          [--default-deadline-ms N] [--queue-high-water N]\n"
-    "          [--outbox-depth N] [--cache-dir PATH] [--no-steal] [--help]\n"
+    "          [--outbox-depth N] [--cache-dir PATH] [--cache-max-entries N]\n"
+    "          [--cache-max-bytes N] [--trace-slow-ms N] [--trace-log PATH]\n"
+    "          [--no-steal] [--help]\n"
     "\n"
     "Long-lived budget/buffer solver service over the JSONL request\n"
     "contract of solve_cli --batch (see bbs/io/api_io.hpp). Requests are\n"
     "sharded by problem structure across worker threads with warm session\n"
     "pools; a {\"kind\":\"stats\"} input line is answered with a ServiceStats\n"
-    "snapshot instead of a solve, and {\"kind\":\"metrics\"} with a\n"
-    "Prometheus-style text exposition (latency percentiles per request kind\n"
-    "and stage, structure-cache counters).\n"
+    "snapshot instead of a solve, {\"kind\":\"metrics\"} with a Prometheus\n"
+    "text exposition (native latency histograms per request kind and stage,\n"
+    "structure-cache counters), and {\"kind\":\"trace\"} with recent\n"
+    "completed request traces (requests opt in via \"options\":{\"trace\":\n"
+    "true}; add \"trace_ipm\":true for per-IPM-iteration events).\n"
     "\n"
     "options:\n"
     "  --workers N      solver worker threads, each one engine (default:\n"
@@ -93,6 +98,19 @@ constexpr const char kUsage[] =
     "                   pools, so a restarted daemon serves known structures\n"
     "                   with zero symbolic factorisations; corrupt or stale\n"
     "                   entries are skipped and counted, never fatal\n"
+    "  --cache-max-entries N  bound on cache entries, in memory and on\n"
+    "                   disk; excess disk files are garbage-collected\n"
+    "                   oldest-mtime-first at startup and after every\n"
+    "                   write-behind save (default: 1024)\n"
+    "  --cache-max-bytes N  additional bound on the summed size of the\n"
+    "                   on-disk cache files, GC'd the same way (default:\n"
+    "                   unlimited)\n"
+    "  --trace-slow-ms N  threshold for the slow-request trace log: a\n"
+    "                   traced request slower than N ms end to end (or one\n"
+    "                   that ends in error) is appended to --trace-log\n"
+    "                   (default: 0 = errors only)\n"
+    "  --trace-log PATH append qualifying completed traces as JSONL to\n"
+    "                   PATH via a write-behind thread (default: off)\n"
     "  --no-steal       disable idle-worker work stealing (strict\n"
     "                   structure affinity)\n"
     "  --help           print this message and exit\n"
@@ -266,6 +284,19 @@ bool parse_size(const char* text, std::size_t& out) {
   return true;
 }
 
+bool parse_bytes(const char* text, std::uint64_t& out) {
+  // Like parse_size but with a byte-scale bound: cache budgets are
+  // legitimately gigabytes, far past the worker/queue sanity cap.
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (value > (1ULL << 50)) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
 bool parse_rate(const char* text, double& out) {
   // Non-negative decimal (fractional rates like 0.5/s are meaningful for
   // a token bucket); rejects negatives, inf/nan spellings and trailing
@@ -288,6 +319,10 @@ int main(int argc, char** argv) {
   bbs::service::SocketServerOptions server_options;
   std::string listen_spec;
   std::string cache_dir;
+  std::size_t cache_max_entries = 1024;
+  std::uint64_t cache_max_bytes = 0;
+  std::string trace_log_path;
+  std::size_t trace_slow_ms = 0;
   std::size_t write_deadline_ms = 2000;
   std::size_t outbox_depth = 256;
   std::size_t max_in_flight = 0;
@@ -334,6 +369,32 @@ int main(int argc, char** argv) {
         return 1;
       }
       cache_dir = v;
+    } else if (std::strcmp(arg, "--cache-max-entries") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, cache_max_entries) ||
+          cache_max_entries == 0) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--cache-max-bytes") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_bytes(v, cache_max_bytes)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--trace-slow-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr || !parse_size(v, trace_slow_ms)) {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(arg, "--trace-log") == 0) {
+      const char* v = value();
+      if (v == nullptr || v[0] == '\0') {
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+      }
+      trace_log_path = v;
     } else if (std::strcmp(arg, "--max-in-flight") == 0) {
       const char* v = value();
       if (v == nullptr || !parse_size(v, max_in_flight)) {
@@ -419,19 +480,35 @@ int main(int argc, char** argv) {
     bbs::telemetry::ServiceTelemetry telemetry;
     std::unique_ptr<bbs::telemetry::StructureCache> cache;
     if (!cache_dir.empty()) {
-      cache = std::make_unique<bbs::telemetry::StructureCache>(cache_dir);
+      cache = std::make_unique<bbs::telemetry::StructureCache>(
+          cache_dir, cache_max_entries, cache_max_bytes);
       const std::size_t loaded = cache->load();
       const bbs::telemetry::StructureCacheStats cache_stats = cache->stats();
       std::fprintf(stderr,
                    "bbs_serve: structure cache '%s': %zu entries loaded, "
-                   "%llu invalid entries skipped\n",
+                   "%llu invalid entries skipped, %llu evicted by GC\n",
                    cache_dir.c_str(), loaded,
-                   static_cast<unsigned long long>(cache_stats.load_errors));
+                   static_cast<unsigned long long>(cache_stats.load_errors),
+                   static_cast<unsigned long long>(cache_stats.evictions));
+    }
+    // The trace ring and slow/error log follow the same lifetime rule as
+    // the cache: declared before the dispatcher so worker completions can
+    // still publish traces while the dispatcher drains.
+    bbs::telemetry::TraceRing trace_ring;
+    std::unique_ptr<bbs::telemetry::TraceLog> trace_log;
+    if (!trace_log_path.empty()) {
+      trace_log = std::make_unique<bbs::telemetry::TraceLog>(
+          trace_log_path, static_cast<double>(trace_slow_ms));
+      std::fprintf(stderr,
+                   "bbs_serve: trace log '%s' (slow threshold %zu ms)\n",
+                   trace_log_path.c_str(), trace_slow_ms);
     }
     options.telemetry = &telemetry;
     options.engine.structure_cache = cache.get();
     server_options.telemetry = &telemetry;
     server_options.structure_cache = cache.get();
+    server_options.trace_ring = &trace_ring;
+    server_options.trace_log = trace_log.get();
 
     bbs::service::Dispatcher dispatcher(options);
     if (cache != nullptr) {
@@ -452,6 +529,8 @@ int main(int argc, char** argv) {
     session_options.runtime_config = runtime_config;
     session_options.telemetry = &telemetry;
     session_options.structure_cache = cache.get();
+    session_options.trace_ring = &trace_ring;
+    session_options.trace_log = trace_log.get();
     return serve_stdio(dispatcher, std::move(session_options));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbs_serve: %s\n", e.what());

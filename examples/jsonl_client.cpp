@@ -147,6 +147,67 @@ void print_control_reply(const std::string& reply, bool metrics) {
   }
 }
 
+/// Pretty-prints a {"kind":"trace"} reply: one block per trace, one line
+/// per event with its timestamp relative to trace creation, span durations
+/// in brackets, and any numeric attributes appended as key=value pairs.
+/// Falls back to the raw line when the envelope does not parse.
+void print_trace_reply(const std::string& reply) {
+  using bbs::io::JsonObject;
+  using bbs::io::JsonValue;
+  try {
+    const JsonValue doc = bbs::io::parse_json(reply);
+    const JsonObject& result = doc.as_object().at("result").as_object();
+    const auto& traces = result.at("traces").as_array();
+    if (traces.empty()) {
+      std::printf("no matching traces (%g of %g ring slots recorded)\n",
+                  result.contains("recorded")
+                      ? result.at("recorded").as_number()
+                      : 0.0,
+                  result.contains("capacity")
+                      ? result.at("capacity").as_number()
+                      : 0.0);
+      return;
+    }
+    for (const JsonValue& trace_value : traces) {
+      const JsonObject& trace = trace_value.as_object();
+      std::printf("trace %s kind=%s status=%s wall_ms=%.3f",
+                  trace.at("id").as_string().c_str(),
+                  trace.at("kind").as_string().c_str(),
+                  trace.at("status").as_string().c_str(),
+                  trace.at("wall_ms").as_number());
+      if (trace.contains("error_code")) {
+        std::printf(" error_code=%s",
+                    trace.at("error_code").as_string().c_str());
+      }
+      std::fputc('\n', stdout);
+      for (const JsonValue& event_value : trace.at("events").as_array()) {
+        const JsonObject& event = event_value.as_object();
+        std::printf("  +%9.3f ms  %s", event.at("t_ms").as_number(),
+                    event.at("name").as_string().c_str());
+        if (event.contains("dur_ms")) {
+          std::printf(" [%.3f ms]", event.at("dur_ms").as_number());
+        }
+        if (event.contains("detail")) {
+          std::printf("  %s", event.at("detail").as_string().c_str());
+        }
+        for (const auto& [key, value] : event.entries()) {
+          if (key == "name" || key == "t_ms" || key == "dur_ms" ||
+              key == "detail") {
+            continue;
+          }
+          if (value.is_number()) {
+            std::printf("  %s=%g", key.c_str(), value.as_number());
+          }
+        }
+        std::fputc('\n', stdout);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fputs(reply.c_str(), stdout);
+    if (!reply.empty() && reply.back() != '\n') std::fputc('\n', stdout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +216,8 @@ int main(int argc, char** argv) {
   std::chrono::milliseconds timeout{0};
   bool stats_probe = false;
   bool metrics_probe = false;
+  bool trace_probe = false;
+  const char* trace_id = nullptr;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -162,6 +225,14 @@ int main(int argc, char** argv) {
       stats_probe = true;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics_probe = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace_probe = true;
+      // Optional ID operand: the next arg is a trace id only when another
+      // arg (the endpoint) still follows it — `--trace <endpoint>` keeps
+      // working unambiguously.
+      if (i + 2 < argc && argv[i + 1][0] != '-') {
+        trace_id = argv[++i];
+      }
     } else if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long v = std::strtol(argv[++i], &end, 10);
@@ -189,11 +260,12 @@ int main(int argc, char** argv) {
     }
   }
   if (usage_error || endpoint_spec == nullptr ||
-      (stats_probe && metrics_probe)) {
+      (stats_probe ? 1 : 0) + (metrics_probe ? 1 : 0) + (trace_probe ? 1 : 0) >
+          1) {
     std::fprintf(
         stderr,
         "usage: %s [--connect-retries N] [--timeout SECONDS]\n"
-        "          [--stats | --metrics]\n"
+        "          [--stats | --metrics | --trace [ID]]\n"
         "          <unix:/path | /path | tcp://host:port>\n"
         "streams stdin to a bbs_serve socket endpoint, half-closes,\n"
         "and prints the response stream to stdout\n"
@@ -206,7 +278,11 @@ int main(int argc, char** argv) {
         "                       line (stdin is ignored) and pretty-print\n"
         "                       the JSON snapshot\n"
         "  --metrics            send {\"kind\":\"metrics\"} and print the\n"
-        "                       raw Prometheus text exposition\n",
+        "                       raw Prometheus text exposition\n"
+        "  --trace [ID]         send {\"kind\":\"trace\"} and pretty-print\n"
+        "                       the recorded request traces (one line per\n"
+        "                       span/event, timestamps relative to trace\n"
+        "                       start); with ID, only that trace\n",
         argv[0]);
     return 1;
   }
@@ -221,11 +297,24 @@ int main(int argc, char** argv) {
   if (fd < 0) return fail(std::string("connect '") + endpoint_spec + "'");
 
   char buf[4096];
-  if (stats_probe || metrics_probe) {
+  if (stats_probe || metrics_probe || trace_probe) {
     // Probe mode: one control line instead of the stdin stream, then the
     // usual half-close / drain dance on the single-line reply.
-    const std::string line =
-        stats_probe ? "{\"kind\":\"stats\"}\n" : "{\"kind\":\"metrics\"}\n";
+    std::string line;
+    if (stats_probe) {
+      line = "{\"kind\":\"stats\"}\n";
+    } else if (metrics_probe) {
+      line = "{\"kind\":\"metrics\"}\n";
+    } else {
+      bbs::io::JsonObject request;
+      request["kind"] = bbs::io::JsonValue(std::string("trace"));
+      if (trace_id != nullptr) {
+        request["trace_id"] = bbs::io::JsonValue(std::string(trace_id));
+      }
+      line = bbs::io::write_json_compact(
+                 bbs::io::JsonValue(std::move(request))) +
+             "\n";
+    }
     if (!send_all(fd, line.data(), line.size())) {
       ::close(fd);
       return fail("send");
@@ -246,7 +335,11 @@ int main(int argc, char** argv) {
       reply.append(buf, static_cast<std::size_t>(n));
     }
     ::close(fd);
-    print_control_reply(reply, metrics_probe);
+    if (trace_probe) {
+      print_trace_reply(reply);
+    } else {
+      print_control_reply(reply, metrics_probe);
+    }
     std::fflush(stdout);
     return 0;
   }

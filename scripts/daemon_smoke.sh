@@ -22,7 +22,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-normalise() { sed -E 's/"(wall_ms|queue_ms|solve_ms)":[0-9.eE+-]+/"\1":0/g' "$1"; }
+# One shared normaliser for every response comparison: zero the wall-clock
+# diagnostics (the only nondeterministic numeric fields) and blank the
+# per-request trace id. normalise_warm (restart leg) layers its extra
+# session-provenance rules on top of the same base expression.
+BASE_NORMALISE=(-E
+  -e 's/"(wall_ms|queue_ms|solve_ms)":[0-9.eE+-]+/"\1":0/g'
+  -e 's/"trace_id":"[0-9a-f]+"/"trace_id":"x"/g')
+normalise() { sed "${BASE_NORMALISE[@]}" "$1"; }
 
 "$SOLVE_CLI" --batch "$BATCH" > "$workdir/cli.jsonl"
 normalise "$workdir/cli.jsonl" > "$workdir/cli.norm"
@@ -135,16 +142,19 @@ if grep -q '"symbolic_factorisations":[1-9]' "$workdir/warm.jsonl"; then
   grep -o '"symbolic_factorisations":[0-9]*' "$workdir/warm.jsonl" | sort | uniq -c >&2
   exit 1
 fi
-grep -q 'bbs_request_latency_ms' "$workdir/warm.jsonl"
-grep -q 'quantile=' "$workdir/warm.jsonl"
+# Native Prometheus histogram exposition: the declared TYPE plus
+# cumulative le-bucket samples (including the mandatory +Inf edge).
+grep -q 'TYPE bbs_request_latency_ms histogram' "$workdir/warm.jsonl"
+grep -q 'bbs_request_latency_ms_bucket' "$workdir/warm.jsonl"
+grep -q 'le=\\"+Inf\\"' "$workdir/warm.jsonl"
 # The warm batch answers must still agree with the CLI (timing and
 # session-provenance diagnostics aside: a pre-warmed session legitimately
 # reports session_reused=true and zero symbolic work).
 head -n "$(wc -l < "$BATCH")" "$workdir/warm.jsonl" > "$workdir/warm_batch.jsonl"
 normalise_warm() {
-  sed -E -e 's/"(wall_ms|queue_ms|solve_ms)":[0-9.eE+-]+/"\1":0/g' \
-         -e 's/"session_reused":(true|false)/"session_reused":x/g' \
-         -e 's/"symbolic_factorisations":[0-9]+/"symbolic_factorisations":x/g' "$1"
+  sed "${BASE_NORMALISE[@]}" \
+      -e 's/"session_reused":(true|false)/"session_reused":x/g' \
+      -e 's/"symbolic_factorisations":[0-9]+/"symbolic_factorisations":x/g' "$1"
 }
 normalise_warm "$workdir/cli.jsonl" > "$workdir/cli.warmnorm"
 normalise_warm "$workdir/warm_batch.jsonl" > "$workdir/warm_batch.norm"
@@ -153,6 +163,36 @@ if ! diff -u "$workdir/cli.warmnorm" "$workdir/warm_batch.norm"; then
   exit 1
 fi
 echo "daemon_smoke: restart OK (cache written, pools pre-warmed, 0 symbolic factorisations, metrics exposition served)"
+
+# --- trace leg (stdio): end-to-end spans for a slow traced request --------
+# A request that opts into tracing, slowed past the 1ms slow threshold by
+# an injected 100ms worker stall (counted as queue wait), must echo a
+# trace id in its response line, be retrievable from the {"kind":"trace"}
+# ring with queue/solve/write spans, and land in the slow-request log.
+{
+  head -n 1 "$BATCH" \
+    | sed 's/"kind":"solve"/"kind":"solve","options":{"trace":true}/'
+  printf '{"kind":"trace","id":"trace-probe","min_duration_ms":50}\n'
+} > "$workdir/trace_input.jsonl"
+BBS_FAILPOINTS='worker.delay_ms=100' \
+  "$BBS_SERVE" --workers 1 --no-steal \
+  --trace-slow-ms 1 --trace-log "$workdir/trace.log" \
+  < "$workdir/trace_input.jsonl" > "$workdir/trace.jsonl"
+trace_id=$(grep -o '"trace_id":"[0-9a-f]*"' "$workdir/trace.jsonl" \
+  | head -n1 | cut -d'"' -f4)
+if [ -z "$trace_id" ]; then
+  echo "daemon_smoke: trace leg: response carries no trace_id" >&2
+  cat "$workdir/trace.jsonl" >&2
+  exit 1
+fi
+# The ring reply must return that trace with all three pipeline spans.
+grep -q "\"id\":\"$trace_id\"" "$workdir/trace.jsonl"
+grep -q '"name":"queue"' "$workdir/trace.jsonl"
+grep -q '"name":"solve"' "$workdir/trace.jsonl"
+grep -q '"name":"write"' "$workdir/trace.jsonl"
+# The write-behind slow log drained at shutdown and holds the same trace.
+grep -q "$trace_id" "$workdir/trace.log"
+echo "daemon_smoke: trace OK (trace_id echoed, spans served from the ring, slow log written)"
 
 [ -n "$JSONL_CLIENT" ] || exit 0
 

@@ -290,6 +290,7 @@ void session_payload_from_json(const io::JsonValue& payload,
   ipm.cancel = nullptr;
   ipm.fail_at_iteration = -1;
   ipm.fail_only_first_attempt = false;
+  ipm.trace_sink = nullptr;
 
   base.mapping.rounding_eps = object.at("rounding_eps").as_number();
   if (object.contains("fixed_budgets")) {
@@ -441,6 +442,7 @@ Response Engine::run(const Request& request, Deadline deadline,
   control_.fail_at_iteration = request.options.ipm.fail_at_iteration;
   control_.fail_only_first_attempt =
       request.options.ipm.fail_only_first_attempt;
+  control_.trace_sink = request.options.ipm.trace_sink;
 
   Response response;
   const auto fail = [&](ErrorCode code, const char* what) {
@@ -582,6 +584,7 @@ Response Engine::run_checked(const Request& request) {
   base.mapping.ipm.cancel = nullptr;
   base.mapping.ipm.fail_at_iteration = -1;
   base.mapping.ipm.fail_only_first_attempt = false;
+  base.mapping.ipm.trace_sink = nullptr;
 
   Response response;
   Diagnostics& diag = response.diagnostics;

@@ -40,6 +40,16 @@ struct RequestOptions {
   /// session pool key: requests that differ only in deadline_ms share a
   /// pooled session.
   double deadline_ms = 0.0;
+  /// Request tracing opt-in: the service allocates a telemetry::Trace for
+  /// this request, stamps pipeline spans (queue/solve/write) on it, and
+  /// echoes the trace id in Diagnostics.trace_id. Per-execution state like
+  /// deadline_ms — excluded from the session pool key. Default off so the
+  /// hot path stays allocation-free.
+  bool trace = false;
+  /// Additionally emit per-IPM-iteration and recovery-ladder events into
+  /// the trace (implies trace). Separate flag because iteration events are
+  /// the bulk of a trace's cost.
+  bool trace_ipm = false;
 };
 
 /// compute_budgets_and_buffers: the paper's joint budget/buffer solve.

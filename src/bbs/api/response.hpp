@@ -88,6 +88,10 @@ struct Diagnostics {
   /// request of the same structure (program build + symbolic analysis were
   /// amortised away entirely).
   bool session_reused = false;
+  /// Trace id echoed back to a traced request (RequestOptions::trace);
+  /// empty — and absent from the JSON — when tracing was off. The id keys
+  /// the daemon's {"kind":"trace"} control line and the slow-request log.
+  std::string trace_id;
 };
 
 struct SolvePayload {

@@ -63,6 +63,9 @@ struct SolveControl {
   /// recovery ladder can be observed recovering (ipm.fail_once); false
   /// keeps the classic re-firing fault (ipm.fail_at) that exhausts it.
   bool fail_only_first_attempt = false;
+  /// Per-execution trace sink for IPM iteration/ladder events (request
+  /// tracing); not owned, must outlive the request. nullptr = no events.
+  solver::IpmTraceSink* trace_sink = nullptr;
 };
 
 /// Which snapshot seeded a solve (see SolverSession::seed_stats()).

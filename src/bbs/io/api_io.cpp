@@ -316,6 +316,10 @@ JsonValue options_to_json_value(const api::RequestOptions& options) {
   o["recovery_attempts"] =
       JsonValue(static_cast<double>(options.ipm.recovery_attempts));
   if (options.deadline_ms > 0.0) o["deadline_ms"] = options.deadline_ms;
+  // Trace opt-ins serialise only when set, like deadline_ms — untraced
+  // requests keep their byte-identical wire shape.
+  if (options.trace) o["trace"] = options.trace;
+  if (options.trace_ipm) o["trace_ipm"] = options.trace_ipm;
   return JsonValue(std::move(o));
 }
 
@@ -332,6 +336,9 @@ api::RequestOptions options_from_json_value(const JsonValue& doc) {
   options.ipm.recovery_attempts = static_cast<int>(get_index(
       o, "recovery_attempts", "options", options.ipm.recovery_attempts));
   options.deadline_ms = get_number(o, "deadline_ms", options.deadline_ms);
+  options.trace = get_bool(o, "trace", options.trace);
+  options.trace_ipm = get_bool(o, "trace_ipm", options.trace_ipm);
+  if (options.trace_ipm) options.trace = true;
   return options;
 }
 
@@ -527,6 +534,8 @@ JsonValue response_to_json_value(const api::Response& response) {
   d["symbolic_factorisations"] =
       JsonValue(static_cast<double>(diag.symbolic_factorisations));
   d["session_reused"] = diag.session_reused;
+  // Only traced requests carry an id — untraced responses stay byte-stable.
+  if (!diag.trace_id.empty()) d["trace_id"] = diag.trace_id;
   root["diagnostics"] = JsonValue(std::move(d));
   return JsonValue(std::move(root));
 }
@@ -605,6 +614,9 @@ api::Response response_from_json_value(const JsonValue& doc) {
       static_cast<long>(get_number(d, "symbolic_factorisations", 0.0));
   response.diagnostics.session_reused =
       get_bool(d, "session_reused", false);
+  if (d.contains("trace_id")) {
+    response.diagnostics.trace_id = d.at("trace_id").as_string();
+  }
   return response;
 }
 

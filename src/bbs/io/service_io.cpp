@@ -13,6 +13,8 @@ const char* to_string(ControlKind kind) {
       return "metrics";
     case ControlKind::kSetConfig:
       return "set_config";
+    case ControlKind::kTrace:
+      return "trace";
   }
   return "?";
 }
@@ -31,6 +33,8 @@ std::optional<ControlKind> control_kind(const JsonValue& doc) {
     classified = ControlKind::kMetrics;
   } else if (kind == "set_config") {
     classified = ControlKind::kSetConfig;
+  } else if (kind == "trace") {
+    classified = ControlKind::kTrace;
   }
   if (!classified) return std::nullopt;
 

@@ -9,6 +9,10 @@
 //   {"kind":"metrics"}                // Prometheus-style text exposition
 //   {"kind":"set_config","max_in_flight":8,"default_deadline_ms":500}
 //                                     // hot-reload runtime limits
+//   {"kind":"trace"}                  // completed request traces, with
+//   {"kind":"trace","trace_id":"...","request_kind":"solve",
+//    "min_duration_ms":50,"errors_only":true,"limit":8}   // optional filters
+//                                     // ("id" stays the correlation echo)
 //
 // Control messages deliberately reuse the request envelope (the same "kind"
 // discriminator and optional "id"/"schema_version" fields), so one framing
@@ -29,6 +33,7 @@ enum class ControlKind {
   kStats,      ///< snapshot of the daemon's per-worker ServiceStats
   kMetrics,    ///< Prometheus-style text exposition (wrapped in JSON)
   kSetConfig,  ///< hot-reload of runtime limits (quotas, deadlines, ...)
+  kTrace,      ///< completed request traces from the trace ring buffer
 };
 
 const char* to_string(ControlKind kind);

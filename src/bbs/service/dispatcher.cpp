@@ -10,6 +10,7 @@
 #include "bbs/service/fault_injector.hpp"
 #include "bbs/telemetry/service_telemetry.hpp"
 #include "bbs/telemetry/structure_cache.hpp"
+#include "bbs/telemetry/trace.hpp"
 
 namespace bbs::service {
 
@@ -31,6 +32,8 @@ struct Task {
   /// structure key.
   telemetry::RequestKind kind = telemetry::RequestKind::kOther;
   std::uint64_t key_hash = 0;
+  /// Trace of a traced request (null for the allocation-free hot path).
+  std::shared_ptr<telemetry::Trace> trace;
 };
 
 /// The error response of a task that never reached an engine (shed while
@@ -179,6 +182,13 @@ void Dispatcher::worker_loop(Worker& worker) {
       telemetry->histogram(task.kind, telemetry::Stage::kQueue)
           .record(queue_ms);
     }
+    if (task.trace != nullptr) {
+      // The queue span closes at dequeue whether the task runs or is shed.
+      task.trace->add_span(
+          "queue", queue_ms,
+          {{"worker", static_cast<double>(worker.index)},
+           {"stolen", was_steal ? 1.0 : 0.0}});
+    }
     if (was_cancelled || queue_expired) {
       {
         std::lock_guard<std::mutex> lock(worker.stats_mutex);
@@ -197,13 +207,34 @@ void Dispatcher::worker_loop(Worker& worker) {
                     task, api::ErrorCode::kDeadlineExceeded,
                     "deadline expired while the request was queued");
       response.diagnostics.queue_ms = queue_ms;
+      if (task.trace != nullptr) {
+        // Terminal event: the trace never reaches an engine. The session
+        // closes the trace after the write stage.
+        task.trace->add_event("shed",
+                              was_cancelled ? "cancelled" : "deadline");
+        response.diagnostics.trace_id = task.trace->id();
+      }
       complete(task, std::move(response));
       return;
     }
 
+    if (task.trace != nullptr && task.request.options.trace_ipm) {
+      // Per-execution sink, cleared again by the engine before the options
+      // participate in any pool key (same discipline as deadline/cancel).
+      task.request.options.ipm.trace_sink = task.trace.get();
+    }
     api::Response response =
         worker.engine.run(task.request, task.deadline, task.cancel);
     response.diagnostics.queue_ms = queue_ms;
+    if (task.trace != nullptr) {
+      task.trace->add_span(
+          "solve", response.diagnostics.solve_ms,
+          {{"pool_hit", response.diagnostics.session_reused ? 1.0 : 0.0},
+           {"ipm_iterations",
+            static_cast<double>(response.diagnostics.ipm_iterations)},
+           {"solves", static_cast<double>(response.diagnostics.solves)}});
+      response.diagnostics.trace_id = task.trace->id();
+    }
     if (telemetry != nullptr) {
       telemetry->histogram(task.kind, telemetry::Stage::kSolve)
           .record(response.diagnostics.solve_ms);
@@ -274,7 +305,8 @@ std::size_t Dispatcher::queue_depth(std::size_t worker) const {
 }
 
 bool Dispatcher::submit(api::Request request, Completion done,
-                        std::shared_ptr<solver::CancelToken> cancel) {
+                        std::shared_ptr<solver::CancelToken> cancel,
+                        std::shared_ptr<telemetry::Trace> trace) {
   Task task;
   if (request.options.deadline_ms > 0.0) {
     task.deadline =
@@ -290,6 +322,15 @@ bool Dispatcher::submit(api::Request request, Completion done,
   task.kind = telemetry::request_kind_from_string(request.kind());
   task.request = std::move(request);
   task.done = std::move(done);
+  task.trace = std::move(trace);
+  if (task.trace != nullptr) {
+    telemetry::TraceEvent event;
+    event.name = "enqueue";
+    event.t_ms = -1.0;  // stamp at push, not at TraceEvent construction
+    event.attrs = {{"worker", static_cast<double>(worker.index)},
+                   {"queue_depth", static_cast<double>(worker.queue.size())}};
+    task.trace->add_event(std::move(event));
+  }
   return worker.queue.push(std::move(task));
 }
 
@@ -318,8 +359,13 @@ void Dispatcher::stop(bool drain) {
   for (Task& task : dropped) {
     if (!task.done) continue;
     try {
-      task.done(shed_response(task, api::ErrorCode::kShuttingDown,
-                              "service is shutting down"));
+      api::Response response = shed_response(
+          task, api::ErrorCode::kShuttingDown, "service is shutting down");
+      if (task.trace != nullptr) {
+        task.trace->add_event("shed", "shutdown");
+        response.diagnostics.trace_id = task.trace->id();
+      }
+      task.done(std::move(response));
     } catch (...) {
       // Completions are documented not to throw (see worker_loop).
     }

@@ -32,6 +32,7 @@
 
 namespace bbs::telemetry {
 class ServiceTelemetry;
+class Trace;
 }  // namespace bbs::telemetry
 
 namespace bbs::service {
@@ -160,8 +161,15 @@ class Dispatcher {
   /// within one IPM iteration (ServiceStats::timed_out_mid_solve). The
   /// optional `cancel` token (typically per-connection, flipped when the
   /// client goes away) sheds or interrupts the task the same way.
+  /// The optional `trace` (a traced request's telemetry::Trace) rides the
+  /// task through the pipeline: submit stamps the enqueue hop (routed
+  /// worker + queue depth), the executing worker stamps dequeue/steal/shed
+  /// and the solve span, and — when the request opted into trace_ipm — the
+  /// engine emits per-IPM-iteration events into it. The completion's
+  /// response carries the trace id in diagnostics.trace_id.
   bool submit(api::Request request, Completion done,
-              std::shared_ptr<solver::CancelToken> cancel = nullptr);
+              std::shared_ptr<solver::CancelToken> cancel = nullptr,
+              std::shared_ptr<telemetry::Trace> trace = nullptr);
 
   /// The worker index `request` routes to (stable for the dispatcher's
   /// lifetime: a pure hash of the request's structure key).

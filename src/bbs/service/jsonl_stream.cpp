@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <istream>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "bbs/common/assert.hpp"
 #include "bbs/io/api_io.hpp"
@@ -103,6 +105,47 @@ JsonValue structures_to_json_value(
   return JsonValue(std::move(root));
 }
 
+/// Parses the optional filter fields of a {"kind":"trace"} control line.
+/// Strict like set_config: unknown keys and mistyped values throw, so a
+/// typoed filter is a parse error at the line's position instead of a
+/// silently unfiltered reply.
+telemetry::TraceFilter trace_filter_from_json(const JsonValue& doc) {
+  telemetry::TraceFilter filter;
+  for (const auto& [key, value] : doc.as_object().entries()) {
+    if (key == "kind" || key == "id" || key == "schema_version") continue;
+    if (key == "trace_id") {
+      if (!value.is_string()) {
+        throw ModelError("trace: trace_id must be a string");
+      }
+      filter.id = value.as_string();
+    } else if (key == "request_kind") {
+      if (!value.is_string()) {
+        throw ModelError("trace: request_kind must be a string");
+      }
+      filter.kind = value.as_string();
+    } else if (key == "min_duration_ms") {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        throw ModelError("trace: min_duration_ms must be a non-negative "
+                         "number");
+      }
+      filter.min_duration_ms = value.as_number();
+    } else if (key == "errors_only") {
+      if (!value.is_bool()) {
+        throw ModelError("trace: errors_only must be a boolean");
+      }
+      filter.errors_only = value.as_bool();
+    } else if (key == "limit") {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        throw ModelError("trace: limit must be a non-negative number");
+      }
+      filter.limit = static_cast<std::size_t>(value.as_number());
+    } else {
+      throw ModelError("trace: unknown key '" + key + "'");
+    }
+  }
+  return filter;
+}
+
 JsonValue cache_stats_to_json_value(const telemetry::StructureCache& cache) {
   const telemetry::StructureCacheStats stats = cache.stats();
   JsonObject o;
@@ -115,6 +158,7 @@ JsonValue cache_stats_to_json_value(const telemetry::StructureCache& cache) {
   o["prewarm_errors"] = JsonValue(static_cast<double>(stats.prewarm_errors));
   o["lookup_hits"] = JsonValue(static_cast<double>(stats.lookup_hits));
   o["lookup_misses"] = JsonValue(static_cast<double>(stats.lookup_misses));
+  o["evictions"] = JsonValue(static_cast<double>(stats.evictions));
   return JsonValue(std::move(o));
 }
 
@@ -362,35 +406,68 @@ std::string metrics_exposition(const ServiceStats& stats,
             static_cast<double>(cs.lookup_hits));
     counter(out, "bbs_cache_lookup_misses_total", "Cache lookup misses.",
             static_cast<double>(cs.lookup_misses));
+    counter(out, "bbs_cache_evictions_total",
+            "Cache files removed by the LRU-by-mtime disk GC.",
+            static_cast<double>(cs.evictions));
   }
 
   if (telemetry != nullptr) {
-    metric_header(out, "bbs_request_latency_ms",
-                  "summary",
+    // Native Prometheus histograms: the 106 log-linear buckets coarsened
+    // to octave granularity — one cumulative `le` edge per power of two
+    // (28 lines per series incl. the underflow edge and +Inf), fine enough
+    // for latency SLOs while the full kind×stage matrix stays a cheap
+    // scrape. The edges are a fixed function of the histogram layout, so
+    // every scrape sees identical bucket boundaries.
+    using Histogram = telemetry::LatencyHistogram;
+    metric_header(out, "bbs_request_latency_ms", "histogram",
                   "Request latency by kind and stage (milliseconds).");
-    static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+    std::vector<std::pair<std::string, double>> max_series;
     for (int k = 0; k < telemetry::kNumRequestKinds; ++k) {
       const auto kind = static_cast<telemetry::RequestKind>(k);
       for (int s = 0; s < telemetry::kNumStages; ++s) {
         const auto stage = static_cast<telemetry::Stage>(s);
-        const telemetry::LatencyHistogram::Snapshot snap =
+        const Histogram::Snapshot snap =
             telemetry->histogram(kind, stage).snapshot();
         if (snap.count == 0) continue;
         const std::string base = std::string("kind=\"") +
                                  telemetry::to_string(kind) + "\",stage=\"" +
                                  telemetry::to_string(stage) + "\"";
-        for (const double q : kQuantiles) {
-          char qbuf[16];
-          std::snprintf(qbuf, sizeof(qbuf), "%g", q);
-          metric_line(out, "bbs_request_latency_ms",
-                      base + ",quantile=\"" + qbuf + "\"",
-                      snap.percentile(q));
+        const auto bucket_line = [&](double upper_ms,
+                                     std::uint64_t cumulative) {
+          char le[32];
+          std::snprintf(le, sizeof(le), "%.17g", upper_ms);
+          metric_line(out, "bbs_request_latency_ms_bucket",
+                      base + ",le=\"" + le + "\"",
+                      static_cast<double>(cumulative));
+        };
+        std::uint64_t cumulative = snap.buckets[0];
+        bucket_line(Histogram::bucket_upper_ms(0), cumulative);
+        for (int octave = 0; octave < Histogram::kOctaves; ++octave) {
+          const int first = 1 + octave * Histogram::kSubBuckets;
+          for (int sub = 0; sub < Histogram::kSubBuckets; ++sub) {
+            cumulative += snap.buckets[static_cast<std::size_t>(first + sub)];
+          }
+          bucket_line(
+              Histogram::bucket_upper_ms(first + Histogram::kSubBuckets - 1),
+              cumulative);
         }
+        cumulative += snap.buckets[Histogram::kBuckets - 1];
+        metric_line(out, "bbs_request_latency_ms_bucket",
+                    base + ",le=\"+Inf\"", static_cast<double>(cumulative));
         metric_line(out, "bbs_request_latency_ms_sum", base, snap.sum_ms);
         metric_line(out, "bbs_request_latency_ms_count", base,
                     static_cast<double>(snap.count));
-        metric_line(out, "bbs_request_latency_ms_max", base, snap.max_ms);
+        max_series.emplace_back(base, snap.max_ms);
       }
+    }
+    // Max is not a histogram suffix, so it lives in its own gauge family
+    // (renamed from bbs_request_latency_ms_max, which would collide with
+    // the histogram's reserved suffixes).
+    metric_header(out, "bbs_request_latency_max_ms", "gauge",
+                  "Largest latency observed by kind and stage "
+                  "(milliseconds).");
+    for (const auto& [labels, max_ms] : max_series) {
+      metric_line(out, "bbs_request_latency_max_ms", labels, max_ms);
     }
 
     metric_header(out, "bbs_structure_requests_total", "counter",
@@ -439,9 +516,11 @@ void JsonlSession::submit_line(const std::string& line) {
   // One error-response path: every rejection of this line (parse, quota,
   // overload, shutdown) still yields exactly one response line at its
   // position, with a machine-readable error_code.
-  const auto reject = [this, index](std::string id, std::string kind,
-                                    api::ErrorCode code, std::string message,
-                                    bool quota, bool overload) {
+  const auto reject = [this, index](
+                          std::string id, std::string kind,
+                          api::ErrorCode code, std::string message,
+                          bool quota, bool overload,
+                          std::shared_ptr<telemetry::Trace> trace = nullptr) {
     api::Response r;
     r.id = std::move(id);
     r.kind = std::move(kind);
@@ -452,6 +531,13 @@ void JsonlSession::submit_line(const std::string& line) {
     entry.is_quota_rejection = quota;
     entry.is_overload_rejection = overload;
     entry.status = r.status;
+    if (trace != nullptr) {
+      // A rejected traced request still closes its trace: the rejection is
+      // exactly the kind of terminal event worth retrieving later.
+      r.diagnostics.trace_id = trace->id();
+      entry.trace_error_code = api::to_string(code);
+      entry.trace = std::move(trace);
+    }
     entry.line = io::write_json_compact(io::response_to_json_value(r));
     deliver(index, std::move(entry));
   };
@@ -482,13 +568,25 @@ void JsonlSession::submit_line(const std::string& line) {
         deliver(index, std::move(entry));
         return;
       }
-      // Stats and metrics resolve at the emission frontier (after every
-      // earlier line of this connection has been answered), so the
+      if (*control == io::ControlKind::kTrace &&
+          options_.trace_ring == nullptr) {
+        throw ModelError(
+            "trace is not supported on this connection (no trace ring "
+            "attached)");
+      }
+      // Stats, metrics and trace resolve at the emission frontier (after
+      // every earlier line of this connection has been answered), so the
       // snapshot they report is causally consistent with the stream
       // before them.
       Entry entry;
       entry.is_stats = *control == io::ControlKind::kStats;
       entry.is_metrics = *control == io::ControlKind::kMetrics;
+      entry.is_trace = *control == io::ControlKind::kTrace;
+      if (entry.is_trace) {
+        // Parsed now so a malformed filter is a parse error at this
+        // line's position, not a failure at the frontier.
+        entry.trace_filter = trace_filter_from_json(doc);
+      }
       entry.id = io::control_id(doc);
       entry.status = api::ResponseStatus::kOk;
       deliver(index, std::move(entry));
@@ -499,12 +597,23 @@ void JsonlSession::submit_line(const std::string& line) {
     // request without running it when the dispatcher is stopping.
     std::string id = request.id;
     std::string kind = request.kind();
+    // A traced request allocates its Trace at accept — the first stamped
+    // hop — but only when a ring exists to publish into; without one the
+    // request solves normally and the flag is a no-op.
+    std::shared_ptr<telemetry::Trace> trace;
+    if (request.options.trace && options_.trace_ring != nullptr) {
+      trace = std::make_shared<telemetry::Trace>(telemetry::Trace::next_id(),
+                                                 kind);
+      trace->add_event("accept");
+    }
     if (std::string denial = check_quota(); !denial.empty()) {
       // Over quota: answered immediately with a structured error instead
       // of being queued — the shared worker pool never sees the request.
       if (options_.on_quota_rejection) options_.on_quota_rejection();
+      if (trace != nullptr) trace->add_event("quota_rejected", denial);
       reject(std::move(id), std::move(kind), api::ErrorCode::kOverQuota,
-             std::move(denial), /*quota=*/true, /*overload=*/false);
+             std::move(denial), /*quota=*/true, /*overload=*/false,
+             std::move(trace));
       return;
     }
     if (options_.runtime_config) {
@@ -519,10 +628,11 @@ void JsonlSession::submit_line(const std::string& line) {
       if (high_water > 0 &&
           dispatcher_.queue_depth(dispatcher_.route(request)) >= high_water) {
         if (options_.on_overload_rejection) options_.on_overload_rejection();
+        if (trace != nullptr) trace->add_event("overload_rejected");
         reject(std::move(id), std::move(kind), api::ErrorCode::kOverloaded,
                "service overloaded: worker queue at high-water mark; retry "
                "after backoff",
-               /*quota=*/false, /*overload=*/true);
+               /*quota=*/false, /*overload=*/true, std::move(trace));
         return;
       }
       // Requests that carry no deadline of their own inherit the daemon
@@ -536,23 +646,32 @@ void JsonlSession::submit_line(const std::string& line) {
       }
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->add_event("quota", "ok");
     const telemetry::RequestKind telemetry_kind =
         telemetry::request_kind_from_string(kind);
     const bool accepted = dispatcher_.submit(
         std::move(request),
-        [this, index, telemetry_kind](api::Response r) {
+        [this, index, telemetry_kind, trace](api::Response r) {
           in_flight_.fetch_sub(1, std::memory_order_relaxed);
           Entry entry;
           entry.kind = telemetry_kind;
           entry.status = r.status;
+          if (trace != nullptr) {
+            if (r.error_code != api::ErrorCode::kNone) {
+              entry.trace_error_code = api::to_string(r.error_code);
+            }
+            entry.trace = trace;
+          }
           entry.line = io::write_json_compact(io::response_to_json_value(r));
           deliver(index, std::move(entry));
         },
-        cancel_token_);
+        cancel_token_, trace);
     if (!accepted) {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->add_event("shed", "shutdown");
       reject(std::move(id), std::move(kind), api::ErrorCode::kShuttingDown,
-             "service is shutting down", /*quota=*/false, /*overload=*/false);
+             "service is shutting down", /*quota=*/false, /*overload=*/false,
+             std::move(trace));
     }
   } catch (const std::exception& e) {
     // Identical to the solve_cli --batch contract: a line that does not
@@ -624,7 +743,39 @@ void JsonlSession::advance_locked() {
     Entry entry = std::move(it->second);
     pending_.erase(it);
     ++next_emit_;
-    if (entry.is_stats || entry.is_metrics) {
+    if (entry.is_trace) {
+      // Resolved at the frontier like stats/metrics: every earlier line of
+      // this connection has been emitted, so its trace (if it completed
+      // here) is already in the ring.
+      JsonArray traces;
+      if (options_.trace_ring != nullptr) {
+        for (const std::shared_ptr<const telemetry::Trace>& trace :
+             options_.trace_ring->collect(entry.trace_filter)) {
+          traces.push_back(trace->to_json_value());
+        }
+      }
+      JsonObject result;
+      result["traces"] = JsonValue(std::move(traces));
+      if (options_.trace_ring != nullptr) {
+        result["recorded"] = JsonValue(
+            static_cast<double>(options_.trace_ring->recorded()));
+        result["capacity"] = JsonValue(
+            static_cast<double>(options_.trace_ring->capacity()));
+      }
+      if (options_.trace_log != nullptr) {
+        const telemetry::TraceLog::Stats ls = options_.trace_log->stats();
+        JsonObject log;
+        log["path"] = JsonValue(options_.trace_log->path());
+        log["slow_ms"] = JsonValue(options_.trace_log->slow_ms());
+        log["logged"] = JsonValue(static_cast<double>(ls.logged));
+        log["write_errors"] =
+            JsonValue(static_cast<double>(ls.write_errors));
+        result["log"] = JsonValue(std::move(log));
+      }
+      const JsonValue envelope = io::control_response_envelope(
+          io::ControlKind::kTrace, entry.id, JsonValue(std::move(result)));
+      entry.line = io::write_json_compact(envelope);
+    } else if (entry.is_stats || entry.is_metrics) {
       ServiceStats stats = dispatcher_.stats();
       // The transport owns its counters (accepts, slow-client disconnects,
       // outbox depths); the hook folds them into the dispatcher snapshot.
@@ -680,18 +831,31 @@ void JsonlSession::advance_locked() {
       // The write stage covers the sink call: a real write-and-flush on
       // stdio connections, the outbox handoff (including any backpressure
       // wait on a full outbox) on socket connections.
-      if (options_.telemetry != nullptr) {
+      if (options_.telemetry != nullptr || entry.trace != nullptr) {
         const auto start = std::chrono::steady_clock::now();
         sink_(entry.line);
         const double write_ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
-        options_.telemetry->histogram(entry.kind, telemetry::Stage::kWrite)
-            .record(write_ms);
+        if (options_.telemetry != nullptr) {
+          options_.telemetry->histogram(entry.kind, telemetry::Stage::kWrite)
+              .record(write_ms);
+        }
+        if (entry.trace != nullptr) entry.trace->add_span("write", write_ms);
       } else {
         sink_(entry.line);
       }
+    }
+    if (entry.trace != nullptr) {
+      // The write span was the last hop: close the trace and publish it.
+      // Closing here (not in the dispatcher) keeps wall_ms covering the
+      // full pipeline including response emission.
+      entry.trace->close(api::to_string(entry.status),
+                         std::move(entry.trace_error_code));
+      std::shared_ptr<const telemetry::Trace> done = std::move(entry.trace);
+      if (options_.trace_ring != nullptr) options_.trace_ring->push(done);
+      if (options_.trace_log != nullptr) options_.trace_log->offer(done);
     }
   }
 }

@@ -31,6 +31,7 @@
 #include "bbs/service/dispatcher.hpp"
 #include "bbs/service/runtime_config.hpp"
 #include "bbs/telemetry/service_telemetry.hpp"
+#include "bbs/telemetry/trace.hpp"
 
 namespace bbs::telemetry {
 class StructureCache;
@@ -97,6 +98,16 @@ struct SessionOptions {
   /// Optional persistent structure cache (not owned) — its counters ride
   /// along in stats responses and the metrics exposition.
   telemetry::StructureCache* structure_cache = nullptr;
+  /// Optional trace ring (not owned; shared daemon-wide). When set, a
+  /// request line with options.trace allocates a telemetry::Trace that is
+  /// stamped at every pipeline hop and — once its response line has been
+  /// written — pushed here for retrieval via {"kind":"trace"}. Without it
+  /// trace requests still solve normally but no trace is recorded, and
+  /// {"kind":"trace"} control lines are answered with an error.
+  telemetry::TraceRing* trace_ring = nullptr;
+  /// Optional slow/error trace log (not owned). Every completed trace is
+  /// offered; the log keeps the ones that qualify (see TraceLog).
+  telemetry::TraceLog* trace_log = nullptr;
 };
 
 /// Serialises a ServiceStats snapshot into the "result" object of the stats
@@ -117,9 +128,10 @@ io::JsonValue apply_set_config(const io::JsonValue& doc, RuntimeConfig& config,
 
 /// Renders a ServiceStats snapshot (plus optional telemetry/cache state)
 /// as Prometheus text exposition format 0.0.4 — counters, gauges and
-/// per-(kind, stage) latency summaries with p50/p90/p99 quantiles. The
-/// {"kind":"metrics"} control response wraps this text in JSON to keep the
-/// JSONL framing. Null telemetry/cache simply omit their sections.
+/// per-(kind, stage) latency as native histograms (cumulative `le` buckets
+/// at octave granularity plus _sum/_count). The {"kind":"metrics"} control
+/// response wraps this text in JSON to keep the JSONL framing. Null
+/// telemetry/cache simply omit their sections.
 std::string metrics_exposition(const ServiceStats& stats,
                                const telemetry::ServiceTelemetry* telemetry,
                                const telemetry::StructureCache* cache);
@@ -161,14 +173,22 @@ class JsonlSession {
   struct Entry {
     bool is_stats = false;
     bool is_metrics = false;
+    bool is_trace = false;
     bool is_quota_rejection = false;
     bool is_overload_rejection = false;
     /// Request kind for the write-stage latency histogram (control lines
     /// and rejections record under kOther).
     telemetry::RequestKind kind = telemetry::RequestKind::kOther;
     std::string line;      ///< serialised response (requests)
-    std::string id;        ///< control-message id echo (stats/metrics)
+    std::string id;        ///< control-message id echo (stats/metrics/trace)
     api::ResponseStatus status = api::ResponseStatus::kError;
+    /// Parsed filter of a {"kind":"trace"} line (resolved at the frontier).
+    telemetry::TraceFilter trace_filter;
+    /// The traced request's trace: the write span is stamped around the
+    /// sink call, then the trace is closed and published (ring + log).
+    std::shared_ptr<telemetry::Trace> trace;
+    /// Machine-readable error code the trace closes with ("" when ok).
+    std::string trace_error_code;
   };
 
   void deliver(std::uint64_t index, Entry entry);

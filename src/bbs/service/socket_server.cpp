@@ -343,6 +343,8 @@ void SocketServer::handle_connection(Connection* connection) {
   session_options.runtime_config = options_.runtime_config;
   session_options.telemetry = options_.telemetry;
   session_options.structure_cache = options_.structure_cache;
+  session_options.trace_ring = options_.trace_ring;
+  session_options.trace_log = options_.trace_log;
   session_options.on_quota_rejection = [this] {
     quota_rejections_.fetch_add(1, std::memory_order_relaxed);
   };

@@ -69,6 +69,11 @@ struct SocketServerOptions {
   /// stats/metrics lines report them and write-stage latency is recorded.
   telemetry::ServiceTelemetry* telemetry = nullptr;
   telemetry::StructureCache* structure_cache = nullptr;
+  /// Optional trace ring + slow/error trace log (not owned; must outlive
+  /// the server) — handed to every connection's JsonlSession so traced
+  /// requests are recorded and {"kind":"trace"} lines can be served.
+  telemetry::TraceRing* trace_ring = nullptr;
+  telemetry::TraceLog* trace_log = nullptr;
 };
 
 class SocketServer {

@@ -170,6 +170,10 @@ SolveResult IpmSolver::solve(const ConicProblem& problem,
                    attempts >= 2 ? ", bumped regularisation + re-equilibrate"
                                  : "");
     }
+    if (options_.trace_sink != nullptr) {
+      options_.trace_sink->ipm_ladder_rung(attempts,
+                                           opts.static_regularisation);
+    }
     result = solve_attempt(problem, ws, opts);
     total_iterations += result.iterations;
   }
@@ -461,6 +465,10 @@ SolveResult IpmSolver::solve_attempt(const ConicProblem& problem,
     have_deadline = true;
   }
 
+  // Step length accepted on the previous iteration, reported to the trace
+  // sink at the next convergence test (the current step is unknown there).
+  double last_alpha = 0.0;
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // --- Cooperative interruption ------------------------------------------
     // Checked at iteration granularity: an expiry mid-iteration finishes
@@ -512,6 +520,9 @@ SolveResult IpmSolver::solve_attempt(const ConicProblem& problem,
                      "[ipm] it=%2d mu=%.3e tau=%.3e kappa=%.3e pres=%.3e "
                      "dres=%.3e gap=%.3e\n",
                      iter, mu, tau, kappa, pres, dres, gap);
+      }
+      if (options.trace_sink != nullptr) {
+        options.trace_sink->ipm_iteration(iter, mu, pres, dres, last_alpha);
       }
       if (pres <= options.feas_tol && dres <= options.feas_tol &&
           (rel_gap <= options.gap_tol || gap <= options.gap_tol)) {
@@ -706,6 +717,7 @@ SolveResult IpmSolver::solve_attempt(const ConicProblem& problem,
     linalg::axpy(alpha, dz, z);
     tau += alpha * dtau;
     kappa += alpha * dkappa;
+    last_alpha = alpha;
 
     if (!cone.is_interior(s) || !cone.is_interior(z) || tau <= 0.0 ||
         kappa <= 0.0) {

@@ -39,6 +39,25 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status);
 
+/// Observer interface for per-request solve introspection. The solver calls
+/// it from inside the iteration loop (same thread as solve()); an
+/// implementation must be cheap and must not re-enter the solver. Lives in
+/// the solver layer so upper layers (telemetry) can implement it without the
+/// solver depending on them.
+class IpmTraceSink {
+ public:
+  virtual ~IpmTraceSink() = default;
+  /// Once per IPM iteration, stamped at the convergence test: barrier
+  /// parameter, normalised primal/dual residuals, and the step length
+  /// *accepted on the previous iteration* (0 on the first — the current
+  /// iteration's step is not known yet at test time).
+  virtual void ipm_iteration(int iteration, double mu, double primal_residual,
+                             double dual_residual, double step) = 0;
+  /// Once per recovery-ladder rung (attempt >= 1), with the static
+  /// regularisation the retry will run under.
+  virtual void ipm_ladder_rung(int attempt, double static_regularisation) = 0;
+};
+
 struct SolverOptions {
   int max_iterations = 100;
   double feas_tol = 1e-6;
@@ -94,6 +113,11 @@ struct SolverOptions {
   /// false (default) the fault re-fires on every retry and the ladder
   /// exhausts into a hard kNumericalFailure (the `ipm.fail_at` failpoint).
   bool fail_only_first_attempt = false;
+  /// Optional per-execution trace sink (per-iteration and ladder events for
+  /// request tracing). Not owned; the caller guarantees it outlives the
+  /// solve. Excluded from pool keys and JSON like deadline/cancel — it is
+  /// per-execution state, not structure. nullptr (default) emits nothing.
+  IpmTraceSink* trace_sink = nullptr;
   /// Numerical recovery ladder: on a kNumericalFailure exit, retry the
   /// solve up to this many times with progressively heavier-handed
   /// settings — attempt 1 drops the warm-start seed and restarts cold;

@@ -136,9 +136,11 @@ std::string StructureCache::file_name_for_key(const std::string& key) {
   return hex64(common::fnv1a_64(key)) + ".bbsc";
 }
 
-StructureCache::StructureCache(std::string directory, std::size_t max_entries)
+StructureCache::StructureCache(std::string directory, std::size_t max_entries,
+                               std::uint64_t max_bytes)
     : directory_(std::move(directory)),
-      max_entries_(std::max<std::size_t>(1, max_entries)) {
+      max_entries_(std::max<std::size_t>(1, max_entries)),
+      max_bytes_(max_bytes) {
   writer_ = std::thread([this] { writer_loop(); });
 }
 
@@ -207,9 +209,58 @@ bool StructureCache::load_file(const std::string& path, std::string* error) {
   return true;
 }
 
+std::size_t StructureCache::gc_disk() {
+  namespace fs = std::filesystem;
+  struct File {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t size = 0;
+  };
+  std::error_code ec;
+  std::vector<File> files;
+  std::uintmax_t total_bytes = 0;
+  for (const auto& dirent : fs::directory_iterator(directory_, ec)) {
+    if (!dirent.is_regular_file()) continue;
+    if (dirent.path().extension() != ".bbsc") continue;
+    std::error_code file_ec;
+    File file;
+    file.path = dirent.path();
+    file.mtime = dirent.last_write_time(file_ec);
+    if (file_ec) continue;
+    file.size = dirent.file_size(file_ec);
+    if (file_ec) continue;
+    total_bytes += file.size;
+    files.push_back(std::move(file));
+  }
+  const auto over_budget = [&](std::size_t remaining) {
+    return remaining > max_entries_ ||
+           (max_bytes_ > 0 && total_bytes > max_bytes_);
+  };
+  if (!over_budget(files.size())) return 0;
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.mtime < b.mtime; });
+  std::size_t evicted = 0;
+  std::size_t index = 0;
+  while (index < files.size() && over_budget(files.size() - index)) {
+    std::error_code remove_ec;
+    if (fs::remove(files[index].path, remove_ec)) ++evicted;
+    total_bytes -= files[index].size;
+    ++index;
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += evicted;
+  }
+  return evicted;
+}
+
 std::size_t StructureCache::load() {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
+  // Enforce the disk budget before loading, so a directory that outgrew
+  // its limits while this daemon was down sheds its coldest entries first
+  // and the scan below only sees survivors.
+  gc_disk();
   std::size_t loaded = 0;
   std::uint64_t errors = 0;
   for (const auto& dirent :
@@ -332,6 +383,11 @@ void StructureCache::writer_loop() {
       }
       if (!ok) std::filesystem::remove(temp, ec);
     }
+
+    // Re-enforce the disk budget after every successful write: the file
+    // just renamed in carries the newest mtime, so LRU-by-mtime always
+    // evicts colder entries before it.
+    if (ok) gc_disk();
 
     {
       std::lock_guard<std::mutex> lock(mutex_);

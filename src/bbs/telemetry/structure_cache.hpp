@@ -60,12 +60,20 @@ struct StructureCacheStats {
   std::uint64_t prewarm_errors = 0;
   std::uint64_t lookup_hits = 0;
   std::uint64_t lookup_misses = 0;
+  /// Disk files removed by the LRU-by-mtime garbage collector.
+  std::uint64_t evictions = 0;
 };
 
 class StructureCache {
  public:
+  /// `max_entries` bounds both the in-memory map and the on-disk file
+  /// count; `max_bytes` (0 = unlimited) additionally bounds the summed
+  /// size of the on-disk entries. Both disk bounds are enforced by
+  /// LRU-by-mtime eviction — at load() and after every write-behind save —
+  /// so a long-lived cache directory cannot grow without bound.
   explicit StructureCache(std::string directory,
-                          std::size_t max_entries = 1024);
+                          std::size_t max_entries = 1024,
+                          std::uint64_t max_bytes = 0);
   ~StructureCache();  // drains pending writes
 
   StructureCache(const StructureCache&) = delete;
@@ -104,9 +112,16 @@ class StructureCache {
  private:
   void writer_loop();
   bool load_file(const std::string& path, std::string* error);
+  /// Deletes oldest-mtime .bbsc files until the directory satisfies both
+  /// max_entries and max_bytes. Scans the directory itself (no lock held);
+  /// returns the number of files removed (counted in stats.evictions).
+  /// An evicted key that is still in memory stays usable — the next
+  /// store() of it simply rewrites the file.
+  std::size_t gc_disk();
 
   std::string directory_;
   std::size_t max_entries_;
+  std::uint64_t max_bytes_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_writer_;

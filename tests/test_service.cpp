@@ -17,14 +17,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <future>
 #include <map>
+#include <numeric>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bbs/common/assert.hpp"
@@ -35,6 +38,10 @@
 #include "bbs/service/endpoint.hpp"
 #include "bbs/service/jsonl_stream.hpp"
 #include "bbs/service/socket_server.hpp"
+#include "bbs/telemetry/histogram.hpp"
+#include "bbs/telemetry/service_telemetry.hpp"
+#include "bbs/telemetry/trace.hpp"
+#include "testing/normalise.hpp"
 #include "testing/support.hpp"
 
 namespace bbs {
@@ -93,18 +100,8 @@ std::string to_jsonl(const std::vector<Request>& requests) {
   return stream;
 }
 
-/// Serialises a response with the wall-clock diagnostics zeroed — the only
-/// fields that legitimately differ between two executions of one request.
-std::string normalised(Response response) {
-  response.diagnostics.wall_ms = 0.0;
-  response.diagnostics.queue_ms = 0.0;
-  response.diagnostics.solve_ms = 0.0;
-  return io::write_json_compact(io::response_to_json_value(response));
-}
-
-std::string normalised_line(const std::string& line) {
-  return normalised(io::response_from_json(line));
-}
+using testing::normalised;
+using testing::normalised_line;
 
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
@@ -784,6 +781,387 @@ TEST(ServiceJsonl, RateLimitQuotaRejectsAndStatsHookReportsIt) {
   EXPECT_EQ(
       stats_root.at("result").as_object().at("quota_rejections").as_number(),
       2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing: the {"kind":"trace"} control line and span invariants
+// ---------------------------------------------------------------------------
+
+Request traced_solve_request(model::Configuration config, std::string id,
+                             bool ipm = false) {
+  Request request = solve_request(std::move(config), std::move(id));
+  request.options.trace = true;
+  request.options.trace_ipm = ipm;
+  return request;
+}
+
+/// Returns the events named `name` from a serialised trace document.
+std::vector<io::JsonObject> trace_events_named(const io::JsonValue& trace,
+                                               const std::string& name) {
+  std::vector<io::JsonObject> found;
+  for (const io::JsonValue& event :
+       trace.as_object().at("events").as_array()) {
+    if (event.as_object().at("name").as_string() == name) {
+      found.push_back(event.as_object());
+    }
+  }
+  return found;
+}
+
+TEST(ServiceTrace, ControlLineServesSpansConsistentWithWallTime) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  telemetry::TraceRing ring(16);
+  service::SessionOptions session_options;
+  session_options.trace_ring = &ring;
+
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  session.submit_line(io::write_json_compact(io::request_to_json_value(
+      traced_solve_request(testing::paper_t1(), "traced"))));
+  session.submit_line("{\"kind\":\"trace\",\"id\":\"probe\"}");
+  session.submit_line(
+      "{\"kind\":\"trace\",\"id\":\"probe2\",\"min_duration_ms\":1e9}");
+  const service::StreamSummary summary = session.finish();
+  dispatcher.stop();
+  EXPECT_EQ(summary.errors, 0u);
+  ASSERT_EQ(emitted.size(), 3u);
+
+  // The solve response echoes the trace id in its diagnostics.
+  const Response solved = io::response_from_json(emitted[0]);
+  ASSERT_EQ(solved.status, ResponseStatus::kOk) << solved.error;
+  const std::string trace_id = solved.diagnostics.trace_id;
+  ASSERT_EQ(trace_id.size(), 16u);
+
+  // The probe serves that trace from the ring, newest first.
+  const io::JsonValue probe = io::parse_json(emitted[1]);
+  EXPECT_EQ(probe.as_object().at("kind").as_string(), "trace");
+  EXPECT_EQ(probe.as_object().at("id").as_string(), "probe");
+  const io::JsonObject& result = probe.as_object().at("result").as_object();
+  EXPECT_EQ(result.at("recorded").as_number(), 1.0);
+  EXPECT_EQ(result.at("capacity").as_number(), 16.0);
+  const io::JsonArray& traces = result.at("traces").as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  const io::JsonObject& trace = traces[0].as_object();
+  EXPECT_EQ(trace.at("id").as_string(), trace_id);
+  EXPECT_EQ(trace.at("kind").as_string(), "solve");
+  EXPECT_EQ(trace.at("status").as_string(), "ok");
+
+  // Every pipeline hop is present exactly once, in causal order.
+  const double wall_ms = trace.at("wall_ms").as_number();
+  double span_sum = 0.0;
+  double previous_end = 0.0;
+  for (const char* name : {"queue", "solve", "write"}) {
+    const std::vector<io::JsonObject> spans =
+        trace_events_named(traces[0], name);
+    ASSERT_EQ(spans.size(), 1u) << name;
+    const double t = spans[0].at("t_ms").as_number();
+    const double dur = spans[0].at("dur_ms").as_number();
+    EXPECT_GE(dur, 0.0) << name;
+    // Spans do not overlap: each starts at or after the previous one ended
+    // (a small slack absorbs cross-thread clock reads).
+    EXPECT_GE(t, previous_end - 0.5) << name;
+    previous_end = t + dur;
+    span_sum += dur;
+  }
+  EXPECT_EQ(trace_events_named(traces[0], "accept").size(), 1u);
+  EXPECT_EQ(trace_events_named(traces[0], "enqueue").size(), 1u);
+  // The stages partition the wall time: their sum never exceeds it, and
+  // the last span ends at or before close.
+  EXPECT_LE(span_sum, wall_ms * 1.05 + 0.5);
+  EXPECT_LE(previous_end, wall_ms + 0.5);
+  // Untraced by default: no per-IPM-iteration events without trace_ipm.
+  EXPECT_TRUE(trace_events_named(traces[0], "ipm_iteration").empty());
+
+  // An unsatisfiable duration floor matches nothing.
+  const io::JsonValue empty_probe = io::parse_json(emitted[2]);
+  EXPECT_TRUE(empty_probe.as_object()
+                  .at("result")
+                  .as_object()
+                  .at("traces")
+                  .as_array()
+                  .empty());
+}
+
+TEST(ServiceTrace, IpmIntrospectionIsPerRequestOptIn) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  telemetry::TraceRing ring(16);
+  service::SessionOptions session_options;
+  session_options.trace_ring = &ring;
+
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  session.submit_line(io::write_json_compact(io::request_to_json_value(
+      traced_solve_request(testing::paper_t1(), "deep", /*ipm=*/true))));
+  session.submit_line("{\"kind\":\"trace\"}");
+  session.finish();
+  dispatcher.stop();
+  ASSERT_EQ(emitted.size(), 2u);
+
+  const Response solved = io::response_from_json(emitted[0]);
+  ASSERT_EQ(solved.status, ResponseStatus::kOk) << solved.error;
+  const io::JsonValue probe = io::parse_json(emitted[1]);
+  const io::JsonArray& traces =
+      probe.as_object().at("result").as_object().at("traces").as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  // One event per IPM loop pass, including the pass that observes
+  // convergence — one more than the iteration count the solve reports.
+  const std::vector<io::JsonObject> iterations =
+      trace_events_named(traces[0], "ipm_iteration");
+  ASSERT_GE(iterations.size(), 3u);
+  EXPECT_EQ(iterations.size(),
+            static_cast<std::size_t>(solved.diagnostics.ipm_iterations) + 1);
+  for (const io::JsonObject& iteration : iterations) {
+    EXPECT_TRUE(iteration.contains("mu"));
+    EXPECT_TRUE(iteration.contains("step"));
+  }
+}
+
+TEST(ServiceTrace, ShedRequestsCloseWithATerminalEvent) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+  telemetry::TraceRing ring(16);
+
+  // Park the worker, queue traced requests behind it, then abort without
+  // draining: the dropped tasks must still close their traces with a
+  // terminal "shed" event.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "blocker"),
+                                [&](Response) {
+                                  entered.set_value();
+                                  release_future.wait();
+                                }));
+  entered.get_future().wait();
+
+  service::SessionOptions session_options;
+  session_options.trace_ring = &ring;
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  for (int i = 0; i < 2; ++i) {
+    session.submit_line(io::write_json_compact(io::request_to_json_value(
+        traced_solve_request(testing::paper_t1(), "q" + std::to_string(i)))));
+  }
+  std::thread stopper([&] { dispatcher.stop(/*drain=*/false); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  stopper.join();
+  const service::StreamSummary summary = session.finish();
+  EXPECT_EQ(summary.errors, 2u);
+
+  telemetry::TraceFilter errors;
+  errors.errors_only = true;
+  const auto shed = ring.collect(errors);
+  ASSERT_EQ(shed.size(), 2u);
+  for (const auto& trace : shed) {
+    EXPECT_TRUE(trace->closed());
+    EXPECT_EQ(trace->status(), "error");
+    const io::JsonValue doc = trace->to_json_value();
+    const std::vector<io::JsonObject> events =
+        trace_events_named(doc, "shed");
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].at("detail").as_string(), "shutdown");
+    // A shed request never ran: no solve span.
+    EXPECT_TRUE(trace_events_named(doc, "solve").empty());
+  }
+}
+
+TEST(ServiceTrace, QuotaRejectedRequestsCloseWithATerminalEvent) {
+  DispatcherOptions options;
+  options.workers = 1;
+  options.queue_capacity = 16;
+  Dispatcher dispatcher(options);
+  telemetry::TraceRing ring(16);
+
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  ASSERT_TRUE(dispatcher.submit(solve_request(testing::paper_t1(), "blocker"),
+                                [&](Response) {
+                                  entered.set_value();
+                                  release_future.wait();
+                                }));
+  entered.get_future().wait();
+
+  service::SessionOptions session_options;
+  session_options.trace_ring = &ring;
+  session_options.max_in_flight = 1;
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  session.submit_line(io::write_json_compact(io::request_to_json_value(
+      traced_solve_request(testing::paper_t1(), "admitted"))));
+  session.submit_line(io::write_json_compact(io::request_to_json_value(
+      traced_solve_request(testing::paper_t1(), "rejected"))));
+  release.set_value();
+  session.finish();
+  dispatcher.stop(/*drain=*/true);
+
+  telemetry::TraceFilter errors;
+  errors.errors_only = true;
+  const auto rejected = ring.collect(errors);
+  ASSERT_EQ(rejected.size(), 1u);
+  const io::JsonValue doc = rejected[0]->to_json_value();
+  EXPECT_EQ(trace_events_named(doc, "quota_rejected").size(), 1u);
+  EXPECT_EQ(doc.as_object().at("error_code").as_string(), "over_quota");
+}
+
+TEST(ServiceTrace, ControlLineWithoutARingIsAStructuredError) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); });
+  session.submit_line("{\"kind\":\"trace\"}");
+  const service::StreamSummary summary = session.finish();
+  dispatcher.stop();
+  EXPECT_EQ(summary.errors, 1u);
+  ASSERT_EQ(emitted.size(), 1u);
+  const Response response = io::response_from_json(emitted[0]);
+  EXPECT_EQ(response.status, ResponseStatus::kError);
+  EXPECT_NE(response.error.find("trace is not supported"), std::string::npos)
+      << response.error;
+}
+
+TEST(ServiceTrace, FilterParsingIsStrict) {
+  DispatcherOptions options;
+  options.workers = 1;
+  Dispatcher dispatcher(options);
+  telemetry::TraceRing ring(16);
+  service::SessionOptions session_options;
+  session_options.trace_ring = &ring;
+  std::vector<std::string> emitted;
+  service::JsonlSession session(
+      dispatcher, [&](const std::string& line) { emitted.push_back(line); },
+      std::move(session_options));
+  session.submit_line("{\"kind\":\"trace\",\"bogus_filter\":1}");
+  session.submit_line("{\"kind\":\"trace\",\"min_duration_ms\":-1}");
+  session.submit_line("{\"kind\":\"trace\",\"trace_id\":42}");
+  const service::StreamSummary summary = session.finish();
+  dispatcher.stop();
+  EXPECT_EQ(summary.errors, 3u);
+  for (const std::string& line : emitted) {
+    EXPECT_EQ(io::response_from_json(line).status, ResponseStatus::kError)
+        << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance (native histograms)
+// ---------------------------------------------------------------------------
+
+/// Parses `name{labels} value` exposition lines of one metric name into
+/// (labels, value) pairs, asserting every value is a full-consumption
+/// strtod parse (no locale-dependent separators survive serialisation).
+std::vector<std::pair<std::string, double>> metric_samples(
+    const std::string& text, const std::string& name) {
+  std::vector<std::pair<std::string, double>> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name, 0) != 0) continue;
+    const char after = line[name.size()];
+    if (after != '{' && after != ' ') continue;  // a longer metric name
+    const std::size_t value_at = line.rfind(' ');
+    std::string labels;
+    if (after == '{') {
+      const std::size_t close = line.find('}');
+      labels = line.substr(name.size() + 1, close - name.size() - 1);
+    }
+    const std::string value_text = line.substr(value_at + 1);
+    // Full-consumption strtod: a locale-dependent decimal comma (or any
+    // other stray character) in the value would stop the parse early.
+    EXPECT_EQ(value_text.find(','), std::string::npos) << line;
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(end, value_text.c_str() + value_text.size()) << line;
+    samples.emplace_back(std::move(labels), value);
+  }
+  return samples;
+}
+
+TEST(ServiceMetrics, NativeHistogramsAreCumulativeAndComplete) {
+  telemetry::ServiceTelemetry telemetry;
+  telemetry::LatencyHistogram& histogram = telemetry.histogram(
+      telemetry::RequestKind::kSolve, telemetry::Stage::kSolve);
+  // Samples spanning underflow, several octaves, and overflow.
+  const std::vector<double> samples = {1e-5, 0.004, 0.3,  0.9, 1.4,
+                                       7.0,  80.0,  900.0, 1e9};
+  for (const double ms : samples) histogram.record(ms);
+
+  const std::string text =
+      service::metrics_exposition(ServiceStats{}, &telemetry, nullptr);
+  EXPECT_NE(text.find("# TYPE bbs_request_latency_ms histogram"),
+            std::string::npos);
+
+  const auto buckets = metric_samples(text, "bbs_request_latency_ms_bucket");
+  const auto counts = metric_samples(text, "bbs_request_latency_ms_count");
+  const auto sums = metric_samples(text, "bbs_request_latency_ms_sum");
+  ASSERT_EQ(counts.size(), 1u);  // only the one recorded (kind, stage) pair
+  ASSERT_EQ(sums.size(), 1u);
+  EXPECT_NE(counts[0].first.find("kind=\"solve\""), std::string::npos);
+  EXPECT_NE(counts[0].first.find("stage=\"solve\""), std::string::npos);
+  EXPECT_EQ(counts[0].second, static_cast<double>(samples.size()));
+  EXPECT_NEAR(sums[0].second,
+              std::accumulate(samples.begin(), samples.end(), 0.0),
+              samples.size() * 1e-2);
+
+  // Cumulative and monotone in le, with strictly increasing edges, ending
+  // at le="+Inf" == _count.
+  ASSERT_GE(buckets.size(), 3u);
+  double previous_le = -1.0;
+  double previous_count = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::string& labels = buckets[i].first;
+    const std::size_t le_at = labels.find("le=\"");
+    ASSERT_NE(le_at, std::string::npos) << labels;
+    const std::string le_text =
+        labels.substr(le_at + 4, labels.find('"', le_at + 4) - le_at - 4);
+    const bool is_inf = le_text == "+Inf";
+    EXPECT_EQ(is_inf, i + 1 == buckets.size()) << labels;
+    if (!is_inf) {
+      char* end = nullptr;
+      const double le = std::strtod(le_text.c_str(), &end);
+      EXPECT_EQ(end, le_text.c_str() + le_text.size()) << le_text;
+      EXPECT_GT(le, previous_le) << labels;
+      previous_le = le;
+    }
+    EXPECT_GE(buckets[i].second, previous_count) << labels;
+    previous_count = buckets[i].second;
+  }
+  EXPECT_EQ(buckets.back().second, counts[0].second);
+
+  // The recorded maximum lives in its own gauge family (the _max suffix
+  // inside the histogram family is reserved by the exposition format).
+  const auto max_samples =
+      metric_samples(text, "bbs_request_latency_max_ms");
+  ASSERT_EQ(max_samples.size(), 1u);
+  EXPECT_NEAR(max_samples[0].second, 1e9, 1.0);
+}
+
+TEST(ServiceMetrics, EmptyHistogramsAreOmittedFromTheExposition) {
+  telemetry::ServiceTelemetry telemetry;
+  const std::string text =
+      service::metrics_exposition(ServiceStats{}, &telemetry, nullptr);
+  // The family header is present (the scrape schema is stable) but no
+  // bucket series is emitted for never-recorded (kind, stage) pairs.
+  EXPECT_NE(text.find("# TYPE bbs_request_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_TRUE(metric_samples(text, "bbs_request_latency_ms_bucket").empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,10 +23,12 @@
 
 #include "bbs/api/engine.hpp"
 #include "bbs/common/hash.hpp"
+#include "bbs/io/json.hpp"
 #include "bbs/service/dispatcher.hpp"
 #include "bbs/telemetry/histogram.hpp"
 #include "bbs/telemetry/service_telemetry.hpp"
 #include "bbs/telemetry/structure_cache.hpp"
+#include "bbs/telemetry/trace.hpp"
 #include "testing/support.hpp"
 
 namespace bbs {
@@ -43,6 +47,11 @@ using telemetry::Stage;
 using telemetry::StructureCache;
 using telemetry::StructureObservation;
 using telemetry::StructureRow;
+using telemetry::Trace;
+using telemetry::TraceEvent;
+using telemetry::TraceFilter;
+using telemetry::TraceLog;
+using telemetry::TraceRing;
 
 /// A unique scratch directory removed on scope exit.
 struct ScopedTempDir {
@@ -486,6 +495,355 @@ TEST(TelemetryCache, CorruptStaleAndMisnamedEntriesAreSkippedAndCounted) {
   const telemetry::StructureCacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries_loaded, 0u);
   EXPECT_EQ(stats.load_errors, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryTrace
+// ---------------------------------------------------------------------------
+
+/// Finds the events of a given name in a trace's JSON document.
+std::vector<io::JsonObject> events_named(const io::JsonValue& doc,
+                                         const std::string& name) {
+  std::vector<io::JsonObject> found;
+  for (const io::JsonValue& event : doc.as_object().at("events").as_array()) {
+    if (event.as_object().at("name").as_string() == name) {
+      found.push_back(event.as_object());
+    }
+  }
+  return found;
+}
+
+std::shared_ptr<const Trace> closed_trace(std::string id, std::string kind,
+                                          std::string status,
+                                          std::string error_code = "") {
+  auto trace = std::make_shared<Trace>(std::move(id), std::move(kind));
+  trace->add_event("accept");
+  trace->close(std::move(status), std::move(error_code));
+  return trace;
+}
+
+TEST(TelemetryTrace, NextIdIsSixteenHexDigitsAndUnique) {
+  const std::string a = Trace::next_id();
+  const std::string b = Trace::next_id();
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_EQ(a.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_NE(a, b);
+}
+
+TEST(TelemetryTrace, EventsAreStampedRelativeToCreationInOrder) {
+  Trace trace("id1", "solve");
+  trace.add_event("accept");
+  trace.add_event("quota", "ok");
+  trace.add_span("queue", 0.0, {{"worker", 3.0}});
+  const io::JsonValue doc = trace.to_json_value();
+  const io::JsonObject& root = doc.as_object();
+  EXPECT_EQ(root.at("id").as_string(), "id1");
+  EXPECT_EQ(root.at("kind").as_string(), "solve");
+  EXPECT_EQ(root.at("status").as_string(), "open");  // not yet closed
+  const io::JsonArray& events = root.at("events").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  double previous = 0.0;
+  for (const io::JsonValue& event : events) {
+    const double t = event.as_object().at("t_ms").as_number();
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+  // Instant events carry no dur_ms; the span does, plus its inline attrs.
+  EXPECT_FALSE(events[0].as_object().contains("dur_ms"));
+  EXPECT_EQ(events[1].as_object().at("detail").as_string(), "ok");
+  EXPECT_TRUE(events[2].as_object().contains("dur_ms"));
+  EXPECT_EQ(events[2].as_object().at("worker").as_number(), 3.0);
+}
+
+TEST(TelemetryTrace, SpanStartPrecedesItsEnd) {
+  Trace trace("id2", "solve");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  trace.add_span("solve", 2.0);
+  const io::JsonValue doc = trace.to_json_value();
+  const std::vector<io::JsonObject> spans = events_named(doc, "solve");
+  ASSERT_EQ(spans.size(), 1u);
+  const double t = spans[0].at("t_ms").as_number();
+  const double dur = spans[0].at("dur_ms").as_number();
+  EXPECT_NEAR(dur, 2.0, 1e-9);
+  // t_ms = now - dur: the span started at least 3 ms after creation and
+  // ends in the past relative to any later elapsed_ms() reading.
+  EXPECT_GE(t, 3.0 * 0.9);
+  EXPECT_LE(t + dur, trace.elapsed_ms() + 1e-9);
+}
+
+TEST(TelemetryTrace, CloseIsIdempotentFirstCloseWins) {
+  Trace trace("id3", "solve");
+  trace.close("ok");
+  ASSERT_TRUE(trace.closed());
+  EXPECT_FALSE(trace.error());
+  const double wall = trace.wall_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  trace.close("error", "deadline_exceeded");  // must be ignored
+  EXPECT_EQ(trace.status(), "ok");
+  EXPECT_FALSE(trace.error());
+  EXPECT_EQ(trace.wall_ms(), wall);
+  EXPECT_FALSE(trace.to_json_value().as_object().contains("error_code"));
+}
+
+TEST(TelemetryTrace, ErrorTraceCarriesTheErrorCode) {
+  Trace trace("id4", "solve");
+  trace.close("error", "invalid_configuration");
+  EXPECT_TRUE(trace.error());
+  const io::JsonValue doc = trace.to_json_value();
+  const io::JsonObject& root = doc.as_object();
+  EXPECT_EQ(root.at("status").as_string(), "error");
+  EXPECT_EQ(root.at("error_code").as_string(), "invalid_configuration");
+  EXPECT_GE(root.at("wall_ms").as_number(), 0.0);
+}
+
+TEST(TelemetryTrace, IpmIterationEventsAreCappedLadderRungsAreNot) {
+  Trace trace("id5", "solve");
+  const int kIterations = static_cast<int>(Trace::kMaxIpmEvents) + 100;
+  for (int i = 0; i < kIterations; ++i) {
+    trace.ipm_iteration(i, 1e-3, 1e-6, 1e-6, 0.9);
+  }
+  trace.ipm_ladder_rung(1, 1e-8);
+  const io::JsonValue doc = trace.to_json_value();
+  EXPECT_EQ(events_named(doc, "ipm_iteration").size(), Trace::kMaxIpmEvents);
+  EXPECT_EQ(events_named(doc, "ipm_ladder_rung").size(), 1u);
+  EXPECT_EQ(doc.as_object().at("ipm_events_dropped").as_number(), 100.0);
+  const io::JsonObject first = events_named(doc, "ipm_iteration")[0];
+  EXPECT_EQ(first.at("iteration").as_number(), 0.0);
+  EXPECT_EQ(first.at("mu").as_number(), 1e-3);
+  EXPECT_EQ(first.at("step").as_number(), 0.9);
+}
+
+TEST(TelemetryTrace, JsonDocumentRoundTripsThroughTheParser) {
+  Trace trace("id6", "sweep");
+  trace.add_span("write", 0.25, {{"bytes", 512.0}});
+  trace.close("ok");
+  const std::string line = io::write_json_compact(trace.to_json_value());
+  const io::JsonValue parsed = io::parse_json(line);
+  EXPECT_EQ(parsed.as_object().at("id").as_string(), "id6");
+  EXPECT_EQ(parsed.as_object().at("kind").as_string(), "sweep");
+  const std::vector<io::JsonObject> spans = events_named(parsed, "write");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].at("bytes").as_number(), 512.0);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryTraceRing
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTraceRing, CollectsNewestFirstAndEvictsBeyondCapacity) {
+  TraceRing ring(/*capacity=*/8, /*shards=*/4);
+  for (int i = 0; i < 20; ++i) {
+    ring.push(closed_trace("t" + std::to_string(i), "solve", "ok"));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  const auto traces = ring.collect(TraceFilter{});
+  ASSERT_EQ(traces.size(), 8u);
+  // Each shard keeps its freshest entries: exactly t12..t19 survive,
+  // returned newest first.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(traces[i]->id(), "t" + std::to_string(19 - i));
+  }
+}
+
+TEST(TelemetryTraceRing, FiltersByIdKindAndErrorsOnly) {
+  TraceRing ring(16);
+  ring.push(closed_trace("a", "solve", "ok"));
+  ring.push(closed_trace("b", "sweep", "error", "solver_failure"));
+  ring.push(closed_trace("c", "solve", "infeasible"));
+
+  TraceFilter by_id;
+  by_id.id = "b";
+  auto matches = ring.collect(by_id);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->id(), "b");
+
+  TraceFilter by_kind;
+  by_kind.kind = "solve";
+  matches = ring.collect(by_kind);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->id(), "c");  // newest first
+  EXPECT_EQ(matches[1]->id(), "a");
+
+  TraceFilter errors;
+  errors.errors_only = true;
+  matches = ring.collect(errors);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->id(), "b");
+  EXPECT_TRUE(matches[0]->error());
+
+  TraceFilter nothing;
+  nothing.id = "no-such-id";
+  EXPECT_TRUE(ring.collect(nothing).empty());
+}
+
+TEST(TelemetryTraceRing, MinDurationAndLimitBoundTheResult) {
+  TraceRing ring(16);
+  auto slow = std::make_shared<Trace>("slow", "solve");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  slow->close("ok");
+  ring.push(slow);
+  for (int i = 0; i < 5; ++i) {
+    ring.push(closed_trace("fast" + std::to_string(i), "solve", "ok"));
+  }
+
+  // A 20 ms trace always clears a 5 ms floor; an absurd floor matches none.
+  TraceFilter floor;
+  floor.min_duration_ms = 5.0;
+  auto matches = ring.collect(floor);
+  ASSERT_GE(matches.size(), 1u);
+  bool found_slow = false;
+  for (const auto& t : matches) found_slow |= t->id() == "slow";
+  EXPECT_TRUE(found_slow);
+  floor.min_duration_ms = 1e9;
+  EXPECT_TRUE(ring.collect(floor).empty());
+
+  TraceFilter limited;
+  limited.limit = 3;
+  matches = ring.collect(limited);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0]->id(), "fast4");  // still newest first
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryTraceLog
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTraceLog, LogsOnlySlowOrErrorTraces) {
+  ScopedTempDir dir;
+  const std::string path = dir.path + "/traces.jsonl";
+  TraceLog log(path, /*slow_ms=*/50.0);
+  EXPECT_EQ(log.path(), path);
+  EXPECT_EQ(log.slow_ms(), 50.0);
+
+  // Fast and healthy: does not qualify.
+  EXPECT_FALSE(log.offer(closed_trace("fast", "solve", "ok")));
+  // Error: qualifies regardless of duration.
+  EXPECT_TRUE(log.offer(closed_trace("bad", "solve", "error", "ipm_failure")));
+  // Slow: qualifies on wall_ms alone.
+  auto slow = std::make_shared<Trace>("slow", "solve");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  slow->close("ok");
+  EXPECT_TRUE(log.offer(slow));
+
+  log.flush();
+  EXPECT_EQ(log.stats().logged, 2u);
+  EXPECT_EQ(log.stats().write_errors, 0u);
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> ids;
+  while (std::getline(in, line)) {
+    ids.push_back(io::parse_json(line).as_object().at("id").as_string());
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"bad", "slow"}));
+}
+
+TEST(TelemetryTraceLog, ZeroThresholdMeansErrorsOnly) {
+  ScopedTempDir dir;
+  TraceLog log(dir.path + "/traces.jsonl", /*slow_ms=*/0.0);
+  auto aged = std::make_shared<Trace>("aged", "solve");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  aged->close("ok");
+  EXPECT_FALSE(log.offer(aged));  // slow never triggers at threshold 0
+  EXPECT_TRUE(log.offer(closed_trace("bad", "solve", "error", "x")));
+  log.flush();
+  EXPECT_EQ(log.stats().logged, 1u);
+}
+
+TEST(TelemetryTraceLog, UnwritablePathCountsWriteErrors) {
+  ScopedTempDir dir;
+  TraceLog log(dir.path + "/no/such/dir/traces.jsonl", /*slow_ms=*/0.0);
+  EXPECT_TRUE(log.offer(closed_trace("bad", "solve", "error", "x")));
+  log.flush();
+  EXPECT_EQ(log.stats().logged, 0u);
+  EXPECT_EQ(log.stats().write_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryCacheGc
+// ---------------------------------------------------------------------------
+
+/// Backdates a file's mtime so LRU-by-mtime ordering is deterministic.
+void age_file(const std::string& path, int seconds_old) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::seconds(seconds_old));
+}
+
+TEST(TelemetryCacheGc, LoadEvictsOldestFilesBeyondMaxEntries) {
+  ScopedTempDir dir;
+  // Five .bbsc files, oldest first: e0 (5 min old) .. e4 (1 min old).
+  for (int i = 0; i < 5; ++i) {
+    const std::string path =
+        dir.path + "/e" + std::to_string(i) + ".bbsc";
+    write_file(path, "not a valid entry");
+    age_file(path, (5 - i) * 60);
+  }
+  StructureCache cache(dir.path, /*max_entries=*/2);
+  cache.load();
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  // The two newest files survive (they then fail to parse, which is the
+  // orthogonal fail-soft path, not GC's concern).
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/e0.bbsc"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/e1.bbsc"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/e2.bbsc"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/e3.bbsc"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/e4.bbsc"));
+  EXPECT_EQ(cache.stats().load_errors, 2u);
+}
+
+TEST(TelemetryCacheGc, MaxBytesBudgetEvictsUntilUnderTheLimit) {
+  ScopedTempDir dir;
+  // Five 100-byte files; a 250-byte budget keeps the two newest.
+  for (int i = 0; i < 5; ++i) {
+    const std::string path =
+        dir.path + "/b" + std::to_string(i) + ".bbsc";
+    write_file(path, std::string(100, 'x'));
+    age_file(path, (5 - i) * 60);
+  }
+  StructureCache cache(dir.path, /*max_entries=*/1024, /*max_bytes=*/250);
+  cache.load();
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/b3.bbsc"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/b4.bbsc"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/b0.bbsc"));
+  // Non-.bbsc files never count against the budget and are never removed.
+  write_file(dir.path + "/README.txt", std::string(1000, 'y'));
+  StructureCache again(dir.path, /*max_entries=*/1024, /*max_bytes=*/250);
+  again.load();
+  EXPECT_EQ(again.stats().evictions, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/README.txt"));
+}
+
+TEST(TelemetryCacheGc, WriteBehindSaveEvictsColdFilesNotTheFreshWrite) {
+  ScopedTempDir dir;
+  // A stale junk entry much older than anything the cache will write.
+  const std::string junk = dir.path + "/00000000000000ff.bbsc";
+  write_file(junk, "stale junk");
+  age_file(junk, 3600);
+  StructureCache cache(dir.path, /*max_entries=*/1);
+  cache.store(minimal_entry("k"));
+  cache.flush();
+  // The write-behind save re-ran GC: the junk file lost, the fresh entry
+  // (newest mtime by construction) survived.
+  EXPECT_FALSE(std::filesystem::exists(junk));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir.path + "/" + StructureCache::file_name_for_key("k")));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().saves, 1u);
+}
+
+TEST(TelemetryCacheGc, WithinBudgetNothingIsEvicted) {
+  ScopedTempDir dir;
+  {
+    StructureCache cache(dir.path);
+    cache.store(minimal_entry("k1"));
+    cache.store(minimal_entry("k2"));
+    cache.flush();
+  }
+  StructureCache cache(dir.path, /*max_entries=*/16, /*max_bytes=*/1 << 20);
+  EXPECT_EQ(cache.load(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
 TEST(TelemetryCache, MissingDirectoryIsCreatedAndLoadsEmpty) {

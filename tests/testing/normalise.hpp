@@ -1,0 +1,35 @@
+// Shared response normalisation for golden-output comparisons.
+//
+// Two executions of one request legitimately differ only in wall-clock
+// diagnostics (wall_ms/queue_ms/solve_ms) and, for traced requests, the
+// process-unique trace id. Tests that compare serialised responses across
+// runs — in-order reassembly, restart determinism, socket-vs-stdio parity —
+// strip exactly those fields here, so the list lives in one place (the
+// shell-side twin is BASE_NORMALISE in scripts/daemon_smoke.sh).
+#pragma once
+
+#include <string>
+
+#include "bbs/api/response.hpp"
+#include "bbs/io/api_io.hpp"
+#include "bbs/io/json.hpp"
+
+namespace bbs::testing {
+
+/// Serialises a response with the run-variant diagnostics zeroed: wall-clock
+/// timings set to 0 and the trace id (present only when the request opted
+/// into tracing) cleared.
+inline std::string normalised(api::Response response) {
+  response.diagnostics.wall_ms = 0.0;
+  response.diagnostics.queue_ms = 0.0;
+  response.diagnostics.solve_ms = 0.0;
+  response.diagnostics.trace_id.clear();
+  return io::write_json_compact(io::response_to_json_value(response));
+}
+
+/// Parse-and-normalise for raw JSONL response lines.
+inline std::string normalised_line(const std::string& line) {
+  return normalised(io::response_from_json(line));
+}
+
+}  // namespace bbs::testing
